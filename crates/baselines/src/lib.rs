@@ -1,0 +1,19 @@
+//! Baseline proxy-app synthesizers the paper compares Siesta against
+//! (Section 3.3–3.4):
+//!
+//! * [`scalabench`] — the ScalaBench-like tool: greedy RSD loop compression
+//!   with relaxed (shape-only) matching, histogram-pooled parameters, and
+//!   sleep-based computation replay. Rejects communicator-management
+//!   operations, reproducing the paper's report that ScalaBench fails on
+//!   the FLASH programs.
+//! * [`pilgrim`] — the Pilgrim-like tool: lossless grammar-compressed
+//!   communication replay with *no* computation fill, reproducing the
+//!   paper's 84.30% execution-time error observation.
+//!
+//! (The MINIME baseline for computation events lives in
+//! `siesta_proxy::minime`, next to the proxy search it contrasts with.)
+
+pub mod pilgrim;
+pub mod scalabench;
+
+pub use scalabench::{BaselineError, ScalaApp};

@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks of the pipeline's algorithmic components.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use siesta_core::{Siesta, SiestaConfig};
+use siesta_grammar::{lcs, merge_grammars, MergeConfig, Sequitur};
+use siesta_perfmodel::{platform_a, KernelDesc, Machine, MpiFlavor};
+use siesta_proxy::{solve_block_fit, ProxySearcher};
+use siesta_trace::{merge_tables, Recorder, TraceConfig};
+use siesta_workloads::{ProblemSize, Program};
+
+fn machine() -> Machine {
+    Machine::new(platform_a(), MpiFlavor::OpenMpi)
+}
+
+/// A trace-like sequence: nested loops with occasional irregularities.
+fn trace_like_sequence(n: usize) -> Vec<u32> {
+    let mut seq = Vec::with_capacity(n);
+    let mut i = 0;
+    while seq.len() < n {
+        seq.extend([1, 2, 3, 2, 4]);
+        seq.extend(std::iter::repeat_n(5, 8));
+        if i % 10 == 9 {
+            seq.extend([20, 21]);
+        }
+        i += 1;
+    }
+    seq.truncate(n);
+    seq
+}
+
+fn bench_sequitur(c: &mut Criterion) {
+    let seq = trace_like_sequence(10_000);
+    c.bench_function("sequitur_10k_symbols", |b| {
+        b.iter(|| Sequitur::build(black_box(&seq)))
+    });
+}
+
+fn bench_qp(c: &mut Criterion) {
+    let m = machine();
+    let searcher = ProxySearcher::new(&m);
+    let target = m.cpu().counters(&KernelDesc::stencil(50_000.0, 6.0, 2e6));
+    let t = target.as_array();
+    c.bench_function("qp_block_fit", |b| {
+        b.iter(|| solve_block_fit(black_box(searcher.b_matrix()), black_box(&t)))
+    });
+}
+
+fn bench_lcs(c: &mut Criterion) {
+    // Two nearly identical main rules, SPMD-style.
+    let a: Vec<u32> = (0..2000).map(|i| i % 37).collect();
+    let mut bv = a.clone();
+    for i in (0..2000).step_by(97) {
+        bv[i] = 999;
+    }
+    c.bench_function("myers_lcs_2k_similar", |b| {
+        b.iter(|| lcs::diff(black_box(&a), black_box(&bv), 200))
+    });
+}
+
+fn bench_grammar_merge(c: &mut Criterion) {
+    let base = trace_like_sequence(2_000);
+    let grammars: Vec<_> = (0..16)
+        .map(|r| {
+            let mut s = base.clone();
+            s.push(100 + r);
+            Sequitur::build(&s)
+        })
+        .collect();
+    c.bench_function("merge_16_rank_grammars", |b| {
+        b.iter(|| merge_grammars(black_box(&grammars), &MergeConfig::default()))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let m = machine();
+    c.bench_function("mpisim_mg8_tiny", |b| {
+        b.iter(|| Program::Mg.run(m, 8, ProblemSize::Tiny))
+    });
+}
+
+fn bench_table_merge(c: &mut Criterion) {
+    let m = machine();
+    c.bench_function("trace_and_table_merge_cg8", |b| {
+        b.iter(|| {
+            let rec = std::sync::Arc::new(Recorder::new(8, TraceConfig::default()));
+            Program::Cg.run_hooked(m, 8, ProblemSize::Tiny, rec.clone());
+            merge_tables(rec.finish())
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let m = machine();
+    c.bench_function("synthesize_bt9_tiny", |b| {
+        b.iter(|| {
+            let siesta = Siesta::new(SiestaConfig::default());
+            siesta.synthesize_run(m, 9, move |r| Program::Bt.body(ProblemSize::Tiny)(r))
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sequitur,
+        bench_qp,
+        bench_lcs,
+        bench_grammar_merge,
+        bench_simulator,
+        bench_table_merge,
+        bench_end_to_end
+);
+criterion_main!(benches);

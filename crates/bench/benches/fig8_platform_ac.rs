@@ -1,0 +1,73 @@
+//! Figure 8 — portability between platform A and platform C.
+//!
+//! MG, IS, and SP at 16 ranks (platform C is a single 28-core node).
+//! "A to C" generates the proxy on A and executes it on C; "C to A" is the
+//! reverse. Siesta's block proxies re-cost on the target platform;
+//! ScalaBench's sleeps do not.
+
+use siesta_baselines::scalabench;
+use siesta_bench::{hr, Scale};
+use siesta_codegen::replay;
+use siesta_core::{Siesta, SiestaConfig};
+use siesta_perfmodel::{platform_a, platform_c, Machine, MpiFlavor};
+use siesta_workloads::Program;
+
+fn main() {
+    let scale = Scale::from_env();
+    let size = scale.size();
+    let nprocs = 16; // paper: "executed under 16 processes" (C has 28 cores)
+    let ma = Machine::new(platform_a(), MpiFlavor::OpenMpi);
+    let mc = Machine::new(platform_c(), MpiFlavor::OpenMpi);
+
+    println!("Figure 8: portability between platforms A and C (16 ranks)  ({scale:?})");
+    hr(100);
+    println!(
+        "{:<10} {:>7} | {:>9} {:>9} {:>6} {:>9} {:>6}",
+        "Program", "Dir", "Original", "Siesta", "err%", "ScalaB", "err%"
+    );
+    hr(100);
+    let mut siesta_errs = Vec::new();
+    let mut scala_errs = Vec::new();
+    for program in [Program::Mg, Program::Is, Program::Sp] {
+        for (dir, gen_m, run_m) in [("A to C", ma, mc), ("C to A", mc, ma)] {
+            let original = program.run(run_m, nprocs, size);
+            let t_orig = original.elapsed_ms();
+            let siesta = Siesta::new(SiestaConfig::default());
+            let (synthesis, _) =
+                siesta.synthesize_run(gen_m, nprocs, move |r| program.body(size)(r));
+            let proxy = replay(&synthesis.program, run_m);
+            let e_siesta = 100.0 * proxy.time_error(&original);
+            siesta_errs.push(e_siesta);
+            let scala = scalabench::trace_and_synthesize(gen_m, nprocs, move |r| {
+                program.body(size)(r)
+            });
+            let (scala_txt, err_txt) = match &scala {
+                Ok(app) => {
+                    let t = app.replay(run_m).elapsed_ms();
+                    let e = 100.0 * (t - t_orig).abs() / t_orig;
+                    scala_errs.push(e);
+                    (format!("{t:9.2}"), format!("{e:5.1}%"))
+                }
+                Err(_) => ("     fail".to_string(), "    -".to_string()),
+            };
+            println!(
+                "{:<10} {:>7} | {:>9.2} {:>9.2} {:>5.1}% {} {}",
+                program.name(),
+                dir,
+                t_orig,
+                proxy.elapsed_ms(),
+                e_siesta,
+                scala_txt,
+                err_txt,
+            );
+        }
+    }
+    hr(100);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "Mean error: Siesta {:.2}%   ScalaBench {:.2}%",
+        mean(&siesta_errs),
+        mean(&scala_errs)
+    );
+    println!("Paper reference: Siesta 6.83%, ScalaBench 18.11% (similar platforms).");
+}

@@ -1,0 +1,87 @@
+//! Figure 9 — portability between platform A and platform B (KNL).
+//!
+//! BT and CG at 16–64 ranks, generated on A and executed on both A and B.
+//! Platform B's slow cores change the original's time dramatically;
+//! Siesta's re-costed block proxies follow, ScalaBench's fixed sleeps do
+//! not ("the execution time of ScalaBench is almost unchanged").
+
+use siesta_baselines::scalabench;
+use siesta_bench::{hr, Scale};
+use siesta_codegen::replay;
+use siesta_core::{Siesta, SiestaConfig};
+use siesta_perfmodel::{platform_a, platform_b, Machine, MpiFlavor};
+use siesta_workloads::Program;
+
+fn main() {
+    let scale = Scale::from_env();
+    let size = scale.size();
+    let ma = Machine::new(platform_a(), MpiFlavor::OpenMpi);
+    let mb = Machine::new(platform_b(), MpiFlavor::OpenMpi);
+
+    println!("Figure 9: execution time on platforms A and B (generated on A)  ({scale:?})");
+    hr(104);
+    println!(
+        "{:<8} {:>6} {:>5} | {:>9} {:>9} {:>6} {:>9} {:>6}",
+        "Program", "Procs", "Plat", "Original", "Siesta", "err%", "ScalaB", "err%"
+    );
+    hr(104);
+    let mut errs_a = (Vec::new(), Vec::new());
+    let mut errs_b = (Vec::new(), Vec::new());
+    for program in [Program::Bt, Program::Cg] {
+        let counts: Vec<usize> = match program {
+            Program::Bt => vec![16, 25, 36, 64],
+            _ => vec![16, 32, 64],
+        };
+        for nprocs in counts {
+            let siesta = Siesta::new(SiestaConfig::default());
+            let (synthesis, _) =
+                siesta.synthesize_run(ma, nprocs, move |r| program.body(size)(r));
+            let scala = scalabench::trace_and_synthesize(ma, nprocs, move |r| {
+                program.body(size)(r)
+            });
+            for (label, m) in [("A", ma), ("B", mb)] {
+                let original = program.run(m, nprocs, size);
+                let t_orig = original.elapsed_ms();
+                let proxy = replay(&synthesis.program, m);
+                let e_siesta = 100.0 * proxy.time_error(&original);
+                let (scala_txt, err_txt, e_scala) = match &scala {
+                    Ok(app) => {
+                        let t = app.replay(m).elapsed_ms();
+                        let e = 100.0 * (t - t_orig).abs() / t_orig;
+                        (format!("{t:9.2}"), format!("{e:5.1}%"), Some(e))
+                    }
+                    Err(_) => ("     fail".to_string(), "    -".to_string(), None),
+                };
+                let (se, ce) = if label == "A" { (&mut errs_a.0, &mut errs_a.1) } else { (&mut errs_b.0, &mut errs_b.1) };
+                se.push(e_siesta);
+                if let Some(e) = e_scala {
+                    ce.push(e);
+                }
+                println!(
+                    "{:<8} {:>6} {:>5} | {:>9.2} {:>9.2} {:>5.1}% {} {}",
+                    program.name(),
+                    nprocs,
+                    label,
+                    t_orig,
+                    proxy.elapsed_ms(),
+                    e_siesta,
+                    scala_txt,
+                    err_txt,
+                );
+            }
+        }
+    }
+    hr(104);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "Mean error on A (native platform): Siesta {:.2}%   ScalaBench {:.2}%",
+        mean(&errs_a.0),
+        mean(&errs_a.1)
+    );
+    println!(
+        "Mean error on B (ported):          Siesta {:.2}%   ScalaBench {:.2}%",
+        mean(&errs_b.0),
+        mean(&errs_b.1)
+    );
+    println!("Paper reference on B: Siesta 13.68%, ScalaBench 70.44%.");
+}

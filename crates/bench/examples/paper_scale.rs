@@ -1,0 +1,25 @@
+//! Capability check at the paper's largest configuration: SP on 529
+//! ranks at the Reference problem size, end to end (original run, traced
+//! run, synthesis, proxy replay). Finishes in seconds and reproduces the
+//! paper's SP compression band (11,662 MB → 2.7 MB ≈ 4300×).
+//!
+//! ```sh
+//! cargo run --release -p siesta-bench --example paper_scale
+//! ```
+
+use siesta_bench::{evaluate, machine_a};
+use siesta_core::{counter_error_pct, human_bytes, SiestaConfig};
+use siesta_workloads::{ProblemSize, Program};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let cell = evaluate(Program::Sp, machine_a(), 529, ProblemSize::Reference, SiestaConfig::default());
+    println!(
+        "SP@529 Reference: trace {} size_C {} ratio {:.0}x err {:.2}% (wall {:?})",
+        human_bytes(cell.synthesis.stats.raw_trace_bytes),
+        human_bytes(cell.synthesis.stats.size_c_bytes),
+        cell.synthesis.stats.compression_ratio(),
+        counter_error_pct(&cell.proxy, &cell.original),
+        t0.elapsed()
+    );
+}

@@ -1,0 +1,146 @@
+//! Shared plumbing for the table/figure reproduction harnesses.
+//!
+//! Every bench target prints the rows/series of one table or figure of the
+//! paper's evaluation (Section 3). Scales default to a laptop-friendly
+//! subset; set `SIESTA_PAPER=1` to run the paper's process counts and the
+//! reference problem size (slow: the biggest rows simulate 512–529 ranks).
+
+use siesta_codegen::replay;
+use siesta_core::{Siesta, SiestaConfig, Synthesis};
+use siesta_mpisim::RunStats;
+use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+use siesta_workloads::{ProblemSize, Program};
+
+/// The default evaluation machine (paper: platform A + OpenMPI).
+pub fn machine_a() -> Machine {
+    Machine::new(platform_a(), MpiFlavor::OpenMpi)
+}
+
+/// Evaluation scale selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced ranks / Small problems: minutes, not hours.
+    Quick,
+    /// The paper's Table 3 process counts and the Reference size.
+    Paper,
+}
+
+impl Scale {
+    pub fn from_env() -> Scale {
+        if std::env::var("SIESTA_PAPER").map(|v| v == "1").unwrap_or(false) {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+
+    pub fn size(self) -> ProblemSize {
+        match self {
+            Scale::Quick => ProblemSize::Small,
+            Scale::Paper => ProblemSize::Reference,
+        }
+    }
+
+    /// Process counts to sweep for a program.
+    pub fn nprocs(self, program: Program) -> Vec<usize> {
+        match self {
+            Scale::Paper => program.paper_nprocs().to_vec(),
+            Scale::Quick => match program {
+                Program::Bt | Program::Sp => vec![16, 64],
+                _ => vec![16, 64],
+            },
+        }
+    }
+
+    /// A single representative count for per-program comparisons. 64 ranks
+    /// even at quick scale: smaller counts are compute-bound and the
+    /// flavor/baseline comparisons lose their signal.
+    pub fn one_nprocs(self, _program: Program) -> usize {
+        64
+    }
+
+    /// Rank count for comparisons that need compute-dominated runs (the
+    /// Figure 6 execution-time comparison: at tiny per-rank work the
+    /// latency floor dominates and scaling-factor reproduction degenerates,
+    /// which the paper's larger problems do not exhibit).
+    pub fn compute_heavy_nprocs(self, _program: Program) -> usize {
+        match self {
+            Scale::Paper => 64,
+            Scale::Quick => 16,
+        }
+    }
+}
+
+/// Everything measured for one (program, nprocs) cell.
+pub struct Cell {
+    pub original: RunStats,
+    pub traced: RunStats,
+    pub synthesis: Synthesis,
+    pub proxy: RunStats,
+}
+
+/// Run the full Siesta pipeline on one workload configuration.
+pub fn evaluate(
+    program: Program,
+    machine: Machine,
+    nprocs: usize,
+    size: ProblemSize,
+    config: SiestaConfig,
+) -> Cell {
+    let original = program.run(machine, nprocs, size);
+    let siesta = Siesta::new(config);
+    let (synthesis, traced) =
+        siesta.synthesize_run(machine, nprocs, move |r| program.body(size)(r));
+    let proxy = replay(&synthesis.program, machine);
+    Cell { original, traced, synthesis, proxy }
+}
+
+/// Tracing overhead in percent (Table 3 column).
+pub fn overhead_pct(cell: &Cell) -> f64 {
+    100.0 * (cell.traced.elapsed_ns() - cell.original.elapsed_ns())
+        / cell.original.elapsed_ns()
+}
+
+/// Print a rule line.
+pub fn hr(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_default() {
+        std::env::remove_var("SIESTA_PAPER");
+        assert_eq!(Scale::from_env(), Scale::Quick);
+        assert_eq!(Scale::Quick.size(), ProblemSize::Small);
+    }
+
+    #[test]
+    fn scales_produce_valid_counts() {
+        for scale in [Scale::Quick, Scale::Paper] {
+            for p in Program::ALL {
+                for n in scale.nprocs(p) {
+                    assert!(p.valid_nprocs(n), "{} invalid at {n} ({scale:?})", p.name());
+                }
+                assert!(p.valid_nprocs(scale.one_nprocs(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_consistent_cell() {
+        let cell = evaluate(
+            Program::Is,
+            machine_a(),
+            8,
+            ProblemSize::Tiny,
+            SiestaConfig::default(),
+        );
+        assert!(cell.original.elapsed_ns() > 0.0);
+        assert!(cell.proxy.elapsed_ns() > 0.0);
+        assert!(overhead_pct(&cell) >= 0.0);
+        assert!(cell.synthesis.stats.raw_trace_bytes > cell.synthesis.stats.size_c_bytes);
+    }
+}

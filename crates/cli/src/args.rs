@@ -1,0 +1,114 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `[command, --key, value, --key, value, ...]`.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or("missing subcommand")?;
+        if command.starts_with("--") {
+            return Err(format!("expected a subcommand, got option {command}"));
+        }
+        let mut options = HashMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {key}"))?
+                .to_string();
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            if options.insert(key.clone(), value).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    pub fn get_or(&self, key: &str, default: &'static str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be an integer, got {v}")),
+        }
+    }
+
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} must be a number, got {v}")),
+        }
+    }
+
+    /// Error on any option not in `allowed` (typo protection).
+    pub fn check_allowed(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.options.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown option --{key} (allowed: {})",
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("synthesize --program BT --nprocs 16").unwrap();
+        assert_eq!(a.command, "synthesize");
+        assert_eq!(a.get("program"), Some("BT"));
+        assert_eq!(a.get_usize("nprocs", 4).unwrap(), 16);
+        assert_eq!(a.get_usize("missing", 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("--program BT").is_err());
+        assert!(parse("run --program").is_err());
+        assert!(parse("run program BT").is_err());
+        assert!(parse("run --x 1 --x 2").is_err());
+    }
+
+    #[test]
+    fn numeric_validation() {
+        let a = parse("run --nprocs sixteen").unwrap();
+        assert!(a.get_usize("nprocs", 4).is_err());
+        let b = parse("run --scale 2.5").unwrap();
+        assert_eq!(b.get_f64("scale", 1.0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn allowed_list() {
+        let a = parse("run --program BT --bogus 1").unwrap();
+        assert!(a.check_allowed(&["program"]).is_err());
+        assert!(a.check_allowed(&["program", "bogus"]).is_ok());
+    }
+}

@@ -1,0 +1,376 @@
+//! `siesta` — command-line front end for the proxy-app synthesizer.
+//!
+//! ```text
+//! siesta synthesize --program BT --nprocs 16 --size small --out bt.siesta
+//! siesta replay     --proxy bt.siesta --platform B --flavor mpich
+//! siesta compare    --proxy bt.siesta --program BT --size small
+//! siesta emit-c     --proxy bt.siesta --out bt_proxy.c
+//! siesta inspect    --proxy bt.siesta
+//! siesta list
+//! ```
+
+mod args;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use args::Args;
+use siesta_codegen::{emit_c, replay, wire, TerminalOp};
+use siesta_core::{human_bytes, human_ms, Siesta, SiestaConfig};
+use siesta_perfmodel::{platform_by_name, Machine, MpiFlavor};
+use siesta_trace::TraceConfig;
+use siesta_workloads::{ProblemSize, Program};
+
+const USAGE: &str = "\
+siesta — synthesize proxy applications for MPI programs (CLUSTER'24 reproduction)
+
+USAGE:
+    siesta <command> [--option value ...]
+
+COMMANDS:
+    synthesize   Trace a workload and generate a proxy-app (.siesta file)
+                 --program <name>    one of the nine evaluation programs
+                 --nprocs <n>        rank count (default 16)
+                 --size <s>          tiny | small | reference (default small)
+                 --platform <p>      A | B | C (default A)
+                 --flavor <f>        openmpi | mpich | mvapich (default openmpi)
+                 --scale <k>         shrinking factor (default 1)
+                 --threshold <t>     compute clustering threshold (default 0.15)
+                 --out <file>        output .siesta path (default <prog>.siesta)
+                 --emit-c <file>     also write the C source
+                 --from-trace <f>    synthesize from a saved .siestatrace
+                                     instead of running the program
+
+    replay       Execute a generated proxy-app on a chosen machine
+                 --proxy <file>  [--platform p] [--flavor f]
+
+    compare      Replay a proxy next to its original program and report errors
+                 --proxy <file> --program <name> [--size s] [--platform p] [--flavor f]
+
+    emit-c       Write the C source of a generated proxy-app
+                 --proxy <file> --out <file.c>
+
+    retarget     Re-scale a fully-SPMD proxy to a different rank count
+                 --proxy <file> --nprocs <n> --out <file>
+
+    inspect      Print a proxy-app's structure summary
+                 --proxy <file>
+
+    trace        Trace a workload; print the merged event table or save it
+                 --program <name> [--nprocs n] [--size s] [--platform p] [--flavor f]
+                 [--out <file.siestatrace>]
+
+    list         Show available programs, platforms, and MPI flavors
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `siesta help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "synthesize" => cmd_synthesize(&args),
+        "replay" => cmd_replay(&args),
+        "compare" => cmd_compare(&args),
+        "emit-c" => cmd_emit_c(&args),
+        "retarget" => cmd_retarget(&args),
+        "inspect" => cmd_inspect(&args),
+        "trace" => cmd_trace(&args),
+        "list" => {
+            args.check_allowed(&[])?;
+            cmd_list()
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn parse_program(name: &str) -> Result<Program, String> {
+    Program::parse(name).ok_or_else(|| {
+        format!(
+            "unknown program {name} (available: {})",
+            Program::ALL.iter().map(|p| p.name()).collect::<Vec<_>>().join(", ")
+        )
+    })
+}
+
+fn parse_size(s: &str) -> Result<ProblemSize, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "tiny" => Ok(ProblemSize::Tiny),
+        "small" => Ok(ProblemSize::Small),
+        "reference" | "ref" => Ok(ProblemSize::Reference),
+        _ => Err(format!("unknown size {s} (tiny | small | reference)")),
+    }
+}
+
+fn parse_machine(args: &Args) -> Result<Machine, String> {
+    let platform_name = args.get_or("platform", "A");
+    let platform = platform_by_name(&platform_name)
+        .ok_or_else(|| format!("unknown platform {platform_name} (A | B | C)"))?;
+    let flavor_name = args.get_or("flavor", "openmpi");
+    let flavor = MpiFlavor::parse(&flavor_name)
+        .ok_or_else(|| format!("unknown flavor {flavor_name} (openmpi | mpich | mvapich)"))?;
+    Ok(Machine::new(platform, flavor))
+}
+
+fn cmd_synthesize(args: &Args) -> Result<(), String> {
+    args.check_allowed(&[
+        "program", "nprocs", "size", "platform", "flavor", "scale", "threshold", "out", "emit-c",
+        "from-trace",
+    ])?;
+    // Offline path: synthesize from a saved merged trace.
+    if let Some(trace_path) = args.get("from-trace") {
+        let machine = parse_machine(args)?;
+        let scale = args.get_f64("scale", 1.0)?;
+        let out = args.require("out")?;
+        let global =
+            siesta_trace::load_trace(Path::new(trace_path)).map_err(|e| e.to_string())?;
+        let config = SiestaConfig { scale, ..SiestaConfig::default() };
+        let synthesis = Siesta::new(config).synthesize_global(global, &machine);
+        eprintln!(
+            "synthesized from {trace_path}: raw {} -> size_C {} ({:.0}x)",
+            human_bytes(synthesis.stats.raw_trace_bytes),
+            human_bytes(synthesis.stats.size_c_bytes),
+            synthesis.stats.compression_ratio()
+        );
+        wire::save(&synthesis.program, Path::new(out)).map_err(|e| e.to_string())?;
+        println!("{out}");
+        if let Some(c_path) = args.get("emit-c") {
+            std::fs::write(c_path, emit_c(&synthesis.program)).map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+    let program = parse_program(args.require("program")?)?;
+    let nprocs = args.get_usize("nprocs", 16)?;
+    if !program.valid_nprocs(nprocs) {
+        return Err(format!(
+            "{} cannot run on {nprocs} ranks (BT/SP need squares; CG/MG/IS need powers of two)",
+            program.name()
+        ));
+    }
+    let size = parse_size(&args.get_or("size", "small"))?;
+    let machine = parse_machine(args)?;
+    let scale = args.get_f64("scale", 1.0)?;
+    let threshold = args.get_f64("threshold", 0.15)?;
+    let out = args.get_or("out", "").to_string();
+    let out = if out.is_empty() {
+        format!("{}.siesta", program.name().to_lowercase())
+    } else {
+        out
+    };
+
+    eprintln!(
+        "tracing {} on {} ranks ({size:?}, {})...",
+        program.name(),
+        nprocs,
+        machine.label()
+    );
+    let config = SiestaConfig {
+        scale,
+        trace: TraceConfig { cluster_threshold: threshold, ..TraceConfig::default() },
+        ..SiestaConfig::default()
+    };
+    let siesta = Siesta::new(config);
+    let (synthesis, traced) =
+        siesta.synthesize_run(machine, nprocs, move |r| program.body(size)(r));
+    let s = &synthesis.stats;
+    eprintln!("traced run: {}", human_ms(traced.elapsed_ns()));
+    eprintln!(
+        "raw trace {} -> size_C {} ({:.0}x); {} terminals, {} rules, {} main(s)",
+        human_bytes(s.raw_trace_bytes),
+        human_bytes(s.size_c_bytes),
+        s.compression_ratio(),
+        s.num_terminals,
+        s.num_rules,
+        s.num_mains
+    );
+    wire::save(&synthesis.program, Path::new(&out)).map_err(|e| e.to_string())?;
+    println!("{out}");
+    if let Some(c_path) = args.get("emit-c") {
+        std::fs::write(c_path, emit_c(&synthesis.program)).map_err(|e| e.to_string())?;
+        eprintln!("C source written to {c_path}");
+    }
+    Ok(())
+}
+
+fn load_proxy(args: &Args) -> Result<siesta_codegen::ProxyProgram, String> {
+    let path = args.require("proxy")?;
+    wire::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    args.check_allowed(&["proxy", "platform", "flavor"])?;
+    let program = load_proxy(args)?;
+    let machine = parse_machine(args)?;
+    eprintln!(
+        "replaying {}-rank proxy (generated on {}, scale {}) on {}...",
+        program.nranks,
+        program.generated_on,
+        program.scale,
+        machine.label()
+    );
+    let stats = replay(&program, machine);
+    println!("execution time: {}", human_ms(stats.elapsed_ns()));
+    if program.scale > 1.0 {
+        println!(
+            "reproduced (x{}): {}",
+            program.scale,
+            human_ms(stats.elapsed_ns() * program.scale)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    args.check_allowed(&["proxy", "program", "size", "platform", "flavor"])?;
+    let proxy_program = load_proxy(args)?;
+    let program = parse_program(args.require("program")?)?;
+    let size = parse_size(&args.get_or("size", "small"))?;
+    let machine = parse_machine(args)?;
+    let nprocs = proxy_program.nranks;
+    eprintln!("running original {} on {} ranks...", program.name(), nprocs);
+    let original = program.run(machine, nprocs, size);
+    eprintln!("replaying proxy...");
+    let proxy = replay(&proxy_program, machine);
+    println!("original: {}", human_ms(original.elapsed_ns()));
+    println!("proxy:    {}", human_ms(proxy.elapsed_ns()));
+    let t = if proxy_program.scale > 1.0 {
+        let reproduced = proxy.elapsed_ns() * proxy_program.scale;
+        println!("reproduced (x{}): {}", proxy_program.scale, human_ms(reproduced));
+        (reproduced - original.elapsed_ns()).abs() / original.elapsed_ns()
+    } else {
+        proxy.time_error(&original)
+    };
+    println!("time error:    {:.2}%", 100.0 * t);
+    println!(
+        "counter error: {:.2}%",
+        100.0 * proxy.mean_counter_error(&original)
+    );
+    println!("per metric:");
+    for (name, err) in siesta_core::per_metric_error_pct(&proxy, &original) {
+        match err {
+            Some(e) => println!("  {name:<8} {e:>6.2}%"),
+            None => println!("  {name:<8} below measurement floor"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_emit_c(args: &Args) -> Result<(), String> {
+    args.check_allowed(&["proxy", "out"])?;
+    let program = load_proxy(args)?;
+    let out = args.require("out")?;
+    std::fs::write(out, emit_c(&program)).map_err(|e| e.to_string())?;
+    println!("{out}");
+    Ok(())
+}
+
+fn cmd_retarget(args: &Args) -> Result<(), String> {
+    args.check_allowed(&["proxy", "nprocs", "out"])?;
+    let program = load_proxy(args)?;
+    let nprocs = args.get_usize("nprocs", 0)?;
+    if nprocs == 0 {
+        return Err("missing required --nprocs".to_string());
+    }
+    let out = args.require("out")?;
+    let retargeted = siesta_codegen::retarget(&program, nprocs).map_err(|e| e.to_string())?;
+    wire::save(&retargeted, Path::new(out)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "retargeted {} → {} ranks ({})",
+        program.nranks, nprocs, retargeted.generated_on
+    );
+    println!("{out}");
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    args.check_allowed(&["proxy"])?;
+    let p = load_proxy(args)?;
+    println!("ranks:         {}", p.nranks);
+    println!("generated on:  {}", p.generated_on);
+    println!("scale factor:  {}", p.scale);
+    println!(
+        "terminals:     {} ({} comm, {} compute)",
+        p.terminals.len(),
+        p.comm_terminals(),
+        p.compute_terminals()
+    );
+    println!("rules:         {}", p.rules.len());
+    println!("main rules:    {}", p.mains.len());
+    println!("grammar size:  {} symbols", p.grammar_size());
+    // Per-function histogram of comm terminals.
+    let mut hist: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for t in &p.terminals {
+        if let TerminalOp::Comm(e) = t {
+            *hist.entry(e.func_name()).or_default() += 1;
+        }
+    }
+    println!("comm terminal mix:");
+    for (func, count) in hist {
+        println!("  {func:<18} {count}");
+    }
+    for (i, m) in p.mains.iter().enumerate() {
+        println!(
+            "main {} covers ranks {} ({} symbols)",
+            i,
+            m.ranks,
+            m.body.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    args.check_allowed(&["program", "nprocs", "size", "platform", "flavor", "out"])?;
+    let program = parse_program(args.require("program")?)?;
+    let nprocs = args.get_usize("nprocs", 16)?;
+    if !program.valid_nprocs(nprocs) {
+        return Err(format!("{} cannot run on {nprocs} ranks", program.name()));
+    }
+    let size = parse_size(&args.get_or("size", "small"))?;
+    let machine = parse_machine(args)?;
+    let siesta = Siesta::new(SiestaConfig::default());
+    let (trace, _) = siesta.trace_run(machine, nprocs, move |r| program.body(size)(r));
+    let global = siesta_trace::merge_tables(trace);
+    match args.get("out") {
+        Some(out) => {
+            siesta_trace::save_trace(&global, Path::new(out)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "saved merged trace: {} terminals, {} ranks",
+                global.table.len(),
+                global.nranks
+            );
+            println!("{out}");
+        }
+        None => print!("{}", siesta_trace::text::render(&global)),
+    }
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("programs (paper Table 3):");
+    for p in Program::ALL {
+        println!(
+            "  {:<10} valid nprocs e.g. {:?}{}",
+            p.name(),
+            p.paper_nprocs(),
+            if p.uses_comm_management() { "  (uses communicator management)" } else { "" }
+        );
+    }
+    println!("\nplatforms (paper Table 2): A (Xeon 6248 + HDR), B (Xeon Phi KNL + OPA), C (E5-2680v4, single node)");
+    println!("flavors: openmpi, mpich, mvapich");
+    println!("sizes: tiny, small, reference");
+    Ok(())
+}

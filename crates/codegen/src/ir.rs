@@ -1,0 +1,144 @@
+//! The proxy-app intermediate representation.
+//!
+//! A [`ProxyProgram`] is the executable form of a synthesized proxy-app:
+//! the merged grammar (rules plus rank-listed main rules) over a terminal
+//! table whose entries are directly replayable operations — normalized MPI
+//! calls and block-combination computation proxies. The same structure
+//! drives both the C source emitter ([`crate::c_emit`]) and the virtual-
+//! machine replayer ([`crate::replay()`](crate::replay::replay)), so what we measure is exactly what
+//! we emit.
+
+use siesta_grammar::{MergedMain, RSym};
+use siesta_perfmodel::CounterVec;
+use siesta_proxy::ComputeProxy;
+use siesta_trace::CommEvent;
+
+/// One replayable terminal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TerminalOp {
+    /// A communication event (volumes already scaled if shrinking).
+    Comm(CommEvent),
+    /// A computation proxy plus the counter target it was fit to.
+    Compute { proxy: ComputeProxy, target: CounterVec },
+}
+
+impl TerminalOp {
+    pub fn is_comm(&self) -> bool {
+        matches!(self, TerminalOp::Comm(_))
+    }
+}
+
+/// A complete synthesized proxy application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProxyProgram {
+    pub nranks: usize,
+    /// Terminal table; `Sym::T(i)` indexes here.
+    pub terminals: Vec<TerminalOp>,
+    /// Non-terminal table; `Sym::N(i)` indexes here.
+    pub rules: Vec<Vec<RSym>>,
+    /// Merged main rules with per-symbol rank lists.
+    pub mains: Vec<MergedMain>,
+    /// Scaling factor the proxy was generated with (1 = unscaled).
+    pub scale: f64,
+    /// Label of the machine the proxy was generated on (provenance).
+    pub generated_on: String,
+}
+
+impl ProxyProgram {
+    /// Total grammar symbols (rules + mains) — proportional to code size.
+    pub fn grammar_size(&self) -> usize {
+        self.rules.iter().map(|r| r.len()).sum::<usize>()
+            + self.mains.iter().map(|m| m.body.len()).sum::<usize>()
+    }
+
+    /// Communication terminals count.
+    pub fn comm_terminals(&self) -> usize {
+        self.terminals.iter().filter(|t| t.is_comm()).count()
+    }
+
+    /// Computation terminals count.
+    pub fn compute_terminals(&self) -> usize {
+        self.terminals.len() - self.comm_terminals()
+    }
+
+    /// The flat terminal-id sequence rank `rank` executes (losslessness
+    /// witness against the original trace).
+    pub fn expand_for_rank(&self, rank: u32) -> Vec<u32> {
+        let main = match self.mains.iter().find(|m| m.ranks.contains(rank)) {
+            Some(m) => m,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for ms in &main.body {
+            if !ms.ranks.contains(rank) {
+                continue;
+            }
+            for _ in 0..ms.exp {
+                self.expand_sym_into(ms.sym, &mut out);
+            }
+        }
+        out
+    }
+
+    fn expand_sym_into(&self, sym: siesta_grammar::Sym, out: &mut Vec<u32>) {
+        match sym {
+            siesta_grammar::Sym::T(t) => out.push(t),
+            siesta_grammar::Sym::N(n) => {
+                for rs in &self.rules[n as usize] {
+                    for _ in 0..rs.exp {
+                        self.expand_sym_into(rs.sym, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siesta_grammar::{MainSym, RankSet, Sym};
+    use siesta_proxy::ComputeProxy;
+
+    fn toy() -> ProxyProgram {
+        // terminals: 0=comm barrier, 1=compute
+        // rule 0: [t0 t1^2]
+        // main: (R0^3){ranks 0-1} (t0){rank 1}
+        ProxyProgram {
+            nranks: 2,
+            terminals: vec![
+                TerminalOp::Comm(CommEvent::Barrier { comm: 0 }),
+                TerminalOp::Compute { proxy: ComputeProxy::IDLE, target: CounterVec::ZERO },
+            ],
+            rules: vec![vec![
+                RSym::new(Sym::T(0), 1),
+                RSym::new(Sym::T(1), 2),
+            ]],
+            mains: vec![MergedMain {
+                ranks: RankSet::all(2),
+                body: vec![
+                    MainSym { sym: Sym::N(0), exp: 3, ranks: RankSet::all(2) },
+                    MainSym { sym: Sym::T(0), exp: 1, ranks: RankSet::single(1) },
+                ],
+            }],
+            scale: 1.0,
+            generated_on: "A/openmpi".to_string(),
+        }
+    }
+
+    #[test]
+    fn expansion_respects_rank_lists() {
+        let p = toy();
+        assert_eq!(p.expand_for_rank(0), vec![0, 1, 1, 0, 1, 1, 0, 1, 1]);
+        assert_eq!(p.expand_for_rank(1), vec![0, 1, 1, 0, 1, 1, 0, 1, 1, 0]);
+        assert!(p.expand_for_rank(2).is_empty());
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let p = toy();
+        assert_eq!(p.comm_terminals(), 1);
+        assert_eq!(p.compute_terminals(), 1);
+        assert_eq!(p.grammar_size(), 4);
+    }
+}

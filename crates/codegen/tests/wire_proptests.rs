@@ -1,0 +1,153 @@
+//! Property-based round-trip tests for the `.siesta` wire format, over
+//! randomized proxy programs.
+
+use proptest::prelude::*;
+
+use siesta_codegen::{emit_c, from_bytes, to_bytes, ProxyProgram, TerminalOp};
+use siesta_grammar::{MainSym, MergedMain, RSym, RankSet, Sym};
+use siesta_perfmodel::CounterVec;
+use siesta_proxy::ComputeProxy;
+use siesta_trace::CommEvent;
+
+fn arb_event() -> impl Strategy<Value = CommEvent> {
+    prop_oneof![
+        (0u32..64, -1i32..100, 0u64..1_000_000, 0u32..4).prop_map(|(rel, tag, bytes, comm)| {
+            CommEvent::Send { rel, tag, bytes, comm }
+        }),
+        (0u32..64, -1i32..100, 0u64..1_000_000, 0u32..4).prop_map(|(rel, tag, bytes, comm)| {
+            CommEvent::Recv { rel, tag, bytes, comm }
+        }),
+        (0u32..64, 0i32..100, 0u64..1_000_000, 0u32..4, 0u32..16).prop_map(
+            |(rel, tag, bytes, comm, req)| CommEvent::Isend { rel, tag, bytes, comm, req }
+        ),
+        (0u32..64, 0i32..100, 0u64..1_000_000, 0u32..4, 0u32..16).prop_map(
+            |(rel, tag, bytes, comm, req)| CommEvent::Irecv { rel, tag, bytes, comm, req }
+        ),
+        (0u32..16).prop_map(|req| CommEvent::Wait { req }),
+        prop::collection::vec(0u32..16, 0..8).prop_map(|reqs| CommEvent::Waitall { reqs }),
+        (0u32..4).prop_map(|comm| CommEvent::Barrier { comm }),
+        (0u32..4, 0u32..64, 0u64..1_000_000)
+            .prop_map(|(comm, root, bytes)| CommEvent::Bcast { comm, root, bytes }),
+        (0u32..4, 0u64..1_000_000).prop_map(|(comm, bytes)| CommEvent::Allreduce { comm, bytes }),
+        (
+            0u32..4,
+            prop::collection::vec(0u64..10_000, 1..16),
+            prop::collection::vec(0u64..10_000, 1..16)
+        )
+            .prop_map(|(comm, send_counts, recv_counts)| CommEvent::Alltoallv {
+                comm,
+                send_counts,
+                recv_counts
+            }),
+        (0u32..4, -5i64..5, -5i64..5, prop::option::of(1u32..4)).prop_map(
+            |(parent, color, key, result)| CommEvent::CommSplit { parent, color, key, result }
+        ),
+        (0u32..4, 1u32..4)
+            .prop_map(|(parent, result)| CommEvent::CommDup { parent, result }),
+        (1u32..4).prop_map(|comm| CommEvent::CommFree { comm }),
+        (0u32..4, 0u32..32, prop::collection::vec(0u64..10_000, 1..16))
+            .prop_map(|(comm, root, counts)| CommEvent::Gatherv { comm, root, counts }),
+        (0u32..4, 0u32..32, prop::collection::vec(0u64..10_000, 1..16))
+            .prop_map(|(comm, root, counts)| CommEvent::Scatterv { comm, root, counts }),
+        (0u32..4, 0u64..1_000_000).prop_map(|(comm, bytes)| CommEvent::Scan { comm, bytes }),
+        (0u32..4, 0u64..100_000).prop_map(|(comm, bytes_per_rank)| {
+            CommEvent::ReduceScatterBlock { comm, bytes_per_rank }
+        }),
+    ]
+}
+
+fn arb_terminal() -> impl Strategy<Value = TerminalOp> {
+    prop_oneof![
+        arb_event().prop_map(TerminalOp::Comm),
+        (
+            prop::collection::vec(0u64..100_000, 11),
+            prop::collection::vec(0.0f64..1e9, 6)
+        )
+            .prop_map(|(reps, t)| {
+                let mut r = [0u64; 11];
+                r.copy_from_slice(&reps);
+                TerminalOp::Compute {
+                    proxy: ComputeProxy { reps: r },
+                    target: CounterVec::from_array([t[0], t[1], t[2], t[3], t[4], t[5]]),
+                }
+            }),
+    ]
+}
+
+fn arb_rankset(nranks: u32) -> impl Strategy<Value = RankSet> {
+    prop::collection::btree_set(0..nranks, 1..(nranks as usize).min(12))
+        .prop_map(RankSet::from_iter)
+}
+
+fn arb_program() -> impl Strategy<Value = ProxyProgram> {
+    (
+        2u32..32,
+        prop::collection::vec(arb_terminal(), 1..12),
+        1.0f64..20.0,
+    )
+        .prop_flat_map(|(nranks, terminals, scale)| {
+            let n_terms = terminals.len() as u32;
+            // One rule over terminals only (keeps acyclicity trivial), and a
+            // main over rules + terminals.
+            let rule = prop::collection::vec(
+                (0..n_terms, 1u64..50).prop_map(|(t, e)| RSym::new(Sym::T(t), e)),
+                1..6,
+            );
+            let main_syms = prop::collection::vec(
+                (
+                    prop_oneof![
+                        (0..n_terms).prop_map(Sym::T),
+                        Just(Sym::N(0)),
+                    ],
+                    1u64..20,
+                    arb_rankset(nranks),
+                )
+                    .prop_map(|(sym, exp, ranks)| MainSym { sym, exp, ranks }),
+                1..10,
+            );
+            (Just(nranks), Just(terminals), Just(scale), rule, main_syms)
+        })
+        .prop_map(|(nranks, terminals, scale, rule, main)| ProxyProgram {
+            nranks: nranks as usize,
+            terminals,
+            rules: vec![rule],
+            mains: vec![MergedMain { ranks: RankSet::all(nranks), body: main }],
+            scale,
+            generated_on: "A/openmpi".to_string(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode is the identity on arbitrary programs.
+    #[test]
+    fn wire_round_trip(p in arb_program()) {
+        let bytes = to_bytes(&p);
+        let q = from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(p, q);
+    }
+
+    /// Truncating anywhere never panics and never yields Ok of a different
+    /// program (prefix-freeness of the format).
+    #[test]
+    fn truncation_is_detected(p in arb_program(), frac in 0.0f64..1.0) {
+        let bytes = to_bytes(&p);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            match from_bytes(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(q) => prop_assert_eq!(p, q), // only acceptable if identical
+            }
+        }
+    }
+
+    /// Emission works on every decodable program (no panics, balanced
+    /// braces) — the two consumers of the IR agree on validity.
+    #[test]
+    fn emit_c_total_on_arbitrary_programs(p in arb_program()) {
+        let c = emit_c(&p);
+        prop_assert_eq!(c.matches('{').count(), c.matches('}').count());
+        prop_assert!(c.contains("int main"));
+    }
+}

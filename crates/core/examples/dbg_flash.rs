@@ -1,0 +1,29 @@
+use siesta_core::{Siesta, SiestaConfig};
+use siesta_codegen::{replay, TerminalOp};
+use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+use siesta_proxy::ProxySearcher;
+use siesta_workloads::{ProblemSize, Program};
+
+fn main() {
+    let m = Machine::new(platform_a(), MpiFlavor::OpenMpi);
+    for (program, np) in [(Program::Sod, 16), (Program::StirTurb, 64)] {
+        let siesta = Siesta::new(SiestaConfig::default());
+        let (synthesis, _) = siesta.synthesize_run(m, np, move |r| program.body(ProblemSize::Small)(r));
+        let s = ProxySearcher::new(&m);
+        println!("== {} @{np}", program.name());
+        for (i, t) in synthesis.program.terminals.iter().enumerate() {
+            if let TerminalOp::Compute { proxy, target } = t {
+                let pred = s.predict(proxy, &m);
+                let err = pred.mean_relative_error(target);
+                if err > 0.10 {
+                    println!("ev{i}: err={err:.3}\n  tgt {target}\n  prd {pred}");
+                }
+            }
+        }
+        let original = program.run(m, np, ProblemSize::Small);
+        let proxy = replay(&synthesis.program, m);
+        println!("counter err = {:.3}", proxy.mean_counter_error(&original));
+        println!("orig r0: {}", original.per_rank[0].counters);
+        println!("prox r0: {}", proxy.per_rank[0].counters);
+    }
+}

@@ -1,0 +1,72 @@
+//! # Siesta — synthesizing proxy applications for MPI programs
+//!
+//! A Rust reproduction of *"Siesta: Synthesizing Proxy Applications for MPI
+//! Programs"* (Yan, Xu, Luo, Sun, Sun — IEEE CLUSTER 2024).
+//!
+//! Given an MPI program (here: any closure over
+//! [`siesta_mpisim::Rank`]), Siesta:
+//!
+//! 1. **traces** its communication events (every MPI call with normalized
+//!    parameters) and computation events (hardware-counter intervals
+//!    between calls) through PMPI-style interposition;
+//! 2. **merges** per-rank event tables into one global terminal table;
+//! 3. **compresses** each rank's event sequence into a run-length Sequitur
+//!    grammar and merges the grammars across ranks (identical rules
+//!    deduplicate; main rules merge by LCS with per-symbol rank lists);
+//! 4. **synthesizes computation proxies** — non-negative integer
+//!    combinations of 11 pre-designed code blocks fit to each event's six
+//!    counters by a constrained quadratic program;
+//! 5. **generates** the proxy-app: C source and a replayable IR whose
+//!    execution reproduces the original's communication losslessly and its
+//!    computation characteristics approximately, optionally shrunk by a
+//!    scaling factor.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use siesta_core::{Siesta, SiestaConfig};
+//! use siesta_mpisim::Rank;
+//! use siesta_perfmodel::{KernelDesc, Machine};
+//! use siesta_codegen::{emit_c, replay};
+//!
+//! // Any MPI program. Here: compute + ring exchange, 5 iterations.
+//! let program = |rank: &mut Rank| {
+//!     let comm = rank.comm_world();
+//!     let p = rank.nranks();
+//!     for _ in 0..5 {
+//!         rank.compute(&KernelDesc::stencil(20_000.0, 4.0, 65536.0));
+//!         let r = rank.irecv(&comm, (rank.rank() + p - 1) % p, 0, 4096);
+//!         let s = rank.isend(&comm, (rank.rank() + 1) % p, 0, 4096);
+//!         rank.waitall(&[r, s]);
+//!         rank.allreduce(&comm, 8);
+//!     }
+//! };
+//!
+//! let machine = Machine::default_eval();
+//! let siesta = Siesta::new(SiestaConfig::default());
+//! let (synthesis, _traced) = siesta.synthesize_run(machine, 4, program);
+//!
+//! // The synthetic proxy-app replays the same communication structure...
+//! let proxy_stats = replay(&synthesis.program, machine);
+//! assert!(proxy_stats.elapsed_ns() > 0.0);
+//! // ...and exports as a C program.
+//! let c_source = emit_c(&synthesis.program);
+//! assert!(c_source.contains("MPI_Allreduce"));
+//! ```
+
+pub mod pipeline;
+pub mod report;
+
+pub use pipeline::{Siesta, SiestaConfig, Synthesis, SynthesisStats};
+pub use report::{
+    counter_error_pct, human_bytes, human_ms, per_metric_error_pct, reproduced_time_error_pct,
+    time_error_pct,
+};
+
+// Re-export the component crates under one roof for downstream users.
+pub use siesta_codegen as codegen;
+pub use siesta_grammar as grammar;
+pub use siesta_mpisim as mpisim;
+pub use siesta_perfmodel as perfmodel;
+pub use siesta_proxy as proxy;
+pub use siesta_trace as trace;

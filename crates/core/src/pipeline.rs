@@ -1,0 +1,301 @@
+//! The end-to-end Siesta pipeline (paper Figure 1).
+//!
+//! ```text
+//! MPI program ──trace──▶ per-rank event tables + id sequences
+//!              ──merge──▶ global terminal table (log₂P tree)
+//!            ──Sequitur─▶ per-rank run-length grammars
+//!              ──merge──▶ job-wide grammar with rank-listed main rules
+//!       ──proxy search──▶ block combinations per computation event
+//!            ──codegen──▶ ProxyProgram (C source + replayable IR)
+//! ```
+
+use std::sync::Arc;
+
+use siesta_codegen::{ProxyProgram, TerminalOp};
+use siesta_grammar::{merge_grammars, Grammar, MergeConfig, Sequitur};
+use siesta_mpisim::{Rank, RunStats, World};
+use siesta_perfmodel::Machine;
+use siesta_proxy::{shrink_counters, CommShrink, ProxySearcher, BLOCKS_C_SOURCE};
+use siesta_trace::{
+    merge_tables, serialize, CommEvent, EventRecord, GlobalTrace, Recorder, Trace, TraceConfig,
+};
+
+/// Configuration of one synthesis.
+#[derive(Debug, Clone, Copy)]
+pub struct SiestaConfig {
+    pub trace: TraceConfig,
+    pub merge: MergeConfig,
+    /// Shrinking factor (Section 2.7): 1.0 emits a full-size proxy; the
+    /// paper's default shrunk proxy uses 10.0.
+    pub scale: f64,
+}
+
+impl Default for SiestaConfig {
+    fn default() -> Self {
+        SiestaConfig {
+            trace: TraceConfig::default(),
+            merge: MergeConfig::default(),
+            scale: 1.0,
+        }
+    }
+}
+
+impl SiestaConfig {
+    /// The paper's Siesta-scaled configuration (factor 10).
+    pub fn scaled() -> SiestaConfig {
+        SiestaConfig { scale: 10.0, ..SiestaConfig::default() }
+    }
+}
+
+/// Size and quality accounting of one synthesis (feeds Table 3).
+#[derive(Debug, Clone)]
+pub struct SynthesisStats {
+    /// Modeled size of the uncompressed trace files.
+    pub raw_trace_bytes: usize,
+    /// Modeled size of the exported compressed representation: terminal
+    /// table + grammar + computation block code (the paper's `size_C`).
+    pub size_c_bytes: usize,
+    pub num_terminals: usize,
+    pub num_comm_terminals: usize,
+    pub num_compute_terminals: usize,
+    pub num_rules: usize,
+    pub num_mains: usize,
+    pub grammar_size: usize,
+    /// ⌈log₂P⌉ table-merge rounds.
+    pub merge_rounds: u32,
+    /// Mean proxy fit error over compute terminals (generation machine).
+    pub mean_fit_error: f64,
+}
+
+impl SynthesisStats {
+    /// Compression ratio raw-trace : size_C.
+    pub fn compression_ratio(&self) -> f64 {
+        self.raw_trace_bytes as f64 / self.size_c_bytes.max(1) as f64
+    }
+}
+
+/// A completed synthesis: the proxy program plus its accounting.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    pub program: ProxyProgram,
+    pub stats: SynthesisStats,
+}
+
+/// The Siesta synthesizer.
+#[derive(Debug, Clone, Default)]
+pub struct Siesta {
+    pub config: SiestaConfig,
+}
+
+impl Siesta {
+    pub fn new(config: SiestaConfig) -> Siesta {
+        Siesta { config }
+    }
+
+    /// Trace an MPI program: runs it with the PMPI recorder installed.
+    /// Returns the trace and the (instrumented) run statistics.
+    pub fn trace_run<F>(&self, machine: Machine, nranks: usize, body: F) -> (Trace, RunStats)
+    where
+        F: Fn(&mut Rank) + Send + Sync,
+    {
+        let recorder = Arc::new(Recorder::new(nranks, self.config.trace));
+        let stats = World::new(machine, nranks)
+            .with_hook(recorder.clone())
+            .run(body);
+        (recorder.finish(), stats)
+    }
+
+    /// Synthesize a proxy-app from a trace. `gen_machine` is the machine
+    /// the proxy is generated on (block micro-benchmarks and the comm
+    /// shrinking regression run there).
+    pub fn synthesize(&self, trace: Trace, gen_machine: &Machine) -> Synthesis {
+        let global = merge_tables(trace);
+        self.synthesize_global(global, gen_machine)
+    }
+
+    /// Synthesize from an already-merged (possibly loaded-from-disk)
+    /// [`GlobalTrace`] — the offline half of the paper's workflow: collect
+    /// the trace on the production system, synthesize anywhere.
+    pub fn synthesize_global(&self, global: GlobalTrace, gen_machine: &Machine) -> Synthesis {
+        let nranks = global.nranks;
+
+        // Intra-process grammars, then the inter-process merge.
+        let grammars: Vec<Grammar> =
+            global.seqs.iter().map(|seq| Sequitur::build(seq)).collect();
+        let merged = merge_grammars(&grammars, &self.config.merge);
+
+        // Computation proxies and communication shrinking.
+        let searcher = ProxySearcher::new(gen_machine);
+        let comm_shrink = CommShrink::fit(&gen_machine.net);
+        let mut fit_error_sum = 0.0;
+        let mut fit_error_n = 0usize;
+        let terminals: Vec<TerminalOp> = global
+            .table
+            .iter()
+            .map(|rec| match rec {
+                EventRecord::Compute(stats) => {
+                    let target = shrink_counters(&stats.mean(), self.config.scale);
+                    let proxy = searcher.search(&target);
+                    fit_error_sum += searcher.error(&proxy, &target, gen_machine);
+                    fit_error_n += 1;
+                    TerminalOp::Compute { proxy, target }
+                }
+                EventRecord::Comm(e) => {
+                    TerminalOp::Comm(shrink_comm(e, &comm_shrink, self.config.scale))
+                }
+            })
+            .collect();
+
+        let program = ProxyProgram {
+            nranks,
+            terminals,
+            rules: merged.rules.clone(),
+            mains: merged.mains.clone(),
+            scale: self.config.scale,
+            generated_on: gen_machine.label(),
+        };
+
+        let stats = SynthesisStats {
+            raw_trace_bytes: global.raw_bytes,
+            size_c_bytes: size_c(&global, &program),
+            num_terminals: program.terminals.len(),
+            num_comm_terminals: program.comm_terminals(),
+            num_compute_terminals: program.compute_terminals(),
+            num_rules: program.rules.len(),
+            num_mains: program.mains.len(),
+            grammar_size: program.grammar_size(),
+            merge_rounds: global.merge_rounds,
+            mean_fit_error: if fit_error_n > 0 {
+                fit_error_sum / fit_error_n as f64
+            } else {
+                0.0
+            },
+        };
+        Synthesis { program, stats }
+    }
+
+    /// Convenience: trace a program and synthesize in one step.
+    pub fn synthesize_run<F>(
+        &self,
+        machine: Machine,
+        nranks: usize,
+        body: F,
+    ) -> (Synthesis, RunStats)
+    where
+        F: Fn(&mut Rank) + Send + Sync,
+    {
+        let (trace, traced_stats) = self.trace_run(machine, nranks, body);
+        (self.synthesize(trace, &machine), traced_stats)
+    }
+}
+
+/// The exported representation size (`size_C`): terminal table + serialized
+/// grammar symbols + main-rule rank lists + the block code emitted once.
+fn size_c(global: &GlobalTrace, program: &ProxyProgram) -> usize {
+    let table = serialize::table_bytes(&global.table);
+    let rule_syms: usize = program.rules.iter().map(|r| r.len()).sum();
+    let main_syms: usize = program.mains.iter().map(|m| m.body.len()).sum();
+    let rank_ranges: usize = program
+        .mains
+        .iter()
+        .flat_map(|m| m.body.iter())
+        .map(|s| s.ranks.ranges().len())
+        .sum();
+    table
+        + (rule_syms + main_syms) * serialize::GRAMMAR_SYM_BYTES
+        + rank_ranges * serialize::RANK_RANGE_BYTES
+        + BLOCKS_C_SOURCE.len()
+}
+
+/// Shrink the volume of a communication event by the scaling factor
+/// (Section 2.7). Point-to-point and rooted/unrooted collective volumes go
+/// through the regression model; `alltoallv` count vectors shrink
+/// proportionally (their per-peer chunks are below the regression's
+/// latency floor).
+fn shrink_comm(e: &CommEvent, s: &CommShrink, k: f64) -> CommEvent {
+    if k <= 1.0 {
+        return e.clone();
+    }
+    let sh = |b: u64| s.shrink_bytes(b, k);
+    match e {
+        CommEvent::Send { rel, tag, bytes, comm } => {
+            CommEvent::Send { rel: *rel, tag: *tag, bytes: sh(*bytes), comm: *comm }
+        }
+        CommEvent::Recv { rel, tag, bytes, comm } => {
+            CommEvent::Recv { rel: *rel, tag: *tag, bytes: sh(*bytes), comm: *comm }
+        }
+        CommEvent::Isend { rel, tag, bytes, comm, req } => CommEvent::Isend {
+            rel: *rel,
+            tag: *tag,
+            bytes: sh(*bytes),
+            comm: *comm,
+            req: *req,
+        },
+        CommEvent::Irecv { rel, tag, bytes, comm, req } => CommEvent::Irecv {
+            rel: *rel,
+            tag: *tag,
+            bytes: sh(*bytes),
+            comm: *comm,
+            req: *req,
+        },
+        CommEvent::Sendrecv {
+            dest_rel,
+            send_tag,
+            send_bytes,
+            src_rel,
+            recv_tag,
+            recv_bytes,
+            comm,
+        } => CommEvent::Sendrecv {
+            dest_rel: *dest_rel,
+            send_tag: *send_tag,
+            send_bytes: sh(*send_bytes),
+            src_rel: *src_rel,
+            recv_tag: *recv_tag,
+            recv_bytes: sh(*recv_bytes),
+            comm: *comm,
+        },
+        CommEvent::Bcast { comm, root, bytes } => {
+            CommEvent::Bcast { comm: *comm, root: *root, bytes: sh(*bytes) }
+        }
+        CommEvent::Reduce { comm, root, bytes } => {
+            CommEvent::Reduce { comm: *comm, root: *root, bytes: sh(*bytes) }
+        }
+        CommEvent::Allreduce { comm, bytes } => {
+            CommEvent::Allreduce { comm: *comm, bytes: sh(*bytes) }
+        }
+        CommEvent::Allgather { comm, bytes } => {
+            CommEvent::Allgather { comm: *comm, bytes: sh(*bytes) }
+        }
+        CommEvent::Alltoall { comm, bytes_per_peer } => {
+            CommEvent::Alltoall { comm: *comm, bytes_per_peer: sh(*bytes_per_peer) }
+        }
+        CommEvent::Alltoallv { comm, send_counts, recv_counts } => CommEvent::Alltoallv {
+            comm: *comm,
+            send_counts: send_counts.iter().map(|&c| (c as f64 / k).round() as u64).collect(),
+            recv_counts: recv_counts.iter().map(|&c| (c as f64 / k).round() as u64).collect(),
+        },
+        CommEvent::Gather { comm, root, bytes } => {
+            CommEvent::Gather { comm: *comm, root: *root, bytes: sh(*bytes) }
+        }
+        CommEvent::Scatter { comm, root, bytes } => {
+            CommEvent::Scatter { comm: *comm, root: *root, bytes: sh(*bytes) }
+        }
+        CommEvent::Gatherv { comm, root, counts } => CommEvent::Gatherv {
+            comm: *comm,
+            root: *root,
+            counts: counts.iter().map(|&c| (c as f64 / k).round() as u64).collect(),
+        },
+        CommEvent::Scatterv { comm, root, counts } => CommEvent::Scatterv {
+            comm: *comm,
+            root: *root,
+            counts: counts.iter().map(|&c| (c as f64 / k).round() as u64).collect(),
+        },
+        CommEvent::Scan { comm, bytes } => CommEvent::Scan { comm: *comm, bytes: sh(*bytes) },
+        CommEvent::ReduceScatterBlock { comm, bytes_per_rank } => {
+            CommEvent::ReduceScatterBlock { comm: *comm, bytes_per_rank: sh(*bytes_per_rank) }
+        }
+        // Zero-volume and management events are untouched.
+        other => other.clone(),
+    }
+}

@@ -1,0 +1,93 @@
+//! Clustering of main-rule variants by edit distance (Section 2.6.2).
+//!
+//! Merging dissimilar main rules produces merged rules longer than the sum
+//! of their inputs and floods the generated code with branch statements, so
+//! the paper clusters mains by minimum edit distance first and only merges
+//! within clusters.
+
+use crate::lcs;
+use crate::symbol::RSym;
+
+/// Greedy threshold clustering: each variant joins the first cluster whose
+/// representative is within `threshold` normalized edit distance
+/// (`D / (len_a + len_b)`), else starts a new cluster. Returns clusters as
+/// index lists into `variants`, in first-seen order.
+pub fn cluster_by_edit_distance(variants: &[Vec<RSym>], threshold: f64) -> Vec<Vec<usize>> {
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    for (i, v) in variants.iter().enumerate() {
+        let mut joined = false;
+        for cluster in clusters.iter_mut() {
+            let rep = &variants[cluster[0]];
+            let total = rep.len() + v.len();
+            if total == 0 {
+                // Two empty mains are identical.
+                cluster.push(i);
+                joined = true;
+                break;
+            }
+            let max_d = (threshold * total as f64).floor() as usize;
+            if lcs::edit_distance(rep, v, max_d).is_some() {
+                cluster.push(i);
+                joined = true;
+                break;
+            }
+        }
+        if !joined {
+            clusters.push(vec![i]);
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{RSym, Sym};
+
+    fn seq(ids: &[u32]) -> Vec<RSym> {
+        ids.iter().map(|&t| RSym::once(Sym::T(t))).collect()
+    }
+
+    #[test]
+    fn identical_variants_share_a_cluster() {
+        let v = vec![seq(&[1, 2, 3]), seq(&[1, 2, 3]), seq(&[1, 2, 3])];
+        let c = cluster_by_edit_distance(&v, 0.3);
+        assert_eq!(c, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn dissimilar_variants_split() {
+        let v = vec![seq(&[1; 20]), seq(&[2; 20]), seq(&[1; 20])];
+        let c = cluster_by_edit_distance(&v, 0.3);
+        assert_eq!(c, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn threshold_controls_granularity() {
+        // 4 mismatches out of 20+20 symbols: normalized distance 0.2.
+        let a: Vec<u32> = (0..20).collect();
+        let mut b = a.clone();
+        b[5] = 90;
+        b[15] = 91;
+        let v = vec![seq(&a), seq(&b)];
+        assert_eq!(cluster_by_edit_distance(&v, 0.05).len(), 2);
+        assert_eq!(cluster_by_edit_distance(&v, 0.3).len(), 1);
+    }
+
+    #[test]
+    fn empty_variants_cluster_together() {
+        let v = vec![seq(&[]), seq(&[]), seq(&[1])];
+        let c = cluster_by_edit_distance(&v, 0.3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn exponents_matter_for_similarity() {
+        let a = vec![RSym::new(Sym::T(1), 100)];
+        let b = vec![RSym::new(Sym::T(1), 101)];
+        // Different exponents are different symbols: distance 2 of total 2.
+        let c = cluster_by_edit_distance(&[a, b], 0.4);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! Longest common subsequence via Myers' O((N+M)·D) diff.
+//!
+//! The inter-process main-rule merge (Section 2.6.2) computes the LCS of two
+//! ranks' main rules. Main rules across ranks of an SPMD program are nearly
+//! identical — exactly the regime where Myers' algorithm is fast, because
+//! its cost is proportional to the *difference* D, not the product of the
+//! lengths.
+
+/// Result of a diff: the matching index pairs (the LCS as positions into
+/// both inputs, strictly increasing in both), plus the edit distance
+/// (insertions + deletions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diff {
+    pub matches: Vec<(usize, usize)>,
+    pub distance: usize,
+}
+
+/// Myers diff of `a` and `b`. `max_d` bounds the explored edit distance;
+/// `None` is returned when the inputs differ by more than that (callers use
+/// this as a cheap "too dissimilar to merge" signal).
+pub fn diff<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Option<Diff> {
+    let n = a.len();
+    let m = b.len();
+    let max_d = max_d.min(n + m);
+    let off = max_d as isize + 1;
+    let width = 2 * max_d + 3;
+    let mut v = vec![0usize; width];
+    let mut trace: Vec<Vec<usize>> = Vec::new();
+
+    let mut found_d: Option<usize> = None;
+    'outer: for d in 0..=max_d {
+        trace.push(v.clone()); // state *before* exploring depth d
+        let di = d as isize;
+        let mut k = -di;
+        while k <= di {
+            let idx = (k + off) as usize;
+            let mut x = if k == -di || (k != di && v[idx - 1] < v[idx + 1]) {
+                v[idx + 1] // move down (consume from b)
+            } else {
+                v[idx - 1] + 1 // move right (consume from a)
+            };
+            let mut y = (x as isize - k) as usize;
+            while x < n && y < m && a[x] == b[y] {
+                x += 1;
+                y += 1;
+            }
+            v[idx] = x;
+            if x >= n && y >= m {
+                found_d = Some(d);
+                break 'outer;
+            }
+            k += 2;
+        }
+    }
+    let d_final = found_d?;
+
+    // Backtrack through the per-depth snapshots.
+    let mut matches = Vec::new();
+    let mut x = n as isize;
+    let mut y = m as isize;
+    for d in (0..=d_final).rev() {
+        let vprev = &trace[d];
+        let di = d as isize;
+        let k = x - y;
+        let prev_k = if k == -di
+            || (k != di && vprev[(k - 1 + off) as usize] < vprev[(k + 1 + off) as usize])
+        {
+            k + 1
+        } else {
+            k - 1
+        };
+        let prev_x = vprev[(prev_k + off) as usize] as isize;
+        let prev_y = prev_x - prev_k;
+        // Diagonal (matching) moves between the edit step and (x, y).
+        while x > prev_x && y > prev_y {
+            x -= 1;
+            y -= 1;
+            matches.push((x as usize, y as usize));
+        }
+        if d == 0 {
+            break;
+        }
+        x = prev_x;
+        y = prev_y;
+    }
+    matches.reverse();
+    Some(Diff { matches, distance: d_final })
+}
+
+/// Length of the LCS (convenience).
+pub fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    diff(a, b, a.len() + b.len()).map(|d| d.matches.len()).unwrap_or(0)
+}
+
+/// Insert/delete edit distance, or `None` if above `max_d`.
+pub fn edit_distance<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Option<usize> {
+    diff(a, b, max_d).map(|d| d.distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference LCS via classic DP, for cross-checking.
+    fn lcs_dp<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+        let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+        for i in 1..=a.len() {
+            for j in 1..=b.len() {
+                dp[i][j] = if a[i - 1] == b[j - 1] {
+                    dp[i - 1][j - 1] + 1
+                } else {
+                    dp[i - 1][j].max(dp[i][j - 1])
+                };
+            }
+        }
+        dp[a.len()][b.len()]
+    }
+
+    fn check(a: &[u32], b: &[u32]) {
+        let d = diff(a, b, a.len() + b.len()).expect("within bound");
+        // LCS length matches the DP reference.
+        assert_eq!(d.matches.len(), lcs_dp(a, b), "lcs length for {a:?} vs {b:?}");
+        // Distance identity for Myers: D = N + M − 2·LCS.
+        assert_eq!(d.distance, a.len() + b.len() - 2 * d.matches.len());
+        // Matches are valid, strictly increasing pairs of equal elements.
+        let mut last: Option<(usize, usize)> = None;
+        for &(i, j) in &d.matches {
+            assert_eq!(a[i], b[j]);
+            if let Some((pi, pj)) = last {
+                assert!(i > pi && j > pj);
+            }
+            last = Some((i, j));
+        }
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let a = [1, 2, 3, 4, 5];
+        let d = diff(&a, &a, 10).unwrap();
+        assert_eq!(d.distance, 0);
+        assert_eq!(d.matches.len(), 5);
+        assert_eq!(d.matches, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        check(&[], &[]);
+        check(&[1, 2], &[]);
+        check(&[], &[3]);
+    }
+
+    #[test]
+    fn classic_examples() {
+        check(&[1, 2, 3, 2, 1], &[3, 2, 1, 2, 3]);
+        check(&[1, 2, 3], &[4, 5, 6]);
+        check(&[1, 2, 3, 4], &[2, 3]);
+        check(&[2, 3], &[1, 2, 3, 4]);
+        check(&[1, 3, 1, 3], &[3, 1, 3, 1]);
+    }
+
+    #[test]
+    fn spmd_like_small_divergence() {
+        // Two "main rules" that differ only in boundary behaviour.
+        let a = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let b = [1, 2, 3, 99, 4, 5, 6, 8, 9, 10];
+        let d = diff(&a, &b, 20).unwrap();
+        assert_eq!(d.matches.len(), 9);
+        assert_eq!(d.distance, 2); // one insertion + one deletion
+    }
+
+    #[test]
+    fn bound_rejects_dissimilar_inputs() {
+        let a = [1u32; 50];
+        let b = [2u32; 50];
+        assert!(diff(&a, &b, 10).is_none());
+        assert!(edit_distance(&a, &b, 10).is_none());
+        assert_eq!(edit_distance(&a, &b, 200), Some(100));
+    }
+
+    #[test]
+    fn randomized_cross_check_against_dp() {
+        let mut x = 42u64;
+        let mut rnd = move |m: u64| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) % m
+        };
+        for _ in 0..300 {
+            let n = rnd(14) as usize;
+            let m = rnd(14) as usize;
+            let a: Vec<u32> = (0..n).map(|_| rnd(4) as u32).collect();
+            let b: Vec<u32> = (0..m).map(|_| rnd(4) as u32).collect();
+            check(&a, &b);
+        }
+    }
+
+    #[test]
+    fn lcs_len_helper() {
+        assert_eq!(lcs_len(&[1, 2, 3], &[1, 3]), 2);
+        assert_eq!(lcs_len::<u32>(&[], &[]), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Grammar-based trace compression for Siesta (paper Sections 2.5–2.6).
+//!
+//! Traces of MPI programs are long, repetitive symbol sequences. This crate
+//! turns each rank's sequence into a compact context-free grammar with the
+//! run-length Sequitur algorithm, then merges the per-rank grammars into a
+//! single job-wide grammar:
+//!
+//! * [`Sequitur`] — one-pass grammar construction maintaining digram
+//!   uniqueness, rule utility, and the run-length constraint (`aⁱaʲ → aⁱ⁺ʲ`).
+//! * [`Grammar`] — immutable rules with expansion, depth, and invariant
+//!   checks.
+//! * [`merge_grammars`] — depth-ordered non-terminal merging plus LCS-based
+//!   main-rule merging with per-symbol rank lists (the paper's Figure 3).
+//! * [`lcs`] — Myers diff, fast for the nearly-identical main rules SPMD
+//!   programs produce.
+//!
+//! The central guarantee, exercised heavily by the tests: for every rank,
+//! [`MergedGrammar::expand_for_rank`] reproduces that rank's input sequence
+//! exactly. Communication events survive compression losslessly — the
+//! property that separates Siesta from histogram-based tools like
+//! ScalaBench.
+//!
+//! ```
+//! use siesta_grammar::{Sequitur, merge_grammars, MergeConfig};
+//!
+//! // Two ranks with a shared loop and a rank-private epilogue.
+//! let common: Vec<u32> = std::iter::repeat([1, 2, 3]).take(50).flatten().collect();
+//! let mut rank0 = common.clone();
+//! rank0.push(7);
+//! let mut rank1 = common.clone();
+//! rank1.push(8);
+//!
+//! let grammars = vec![Sequitur::build(&rank0), Sequitur::build(&rank1)];
+//! let merged = merge_grammars(&grammars, &MergeConfig::default());
+//!
+//! // Orders of magnitude smaller than the inputs...
+//! assert!(merged.size() < 20);
+//! // ...yet lossless per rank.
+//! assert_eq!(merged.expand_for_rank(0), rank0);
+//! assert_eq!(merged.expand_for_rank(1), rank1);
+//! ```
+
+pub mod cluster;
+pub mod grammar;
+pub mod lcs;
+pub mod merge;
+pub mod sequitur;
+pub mod stats;
+pub mod symbol;
+
+pub use cluster::cluster_by_edit_distance;
+pub use grammar::Grammar;
+pub use merge::{merge_grammars, MainSym, MergeConfig, MergedGrammar, MergedMain};
+pub use sequitur::Sequitur;
+pub use stats::{analyze, rule_coverage, to_dot, GrammarStats};
+pub use symbol::{RSym, RankSet, Sym};

@@ -1,0 +1,365 @@
+//! Inter-process grammar merging (Section 2.6 of the paper).
+//!
+//! After every rank has compressed its own trace, three merges shrink the
+//! per-process grammars into one job-wide grammar:
+//!
+//! 1. **Terminal tables** are merged by the tracing layer (events are
+//!    hash-consed into global ids before the grammars reach this module).
+//! 2. **Non-terminal tables**: identical rules from different ranks merge.
+//!    Rules are processed in increasing *depth* order so that a rule's
+//!    children are already globally numbered when the rule itself is
+//!    hashed — the paper's observation that deeper symbols need the
+//!    shallower merge results.
+//! 3. **Main rules**: the per-rank start rules are nearly identical for
+//!    SPMD programs. They are first deduplicated, then clustered by edit
+//!    distance, and within each cluster merged pairwise by longest common
+//!    subsequence; every merged symbol carries a [`RankSet`] saying which
+//!    ranks execute it (Figure 3 of the paper).
+
+use std::collections::HashMap;
+
+use crate::cluster::cluster_by_edit_distance;
+use crate::grammar::Grammar;
+use crate::lcs;
+use crate::symbol::{RSym, RankSet, Sym};
+
+/// A symbol of a merged main rule: which ranks execute it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MainSym {
+    pub sym: Sym,
+    pub exp: u64,
+    pub ranks: RankSet,
+}
+
+/// One merged main rule, covering a cluster of similar ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedMain {
+    /// All ranks covered by this merged main.
+    pub ranks: RankSet,
+    pub body: Vec<MainSym>,
+}
+
+/// The job-wide merged grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedGrammar {
+    /// Global non-terminal table; `Sym::N(i)` in any body indexes here.
+    pub rules: Vec<Vec<RSym>>,
+    /// Merged main rules (one per cluster of similar ranks).
+    pub mains: Vec<MergedMain>,
+    pub nranks: usize,
+}
+
+impl MergedGrammar {
+    /// Total run-length symbols across the rule table and all merged mains
+    /// — the size that `size_C` in Table 3 is proportional to.
+    pub fn size(&self) -> usize {
+        self.rules.iter().map(|r| r.len()).sum::<usize>()
+            + self.mains.iter().map(|m| m.body.len()).sum::<usize>()
+    }
+
+    /// The merged main covering `rank`.
+    pub fn main_for_rank(&self, rank: u32) -> Option<&MergedMain> {
+        self.mains.iter().find(|m| m.ranks.contains(rank))
+    }
+
+    /// Re-derive the flat terminal sequence rank `rank` executes: filter its
+    /// merged main by rank set, then expand each symbol. This is the
+    /// losslessness witness — it must equal the rank's original trace.
+    pub fn expand_for_rank(&self, rank: u32) -> Vec<u32> {
+        let main = match self.main_for_rank(rank) {
+            Some(m) => m,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for ms in &main.body {
+            if !ms.ranks.contains(rank) {
+                continue;
+            }
+            for _ in 0..ms.exp {
+                match ms.sym {
+                    Sym::T(t) => out.push(t),
+                    Sym::N(n) => self.expand_rule_into(n, &mut out),
+                }
+            }
+        }
+        out
+    }
+
+    fn expand_rule_into(&self, rule: u32, out: &mut Vec<u32>) {
+        for rs in &self.rules[rule as usize] {
+            for _ in 0..rs.exp {
+                match rs.sym {
+                    Sym::T(t) => out.push(t),
+                    Sym::N(n) => self.expand_rule_into(n, out),
+                }
+            }
+        }
+    }
+
+    /// Number of distinct main-rule variants before clustering collapsed
+    /// them (diagnostic).
+    pub fn num_mains(&self) -> usize {
+        self.mains.len()
+    }
+}
+
+/// Configuration of the merge.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeConfig {
+    /// Normalized edit-distance threshold for clustering main rules: two
+    /// mains merge only if `D / (len_a + len_b)` is at most this. The paper
+    /// merges "only ... processes with high similarity".
+    pub cluster_threshold: f64,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig { cluster_threshold: 0.5 }
+    }
+}
+
+/// Merge per-rank grammars (terminals already globally numbered) into one
+/// job-wide grammar.
+pub fn merge_grammars(grammars: &[Grammar], config: &MergeConfig) -> MergedGrammar {
+    let nranks = grammars.len();
+    let mut global_rules: Vec<Vec<RSym>> = Vec::new();
+    let mut rule_index: HashMap<Vec<RSym>, u32> = HashMap::new();
+
+    // ---- Non-terminal merge, depth order.
+    // For each rank: local rule id → global rule id.
+    let mut maps: Vec<HashMap<u32, u32>> = Vec::with_capacity(nranks);
+    for g in grammars {
+        let depths = g.depths();
+        // Local rules except main (rule 0), ascending depth; ties by id for
+        // determinism.
+        let mut order: Vec<u32> = (1..g.rules.len() as u32).collect();
+        order.sort_by_key(|&r| (depths[r as usize], r));
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        for r in order {
+            let body: Vec<RSym> = g.rules[r as usize]
+                .iter()
+                .map(|rs| RSym {
+                    sym: match rs.sym {
+                        Sym::T(t) => Sym::T(t),
+                        Sym::N(n) => Sym::N(map[&n]), // children are shallower
+                    },
+                    exp: rs.exp,
+                })
+                .collect();
+            let gid = *rule_index.entry(body.clone()).or_insert_with(|| {
+                global_rules.push(body);
+                (global_rules.len() - 1) as u32
+            });
+            map.insert(r, gid);
+        }
+        maps.push(map);
+    }
+
+    // ---- Main rules to global symbol space.
+    let mains_global: Vec<Vec<RSym>> = grammars
+        .iter()
+        .zip(&maps)
+        .map(|(g, map)| {
+            g.rules[0]
+                .iter()
+                .map(|rs| RSym {
+                    sym: match rs.sym {
+                        Sym::T(t) => Sym::T(t),
+                        Sym::N(n) => Sym::N(map[&n]),
+                    },
+                    exp: rs.exp,
+                })
+                .collect()
+        })
+        .collect();
+
+    // ---- Deduplicate identical mains.
+    let mut variants: Vec<Vec<RSym>> = Vec::new();
+    let mut variant_ranks: Vec<RankSet> = Vec::new();
+    let mut variant_index: HashMap<Vec<RSym>, usize> = HashMap::new();
+    for (rank, main) in mains_global.iter().enumerate() {
+        match variant_index.get(main) {
+            Some(&i) => {
+                variant_ranks[i] = variant_ranks[i].union(&RankSet::single(rank as u32));
+            }
+            None => {
+                variant_index.insert(main.clone(), variants.len());
+                variants.push(main.clone());
+                variant_ranks.push(RankSet::single(rank as u32));
+            }
+        }
+    }
+
+    // ---- Cluster variants by edit distance, merge within clusters by LCS.
+    let clusters = cluster_by_edit_distance(&variants, config.cluster_threshold);
+    let mut mains = Vec::with_capacity(clusters.len());
+    for cluster in clusters {
+        let mut acc: Vec<MainSym> = variants[cluster[0]]
+            .iter()
+            .map(|rs| MainSym { sym: rs.sym, exp: rs.exp, ranks: variant_ranks[cluster[0]].clone() })
+            .collect();
+        let mut acc_ranks = variant_ranks[cluster[0]].clone();
+        for &vi in &cluster[1..] {
+            acc = lcs_merge(&acc, &variants[vi], &variant_ranks[vi]);
+            acc_ranks = acc_ranks.union(&variant_ranks[vi]);
+        }
+        mains.push(MergedMain { ranks: acc_ranks, body: acc });
+    }
+    // Deterministic order: by smallest covered rank.
+    mains.sort_by_key(|m| m.ranks.iter().next().unwrap_or(u32::MAX));
+
+    MergedGrammar { rules: global_rules, mains, nranks }
+}
+
+/// Merge a new variant into the accumulated main via LCS (Figure 3):
+/// symbols on the LCS take the union of rank lists; off-LCS symbols keep
+/// their own, interleaved so both sources keep their relative order.
+fn lcs_merge(acc: &[MainSym], new: &[RSym], new_ranks: &RankSet) -> Vec<MainSym> {
+    let acc_key: Vec<RSym> = acc.iter().map(|m| RSym { sym: m.sym, exp: m.exp }).collect();
+    let d = lcs::diff(&acc_key, new, acc_key.len() + new.len()).expect("unbounded diff succeeds");
+    let mut out = Vec::with_capacity(acc.len() + new.len());
+    let mut ai = 0usize;
+    let mut ni = 0usize;
+    for &(ma, mn) in &d.matches {
+        // Unmatched prefix from the accumulator, then from the new variant.
+        while ai < ma {
+            out.push(acc[ai].clone());
+            ai += 1;
+        }
+        while ni < mn {
+            out.push(MainSym { sym: new[ni].sym, exp: new[ni].exp, ranks: new_ranks.clone() });
+            ni += 1;
+        }
+        // The matched symbol: union of rank sets.
+        out.push(MainSym {
+            sym: acc[ai].sym,
+            exp: acc[ai].exp,
+            ranks: acc[ai].ranks.union(new_ranks),
+        });
+        ai += 1;
+        ni += 1;
+    }
+    while ai < acc.len() {
+        out.push(acc[ai].clone());
+        ai += 1;
+    }
+    while ni < new.len() {
+        out.push(MainSym { sym: new[ni].sym, exp: new[ni].exp, ranks: new_ranks.clone() });
+        ni += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequitur::Sequitur;
+
+    fn merge(seqs: &[Vec<u32>]) -> MergedGrammar {
+        let grammars: Vec<Grammar> = seqs.iter().map(|s| Sequitur::build(s)).collect();
+        merge_grammars(&grammars, &MergeConfig::default())
+    }
+
+    #[test]
+    fn identical_ranks_collapse_to_one_main() {
+        let seq: Vec<u32> = (0..100).map(|i| i % 4).collect();
+        let m = merge(&[seq.clone(), seq.clone(), seq.clone(), seq.clone()]);
+        assert_eq!(m.mains.len(), 1);
+        assert_eq!(m.mains[0].ranks.len(), 4);
+        for r in 0..4 {
+            assert_eq!(m.expand_for_rank(r), seq, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn shared_rules_are_stored_once() {
+        // Two ranks with the same repetitive core produce one rule table
+        // entry for the shared structure.
+        let a: Vec<u32> = std::iter::repeat_n([1u32, 2, 3], 30).flatten().collect();
+        let mut b = a.clone();
+        b.push(99); // small divergence at the end
+        let m = merge(&[a.clone(), b.clone()]);
+        let separate: usize = [&a, &b]
+            .iter()
+            .map(|s| Sequitur::build(s).size())
+            .sum();
+        assert!(
+            m.size() < separate,
+            "merged {} not smaller than separate {}",
+            m.size(),
+            separate
+        );
+        assert_eq!(m.expand_for_rank(0), a);
+        assert_eq!(m.expand_for_rank(1), b);
+    }
+
+    #[test]
+    fn figure3_style_merge_unions_rank_lists() {
+        // Figure 3: two mains sharing a common subsequence; the merged main
+        // marks shared symbols with both ranks and keeps private symbols.
+        let a = vec![1, 2, 3, 4, 5];
+        let b = vec![1, 2, 9, 4, 5];
+        let m = merge(&[a.clone(), b.clone()]);
+        assert_eq!(m.mains.len(), 1);
+        let main = &m.mains[0];
+        // Both ranks replay exactly.
+        assert_eq!(m.expand_for_rank(0), a);
+        assert_eq!(m.expand_for_rank(1), b);
+        // The shared symbols carry both ranks.
+        let shared: Vec<&MainSym> =
+            main.body.iter().filter(|s| s.ranks.len() == 2).collect();
+        assert_eq!(shared.len(), 4, "main: {:?}", main.body);
+        // The private symbols carry exactly one rank each.
+        let private: Vec<&MainSym> =
+            main.body.iter().filter(|s| s.ranks.len() == 1).collect();
+        assert_eq!(private.len(), 2);
+    }
+
+    #[test]
+    fn dissimilar_mains_stay_separate() {
+        let a: Vec<u32> = (0..60).map(|i| i % 3).collect();
+        let b: Vec<u32> = (0..60).map(|i| 50 + i % 7).collect();
+        let m = merge(&[a.clone(), b.clone()]);
+        assert_eq!(m.mains.len(), 2, "dissimilar ranks must not merge");
+        assert_eq!(m.expand_for_rank(0), a);
+        assert_eq!(m.expand_for_rank(1), b);
+    }
+
+    #[test]
+    fn spmd_with_boundary_ranks_replays_losslessly() {
+        // Rank 0 and rank 3 are "boundary" (skip one phase); 1, 2 interior.
+        let interior: Vec<u32> =
+            std::iter::repeat_n([10u32, 11, 12, 13], 25).flatten().collect();
+        let boundary: Vec<u32> =
+            std::iter::repeat_n([10u32, 12, 13], 25).flatten().collect();
+        let seqs = vec![boundary.clone(), interior.clone(), interior.clone(), boundary.clone()];
+        let m = merge(&seqs);
+        for (r, expected) in seqs.iter().enumerate() {
+            assert_eq!(&m.expand_for_rank(r as u32), expected, "rank {r}");
+        }
+        // Boundary pair and interior pair share main structure, so at most
+        // two mains (possibly one if the cluster threshold lets them merge).
+        assert!(m.mains.len() <= 2, "got {} mains", m.mains.len());
+    }
+
+    #[test]
+    fn merged_size_scales_sublinearly_with_ranks() {
+        // 16 ranks, identical behaviour: merged size must be much closer to
+        // one rank's grammar than to 16×.
+        let seq: Vec<u32> = std::iter::repeat_n([1u32, 2, 3, 4, 2, 3], 40).flatten().collect();
+        let one = Sequitur::build(&seq).size();
+        let m = merge(&vec![seq; 16]);
+        assert!(m.size() <= one + 4, "merged {} vs single {}", m.size(), one);
+    }
+
+    #[test]
+    fn main_for_rank_covers_all_ranks() {
+        let seqs: Vec<Vec<u32>> = (0..5u32).map(|r| vec![r, r, r, 1, 2, 3]).collect();
+        let m = merge(&seqs);
+        for r in 0..5 {
+            assert!(m.main_for_rank(r).is_some(), "rank {r} uncovered");
+            assert_eq!(m.expand_for_rank(r), seqs[r as usize]);
+        }
+        assert!(m.main_for_rank(5).is_none());
+    }
+}

@@ -1,0 +1,613 @@
+//! Run-length Sequitur (Section 2.5.2 of the paper).
+//!
+//! Classic Sequitur (Nevill-Manning & Witten 1997) scans the input once,
+//! maintaining two invariants: **digram uniqueness** (no pair of adjacent
+//! symbols occurs twice in the grammar) and **rule utility** (every rule is
+//! referenced at least twice). The paper adds the Omnis'IO run-length
+//! extension (its constraint 3): adjacent equal symbols collapse into powers
+//! `a^i`, so perfectly regular loops cost *O(1)* grammar space instead of
+//! *O(log n)*.
+//!
+//! The run-length invariant has a pleasant side effect: adjacent nodes never
+//! hold the same symbol, so digram occurrences can never overlap (the `aaa`
+//! corner case of classic Sequitur disappears).
+//!
+//! A third invariant refines utility for powers: a rule referenced once but
+//! with exponent ≥ 2 still pays for itself, so only references with
+//! exponent 1 trigger inlining.
+
+use std::collections::HashMap;
+
+use crate::grammar::Grammar;
+use crate::symbol::{RSym, Sym};
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    sym: Sym,
+    exp: u64,
+    prev: u32,
+    next: u32,
+    /// Guard nodes delimit rule bodies; `rule_of_guard` is only meaningful
+    /// for them.
+    is_guard: bool,
+    rule_of_guard: u32,
+    alive: bool,
+}
+
+type DigramKey = (Sym, u64, Sym, u64);
+
+/// Incremental grammar builder. Feed terminals with [`Sequitur::push`],
+/// finish with [`Sequitur::into_grammar`].
+pub struct Sequitur {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    /// guard node of each rule; rule 0 is the main rule.
+    guards: Vec<u32>,
+    /// reference count of each rule (occurrences in other bodies).
+    refs: Vec<u32>,
+    /// node ids currently referencing each rule.
+    occurrences: Vec<Vec<u32>>,
+    digrams: HashMap<DigramKey, u32>,
+    /// Run-length constraint enabled (the paper's configuration). Disabled
+    /// only by the ablation harness, which contrasts the O(1) powers
+    /// against classic Sequitur's O(log n) rule chains for regular loops.
+    rle: bool,
+}
+
+impl Default for Sequitur {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sequitur {
+    pub fn new() -> Sequitur {
+        Sequitur::with_rle(true)
+    }
+
+    /// Construct with the run-length extension switchable (ablation).
+    pub fn with_rle(rle: bool) -> Sequitur {
+        let mut s = Sequitur {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            guards: Vec::new(),
+            refs: Vec::new(),
+            occurrences: Vec::new(),
+            digrams: HashMap::new(),
+            rle,
+        };
+        s.new_rule(); // rule 0: main
+        s
+    }
+
+    /// Build a grammar from a whole sequence.
+    pub fn build(seq: &[u32]) -> Grammar {
+        let mut s = Sequitur::new();
+        for &t in seq {
+            s.push(t);
+        }
+        s.into_grammar()
+    }
+
+    /// Build without the run-length extension (classic Sequitur).
+    pub fn build_classic(seq: &[u32]) -> Grammar {
+        let mut s = Sequitur::with_rle(false);
+        for &t in seq {
+            s.push(t);
+        }
+        s.into_grammar()
+    }
+
+    /// Append one terminal to the main rule.
+    pub fn push(&mut self, terminal: u32) {
+        let guard = self.guards[0];
+        let n = self.alloc(Node {
+            sym: Sym::T(terminal),
+            exp: 1,
+            prev: NIL,
+            next: NIL,
+            is_guard: false,
+            rule_of_guard: NIL,
+            alive: true,
+        });
+        let last = self.nodes[guard as usize].prev;
+        self.connect(last, n);
+        self.connect(n, guard);
+        self.check(last);
+    }
+
+    // ------------------------------------------------------------------
+    // Arena plumbing
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn new_rule(&mut self) -> u32 {
+        let rule = self.guards.len() as u32;
+        let g = self.alloc(Node {
+            sym: Sym::N(rule),
+            exp: 1,
+            prev: NIL,
+            next: NIL,
+            is_guard: true,
+            rule_of_guard: rule,
+            alive: true,
+        });
+        self.nodes[g as usize].prev = g;
+        self.nodes[g as usize].next = g;
+        self.guards.push(g);
+        self.refs.push(0);
+        self.occurrences.push(Vec::new());
+        rule
+    }
+
+    fn connect(&mut self, a: u32, b: u32) {
+        self.nodes[a as usize].next = b;
+        self.nodes[b as usize].prev = a;
+    }
+
+    fn next(&self, n: u32) -> u32 {
+        self.nodes[n as usize].next
+    }
+
+    fn prev(&self, n: u32) -> u32 {
+        self.nodes[n as usize].prev
+    }
+
+    fn is_guard(&self, n: u32) -> bool {
+        self.nodes[n as usize].is_guard
+    }
+
+    fn key_at(&self, left: u32) -> Option<DigramKey> {
+        if self.is_guard(left) {
+            return None;
+        }
+        let right = self.next(left);
+        if self.is_guard(right) {
+            return None;
+        }
+        let l = &self.nodes[left as usize];
+        let r = &self.nodes[right as usize];
+        Some((l.sym, l.exp, r.sym, r.exp))
+    }
+
+    /// Unregister the digram starting at `left`, if the index points here.
+    fn forget(&mut self, left: u32) {
+        if let Some(key) = self.key_at(left) {
+            if self.digrams.get(&key) == Some(&left) {
+                self.digrams.remove(&key);
+            }
+        }
+    }
+
+    fn add_ref(&mut self, rule: u32, node: u32) {
+        self.refs[rule as usize] += 1;
+        self.occurrences[rule as usize].push(node);
+    }
+
+    fn drop_ref(&mut self, rule: u32, node: u32) {
+        self.refs[rule as usize] -= 1;
+        let occ = &mut self.occurrences[rule as usize];
+        if let Some(pos) = occ.iter().position(|&n| n == node) {
+            occ.swap_remove(pos);
+        }
+    }
+
+    fn release(&mut self, n: u32) {
+        self.nodes[n as usize].alive = false;
+        self.free.push(n);
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant enforcement
+    // ------------------------------------------------------------------
+
+    /// Re-establish the invariants for the adjacency `(left, left.next)`.
+    fn check(&mut self, left: u32) {
+        if left == NIL || !self.nodes[left as usize].alive || self.is_guard(left) {
+            return;
+        }
+        let right = self.next(left);
+        if self.is_guard(right) {
+            return;
+        }
+        // Constraint 3: run-length merge of equal symbols.
+        if self.rle && self.nodes[left as usize].sym == self.nodes[right as usize].sym {
+            self.merge_run(left, right);
+            return;
+        }
+        let key = self.key_at(left).expect("both non-guard");
+        match self.digrams.get(&key) {
+            None => {
+                self.digrams.insert(key, left);
+            }
+            Some(&existing) if existing == left => {}
+            Some(&existing) => {
+                // Without RLE, equal adjacent symbols survive, so the `aaa`
+                // overlap case of classic Sequitur can occur; overlapping
+                // occurrences must not fold.
+                if !self.rle
+                    && (self.next(existing) == left || self.next(left) == existing)
+                {
+                    return;
+                }
+                // Stale index entries cannot exist: `forget` runs before
+                // every splice. With RLE, occurrences cannot overlap
+                // (adjacent symbols are always distinct).
+                self.handle_match(existing, left);
+            }
+        }
+    }
+
+    /// Merge `right` into `left` (equal symbols), then repair both seams.
+    fn merge_run(&mut self, left: u32, right: u32) {
+        // Digrams involving the three affected adjacencies change identity.
+        self.forget(self.prev(left));
+        self.forget(left);
+        self.forget(right);
+        let mut dropped: Option<u32> = None;
+        if let Sym::N(rule) = self.nodes[right as usize].sym {
+            // One node's worth of reference disappears (exponents fold).
+            self.drop_ref(rule, right);
+            dropped = Some(rule);
+        }
+        self.nodes[left as usize].exp += self.nodes[right as usize].exp;
+        let after = self.next(right);
+        self.connect(left, after);
+        self.release(right);
+        // Left's digram identity changed: re-check both sides.
+        self.check(self.prev(left));
+        if self.nodes[left as usize].alive {
+            self.check(left);
+        }
+        if let Some(r) = dropped {
+            // Note: the surviving run node still references r, so a drop to
+            // one reference with exponent ≥ 2 stays useful; enforce_utility
+            // applies the exponent-aware rule.
+            self.enforce_utility(r);
+        }
+    }
+
+    /// Two equal digrams exist: at `existing` and at `fresh`.
+    fn handle_match(&mut self, existing: u32, fresh: u32) {
+        let e_prev = self.prev(existing);
+        let e_next_next = self.next(self.next(existing));
+        if self.is_guard(e_prev)
+            && self.is_guard(e_next_next)
+            && self.nodes[e_prev as usize].rule_of_guard == self.nodes[e_next_next as usize].rule_of_guard
+        {
+            // The existing occurrence is exactly a rule body: reuse it.
+            let rule = self.nodes[e_prev as usize].rule_of_guard;
+            self.substitute(fresh, rule);
+            self.enforce_utility(rule);
+        } else {
+            // Create a new rule from the digram, substitute both sites.
+            let (s1, e1, s2, e2) = self.key_at(existing).expect("valid digram");
+            let rule = self.new_rule();
+            let g = self.guards[rule as usize];
+            let a = self.alloc(Node {
+                sym: s1,
+                exp: e1,
+                prev: NIL,
+                next: NIL,
+                is_guard: false,
+                rule_of_guard: NIL,
+                alive: true,
+            });
+            let b = self.alloc(Node {
+                sym: s2,
+                exp: e2,
+                prev: NIL,
+                next: NIL,
+                is_guard: false,
+                rule_of_guard: NIL,
+                alive: true,
+            });
+            self.connect(g, a);
+            self.connect(a, b);
+            self.connect(b, g);
+            if let Sym::N(r) = s1 {
+                self.add_ref(r, a);
+            }
+            if let Sym::N(r) = s2 {
+                self.add_ref(r, b);
+            }
+            // The rule body now owns this digram.
+            self.digrams.insert((s1, e1, s2, e2), a);
+            // Substitute the existing occurrence first, then the fresh one.
+            self.substitute(existing, rule);
+            // Cascades from the first substitution can in principle consume
+            // the fresh occurrence; only substitute it if it still stands.
+            if self.nodes[fresh as usize].alive && self.key_at(fresh) == Some((s1, e1, s2, e2)) {
+                self.substitute(fresh, rule);
+            }
+            // Newly referenced child rules may have dropped to one use.
+            if let Sym::N(r) = s1 {
+                self.enforce_utility(r);
+            }
+            if let Sym::N(r) = s2 {
+                self.enforce_utility(r);
+            }
+            self.enforce_utility(rule);
+        }
+    }
+
+    /// Replace the digram starting at `left` with a reference to `rule`.
+    fn substitute(&mut self, left: u32, rule: u32) {
+        let right = self.next(left);
+        let before = self.prev(left);
+        let after = self.next(right);
+        self.forget(before);
+        self.forget(left);
+        self.forget(right);
+        let mut dropped: Vec<u32> = Vec::new();
+        for n in [left, right] {
+            if let Sym::N(r) = self.nodes[n as usize].sym {
+                self.drop_ref(r, n);
+                dropped.push(r);
+            }
+        }
+        let nn = self.alloc(Node {
+            sym: Sym::N(rule),
+            exp: 1,
+            prev: NIL,
+            next: NIL,
+            is_guard: false,
+            rule_of_guard: NIL,
+            alive: true,
+        });
+        self.add_ref(rule, nn);
+        self.connect(before, nn);
+        self.connect(nn, after);
+        self.release(left);
+        self.release(right);
+        // Repair seams: first the left one (may run-merge nn away).
+        self.check(before);
+        if self.nodes[nn as usize].alive {
+            self.check(nn);
+        }
+        // Rules that lost a reference here may have fallen to one use.
+        for r in dropped {
+            self.enforce_utility(r);
+        }
+    }
+
+    /// Inline `rule` if it has a single remaining reference with exponent 1
+    /// (a reference with exponent ≥ 2 still pays for itself under RLE).
+    fn enforce_utility(&mut self, rule: u32) {
+        if rule == 0
+            || self.guards[rule as usize] == NIL
+            || self.refs[rule as usize] != 1
+        {
+            return;
+        }
+        let site = self.occurrences[rule as usize][0];
+        if !self.nodes[site as usize].alive || self.nodes[site as usize].exp != 1 {
+            return;
+        }
+        let guard = self.guards[rule as usize];
+        let first = self.next(guard);
+        let last = self.prev(guard);
+        if first == guard {
+            return; // empty rule body; nothing to inline
+        }
+        let before = self.prev(site);
+        let after = self.next(site);
+        self.forget(before);
+        self.forget(site);
+        self.drop_ref(rule, site);
+        // Move the body nodes wholesale (their internal digram index
+        // entries stay valid because the node ids do not change).
+        self.connect(before, first);
+        self.connect(last, after);
+        self.release(site);
+        self.release(guard);
+        self.guards[rule as usize] = NIL;
+        // Repair the seams.
+        self.check(before);
+        // `last` may have died if the whole body merged leftward; guard it.
+        if self.nodes[last as usize].alive {
+            self.check(last);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Extraction
+    // ------------------------------------------------------------------
+
+    /// Convert into an immutable [`Grammar`], renumbering surviving rules
+    /// densely (main rule stays rule 0).
+    pub fn into_grammar(self) -> Grammar {
+        // Map surviving rule ids to dense ids.
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut order: Vec<u32> = Vec::new();
+        for (rule, &g) in self.guards.iter().enumerate() {
+            if g != NIL {
+                remap.insert(rule as u32, order.len() as u32);
+                order.push(rule as u32);
+            }
+        }
+        let mut rules = Vec::with_capacity(order.len());
+        for &rule in &order {
+            let g = self.guards[rule as usize];
+            let mut body = Vec::new();
+            let mut n = self.nodes[g as usize].next;
+            while n != g {
+                let node = &self.nodes[n as usize];
+                let sym = match node.sym {
+                    Sym::T(t) => Sym::T(t),
+                    Sym::N(r) => Sym::N(*remap.get(&r).expect("live rule referenced")),
+                };
+                body.push(RSym::new(sym, node.exp));
+                n = node.next;
+            }
+            rules.push(body);
+        }
+        Grammar { rules }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(seq: &[u32]) -> Grammar {
+        Sequitur::build(seq)
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = build(&[]);
+        assert_eq!(g.rules.len(), 1);
+        assert!(g.rules[0].is_empty());
+        let g = build(&[7]);
+        assert_eq!(g.expand_main(), vec![7]);
+    }
+
+    #[test]
+    fn pure_repetition_is_constant_size() {
+        // The paper's aaaa... example: with RLE the whole thing is one
+        // run-length symbol, not a log-depth rule chain.
+        let seq = vec![5u32; 1000];
+        let g = build(&seq);
+        assert_eq!(g.expand_main(), seq);
+        assert_eq!(g.rules.len(), 1);
+        assert_eq!(g.rules[0].len(), 1);
+        assert_eq!(g.rules[0][0].exp, 1000);
+    }
+
+    #[test]
+    fn repeated_pair_becomes_rule_with_power() {
+        // abababab → main: R1^4, R1 → a b
+        let seq: Vec<u32> = (0..8).map(|i| i % 2).collect();
+        let g = build(&seq);
+        assert_eq!(g.expand_main(), seq);
+        assert_eq!(g.rules.len(), 2);
+        assert_eq!(g.rules[0].len(), 1);
+        assert_eq!(g.rules[0][0].exp, 4);
+        assert_eq!(g.rules[1].len(), 2);
+    }
+
+    #[test]
+    fn nested_loop_structure_compresses_hierarchically() {
+        // (a b b b c){20} — an iteration with an inner loop.
+        let mut seq = Vec::new();
+        for _ in 0..20 {
+            seq.push(1);
+            seq.extend([2, 2, 2]);
+            seq.push(3);
+        }
+        let g = build(&seq);
+        assert_eq!(g.expand_main(), seq);
+        // Grammar should be tiny: a rule for (a b^3 c) raised to the 20th.
+        assert!(g.size() <= 6, "grammar too large: {g:?}");
+    }
+
+    #[test]
+    fn sequitur_classic_example() {
+        // "abcdbc" → S → a A d A, A → b c  (classic Sequitur result)
+        let g = build(&[1, 2, 3, 4, 2, 3]);
+        assert_eq!(g.expand_main(), vec![1, 2, 3, 4, 2, 3]);
+        assert_eq!(g.rules.len(), 2);
+        assert_eq!(g.rules[1].len(), 2);
+    }
+
+    #[test]
+    fn invariants_hold_on_structured_input() {
+        // A trace-like input: iterations with a rare special phase.
+        let mut seq = Vec::new();
+        for i in 0..50 {
+            seq.extend([10, 11, 12, 11, 13]);
+            if i % 10 == 9 {
+                seq.extend([20, 21]);
+            }
+        }
+        let g = build(&seq);
+        assert_eq!(g.expand_main(), seq);
+        g.assert_invariants();
+        // Far smaller than the input.
+        assert!(g.size() < seq.len() / 4, "size {} vs input {}", g.size(), seq.len());
+    }
+
+    #[test]
+    fn random_input_round_trips() {
+        // Pseudo-random (incompressible) input: correctness matters more
+        // than compression here.
+        let mut x = 12345u64;
+        let seq: Vec<u32> = (0..500)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) % 17) as u32
+            })
+            .collect();
+        let g = build(&seq);
+        assert_eq!(g.expand_main(), seq);
+        g.assert_invariants();
+    }
+
+    #[test]
+    fn long_runs_inside_repeats() {
+        // a^5 b a^5 b a^5 b → rule (a^5 b)^3.
+        let mut seq = Vec::new();
+        for _ in 0..3 {
+            seq.extend([1; 5]);
+            seq.push(2);
+        }
+        let g = build(&seq);
+        assert_eq!(g.expand_main(), seq);
+        assert!(g.size() <= 4, "expected compact powers: {g:?}");
+    }
+
+    #[test]
+    fn classic_mode_round_trips_and_uses_log_rules_for_runs() {
+        // The Omnis'IO observation the paper cites: a run of n identical
+        // symbols is one power under RLE, but a log-depth rule chain in
+        // classic Sequitur.
+        let seq = vec![5u32; 1024];
+        let classic = Sequitur::build_classic(&seq);
+        assert_eq!(classic.expand_main(), seq);
+        let rle = Sequitur::build(&seq);
+        assert_eq!(rle.size(), 1);
+        assert!(
+            classic.rules.len() >= 9,
+            "classic should need ~log2(1024) rules, got {}",
+            classic.rules.len()
+        );
+        assert!(classic.size() > 4 * rle.size());
+    }
+
+    #[test]
+    fn classic_mode_handles_overlap_case() {
+        // aaa...: overlapping digrams must not fold into broken rules.
+        for n in [2usize, 3, 4, 5, 7, 9] {
+            let seq = vec![1u32; n];
+            let g = Sequitur::build_classic(&seq);
+            assert_eq!(g.expand_main(), seq, "n={n}");
+        }
+        // Mixed runs.
+        let seq = vec![1, 1, 1, 2, 1, 1, 1, 2, 1, 1];
+        let g = Sequitur::build_classic(&seq);
+        assert_eq!(g.expand_main(), seq);
+    }
+
+    #[test]
+    fn utility_rule_keeps_powered_single_references() {
+        // (ab)^2 appears once as a run: rule referenced once with exp 2
+        // must survive (it saves space), not be inlined.
+        let g = build(&[1, 2, 1, 2]);
+        assert_eq!(g.expand_main(), vec![1, 2, 1, 2]);
+        assert_eq!(g.rules.len(), 2);
+        assert_eq!(g.rules[0][0].exp, 2);
+        g.assert_invariants();
+    }
+}

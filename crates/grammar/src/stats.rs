@@ -1,0 +1,213 @@
+//! Grammar structure analysis: how well did compression work, and where
+//! does the space go? Used by the CLI's `inspect` command and the
+//! experiment harnesses.
+
+use std::collections::HashMap;
+
+use crate::grammar::Grammar;
+use crate::merge::MergedGrammar;
+use crate::symbol::Sym;
+
+/// Summary statistics of one grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrammarStats {
+    /// Total run-length symbols across rule bodies.
+    pub size: usize,
+    pub num_rules: usize,
+    /// Terminals the main rule ultimately derives.
+    pub expanded_len: u128,
+    /// `expanded_len / size` — how many trace events each stored symbol
+    /// stands for.
+    pub compression: f64,
+    /// Maximum rule depth (terminals are depth 0).
+    pub max_depth: u32,
+    /// Histogram of rule depths (index = depth).
+    pub depth_histogram: Vec<usize>,
+    /// The largest exponent anywhere in the grammar (the longest folded
+    /// run).
+    pub max_exponent: u64,
+    /// Mean references per non-main rule.
+    pub mean_rule_refs: f64,
+}
+
+/// Analyze a single-rank grammar.
+pub fn analyze(g: &Grammar) -> GrammarStats {
+    let size = g.size();
+    let depths = g.depths();
+    let max_depth = depths.iter().copied().max().unwrap_or(0);
+    let mut depth_histogram = vec![0usize; max_depth as usize + 1];
+    for &d in &depths {
+        depth_histogram[d as usize] += 1;
+    }
+    let refs = g.ref_counts();
+    let non_main = refs.len().saturating_sub(1);
+    let mean_rule_refs = if non_main > 0 {
+        refs[1..].iter().map(|&r| r as f64).sum::<f64>() / non_main as f64
+    } else {
+        0.0
+    };
+    let expanded_len = g.expanded_len(0);
+    let max_exponent = g
+        .rules
+        .iter()
+        .flat_map(|b| b.iter())
+        .map(|rs| rs.exp)
+        .max()
+        .unwrap_or(0);
+    GrammarStats {
+        size,
+        num_rules: g.rules.len(),
+        expanded_len,
+        compression: expanded_len as f64 / size.max(1) as f64,
+        max_depth,
+        depth_histogram,
+        max_exponent,
+        mean_rule_refs,
+    }
+}
+
+/// Per-rule coverage of a merged grammar: how many derived terminals each
+/// rule accounts for across all rank expansions. The heaviest rules are
+/// the program's hot loops.
+pub fn rule_coverage(m: &MergedGrammar) -> Vec<(u32, u128)> {
+    // expansion length per rule (memoized).
+    let mut expanded: HashMap<u32, u128> = HashMap::new();
+    fn len_of(m: &MergedGrammar, rule: u32, memo: &mut HashMap<u32, u128>) -> u128 {
+        if let Some(&v) = memo.get(&rule) {
+            return v;
+        }
+        let mut total = 0u128;
+        for rs in &m.rules[rule as usize] {
+            let unit = match rs.sym {
+                Sym::T(_) => 1,
+                Sym::N(n) => len_of(m, n, memo),
+            };
+            total += unit * rs.exp as u128;
+        }
+        memo.insert(rule, total);
+        total
+    }
+    // Count times each rule is *entered* across all rank main expansions.
+    let mut entries: HashMap<u32, u128> = HashMap::new();
+    for main in &m.mains {
+        for ms in &main.body {
+            if let Sym::N(n) = ms.sym {
+                let multiplicity = ms.ranks.len() as u128 * ms.exp as u128;
+                accumulate(m, n, multiplicity, &mut entries);
+            }
+        }
+    }
+    fn accumulate(m: &MergedGrammar, rule: u32, mult: u128, entries: &mut HashMap<u32, u128>) {
+        *entries.entry(rule).or_default() += mult;
+        for rs in &m.rules[rule as usize] {
+            if let Sym::N(n) = rs.sym {
+                accumulate(m, n, mult * rs.exp as u128, entries);
+            }
+        }
+    }
+    let mut out: Vec<(u32, u128)> = entries
+        .into_iter()
+        .map(|(rule, times)| (rule, times * len_of(m, rule, &mut expanded)))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// Render a grammar as a Graphviz DOT digraph: rules are boxes, terminals
+/// are ellipses, edges are labeled with exponents. Handy for inspecting
+/// what Sequitur found (`dot -Tsvg grammar.dot`).
+pub fn to_dot(g: &Grammar) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("digraph grammar {\n  rankdir=TB;\n");
+    let mut terminals = std::collections::BTreeSet::new();
+    for (ri, body) in g.rules.iter().enumerate() {
+        let label = if ri == 0 { "S".to_string() } else { format!("R{ri}") };
+        let _ = writeln!(out, "  r{ri} [shape=box, label=\"{label}\"];");
+        for (pos, rs) in body.iter().enumerate() {
+            let (target, edge_style) = match rs.sym {
+                Sym::N(n) => (format!("r{n}"), ""),
+                Sym::T(t) => {
+                    terminals.insert(t);
+                    (format!("t{t}"), ", style=dashed")
+                }
+            };
+            let exp_label = if rs.exp == 1 {
+                format!("{pos}")
+            } else {
+                format!("{pos}: ^{}", rs.exp)
+            };
+            let _ = writeln!(out, "  r{ri} -> {target} [label=\"{exp_label}\"{edge_style}];");
+        }
+    }
+    for t in terminals {
+        let _ = writeln!(out, "  t{t} [shape=ellipse, label=\"t{t}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{merge_grammars, MergeConfig};
+    use crate::sequitur::Sequitur;
+
+    #[test]
+    fn analyze_reports_compression_for_loops() {
+        let seq: Vec<u32> = std::iter::repeat_n([1u32, 2, 3], 100).flatten().collect();
+        let g = Sequitur::build(&seq);
+        let s = analyze(&g);
+        assert_eq!(s.expanded_len, 300);
+        assert!(s.compression > 30.0, "compression {}", s.compression);
+        assert!(s.max_exponent >= 50);
+        assert_eq!(s.depth_histogram.iter().sum::<usize>(), s.num_rules);
+    }
+
+    #[test]
+    fn analyze_handles_incompressible_input() {
+        let seq: Vec<u32> = (0..100).collect();
+        let g = Sequitur::build(&seq);
+        let s = analyze(&g);
+        assert_eq!(s.expanded_len, 100);
+        assert_eq!(s.num_rules, 1);
+        assert!(s.compression <= 1.01);
+    }
+
+    #[test]
+    fn rule_coverage_finds_the_hot_loop() {
+        // Two ranks running the same 3-symbol loop 100 times.
+        let seq: Vec<u32> = std::iter::repeat_n([1u32, 2, 3], 100).flatten().collect();
+        let grammars = vec![Sequitur::build(&seq), Sequitur::build(&seq)];
+        let merged = merge_grammars(&grammars, &MergeConfig::default());
+        let coverage = rule_coverage(&merged);
+        assert!(!coverage.is_empty());
+        // The top rule covers (nearly) all 600 derived terminals.
+        let (_, top) = coverage[0];
+        assert!(top >= 500, "top coverage {top}");
+    }
+
+    #[test]
+    fn dot_export_is_wellformed() {
+        let seq: Vec<u32> = std::iter::repeat_n([1u32, 2, 2, 3], 20).flatten().collect();
+        let g = Sequitur::build(&seq);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph grammar {"));
+        assert!(dot.ends_with("}\n"));
+        // Every rule appears as a node; the start rule is labeled S.
+        assert!(dot.contains("r0 [shape=box, label=\"S\"]"));
+        for ri in 1..g.rules.len() {
+            assert!(dot.contains(&format!("r{ri} [shape=box")), "missing rule {ri}");
+        }
+        // Terminals appear with dashed edges.
+        assert!(dot.contains("style=dashed"));
+        // Exponents are labeled.
+        assert!(dot.contains('^'));
+    }
+
+    #[test]
+    fn coverage_is_empty_without_nonterminals() {
+        let grammars = vec![Sequitur::build(&[1, 2, 3])];
+        let merged = merge_grammars(&grammars, &MergeConfig::default());
+        assert!(rule_coverage(&merged).is_empty());
+    }
+}

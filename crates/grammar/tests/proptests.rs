@@ -1,0 +1,119 @@
+//! Property-based tests for the grammar pipeline.
+
+use proptest::prelude::*;
+
+use siesta_grammar::{merge_grammars, MergeConfig, RankSet, Sequitur};
+
+/// Structured sequence generator: random inputs rarely compress, so also
+/// generate loopy inputs that exercise the interesting paths.
+fn structured_seq() -> impl Strategy<Value = Vec<u32>> {
+    prop_oneof![
+        // Pure random.
+        prop::collection::vec(0u32..8, 0..200),
+        // Repeated phrase with noise between repetitions.
+        (
+            prop::collection::vec(0u32..6, 1..8),
+            1usize..40,
+            prop::collection::vec(0u32..6, 0..3),
+        )
+            .prop_map(|(phrase, reps, tail)| {
+                let mut out = Vec::new();
+                for _ in 0..reps {
+                    out.extend(&phrase);
+                }
+                out.extend(tail);
+                out
+            }),
+        // Nested loops: (a (b)^k c)^m.
+        (1u64..20, 1usize..20).prop_map(|(k, m)| {
+            let mut out = Vec::new();
+            for _ in 0..m {
+                out.push(1);
+                out.extend(std::iter::repeat_n(2, k as usize));
+                out.push(3);
+            }
+            out
+        }),
+        // Long runs.
+        prop::collection::vec((0u32..4, 1usize..30), 0..20).prop_map(|runs| {
+            runs.into_iter()
+                .flat_map(|(s, n)| std::iter::repeat_n(s, n))
+                .collect()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The fundamental guarantee: grammar expansion reproduces the input.
+    #[test]
+    fn sequitur_round_trips(seq in structured_seq()) {
+        let g = Sequitur::build(&seq);
+        prop_assert_eq!(g.expand_main(), seq);
+    }
+
+    /// Digram uniqueness, run-length, and utility invariants hold.
+    #[test]
+    fn sequitur_invariants_hold(seq in structured_seq()) {
+        let g = Sequitur::build(&seq);
+        g.assert_invariants();
+    }
+
+    /// The grammar never has more symbols than the input (compression may
+    /// fail to help, but must not hurt by more than the rule overhead).
+    #[test]
+    fn grammar_size_bounded(seq in structured_seq()) {
+        let g = Sequitur::build(&seq);
+        prop_assert!(g.size() <= seq.len().max(1));
+    }
+
+    /// Merged grammars replay every rank exactly (losslessness across the
+    /// whole intra + inter process pipeline).
+    #[test]
+    fn merge_is_lossless_per_rank(
+        base in structured_seq(),
+        variants in prop::collection::vec(prop::collection::vec(0u32..8, 0..5), 1..6),
+    ) {
+        // Each rank = base sequence with a small private suffix — the SPMD
+        // shape (mostly identical, small divergences).
+        let seqs: Vec<Vec<u32>> = variants
+            .iter()
+            .map(|tail| {
+                let mut s = base.clone();
+                s.extend(tail);
+                s
+            })
+            .collect();
+        let grammars: Vec<_> = seqs.iter().map(|s| Sequitur::build(s)).collect();
+        let merged = merge_grammars(&grammars, &MergeConfig::default());
+        for (r, expected) in seqs.iter().enumerate() {
+            prop_assert_eq!(&merged.expand_for_rank(r as u32), expected);
+        }
+    }
+
+    /// Rank-set union is commutative, associative, and idempotent; length
+    /// and membership agree with a model set.
+    #[test]
+    fn rankset_algebra(
+        a in prop::collection::btree_set(0u32..200, 0..40),
+        b in prop::collection::btree_set(0u32..200, 0..40),
+        c in prop::collection::btree_set(0u32..200, 0..40),
+    ) {
+        let ra = RankSet::from_iter(a.iter().copied());
+        let rb = RankSet::from_iter(b.iter().copied());
+        let rc = RankSet::from_iter(c.iter().copied());
+        prop_assert_eq!(ra.union(&rb), rb.union(&ra));
+        prop_assert_eq!(ra.union(&rb).union(&rc), ra.union(&rb.union(&rc)));
+        prop_assert_eq!(ra.union(&ra), ra.clone());
+        let model: std::collections::BTreeSet<u32> = a.union(&b).copied().collect();
+        let u = ra.union(&rb);
+        prop_assert_eq!(u.len(), model.len());
+        for x in 0u32..200 {
+            prop_assert_eq!(u.contains(x), model.contains(&x));
+        }
+        let round: Vec<u32> = u.iter().collect();
+        let expect: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(round, expect);
+    }
+}

@@ -1,0 +1,759 @@
+//! Collective operations, built from point-to-point rounds.
+//!
+//! Every collective is implemented as a real algorithm (binomial trees,
+//! recursive doubling, rings, pairwise/Bruck exchanges) over the internal
+//! plumbing channel, so its virtual-time cost emerges from the same wire
+//! model as application messages — and changes when the MPI flavor selects a
+//! different algorithm, which is what the paper's Figure 7 measures.
+//! Plumbing messages never touch the PMPI hook: an interposer sees one
+//! `MPI_Bcast`, not its internal sends, exactly like real PMPI.
+
+use siesta_perfmodel::noise;
+use siesta_perfmodel::CollectiveAlgo;
+
+use crate::comm::{CommId, Communicator};
+use crate::hook::MpiCall;
+use crate::message::{Channel, RecvStatus};
+use crate::rank::Rank;
+
+/// Number of pipeline segments used by ring/chain algorithms for large
+/// payloads.
+const PIPELINE_SEGMENTS: usize = 8;
+
+impl Rank<'_> {
+    fn skey(comm: CommId, seq: u32, round: u32) -> u64 {
+        noise::combine(&[comm.0, seq as u64, round as u64, 0xC011])
+    }
+
+    /// Cycles to combine `bytes` of reduction operands (1 cycle/f64).
+    fn reduce_cost_ns(&self, bytes: usize) -> f64 {
+        (bytes as f64 / 8.0) / self.machine().cpu().freq_ghz
+    }
+
+    fn plumb_send(&mut self, comm: &Communicator, dst_local: usize, bytes: usize, key: u64) {
+        self.p2p_send_blocking(
+            comm.global_of(dst_local),
+            comm.rank(),
+            comm.id,
+            Channel::Sys { key },
+            bytes,
+        );
+    }
+
+    fn plumb_recv(&mut self, comm: &Communicator, src_local: usize, key: u64) -> RecvStatus {
+        let id = self.post_recv_raw(comm.global_of(src_local), comm.id, Channel::Sys { key });
+        self.wait_recv_raw(id)
+    }
+
+    /// Deadlock-free exchange: post the receive before the blocking send.
+    fn plumb_sendrecv(
+        &mut self,
+        comm: &Communicator,
+        dst_local: usize,
+        src_local: usize,
+        send_bytes: usize,
+        recv_bytes: usize,
+        key: u64,
+    ) {
+        let _ = recv_bytes;
+        let id = self.post_recv_raw(comm.global_of(src_local), comm.id, Channel::Sys { key });
+        self.p2p_send_blocking(
+            comm.global_of(dst_local),
+            comm.rank(),
+            comm.id,
+            Channel::Sys { key },
+            send_bytes,
+        );
+        self.wait_recv_raw(id);
+    }
+
+    /// Dissemination barrier over `comm` (plumbing only, no hook).
+    pub(crate) fn plumbing_barrier(&mut self, comm: &Communicator) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let seq = self.next_coll_seq(comm.id);
+        let r = comm.rank();
+        let mut dist = 1usize;
+        let mut round = 0u32;
+        while dist < p {
+            let to = (r + dist) % p;
+            let from = (r + p - dist) % p;
+            self.plumb_sendrecv(comm, to, from, 0, 0, Self::skey(comm.id, seq, round));
+            dist <<= 1;
+            round += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public collectives
+    // ------------------------------------------------------------------
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self, comm: &Communicator) {
+        let call = MpiCall::Barrier { comm: comm.id };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        self.plumbing_barrier(comm);
+        self.account_mpi(t0, 0);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Bcast` of `bytes` from communicator-local `root`.
+    pub fn bcast(&mut self, comm: &Communicator, root: usize, bytes: usize) {
+        let call = MpiCall::Bcast { comm: comm.id, root, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let algo = self.machine().flavor.bcast_algo(comm.size(), bytes);
+        let seq = self.next_coll_seq(comm.id);
+        match algo {
+            CollectiveAlgo::Ring => self.ring_bcast(comm, root, bytes, seq),
+            _ => self.binomial_bcast(comm, root, bytes, seq),
+        }
+        self.account_mpi(t0, if comm.rank() == root { bytes } else { 0 });
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Reduce` of `bytes` to communicator-local `root`.
+    pub fn reduce(&mut self, comm: &Communicator, root: usize, bytes: usize) {
+        let call = MpiCall::Reduce { comm: comm.id, root, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let algo = self.machine().flavor.reduce_algo(comm.size(), bytes);
+        let seq = self.next_coll_seq(comm.id);
+        match algo {
+            CollectiveAlgo::Ring => self.chain_reduce(comm, root, bytes, seq),
+            _ => self.binomial_reduce(comm, root, bytes, seq),
+        }
+        self.account_mpi(t0, bytes);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Allreduce` of `bytes`.
+    pub fn allreduce(&mut self, comm: &Communicator, bytes: usize) {
+        let call = MpiCall::Allreduce { comm: comm.id, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let algo = self.machine().flavor.allreduce_algo(comm.size(), bytes);
+        let seq = self.next_coll_seq(comm.id);
+        match algo {
+            CollectiveAlgo::Ring => self.ring_allreduce(comm, bytes, seq),
+            _ => self.rd_allreduce(comm, bytes, seq),
+        }
+        self.account_mpi(t0, bytes);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Allgather`: each rank contributes `bytes`.
+    pub fn allgather(&mut self, comm: &Communicator, bytes: usize) {
+        let call = MpiCall::Allgather { comm: comm.id, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let algo = self.machine().flavor.allgather_algo(comm.size(), bytes);
+        let seq = self.next_coll_seq(comm.id);
+        let p = comm.size();
+        if p > 1 {
+            match algo {
+                CollectiveAlgo::RecursiveDoubling if p.is_power_of_two() => {
+                    self.rd_allgather(comm, bytes, seq)
+                }
+                _ => self.ring_allgather(comm, bytes, seq),
+            }
+        }
+        self.account_mpi(t0, bytes);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Alltoall`: each rank sends `bytes_per_peer` to every other rank.
+    pub fn alltoall(&mut self, comm: &Communicator, bytes_per_peer: usize) {
+        let call = MpiCall::Alltoall { comm: comm.id, bytes_per_peer };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let algo = self.machine().flavor.alltoall_algo(comm.size(), bytes_per_peer);
+        let seq = self.next_coll_seq(comm.id);
+        let p = comm.size();
+        if p > 1 {
+            match algo {
+                CollectiveAlgo::Bruck => self.bruck_alltoall(comm, bytes_per_peer, seq),
+                _ => self.pairwise_alltoall(comm, bytes_per_peer, seq),
+            }
+        }
+        // Local block copy.
+        self.clock += bytes_per_peer as f64 / self.machine().net.shm_bandwidth_bpns;
+        self.account_mpi(t0, bytes_per_peer * p.saturating_sub(1));
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Alltoallv` with per-peer send and receive byte counts (indexed
+    /// by communicator-local rank).
+    pub fn alltoallv(
+        &mut self,
+        comm: &Communicator,
+        send_counts: &[usize],
+        recv_counts: &[usize],
+    ) {
+        assert_eq!(send_counts.len(), comm.size());
+        assert_eq!(recv_counts.len(), comm.size());
+        let call = MpiCall::Alltoallv {
+            comm: comm.id,
+            send_counts: send_counts.to_vec(),
+            recv_counts: recv_counts.to_vec(),
+        };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let seq = self.next_coll_seq(comm.id);
+        let p = comm.size();
+        let r = comm.rank();
+        for step in 1..p {
+            let dst = (r + step) % p;
+            let src = (r + p - step) % p;
+            self.plumb_sendrecv(
+                comm,
+                dst,
+                src,
+                send_counts[dst],
+                recv_counts[src],
+                Self::skey(comm.id, seq, step as u32),
+            );
+        }
+        // Local block copy.
+        self.clock += send_counts[r] as f64 / self.machine().net.shm_bandwidth_bpns;
+        let sent: usize = send_counts.iter().enumerate().filter(|(i, _)| *i != r).map(|(_, b)| b).sum();
+        self.account_mpi(t0, sent);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Gather` of `bytes` per rank to `root`.
+    pub fn gather(&mut self, comm: &Communicator, root: usize, bytes: usize) {
+        let call = MpiCall::Gather { comm: comm.id, root, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let algo = self.machine().flavor.gather_algo(comm.size(), bytes);
+        let seq = self.next_coll_seq(comm.id);
+        match algo {
+            CollectiveAlgo::Linear => self.linear_gather(comm, root, bytes, seq),
+            _ => self.binomial_gather(comm, root, bytes, seq),
+        }
+        self.account_mpi(t0, if comm.rank() == root { 0 } else { bytes });
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Scatter` of `bytes` per rank from `root`.
+    pub fn scatter(&mut self, comm: &Communicator, root: usize, bytes: usize) {
+        let call = MpiCall::Scatter { comm: comm.id, root, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let algo = self.machine().flavor.gather_algo(comm.size(), bytes);
+        let seq = self.next_coll_seq(comm.id);
+        match algo {
+            CollectiveAlgo::Linear => self.linear_scatter(comm, root, bytes, seq),
+            _ => self.binomial_scatter(comm, root, bytes, seq),
+        }
+        self.account_mpi(t0, if comm.rank() == root { bytes * comm.size().saturating_sub(1) } else { 0 });
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Gatherv`: rank `i` contributes `counts[i]` bytes to `root`.
+    pub fn gatherv(&mut self, comm: &Communicator, root: usize, counts: &[usize]) {
+        assert_eq!(counts.len(), comm.size());
+        let call = MpiCall::Gatherv { comm: comm.id, root, counts: counts.to_vec() };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let seq = self.next_coll_seq(comm.id);
+        let p = comm.size();
+        if p > 1 {
+            // Linear with pre-posted receives: correct for arbitrary
+            // per-rank sizes (the binomial variant needs size prefixes).
+            if comm.rank() == root {
+                let ids: Vec<u64> = (0..p)
+                    .filter(|&s| s != root)
+                    .map(|s| {
+                        self.post_recv_raw(
+                            comm.global_of(s),
+                            comm.id,
+                            Channel::Sys { key: Self::skey(comm.id, seq, s as u32) },
+                        )
+                    })
+                    .collect();
+                for id in ids {
+                    self.wait_recv_raw(id);
+                }
+            } else {
+                let key = Self::skey(comm.id, seq, comm.rank() as u32);
+                self.plumb_send(comm, root, counts[comm.rank()], key);
+            }
+        }
+        let sent = if comm.rank() == root { 0 } else { counts[comm.rank()] };
+        self.account_mpi(t0, sent);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Scatterv`: `root` sends `counts[i]` bytes to rank `i`.
+    pub fn scatterv(&mut self, comm: &Communicator, root: usize, counts: &[usize]) {
+        assert_eq!(counts.len(), comm.size());
+        let call = MpiCall::Scatterv { comm: comm.id, root, counts: counts.to_vec() };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let seq = self.next_coll_seq(comm.id);
+        let p = comm.size();
+        if p > 1 {
+            if comm.rank() == root {
+                #[allow(clippy::needless_range_loop)] // s is a rank, not an index
+                for s in 0..p {
+                    if s != root {
+                        let key = Self::skey(comm.id, seq, s as u32);
+                        self.plumb_send(comm, s, counts[s], key);
+                    }
+                }
+            } else {
+                let key = Self::skey(comm.id, seq, comm.rank() as u32);
+                self.plumb_recv(comm, root, key);
+            }
+        }
+        let sent: usize = if comm.rank() == root {
+            counts.iter().enumerate().filter(|(i, _)| *i != root).map(|(_, c)| c).sum()
+        } else {
+            0
+        };
+        self.account_mpi(t0, sent);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Scan` (inclusive prefix reduction) via the Hillis–Steele
+    /// doubling schedule: ⌈log₂p⌉ rounds; in round k, rank `r` sends its
+    /// partial to `r+2ᵏ` and receives from `r−2ᵏ`.
+    pub fn scan(&mut self, comm: &Communicator, bytes: usize) {
+        let call = MpiCall::Scan { comm: comm.id, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let seq = self.next_coll_seq(comm.id);
+        let p = comm.size();
+        let r = comm.rank();
+        let mut d = 1usize;
+        let mut round = 0u32;
+        while d < p {
+            let key = Self::skey(comm.id, seq, round);
+            let recv_id = if r >= d {
+                Some(self.post_recv_raw(comm.global_of(r - d), comm.id, Channel::Sys { key }))
+            } else {
+                None
+            };
+            if r + d < p {
+                self.plumb_send(comm, r + d, bytes, key);
+            }
+            if let Some(id) = recv_id {
+                self.wait_recv_raw(id);
+                self.clock += self.reduce_cost_ns(bytes);
+            }
+            d <<= 1;
+            round += 1;
+        }
+        self.account_mpi(t0, bytes);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// `MPI_Reduce_scatter_block`: reduce a `p·bytes_per_rank` buffer and
+    /// leave block `i` on rank `i` — implemented as the ring reduce-scatter
+    /// phase (p−1 chunk exchanges with combining).
+    pub fn reduce_scatter_block(&mut self, comm: &Communicator, bytes_per_rank: usize) {
+        let call = MpiCall::ReduceScatterBlock { comm: comm.id, bytes_per_rank };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns;
+        let seq = self.next_coll_seq(comm.id);
+        let p = comm.size();
+        if p > 1 {
+            let r = comm.rank();
+            let right = (r + 1) % p;
+            let left = (r + p - 1) % p;
+            for step in 0..p - 1 {
+                self.plumb_sendrecv(
+                    comm,
+                    right,
+                    left,
+                    bytes_per_rank,
+                    bytes_per_rank,
+                    Self::skey(comm.id, seq, step as u32),
+                );
+                self.clock += self.reduce_cost_ns(bytes_per_rank);
+            }
+        }
+        self.account_mpi(t0, bytes_per_rank);
+        self.hook_post_c(&call, comm);
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithms
+    // ------------------------------------------------------------------
+
+    fn binomial_bcast(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let relative = (comm.rank() + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                let src = (relative - mask + root) % p;
+                self.plumb_recv(comm, src, Self::skey(comm.id, seq, 0));
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < p {
+                let dst = (relative + mask + root) % p;
+                self.plumb_send(comm, dst, bytes, Self::skey(comm.id, seq, 0));
+            }
+            mask >>= 1;
+        }
+    }
+
+    fn ring_bcast(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let relative = (comm.rank() + p - root) % p;
+        let segs = if bytes >= PIPELINE_SEGMENTS * 4096 { PIPELINE_SEGMENTS } else { 2 };
+        let seg = bytes / segs;
+        let last = bytes - seg * (segs - 1);
+        for s in 0..segs {
+            let b = if s == segs - 1 { last } else { seg };
+            let key = Self::skey(comm.id, seq, s as u32);
+            if relative > 0 {
+                let src = (relative - 1 + root) % p;
+                self.plumb_recv(comm, src, key);
+            }
+            if relative < p - 1 {
+                let dst = (relative + 1 + root) % p;
+                self.plumb_send(comm, dst, b, key);
+            }
+        }
+    }
+
+    fn binomial_reduce(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let relative = (comm.rank() + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            let round = mask.trailing_zeros();
+            if relative & mask == 0 {
+                let src_rel = relative | mask;
+                if src_rel < p {
+                    let src = (src_rel + root) % p;
+                    self.plumb_recv(comm, src, Self::skey(comm.id, seq, round));
+                    self.clock += self.reduce_cost_ns(bytes);
+                }
+            } else {
+                let dst = (relative - mask + root) % p;
+                self.plumb_send(comm, dst, bytes, Self::skey(comm.id, seq, round));
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    fn chain_reduce(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let relative = (comm.rank() + p - root) % p;
+        let segs = if bytes >= PIPELINE_SEGMENTS * 4096 { PIPELINE_SEGMENTS } else { 2 };
+        let seg = bytes / segs;
+        let last = bytes - seg * (segs - 1);
+        for s in 0..segs {
+            let b = if s == segs - 1 { last } else { seg };
+            let key = Self::skey(comm.id, seq, s as u32);
+            if relative < p - 1 {
+                let src = (relative + 1 + root) % p;
+                self.plumb_recv(comm, src, key);
+                self.clock += self.reduce_cost_ns(b);
+            }
+            if relative > 0 {
+                let dst = (relative - 1 + root) % p;
+                self.plumb_send(comm, dst, b, key);
+            }
+        }
+    }
+
+    fn rd_allreduce(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let r = comm.rank();
+        let pof2 = prev_pow2(p);
+        let rem = p - pof2;
+        // Fold the remainder ranks onto their odd neighbours.
+        let newrank: i64 = if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                self.plumb_send(comm, r + 1, bytes, Self::skey(comm.id, seq, 900));
+                -1
+            } else {
+                self.plumb_recv(comm, r - 1, Self::skey(comm.id, seq, 900));
+                self.clock += self.reduce_cost_ns(bytes);
+                (r / 2) as i64
+            }
+        } else {
+            (r - rem) as i64
+        };
+        if newrank >= 0 {
+            let nr = newrank as usize;
+            let mut mask = 1usize;
+            let mut round = 0u32;
+            while mask < pof2 {
+                let partner_nr = nr ^ mask;
+                let partner =
+                    if partner_nr < rem { partner_nr * 2 + 1 } else { partner_nr + rem };
+                self.plumb_sendrecv(
+                    comm,
+                    partner,
+                    partner,
+                    bytes,
+                    bytes,
+                    Self::skey(comm.id, seq, round),
+                );
+                self.clock += self.reduce_cost_ns(bytes);
+                mask <<= 1;
+                round += 1;
+            }
+        }
+        // Deliver the result back to the folded even ranks.
+        if r < 2 * rem {
+            let key = Self::skey(comm.id, seq, 901);
+            if r % 2 == 1 {
+                self.plumb_send(comm, r - 1, bytes, key);
+            } else {
+                self.plumb_recv(comm, r + 1, key);
+            }
+        }
+    }
+
+    fn ring_allreduce(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let r = comm.rank();
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        let chunk = bytes.div_ceil(p);
+        // Reduce-scatter phase.
+        for step in 0..p - 1 {
+            self.plumb_sendrecv(comm, right, left, chunk, chunk, Self::skey(comm.id, seq, step as u32));
+            self.clock += self.reduce_cost_ns(chunk);
+        }
+        // Allgather phase.
+        for step in 0..p - 1 {
+            self.plumb_sendrecv(
+                comm,
+                right,
+                left,
+                chunk,
+                chunk,
+                Self::skey(comm.id, seq, 1000 + step as u32),
+            );
+        }
+    }
+
+    fn rd_allgather(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+        let p = comm.size();
+        let r = comm.rank();
+        let mut cur = bytes;
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        while mask < p {
+            let partner = r ^ mask;
+            self.plumb_sendrecv(comm, partner, partner, cur, cur, Self::skey(comm.id, seq, round));
+            cur *= 2;
+            mask <<= 1;
+            round += 1;
+        }
+    }
+
+    fn ring_allgather(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+        let p = comm.size();
+        let r = comm.rank();
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        for step in 0..p - 1 {
+            self.plumb_sendrecv(comm, right, left, bytes, bytes, Self::skey(comm.id, seq, step as u32));
+        }
+    }
+
+    fn pairwise_alltoall(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+        let p = comm.size();
+        let r = comm.rank();
+        for step in 1..p {
+            let dst = (r + step) % p;
+            let src = (r + p - step) % p;
+            self.plumb_sendrecv(comm, dst, src, bytes, bytes, Self::skey(comm.id, seq, step as u32));
+        }
+    }
+
+    fn bruck_alltoall(&mut self, comm: &Communicator, bytes_per_peer: usize, seq: u32) {
+        let p = comm.size();
+        let r = comm.rank();
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        while mask < p {
+            // Blocks whose index has this bit set travel this round.
+            let blocks = (1..p).filter(|i| i & mask != 0).count();
+            let dst = (r + mask) % p;
+            let src = (r + p - mask) % p;
+            let b = blocks * bytes_per_peer;
+            self.plumb_sendrecv(comm, dst, src, b, b, Self::skey(comm.id, seq, round));
+            mask <<= 1;
+            round += 1;
+        }
+    }
+
+    fn linear_gather(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        if comm.rank() == root {
+            // Post everything first so rendezvous senders can progress.
+            let ids: Vec<u64> = (0..p)
+                .filter(|&s| s != root)
+                .map(|s| {
+                    self.post_recv_raw(
+                        comm.global_of(s),
+                        comm.id,
+                        Channel::Sys { key: Self::skey(comm.id, seq, s as u32) },
+                    )
+                })
+                .collect();
+            for id in ids {
+                self.wait_recv_raw(id);
+            }
+        } else {
+            let key = Self::skey(comm.id, seq, comm.rank() as u32);
+            self.plumb_send(comm, root, bytes, key);
+        }
+    }
+
+    fn binomial_gather(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let relative = (comm.rank() + p - root) % p;
+        let mut mask = 1usize;
+        let mut my_bytes = bytes;
+        while mask < p {
+            let round = mask.trailing_zeros();
+            if relative & mask == 0 {
+                let src_rel = relative + mask;
+                if src_rel < p {
+                    let src = (src_rel + root) % p;
+                    let st = self.plumb_recv(comm, src, Self::skey(comm.id, seq, round));
+                    my_bytes += st.bytes;
+                }
+            } else {
+                let dst = (relative - mask + root) % p;
+                self.plumb_send(comm, dst, my_bytes, Self::skey(comm.id, seq, round));
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    fn linear_scatter(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        if comm.rank() == root {
+            for s in 0..p {
+                if s != root {
+                    self.plumb_send(comm, s, bytes, Self::skey(comm.id, seq, s as u32));
+                }
+            }
+        } else {
+            let key = Self::skey(comm.id, seq, comm.rank() as u32);
+            self.plumb_recv(comm, root, key);
+        }
+    }
+
+    fn binomial_scatter(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+        let p = comm.size();
+        if p <= 1 {
+            return;
+        }
+        let relative = (comm.rank() + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                let src = (relative - mask + root) % p;
+                self.plumb_recv(comm, src, Self::skey(comm.id, seq, mask.trailing_zeros()));
+                break;
+            }
+            mask <<= 1;
+        }
+        if relative == 0 {
+            mask = 1;
+            while mask < p {
+                mask <<= 1;
+            }
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < p {
+                let dst_rel = relative + mask;
+                let subtree = mask.min(p - dst_rel);
+                let dst = (dst_rel + root) % p;
+                self.plumb_send(
+                    comm,
+                    dst,
+                    subtree * bytes,
+                    Self::skey(comm.id, seq, mask.trailing_zeros()),
+                );
+            }
+            mask >>= 1;
+        }
+    }
+}
+
+fn prev_pow2(n: usize) -> usize {
+    let mut p = 1usize;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prev_pow2_values() {
+        use super::prev_pow2;
+        assert_eq!(prev_pow2(1), 1);
+        assert_eq!(prev_pow2(2), 2);
+        assert_eq!(prev_pow2(3), 2);
+        assert_eq!(prev_pow2(64), 64);
+        assert_eq!(prev_pow2(65), 64);
+        assert_eq!(prev_pow2(529), 512);
+    }
+}

@@ -1,0 +1,185 @@
+//! Communicators.
+//!
+//! A communicator is a named, ordered group of global ranks. Its identity
+//! (`CommId`) must agree across all members without central coordination, so
+//! derived communicators get *deterministic* ids hashed from the parent id,
+//! the per-rank derivation sequence number, and (for splits) the color. Since
+//! MPI requires every member of a communicator to perform communicator
+//! operations in the same order, all members compute the same id — the same
+//! reasoning the paper uses when it replaces runtime-random `MPI_Comm`
+//! values with pool-allocated numbers.
+
+use siesta_perfmodel::noise;
+
+/// Globally unique identity of one communicator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommId(pub u64);
+
+impl CommId {
+    /// `MPI_COMM_WORLD`.
+    pub const WORLD: CommId = CommId(1);
+
+    /// Identity of a communicator derived from `self`.
+    pub fn derive(self, seq: u32, color: i64) -> CommId {
+        CommId(noise::combine(&[self.0, seq as u64, color as u64, 0x5e57a]))
+    }
+}
+
+/// An ordered process group with a shared [`CommId`].
+///
+/// `group[i]` is the global rank of communicator-local rank `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Communicator {
+    pub id: CommId,
+    pub group: Vec<usize>,
+    /// This process's rank *within* the communicator.
+    pub local_rank: usize,
+}
+
+impl Communicator {
+    /// The world communicator for a job of `nranks` processes, viewed from
+    /// global rank `me`.
+    pub fn world(nranks: usize, me: usize) -> Communicator {
+        Communicator {
+            id: CommId::WORLD,
+            group: (0..nranks).collect(),
+            local_rank: me,
+        }
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// This process's rank within the communicator.
+    pub fn rank(&self) -> usize {
+        self.local_rank
+    }
+
+    /// Global rank of communicator-local rank `local`.
+    pub fn global_of(&self, local: usize) -> usize {
+        self.group[local]
+    }
+
+    /// Communicator-local rank of a global rank, if it is a member.
+    pub fn local_of(&self, global: usize) -> Option<usize> {
+        self.group.iter().position(|&g| g == global)
+    }
+
+    /// Build the split communicator containing this process, given every
+    /// member's `(color, key)` contribution, indexed by parent-local rank.
+    /// Returns `None` when this process passed a negative color
+    /// (`MPI_UNDEFINED`).
+    pub fn split_from(
+        &self,
+        contributions: &[(i64, i64)],
+        seq: u32,
+        my_global: usize,
+    ) -> Option<Communicator> {
+        assert_eq!(contributions.len(), self.size());
+        let my_color = contributions[self.local_rank].0;
+        if my_color < 0 {
+            return None;
+        }
+        // Members of my color, ordered by (key, parent rank) per MPI semantics.
+        let mut members: Vec<(i64, usize, usize)> = contributions
+            .iter()
+            .enumerate()
+            .filter(|(_, (c, _))| *c == my_color)
+            .map(|(local, (_, k))| (*k, local, self.group[local]))
+            .collect();
+        members.sort();
+        let group: Vec<usize> = members.iter().map(|&(_, _, g)| g).collect();
+        let local_rank = group
+            .iter()
+            .position(|&g| g == my_global)
+            .expect("split member must contain the caller");
+        Some(Communicator {
+            id: self.id.derive(seq, my_color),
+            group,
+            local_rank,
+        })
+    }
+
+    /// Build the duplicate of this communicator (same group, fresh id).
+    pub fn dup_from(&self, seq: u32) -> Communicator {
+        Communicator {
+            id: self.id.derive(seq, -1),
+            group: self.group.clone(),
+            local_rank: self.local_rank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_layout() {
+        let c = Communicator::world(8, 3);
+        assert_eq!(c.size(), 8);
+        assert_eq!(c.rank(), 3);
+        assert_eq!(c.global_of(5), 5);
+        assert_eq!(c.local_of(7), Some(7));
+        assert_eq!(c.local_of(9), None);
+        assert_eq!(c.id, CommId::WORLD);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let a = CommId::WORLD.derive(0, 0);
+        let b = CommId::WORLD.derive(0, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, CommId::WORLD.derive(0, 1));
+        assert_ne!(a, CommId::WORLD.derive(1, 0));
+        assert_ne!(a, CommId::WORLD);
+    }
+
+    #[test]
+    fn split_groups_by_color_sorted_by_key() {
+        // 6 ranks; even ranks color 0, odd ranks color 1; key reverses order.
+        let parent = Communicator::world(6, 4);
+        let contributions: Vec<(i64, i64)> =
+            (0..6).map(|r| ((r % 2) as i64, -(r as i64))).collect();
+        let c = parent.split_from(&contributions, 0, 4).unwrap();
+        // Color 0 members are globals {0,2,4}; key = -rank reverses: [4,2,0].
+        assert_eq!(c.group, vec![4, 2, 0]);
+        assert_eq!(c.rank(), 0);
+        // Same call from rank 2's perspective yields the same id and group.
+        let parent2 = Communicator::world(6, 2);
+        let c2 = parent2.split_from(&contributions, 0, 2).unwrap();
+        assert_eq!(c2.id, c.id);
+        assert_eq!(c2.group, c.group);
+        assert_eq!(c2.rank(), 1);
+    }
+
+    #[test]
+    fn split_with_negative_color_returns_none() {
+        let parent = Communicator::world(4, 1);
+        let contributions = vec![(0, 0), (-1, 0), (0, 0), (0, 0)];
+        assert!(parent.split_from(&contributions, 0, 1).is_none());
+    }
+
+    #[test]
+    fn split_ids_differ_across_colors_and_seqs() {
+        let parent = Communicator::world(4, 0);
+        let contributions = vec![(0, 0), (1, 0), (0, 0), (1, 0)];
+        let c0 = parent.split_from(&contributions, 0, 0).unwrap();
+        let parent1 = Communicator::world(4, 1);
+        let c1 = parent1.split_from(&contributions, 0, 1).unwrap();
+        assert_ne!(c0.id, c1.id);
+        let c0_again = parent.split_from(&contributions, 1, 0).unwrap();
+        assert_ne!(c0.id, c0_again.id);
+    }
+
+    #[test]
+    fn dup_keeps_group_changes_id() {
+        let parent = Communicator::world(5, 2);
+        let d = parent.dup_from(3);
+        assert_eq!(d.group, parent.group);
+        assert_eq!(d.rank(), 2);
+        assert_ne!(d.id, parent.id);
+    }
+}

@@ -1,0 +1,196 @@
+//! PMPI-style interposition.
+//!
+//! Real Siesta builds on mpiP, which builds on PMPI: every `MPI_Xxx` call is
+//! wrapped so profiling code runs before and after `PMPI_Xxx`. Here the
+//! runtime plays the MPI library and a [`PmpiHook`] plays the interposer:
+//! the runtime invokes `pre`/`post` around every application-level MPI call
+//! with a complete call record. The hook also declares its per-call cost,
+//! which the runtime charges to the rank's virtual clock — that is how the
+//! Table 3 "overhead" column is reproduced.
+
+use siesta_perfmodel::CounterVec;
+
+use crate::comm::CommId;
+use crate::message::Tag;
+
+/// A fully-parameterized MPI call, as a PMPI wrapper would observe it.
+///
+/// Ranks in the records are **communicator-local** (what the application
+/// passes), matching what a real tracer sees. Request ids are the runtime's
+/// raw slot numbers — allocation-history-dependent, like real handles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpiCall {
+    Send { comm: CommId, dest: usize, tag: Tag, bytes: usize },
+    Recv { comm: CommId, src: usize, tag: Tag, bytes: usize },
+    Isend { comm: CommId, dest: usize, tag: Tag, bytes: usize, req: usize },
+    Irecv { comm: CommId, src: usize, tag: Tag, bytes: usize, req: usize },
+    Wait { req: usize },
+    Waitall { reqs: Vec<usize> },
+    Sendrecv {
+        comm: CommId,
+        dest: usize,
+        send_tag: Tag,
+        send_bytes: usize,
+        src: usize,
+        recv_tag: Tag,
+        recv_bytes: usize,
+    },
+    Barrier { comm: CommId },
+    Bcast { comm: CommId, root: usize, bytes: usize },
+    Reduce { comm: CommId, root: usize, bytes: usize },
+    Allreduce { comm: CommId, bytes: usize },
+    Allgather { comm: CommId, bytes: usize },
+    Alltoall { comm: CommId, bytes_per_peer: usize },
+    Alltoallv { comm: CommId, send_counts: Vec<usize>, recv_counts: Vec<usize> },
+    Gather { comm: CommId, root: usize, bytes: usize },
+    Scatter { comm: CommId, root: usize, bytes: usize },
+    Gatherv { comm: CommId, root: usize, counts: Vec<usize> },
+    Scatterv { comm: CommId, root: usize, counts: Vec<usize> },
+    Scan { comm: CommId, bytes: usize },
+    ReduceScatterBlock { comm: CommId, bytes_per_rank: usize },
+    /// `result` is `None` in the `pre` hook and the created communicator
+    /// (or `None` for `MPI_UNDEFINED` colors) in the `post` hook.
+    CommSplit { parent: CommId, color: i64, key: i64, result: Option<CommId> },
+    CommDup { parent: CommId, result: Option<CommId> },
+    CommFree { comm: CommId },
+}
+
+impl MpiCall {
+    /// MPI function name, as it would appear in a textual trace.
+    pub fn func_name(&self) -> &'static str {
+        match self {
+            MpiCall::Send { .. } => "MPI_Send",
+            MpiCall::Recv { .. } => "MPI_Recv",
+            MpiCall::Isend { .. } => "MPI_Isend",
+            MpiCall::Irecv { .. } => "MPI_Irecv",
+            MpiCall::Wait { .. } => "MPI_Wait",
+            MpiCall::Waitall { .. } => "MPI_Waitall",
+            MpiCall::Sendrecv { .. } => "MPI_Sendrecv",
+            MpiCall::Barrier { .. } => "MPI_Barrier",
+            MpiCall::Bcast { .. } => "MPI_Bcast",
+            MpiCall::Reduce { .. } => "MPI_Reduce",
+            MpiCall::Allreduce { .. } => "MPI_Allreduce",
+            MpiCall::Allgather { .. } => "MPI_Allgather",
+            MpiCall::Alltoall { .. } => "MPI_Alltoall",
+            MpiCall::Alltoallv { .. } => "MPI_Alltoallv",
+            MpiCall::Gather { .. } => "MPI_Gather",
+            MpiCall::Scatter { .. } => "MPI_Scatter",
+            MpiCall::Gatherv { .. } => "MPI_Gatherv",
+            MpiCall::Scatterv { .. } => "MPI_Scatterv",
+            MpiCall::Scan { .. } => "MPI_Scan",
+            MpiCall::ReduceScatterBlock { .. } => "MPI_Reduce_scatter_block",
+            MpiCall::CommSplit { .. } => "MPI_Comm_split",
+            MpiCall::CommDup { .. } => "MPI_Comm_dup",
+            MpiCall::CommFree { .. } => "MPI_Comm_free",
+        }
+    }
+
+    /// Application payload bytes moved by this single call (sends count
+    /// outgoing volume; collectives count this rank's contribution).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            MpiCall::Send { bytes, .. }
+            | MpiCall::Isend { bytes, .. }
+            | MpiCall::Recv { bytes, .. }
+            | MpiCall::Irecv { bytes, .. }
+            | MpiCall::Bcast { bytes, .. }
+            | MpiCall::Reduce { bytes, .. }
+            | MpiCall::Allreduce { bytes, .. }
+            | MpiCall::Allgather { bytes, .. }
+            | MpiCall::Gather { bytes, .. }
+            | MpiCall::Scatter { bytes, .. } => *bytes,
+            MpiCall::Sendrecv { send_bytes, recv_bytes, .. } => send_bytes + recv_bytes,
+            MpiCall::Alltoall { bytes_per_peer, .. } => *bytes_per_peer,
+            MpiCall::Alltoallv { send_counts, .. } => send_counts.iter().sum(),
+            MpiCall::Gatherv { counts, .. } | MpiCall::Scatterv { counts, .. } => {
+                counts.iter().sum()
+            }
+            MpiCall::Scan { bytes, .. } => *bytes,
+            MpiCall::ReduceScatterBlock { bytes_per_rank, .. } => *bytes_per_rank,
+            _ => 0,
+        }
+    }
+}
+
+/// Execution context handed to hooks alongside the call record.
+#[derive(Debug, Clone, Copy)]
+pub struct HookCtx {
+    /// Global rank of the calling process.
+    pub rank: usize,
+    /// Virtual clock at the hook invocation, nanoseconds.
+    pub clock_ns: f64,
+    /// Cumulative *computation* counters of this rank (advanced only by
+    /// `Rank::compute`, never by MPI-internal work — this is what a PAPI
+    /// read between MPI calls observes).
+    pub counters: CounterVec,
+    /// This process's rank within the call's communicator (what a tracer
+    /// gets from `MPI_Comm_rank` on the handle). Equals the global rank for
+    /// calls without a communicator argument (`MPI_Wait`, ...).
+    pub comm_rank: usize,
+    /// Size of the call's communicator; world size for comm-less calls.
+    pub comm_size: usize,
+}
+
+/// A PMPI interposer.
+///
+/// Implementations are shared across all rank threads; use per-rank interior
+/// mutability (e.g. a `Vec<Mutex<_>>` indexed by rank) for trace state.
+pub trait PmpiHook: Send + Sync {
+    /// Invoked before the MPI operation starts.
+    fn pre(&self, ctx: &HookCtx, call: &MpiCall);
+    /// Invoked after the MPI operation completes (clock reflects completion).
+    fn post(&self, ctx: &HookCtx, call: &MpiCall);
+    /// Virtual nanoseconds of tracer work to charge per hooked call (split
+    /// across pre+post). Models the instrumentation overhead of Table 3.
+    fn overhead_ns(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A hook that does nothing (the un-instrumented run).
+pub struct NullHook;
+
+impl PmpiHook for NullHook {
+    fn pre(&self, _: &HookCtx, _: &MpiCall) {}
+    fn post(&self, _: &HookCtx, _: &MpiCall) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_names() {
+        let c = MpiCall::Send { comm: CommId::WORLD, dest: 1, tag: 0, bytes: 8 };
+        assert_eq!(c.func_name(), "MPI_Send");
+        let b = MpiCall::Barrier { comm: CommId::WORLD };
+        assert_eq!(b.func_name(), "MPI_Barrier");
+    }
+
+    #[test]
+    fn payload_accounting() {
+        assert_eq!(
+            MpiCall::Alltoallv {
+                comm: CommId::WORLD,
+                send_counts: vec![1, 2, 3],
+                recv_counts: vec![3, 2, 1],
+            }
+            .payload_bytes(),
+            6
+        );
+        assert_eq!(
+            MpiCall::Sendrecv {
+                comm: CommId::WORLD,
+                dest: 0,
+                send_tag: 0,
+                send_bytes: 10,
+                src: 0,
+                recv_tag: 0,
+                recv_bytes: 20,
+            }
+            .payload_bytes(),
+            30
+        );
+        assert_eq!(MpiCall::Wait { req: 0 }.payload_bytes(), 0);
+    }
+}

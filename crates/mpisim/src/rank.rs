@@ -1,0 +1,691 @@
+//! The per-process MPI handle: point-to-point operations, computation,
+//! communicator management, and the virtual clock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use siesta_perfmodel::net::Protocol;
+use siesta_perfmodel::{CounterVec, KernelDesc, Machine};
+
+use crate::comm::{CommId, Communicator};
+use crate::engine::{Completion, Engine};
+use crate::hook::{HookCtx, MpiCall, PmpiHook};
+use crate::message::{Channel, Envelope, MatchKey, RecvStatus, Tag, WireProtocol};
+use crate::request::{ReqState, Request, RequestTable};
+use crate::world::RankStats;
+
+/// State shared by every rank of one world run.
+pub(crate) struct Shared {
+    pub engine: Engine,
+    pub hook: Option<Arc<dyn PmpiHook>>,
+    pub splits: SplitRegistry,
+    pub seed: u64,
+    pub nranks: usize,
+}
+
+/// Rendezvous point for `MPI_Comm_split` contributions. Data moves through
+/// this registry; *time* is charged by an allgather-shaped cost model over
+/// the contributors' entry clocks, so the result is still a pure function of
+/// virtual timestamps.
+pub(crate) struct SplitRegistry {
+    inner: Mutex<HashMap<(u64, u32), SplitSlot>>,
+    cv: Condvar,
+}
+
+struct SplitSlot {
+    contributions: Vec<Option<(i64, i64, f64)>>,
+    filled: usize,
+    readers: usize,
+}
+
+impl SplitRegistry {
+    pub fn new() -> SplitRegistry {
+        SplitRegistry { inner: Mutex::new(HashMap::new()), cv: Condvar::new() }
+    }
+
+    /// Deposit this rank's `(color, key, entry_clock)` and block until every
+    /// member of the parent communicator has done the same. Returns all
+    /// contributions indexed by parent-local rank.
+    fn exchange(
+        &self,
+        slot_key: (u64, u32),
+        local_rank: usize,
+        size: usize,
+        value: (i64, i64, f64),
+    ) -> Vec<(i64, i64, f64)> {
+        let mut map = self.inner.lock();
+        let slot = map.entry(slot_key).or_insert_with(|| SplitSlot {
+            contributions: vec![None; size],
+            filled: 0,
+            readers: 0,
+        });
+        assert!(
+            slot.contributions[local_rank].is_none(),
+            "rank {local_rank} contributed twice to the same split"
+        );
+        slot.contributions[local_rank] = Some(value);
+        slot.filled += 1;
+        if slot.filled == size {
+            self.cv.notify_all();
+        }
+        loop {
+            let slot = map.get_mut(&slot_key).expect("slot present until last reader");
+            if slot.filled == size {
+                let out: Vec<(i64, i64, f64)> =
+                    slot.contributions.iter().map(|c| c.expect("filled")).collect();
+                slot.readers += 1;
+                if slot.readers == size {
+                    map.remove(&slot_key);
+                }
+                return out;
+            }
+            self.cv.wait(&mut map);
+        }
+    }
+}
+
+/// One MPI process within a running [`crate::World`].
+///
+/// All methods mirror their MPI namesakes; ranks and tags follow MPI
+/// conventions (communicator-local ranks, non-negative application tags).
+pub struct Rank<'w> {
+    pub(crate) shared: &'w Shared,
+    pub(crate) rank: usize,
+    pub(crate) clock: f64,
+    pub(crate) counters: CounterVec,
+    pub(crate) requests: RequestTable,
+    /// Per-communicator derivation counters (split/dup ids).
+    pub(crate) derive_seq: HashMap<u64, u32>,
+    /// Per-communicator collective sequence numbers (plumbing keys).
+    pub(crate) coll_seq: HashMap<u64, u32>,
+    pub(crate) compute_ns: f64,
+    pub(crate) mpi_ns: f64,
+    pub(crate) app_calls: u64,
+    pub(crate) bytes_sent: u64,
+    pub(crate) compute_events: u64,
+    pub(crate) event_seq: u64,
+}
+
+impl<'w> Rank<'w> {
+    pub(crate) fn new(shared: &'w Shared, rank: usize) -> Rank<'w> {
+        Rank {
+            shared,
+            rank,
+            clock: 0.0,
+            counters: CounterVec::ZERO,
+            requests: RequestTable::new(),
+            derive_seq: HashMap::new(),
+            coll_seq: HashMap::new(),
+            compute_ns: 0.0,
+            mpi_ns: 0.0,
+            app_calls: 0,
+            bytes_sent: 0,
+            compute_events: 0,
+            event_seq: 0,
+        }
+    }
+
+    /// Global rank of this process.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total processes in the world.
+    pub fn nranks(&self) -> usize {
+        self.shared.nranks
+    }
+
+    /// The world communicator.
+    pub fn comm_world(&self) -> Communicator {
+        Communicator::world(self.shared.nranks, self.rank)
+    }
+
+    /// Current virtual time in nanoseconds (`MPI_Wtime` analogue).
+    pub fn wtime(&self) -> f64 {
+        self.clock
+    }
+
+    /// Cumulative computation counters (what PAPI would report).
+    pub fn counters(&self) -> CounterVec {
+        self.counters
+    }
+
+    /// The execution environment.
+    pub fn machine(&self) -> &Machine {
+        self.shared.engine.machine()
+    }
+
+    /// Number of live non-blocking requests (diagnostics; a correct program
+    /// ends with zero).
+    pub fn outstanding_requests(&self) -> usize {
+        self.requests.outstanding()
+    }
+
+    // ------------------------------------------------------------------
+    // Computation
+    // ------------------------------------------------------------------
+
+    /// Execute application computation: advances the virtual clock and the
+    /// computation counters through the platform's CPU model (with
+    /// deterministic measurement noise). Not an MPI call; not hooked.
+    pub fn compute(&mut self, kernel: &KernelDesc) {
+        let seed = siesta_perfmodel::noise::combine(&[
+            self.shared.seed,
+            self.rank as u64,
+            self.event_seq,
+        ]);
+        self.event_seq += 1;
+        let c = self.machine().cpu().counters_noisy(kernel, seed);
+        let dt = self.machine().cpu().time_ns(&c);
+        self.counters += c;
+        self.clock += dt;
+        self.compute_ns += dt;
+        self.compute_events += 1;
+    }
+
+    /// Execute computation specified directly as a counter vector (used by
+    /// proxy replay, where the work is a sum of block signatures rather
+    /// than a single kernel). Observed with measurement noise like
+    /// [`Rank::compute`]; not an MPI call; not hooked.
+    pub fn compute_counters(&mut self, exact: &CounterVec) {
+        let seed = siesta_perfmodel::noise::combine(&[
+            self.shared.seed ^ 0xC0DE,
+            self.rank as u64,
+            self.event_seq,
+        ]);
+        self.event_seq += 1;
+        let c = self.machine().cpu().observe(exact, seed);
+        let dt = self.machine().cpu().time_ns(&c);
+        self.counters += c;
+        self.clock += dt;
+        self.compute_ns += dt;
+        self.compute_events += 1;
+    }
+
+    /// Advance the virtual clock by a fixed interval without touching the
+    /// counters — the "sleep" primitive that time-interval replay tools
+    /// (ScalaBench and friends) use in place of real computation.
+    pub fn sleep_ns(&mut self, ns: f64) {
+        if ns > 0.0 {
+            self.clock += ns;
+            self.compute_ns += ns;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Blocking standard-mode send (`MPI_Send`).
+    pub fn send(&mut self, comm: &Communicator, dest: usize, tag: Tag, bytes: usize) {
+        let call = MpiCall::Send { comm: comm.id, dest, tag, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.p2p_send_blocking(
+            comm.global_of(dest),
+            comm.rank(),
+            comm.id,
+            Channel::App { tag },
+            bytes,
+        );
+        self.account_mpi(t0, bytes);
+        self.hook_post_c(&call, comm);
+    }
+
+    /// Blocking receive (`MPI_Recv`). `bytes` is the receive buffer size;
+    /// the returned status reports the actual message size.
+    pub fn recv(&mut self, comm: &Communicator, src: usize, tag: Tag, bytes: usize) -> RecvStatus {
+        let call = MpiCall::Recv { comm: comm.id, src, tag, bytes };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        let id = self.post_recv_raw(comm.global_of(src), comm.id, Channel::App { tag });
+        let c = self.shared.engine.wait(self.rank, id);
+        let status = self.finish_recv(&c);
+        self.account_mpi(t0, 0);
+        self.hook_post_c(&call, comm);
+        status
+    }
+
+    /// Non-blocking send (`MPI_Isend`).
+    pub fn isend(&mut self, comm: &Communicator, dest: usize, tag: Tag, bytes: usize) -> Request {
+        let (state, clock_advance) = self.p2p_isend_state(
+            comm.global_of(dest),
+            comm.rank(),
+            comm.id,
+            Channel::App { tag },
+            bytes,
+        );
+        let req = self.requests.alloc(state, tag);
+        let call = MpiCall::Isend { comm: comm.id, dest, tag, bytes, req: req.0 };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        self.clock += clock_advance;
+        self.account_mpi(t0, bytes);
+        self.hook_post_c(&call, comm);
+        req
+    }
+
+    /// Non-blocking receive (`MPI_Irecv`).
+    pub fn irecv(&mut self, comm: &Communicator, src: usize, tag: Tag, bytes: usize) -> Request {
+        // Post first so the request id in the call record is real.
+         
+        let id = self.post_recv_raw(comm.global_of(src), comm.id, Channel::App { tag });
+        let req = self.requests.alloc(ReqState::RecvPending { recv_id: id }, tag);
+        let call = MpiCall::Irecv { comm: comm.id, src, tag, bytes, req: req.0 };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        // Posting a receive costs a fraction of the receive overhead.
+        self.clock += self.machine().net.recv_overhead_ns * 0.25;
+        self.account_mpi(t0, 0);
+        self.hook_post_c(&call, comm);
+        req
+    }
+
+    /// Block until a request completes (`MPI_Wait`).
+    pub fn wait(&mut self, req: Request) -> RecvStatus {
+        let call = MpiCall::Wait { req: req.0 };
+        self.hook_pre(&call);
+        let t0 = self.clock;
+        let status = self.complete_request(req);
+        self.account_mpi(t0, 0);
+        self.hook_post(&call);
+        status
+    }
+
+    /// Block until all requests complete (`MPI_Waitall`).
+    pub fn waitall(&mut self, reqs: &[Request]) -> Vec<RecvStatus> {
+        let call = MpiCall::Waitall { reqs: reqs.iter().map(|r| r.0).collect() };
+        self.hook_pre(&call);
+        let t0 = self.clock;
+        let statuses: Vec<RecvStatus> =
+            reqs.iter().map(|r| self.complete_request(*r)).collect();
+        self.account_mpi(t0, 0);
+        self.hook_post(&call);
+        statuses
+    }
+
+    /// Non-blocking completion test (`MPI_Test`). Completes and consumes
+    /// the request on success.
+    pub fn test(&mut self, req: Request) -> Option<RecvStatus> {
+        let ready = match self.requests.get(req) {
+            Some(ReqState::RecvPending { recv_id, .. }) => {
+                let recv_id = *recv_id;
+                if let Some(c) = self.shared.engine.test(self.rank, recv_id) {
+                    let status = self.finish_recv(&c);
+                    Some(status)
+                } else {
+                    None
+                }
+            }
+            Some(ReqState::SendDone { done }) => {
+                let done = *done;
+                self.clock = self.clock.max(done);
+                Some(self.dummy_send_status())
+            }
+            Some(ReqState::SendRendezvous { ack }) => match ack.try_recv() {
+                Ok(done) => {
+                    self.clock = self.clock.max(done);
+                    Some(self.dummy_send_status())
+                }
+                Err(_) => None,
+            },
+            None => panic!("test on inactive request"),
+        };
+        // Polling costs a little software time either way.
+        self.clock += self.machine().net.recv_overhead_ns * 0.1;
+        if ready.is_some() {
+            // Consume the slot; state was already acted upon above.
+            let _ = self.requests.take(req);
+        }
+        ready
+    }
+
+    /// Combined blocking exchange (`MPI_Sendrecv`), deadlock-free under
+    /// rendezvous because the receive is posted before the send blocks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        comm: &Communicator,
+        dest: usize,
+        send_tag: Tag,
+        send_bytes: usize,
+        src: usize,
+        recv_tag: Tag,
+        recv_bytes: usize,
+    ) -> RecvStatus {
+        let call = MpiCall::Sendrecv {
+            comm: comm.id,
+            dest,
+            send_tag,
+            send_bytes,
+            src,
+            recv_tag,
+            recv_bytes,
+        };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        let id = self.post_recv_raw(comm.global_of(src), comm.id, Channel::App { tag: recv_tag });
+        self.p2p_send_blocking(
+            comm.global_of(dest),
+            comm.rank(),
+            comm.id,
+            Channel::App { tag: send_tag },
+            send_bytes,
+        );
+        let c = self.shared.engine.wait(self.rank, id);
+        let status = self.finish_recv(&c);
+        self.account_mpi(t0, send_bytes);
+        self.hook_post_c(&call, comm);
+        status
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator management
+    // ------------------------------------------------------------------
+
+    /// `MPI_Comm_split`: collective over `comm`; returns the new
+    /// communicator containing this process, or `None` for negative colors.
+    pub fn comm_split(
+        &mut self,
+        comm: &Communicator,
+        color: i64,
+        key: i64,
+    ) -> Option<Communicator> {
+        let mut call = MpiCall::CommSplit { parent: comm.id, color, key, result: None };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        let seq = self.next_derive_seq(comm.id);
+        let contributions = self.shared.splits.exchange(
+            (comm.id.0, seq),
+            comm.rank(),
+            comm.size(),
+            (color, key, self.clock),
+        );
+        // Allgather-shaped completion: everyone leaves at the same time.
+        let t_all = contributions.iter().map(|c| c.2).fold(0.0f64, f64::max);
+        let net = &self.machine().net;
+        let p = comm.size();
+        let span_nodes = !self
+            .machine()
+            .platform
+            .same_node(*comm.group.first().unwrap(), *comm.group.last().unwrap());
+        let rounds = (p as f64).log2().ceil().max(1.0);
+        let cost = net.collective_overhead_ns
+            + rounds * net.latency(!span_nodes)
+            + (p * 16) as f64 / net.bandwidth(!span_nodes);
+        self.clock = self.clock.max(t_all + cost);
+        let pairs: Vec<(i64, i64)> = contributions.iter().map(|c| (c.0, c.1)).collect();
+        let result = comm.split_from(&pairs, seq, self.rank);
+        if let MpiCall::CommSplit { result: r, .. } = &mut call {
+            *r = result.as_ref().map(|c| c.id);
+        }
+        self.account_mpi(t0, 0);
+        self.hook_post_c(&call, comm);
+        result
+    }
+
+    /// `MPI_Comm_dup`: collective duplicate of `comm`.
+    pub fn comm_dup(&mut self, comm: &Communicator) -> Communicator {
+        let mut call = MpiCall::CommDup { parent: comm.id, result: None };
+        self.hook_pre_c(&call, comm);
+        let t0 = self.clock;
+        let seq = self.next_derive_seq(comm.id);
+        self.plumbing_barrier(comm);
+        let result = comm.dup_from(seq);
+        if let MpiCall::CommDup { result: r, .. } = &mut call {
+            *r = Some(result.id);
+        }
+        self.account_mpi(t0, 0);
+        self.hook_post_c(&call, comm);
+        result
+    }
+
+    /// `MPI_Comm_free`: local bookkeeping only.
+    pub fn comm_free(&mut self, comm: Communicator) {
+        let call = MpiCall::CommFree { comm: comm.id };
+        self.hook_pre_c(&call, &comm);
+        let t0 = self.clock;
+        self.clock += self.machine().net.collective_overhead_ns * 0.1;
+        self.account_mpi(t0, 0);
+        self.hook_post_c(&call, &comm);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared with the collectives module
+    // ------------------------------------------------------------------
+
+    pub(crate) fn hook_pre(&mut self, call: &MpiCall) {
+        self.hook_pre_raw(call, self.rank, self.shared.nranks);
+    }
+
+    pub(crate) fn hook_post(&mut self, call: &MpiCall) {
+        self.hook_post_raw(call, self.rank, self.shared.nranks);
+    }
+
+    pub(crate) fn hook_pre_c(&mut self, call: &MpiCall, comm: &Communicator) {
+        self.hook_pre_raw(call, comm.rank(), comm.size());
+    }
+
+    pub(crate) fn hook_post_c(&mut self, call: &MpiCall, comm: &Communicator) {
+        self.hook_post_raw(call, comm.rank(), comm.size());
+    }
+
+    fn hook_pre_raw(&mut self, call: &MpiCall, comm_rank: usize, comm_size: usize) {
+        if let Some(hook) = &self.shared.hook {
+            let ctx = HookCtx {
+                rank: self.rank,
+                clock_ns: self.clock,
+                counters: self.counters,
+                comm_rank,
+                comm_size,
+            };
+            hook.pre(&ctx, call);
+            self.clock += hook.overhead_ns() * 0.5;
+        }
+    }
+
+    fn hook_post_raw(&mut self, call: &MpiCall, comm_rank: usize, comm_size: usize) {
+        if let Some(hook) = &self.shared.hook {
+            let ctx = HookCtx {
+                rank: self.rank,
+                clock_ns: self.clock,
+                counters: self.counters,
+                comm_rank,
+                comm_size,
+            };
+            hook.post(&ctx, call);
+            self.clock += hook.overhead_ns() * 0.5;
+        }
+    }
+
+    pub(crate) fn account_mpi(&mut self, t0: f64, sent_bytes: usize) {
+        self.mpi_ns += self.clock - t0;
+        self.app_calls += 1;
+        self.bytes_sent += sent_bytes as u64;
+    }
+
+    fn next_derive_seq(&mut self, comm: CommId) -> u32 {
+        let seq = self.derive_seq.entry(comm.0).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        s
+    }
+
+    pub(crate) fn next_coll_seq(&mut self, comm: CommId) -> u32 {
+        let seq = self.coll_seq.entry(comm.0).or_insert(0);
+        let s = *seq;
+        *seq += 1;
+        s
+    }
+
+    /// Post a receive in the matching engine (no clock change).
+    pub(crate) fn post_recv_raw(
+        &mut self,
+        src_global: usize,
+        comm: CommId,
+        channel: Channel,
+    ) -> u64 {
+        let key = MatchKey { src_global, comm, channel };
+        self.shared.engine.post_recv(self.rank, key, self.clock)
+    }
+
+    /// Apply receiver-side completion: advance the clock past data arrival
+    /// plus receive overhead, and build the status.
+    pub(crate) fn finish_recv(&mut self, c: &Completion) -> RecvStatus {
+        let done = c.data_avail + self.machine().net.recv_overhead_ns;
+        self.clock = self.clock.max(done);
+        RecvStatus {
+            source: c.src_comm_rank,
+            tag: match c.channel {
+                Channel::App { tag } => tag,
+                Channel::Sys { .. } => -2,
+            },
+            bytes: c.bytes,
+            complete_at: self.clock,
+        }
+    }
+
+    /// Wait for an engine receive and apply completion.
+    pub(crate) fn wait_recv_raw(&mut self, recv_id: u64) -> RecvStatus {
+        let c = self.shared.engine.wait(self.rank, recv_id);
+        self.finish_recv(&c)
+    }
+
+    /// Blocking send through the wire model (shared by app ops and
+    /// collective plumbing).
+    pub(crate) fn p2p_send_blocking(
+        &mut self,
+        dst_global: usize,
+        src_comm_rank: usize,
+        comm: CommId,
+        channel: Channel,
+        bytes: usize,
+    ) {
+        let machine = *self.machine();
+        let net = machine.net;
+        let same = machine.platform.same_node(self.rank, dst_global);
+        match net.protocol(bytes) {
+            Protocol::Eager => {
+                let avail = self.clock + net.send_overhead_ns + net.transfer_ns(bytes, same);
+                self.shared.engine.send(
+                    dst_global,
+                    Envelope {
+                        src_global: self.rank,
+                        src_comm_rank,
+                        comm,
+                        channel,
+                        bytes,
+                        protocol: WireProtocol::Eager { avail },
+                        ack: None,
+                    },
+                );
+                // Sender is busy for the software overhead plus the local
+                // buffer copy.
+                self.clock += net.send_overhead_ns + bytes as f64 / net.shm_bandwidth_bpns;
+            }
+            Protocol::Rendezvous => {
+                let rts_avail = self.clock + net.send_overhead_ns + net.latency(same);
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                self.shared.engine.send(
+                    dst_global,
+                    Envelope {
+                        src_global: self.rank,
+                        src_comm_rank,
+                        comm,
+                        channel,
+                        bytes,
+                        protocol: WireProtocol::Rendezvous { rts_avail },
+                        ack: Some(tx),
+                    },
+                );
+                let sender_done = rx.recv().expect("receiver matches rendezvous send");
+                self.clock = (self.clock + net.send_overhead_ns).max(sender_done);
+            }
+        }
+    }
+
+    /// Build the request state for a non-blocking send, plus the immediate
+    /// clock advance it costs the caller.
+    fn p2p_isend_state(
+        &mut self,
+        dst_global: usize,
+        src_comm_rank: usize,
+        comm: CommId,
+        channel: Channel,
+        bytes: usize,
+    ) -> (ReqState, f64) {
+        let machine = *self.machine();
+        let net = machine.net;
+        let same = machine.platform.same_node(self.rank, dst_global);
+        match net.protocol(bytes) {
+            Protocol::Eager => {
+                let avail = self.clock + net.send_overhead_ns + net.transfer_ns(bytes, same);
+                self.shared.engine.send(
+                    dst_global,
+                    Envelope {
+                        src_global: self.rank,
+                        src_comm_rank,
+                        comm,
+                        channel,
+                        bytes,
+                        protocol: WireProtocol::Eager { avail },
+                        ack: None,
+                    },
+                );
+                let advance = net.send_overhead_ns + bytes as f64 / net.shm_bandwidth_bpns;
+                (ReqState::SendDone { done: self.clock + advance }, advance)
+            }
+            Protocol::Rendezvous => {
+                let rts_avail = self.clock + net.send_overhead_ns + net.latency(same);
+                let (tx, rx) = crossbeam::channel::bounded(1);
+                self.shared.engine.send(
+                    dst_global,
+                    Envelope {
+                        src_global: self.rank,
+                        src_comm_rank,
+                        comm,
+                        channel,
+                        bytes,
+                        protocol: WireProtocol::Rendezvous { rts_avail },
+                        ack: Some(tx),
+                    },
+                );
+                (ReqState::SendRendezvous { ack: rx }, net.send_overhead_ns)
+            }
+        }
+    }
+
+    fn complete_request(&mut self, req: Request) -> RecvStatus {
+        let (state, _tag) = self.requests.take(req);
+        match state {
+            ReqState::RecvPending { recv_id, .. } => self.wait_recv_raw(recv_id),
+            ReqState::SendDone { done } => {
+                self.clock = self.clock.max(done);
+                self.dummy_send_status()
+            }
+            ReqState::SendRendezvous { ack } => {
+                let done = ack.recv().expect("receiver matches rendezvous send");
+                self.clock = self.clock.max(done);
+                self.dummy_send_status()
+            }
+        }
+    }
+
+    fn dummy_send_status(&self) -> RecvStatus {
+        RecvStatus { source: self.rank, tag: -3, bytes: 0, complete_at: self.clock }
+    }
+
+    pub(crate) fn into_stats(self) -> RankStats {
+        RankStats {
+            rank: self.rank,
+            finish_ns: self.clock,
+            counters: self.counters,
+            compute_ns: self.compute_ns,
+            mpi_ns: self.mpi_ns,
+            app_calls: self.app_calls,
+            bytes_sent: self.bytes_sent,
+            compute_events: self.compute_events,
+        }
+    }
+}

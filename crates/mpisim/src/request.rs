@@ -1,0 +1,112 @@
+//! Non-blocking operation requests.
+//!
+//! Request slots are recycled through a free list, so — like real
+//! `MPI_Request` values — the integer a program observes for a given logical
+//! request depends on allocation history. This is exactly the behaviour the
+//! paper's free-number pool normalizes away on the tracing side.
+
+use crossbeam::channel::Receiver;
+
+use crate::message::Tag;
+
+/// Handle to an outstanding non-blocking operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request(pub usize);
+
+#[derive(Debug)]
+pub(crate) enum ReqState {
+    /// Posted receive waiting in the engine.
+    RecvPending { recv_id: u64 },
+    /// Eager send: completed locally at a known virtual time.
+    SendDone { done: f64 },
+    /// Rendezvous send: completion time arrives on this channel when the
+    /// receiver matches.
+    SendRendezvous { ack: Receiver<f64> },
+}
+
+/// What kind of call produced a request — used by `MpiCall` records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    Send,
+    Recv,
+}
+
+pub(crate) struct RequestTable {
+    slots: Vec<Option<ReqState>>,
+    free: Vec<usize>,
+    /// Tag originally posted, for status reporting on receives.
+    tags: Vec<Tag>,
+}
+
+impl RequestTable {
+    pub fn new() -> RequestTable {
+        RequestTable { slots: Vec::new(), free: Vec::new(), tags: Vec::new() }
+    }
+
+    pub fn alloc(&mut self, state: ReqState, tag: Tag) -> Request {
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx] = Some(state);
+            self.tags[idx] = tag;
+            Request(idx)
+        } else {
+            self.slots.push(Some(state));
+            self.tags.push(tag);
+            Request(self.slots.len() - 1)
+        }
+    }
+
+    /// Take the state out, releasing the slot for reuse.
+    pub fn take(&mut self, req: Request) -> (ReqState, Tag) {
+        let state = self.slots[req.0]
+            .take()
+            .expect("request already completed or never allocated");
+        self.free.push(req.0);
+        (state, self.tags[req.0])
+    }
+
+    /// Peek without consuming (for `test`).
+    pub fn get(&self, req: Request) -> Option<&ReqState> {
+        self.slots.get(req.0).and_then(|s| s.as_ref())
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_recycled_lifo() {
+        let mut t = RequestTable::new();
+        let a = t.alloc(ReqState::SendDone { done: 1.0 }, 0);
+        let b = t.alloc(ReqState::SendDone { done: 2.0 }, 0);
+        assert_eq!((a.0, b.0), (0, 1));
+        t.take(a);
+        let c = t.alloc(ReqState::SendDone { done: 3.0 }, 0);
+        assert_eq!(c.0, 0, "freed slot is reused");
+        assert_eq!(t.outstanding(), 2);
+        t.take(b);
+        t.take(c);
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already completed")]
+    fn double_take_panics() {
+        let mut t = RequestTable::new();
+        let a = t.alloc(ReqState::SendDone { done: 1.0 }, 0);
+        t.take(a);
+        t.take(a);
+    }
+
+    #[test]
+    fn tags_are_remembered() {
+        let mut t = RequestTable::new();
+        let a = t.alloc(ReqState::SendDone { done: 1.0 }, 17);
+        let (_, tag) = t.take(a);
+        assert_eq!(tag, 17);
+    }
+}

@@ -1,0 +1,171 @@
+//! World setup and run statistics.
+
+use std::sync::Arc;
+
+use siesta_perfmodel::{CounterVec, Machine};
+
+use crate::engine::Engine;
+use crate::hook::PmpiHook;
+use crate::rank::{Rank, Shared, SplitRegistry};
+
+/// Configuration for one simulated MPI job.
+pub struct World {
+    machine: Machine,
+    nranks: usize,
+    hook: Option<Arc<dyn PmpiHook>>,
+    seed: u64,
+}
+
+impl World {
+    /// A world of `nranks` processes on `machine`, no instrumentation.
+    pub fn new(machine: Machine, nranks: usize) -> World {
+        assert!(nranks >= 1, "world needs at least one rank");
+        if let Some(max) = machine.platform.max_ranks() {
+            assert!(
+                nranks <= max,
+                "platform {} hosts at most {max} ranks (requested {nranks})",
+                machine.platform.name
+            );
+        }
+        World { machine, nranks, hook: None, seed: 0x51e57a }
+    }
+
+    /// Install a PMPI interposer (the tracing side of Siesta).
+    pub fn with_hook(mut self, hook: Arc<dyn PmpiHook>) -> World {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Set the measurement-noise seed (defaults to a fixed constant).
+    pub fn with_seed(mut self, seed: u64) -> World {
+        self.seed = seed;
+        self
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Run `body` once per rank, each on its own thread, and collect
+    /// statistics. `body` receives the rank handle; rank 0..n-1 execute the
+    /// same function (SPMD), branching internally as MPI programs do.
+    pub fn run<F>(&self, body: F) -> RunStats
+    where
+        F: Fn(&mut Rank) + Send + Sync,
+    {
+        let shared = Shared {
+            engine: Engine::new(self.machine, self.nranks),
+            hook: self.hook.clone(),
+            splits: SplitRegistry::new(),
+            seed: self.seed,
+            nranks: self.nranks,
+        };
+        let body = &body;
+        let shared_ref = &shared;
+        let per_rank: Vec<RankStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.nranks)
+                .map(|r| {
+                    scope.spawn(move || {
+                        let mut rank = Rank::new(shared_ref, r);
+                        body(&mut rank);
+                        rank.into_stats()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        });
+        RunStats { per_rank }
+    }
+}
+
+/// Final accounting for one rank.
+#[derive(Debug, Clone, Copy)]
+pub struct RankStats {
+    pub rank: usize,
+    /// Virtual time at which this rank finished, nanoseconds.
+    pub finish_ns: f64,
+    /// Cumulative computation counters.
+    pub counters: CounterVec,
+    /// Virtual time spent in application computation.
+    pub compute_ns: f64,
+    /// Virtual time spent inside MPI calls.
+    pub mpi_ns: f64,
+    /// Application-level MPI calls made.
+    pub app_calls: u64,
+    /// Application payload bytes sent (outgoing contributions).
+    pub bytes_sent: u64,
+    /// Number of `compute` invocations.
+    pub compute_events: u64,
+}
+
+/// Statistics for a whole run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    pub per_rank: Vec<RankStats>,
+}
+
+impl RunStats {
+    /// Job completion time: the slowest rank's finish time, nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.finish_ns).fold(0.0, f64::max)
+    }
+
+    /// Job completion time in milliseconds.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed_ns() / 1e6
+    }
+
+    /// Total application MPI calls across ranks.
+    pub fn total_calls(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.app_calls).sum()
+    }
+
+    /// Total application payload bytes sent across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_rank.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Sum of computation counters over all ranks.
+    pub fn total_counters(&self) -> CounterVec {
+        self.per_rank
+            .iter()
+            .fold(CounterVec::ZERO, |acc, r| acc + r.counters)
+    }
+
+    /// Mean over ranks of the per-rank mean relative counter error against
+    /// a reference run — the paper's Table 3 "Error" aggregation (averaged
+    /// "across all the metrics and processes"). Metrics below the hardware
+    /// measurement floor are skipped: their relative errors are noise.
+    pub fn mean_counter_error(&self, reference: &RunStats) -> f64 {
+        assert_eq!(self.per_rank.len(), reference.per_rank.len());
+        let n = self.per_rank.len() as f64;
+        self.per_rank
+            .iter()
+            .zip(&reference.per_rank)
+            .map(|(a, b)| {
+                a.counters.mean_relative_error_floored(
+                    &b.counters,
+                    siesta_perfmodel::MEASUREMENT_FLOOR,
+                )
+            })
+            .sum::<f64>()
+            / n
+    }
+
+    /// Relative execution-time error against a reference run
+    /// (`|T_gen − T_app| / T_app`, the Figs 6–9 metric).
+    pub fn time_error(&self, reference: &RunStats) -> f64 {
+        let t_ref = reference.elapsed_ns();
+        if t_ref == 0.0 {
+            return 0.0;
+        }
+        (self.elapsed_ns() - t_ref).abs() / t_ref
+    }
+}

@@ -1,0 +1,151 @@
+//! Analytic cross-checks of the collective algorithms: measured virtual
+//! times must scale the way the algorithms' round structures predict.
+
+use siesta_mpisim::World;
+use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+
+fn machine() -> Machine {
+    Machine::new(platform_a(), MpiFlavor::OpenMpi)
+}
+
+fn time_of<F: Fn(&mut siesta_mpisim::Rank) + Send + Sync>(p: usize, body: F) -> f64 {
+    World::new(machine(), p).run(body).elapsed_ns()
+}
+
+#[test]
+fn binomial_bcast_scales_logarithmically() {
+    // Small broadcast → binomial tree → ⌈log₂p⌉ rounds. Quadrupling the
+    // ranks adds ~2 rounds, nowhere near 4× the time.
+    let t8 = time_of(8, |r| {
+        let c = r.comm_world();
+        for _ in 0..20 {
+            r.bcast(&c, 0, 512);
+        }
+    });
+    let t64 = time_of(64, |r| {
+        let c = r.comm_world();
+        for _ in 0..20 {
+            r.bcast(&c, 0, 512);
+        }
+    });
+    assert!(t64 > t8, "more rounds must cost more");
+    assert!(
+        t64 < 3.0 * t8,
+        "log-scaling violated: t8={t8} t64={t64} (ratio {:.2})",
+        t64 / t8
+    );
+}
+
+#[test]
+fn ring_allreduce_is_bandwidth_optimal_in_shape() {
+    // Large allreduce → ring: 2(p−1) steps of (bytes/p) chunks, so the
+    // *transfer* volume per rank is ~2·bytes regardless of p; time should
+    // grow only mildly (latency terms) as p grows at fixed bytes.
+    let bytes = 4 << 20;
+    let t8 = time_of(8, move |r| {
+        let c = r.comm_world();
+        r.allreduce(&c, bytes);
+    });
+    let t32 = time_of(32, move |r| {
+        let c = r.comm_world();
+        r.allreduce(&c, bytes);
+    });
+    assert!(
+        t32 < 2.2 * t8,
+        "ring allreduce time exploded with ranks: t8={t8} t32={t32}"
+    );
+}
+
+#[test]
+fn pairwise_alltoall_scales_linearly_in_ranks() {
+    // Pairwise alltoall does p−1 rounds of fixed-size exchanges: time is
+    // ~linear in p at fixed bytes-per-peer.
+    let bytes = 32 << 10;
+    let t8 = time_of(8, move |r| {
+        let c = r.comm_world();
+        r.alltoall(&c, bytes);
+    });
+    let t32 = time_of(32, move |r| {
+        let c = r.comm_world();
+        r.alltoall(&c, bytes);
+    });
+    let ratio = t32 / t8;
+    assert!(
+        (2.0..8.0).contains(&ratio),
+        "expected ~31/7≈4.4× scaling, got {ratio:.2} (t8={t8} t32={t32})"
+    );
+}
+
+#[test]
+fn bandwidth_term_dominates_large_messages() {
+    // Doubling the payload of a large p2p transfer roughly doubles its
+    // time (latency amortized away).
+    let t1 = time_of(2, |r| {
+        let c = r.comm_world();
+        if r.rank() == 0 {
+            r.send(&c, 1, 0, 8 << 20);
+        } else {
+            r.recv(&c, 0, 0, 8 << 20);
+        }
+    });
+    let t2 = time_of(2, |r| {
+        let c = r.comm_world();
+        if r.rank() == 0 {
+            r.send(&c, 1, 0, 16 << 20);
+        } else {
+            r.recv(&c, 0, 0, 16 << 20);
+        }
+    });
+    let ratio = t2 / t1;
+    assert!(
+        (1.7..2.3).contains(&ratio),
+        "bandwidth scaling off: {ratio:.2}"
+    );
+}
+
+#[test]
+fn latency_term_dominates_small_messages() {
+    // Doubling a tiny payload barely moves the time.
+    let run = |bytes: usize| {
+        time_of(2, move |r| {
+            let c = r.comm_world();
+            for tag in 0..50 {
+                if r.rank() == 0 {
+                    r.send(&c, 1, tag, bytes);
+                } else {
+                    r.recv(&c, 0, tag, bytes);
+                }
+            }
+        })
+    };
+    let t64 = run(64);
+    let t128 = run(128);
+    assert!(
+        t128 < 1.1 * t64,
+        "latency regime violated: t64={t64} t128={t128}"
+    );
+}
+
+#[test]
+fn dissemination_barrier_rounds_match_theory() {
+    // ⌈log₂p⌉ rounds: barrier(16) ≈ 4 rounds vs barrier(4) ≈ 2 rounds, so
+    // roughly 2× once the constant collective overhead is subtracted off.
+    let reps = 50;
+    let t4 = time_of(4, move |r| {
+        let c = r.comm_world();
+        for _ in 0..reps {
+            r.barrier(&c);
+        }
+    });
+    let t16 = time_of(16, move |r| {
+        let c = r.comm_world();
+        for _ in 0..reps {
+            r.barrier(&c);
+        }
+    });
+    let ratio = t16 / t4;
+    assert!(
+        (1.2..3.0).contains(&ratio),
+        "barrier round scaling off: {ratio:.2}"
+    );
+}

@@ -1,0 +1,512 @@
+//! End-to-end semantics of the virtual-time MPI runtime.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use siesta_mpisim::{HookCtx, MpiCall, PmpiHook, Rank, World};
+use siesta_perfmodel::{
+    platform_a, platform_b, platform_c, KernelDesc, Machine, MpiFlavor,
+};
+
+fn machine() -> Machine {
+    Machine::new(platform_a(), MpiFlavor::OpenMpi)
+}
+
+/// A ring exchange where every rank sends then receives (even/odd ordering
+/// avoids deadlock), followed by a barrier.
+fn ring_program(rank: &mut Rank) {
+    let comm = rank.comm_world();
+    let p = rank.nranks();
+    let right = (rank.rank() + 1) % p;
+    let left = (rank.rank() + p - 1) % p;
+    rank.compute(&KernelDesc::stencil(5_000.0, 4.0, 65536.0));
+    if rank.rank() % 2 == 0 {
+        rank.send(&comm, right, 7, 4096);
+        rank.recv(&comm, left, 7, 4096);
+    } else {
+        rank.recv(&comm, left, 7, 4096);
+        rank.send(&comm, right, 7, 4096);
+    }
+    rank.barrier(&comm);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = World::new(machine(), 8).run(ring_program);
+    let b = World::new(machine(), 8).run(ring_program);
+    for (x, y) in a.per_rank.iter().zip(&b.per_rank) {
+        assert_eq!(x.finish_ns, y.finish_ns, "rank {} time differs", x.rank);
+        assert_eq!(x.counters, y.counters);
+    }
+}
+
+#[test]
+fn barrier_synchronizes_finish_times() {
+    // Ranks do very unequal compute, then barrier: finish times converge.
+    let stats = World::new(machine(), 6).run(|rank| {
+        let comm = rank.comm_world();
+        let work = (rank.rank() + 1) as f64 * 20_000.0;
+        rank.compute(&KernelDesc::stencil(work, 4.0, 65536.0));
+        rank.barrier(&comm);
+    });
+    let max = stats.elapsed_ns();
+    for r in &stats.per_rank {
+        // Everyone leaves the barrier within a few microseconds of the max.
+        assert!(max - r.finish_ns < 50_000.0, "rank {} lags {}", r.rank, max - r.finish_ns);
+    }
+}
+
+#[test]
+fn blocking_send_recv_moves_time_forward() {
+    let stats = World::new(machine(), 2).run(|rank| {
+        let comm = rank.comm_world();
+        if rank.rank() == 0 {
+            rank.send(&comm, 1, 0, 1 << 20); // rendezvous-sized
+        } else {
+            rank.compute(&KernelDesc::stencil(100_000.0, 4.0, 65536.0));
+            let st = rank.recv(&comm, 0, 0, 1 << 20);
+            assert_eq!(st.source, 0);
+            assert_eq!(st.bytes, 1 << 20);
+        }
+    });
+    // The rendezvous sender must have waited for the late receiver.
+    let t0 = stats.per_rank[0].finish_ns;
+    let t1 = stats.per_rank[1].finish_ns;
+    assert!(t0 > 0.0 && t1 > t0 * 0.5);
+}
+
+#[test]
+fn nonblocking_overlap_beats_blocking_order() {
+    // Exchange with isend/irecv completes in about one transfer time,
+    // not two, because the transfers overlap.
+    let bytes = 1 << 20;
+    let blocking = World::new(machine(), 2).run(|rank| {
+        let comm = rank.comm_world();
+        let peer = 1 - rank.rank();
+        if rank.rank() == 0 {
+            rank.send(&comm, peer, 0, bytes);
+            rank.recv(&comm, peer, 1, bytes);
+        } else {
+            rank.recv(&comm, peer, 0, bytes);
+            rank.send(&comm, peer, 1, bytes);
+        }
+    });
+    let overlapped = World::new(machine(), 2).run(|rank| {
+        let comm = rank.comm_world();
+        let peer = 1 - rank.rank();
+        let r = rank.irecv(&comm, peer, rank.rank() as i32, bytes);
+        let s = rank.isend(&comm, peer, peer as i32, bytes);
+        rank.waitall(&[r, s]);
+    });
+    assert!(
+        overlapped.elapsed_ns() < blocking.elapsed_ns(),
+        "overlap {} >= blocking {}",
+        overlapped.elapsed_ns(),
+        blocking.elapsed_ns()
+    );
+}
+
+#[test]
+fn sendrecv_is_deadlock_free_for_large_messages() {
+    let stats = World::new(machine(), 4).run(|rank| {
+        let comm = rank.comm_world();
+        let p = rank.nranks();
+        let right = (rank.rank() + 1) % p;
+        let left = (rank.rank() + p - 1) % p;
+        // All ranks sendrecv simultaneously with rendezvous-sized payloads.
+        rank.sendrecv(&comm, right, 3, 1 << 20, left, 3, 1 << 20);
+    });
+    assert!(stats.elapsed_ns() > 0.0);
+}
+
+#[test]
+fn collectives_complete_and_cost_grows_with_size() {
+    for p in [4, 7, 16] {
+        let small = World::new(machine(), p).run(|rank| {
+            let comm = rank.comm_world();
+            rank.allreduce(&comm, 64);
+        });
+        let large = World::new(machine(), p).run(|rank| {
+            let comm = rank.comm_world();
+            rank.allreduce(&comm, 1 << 22);
+        });
+        assert!(
+            large.elapsed_ns() > small.elapsed_ns(),
+            "p={p}: large {} <= small {}",
+            large.elapsed_ns(),
+            small.elapsed_ns()
+        );
+    }
+}
+
+#[test]
+fn all_collectives_run_on_non_power_of_two() {
+    let stats = World::new(machine(), 6).run(|rank| {
+        let comm = rank.comm_world();
+        rank.bcast(&comm, 0, 4096);
+        rank.bcast(&comm, 2, 1 << 20); // large → ring under openmpi
+        rank.reduce(&comm, 0, 4096);
+        rank.reduce(&comm, 1, 1 << 20);
+        rank.allreduce(&comm, 4096);
+        rank.allreduce(&comm, 1 << 20);
+        rank.allgather(&comm, 4096);
+        rank.alltoall(&comm, 256);
+        rank.alltoall(&comm, 1 << 16);
+        let sc = vec![100usize; 6];
+        rank.alltoallv(&comm, &sc, &sc);
+        rank.gather(&comm, 0, 4096);
+        rank.gather(&comm, 3, 4096);
+        rank.scatter(&comm, 0, 4096);
+        rank.barrier(&comm);
+    });
+    assert_eq!(stats.per_rank.len(), 6);
+    assert!(stats.elapsed_ns() > 0.0);
+    // Everyone made the same number of app-level calls (SPMD).
+    let calls = stats.per_rank[0].app_calls;
+    assert!(stats.per_rank.iter().all(|r| r.app_calls == calls));
+}
+
+#[test]
+fn comm_split_partitions_and_communicates() {
+    let stats = World::new(machine(), 8).run(|rank| {
+        let world = rank.comm_world();
+        let color = (rank.rank() % 2) as i64;
+        let sub = rank.comm_split(&world, color, rank.rank() as i64).unwrap();
+        assert_eq!(sub.size(), 4);
+        // Ring within the sub-communicator.
+        let right = (sub.rank() + 1) % sub.size();
+        let left = (sub.rank() + sub.size() - 1) % sub.size();
+        if sub.rank() % 2 == 0 {
+            rank.send(&sub, right, 1, 512);
+            rank.recv(&sub, left, 1, 512);
+        } else {
+            rank.recv(&sub, left, 1, 512);
+            rank.send(&sub, right, 1, 512);
+        }
+        rank.allreduce(&sub, 1024);
+        rank.comm_free(sub);
+        rank.barrier(&world);
+    });
+    assert!(stats.elapsed_ns() > 0.0);
+}
+
+#[test]
+fn comm_dup_creates_independent_matching_space() {
+    let stats = World::new(machine(), 2).run(|rank| {
+        let world = rank.comm_world();
+        let dup = rank.comm_dup(&world);
+        assert_ne!(dup.id, world.id);
+        let peer = 1 - rank.rank();
+        // Same tag on two communicators: messages must not cross.
+        if rank.rank() == 0 {
+            rank.send(&world, peer, 5, 100);
+            rank.send(&dup, peer, 5, 200);
+        } else {
+            // Receive in the opposite order: dup first.
+            let a = rank.recv(&dup, peer, 5, 4096);
+            let b = rank.recv(&world, peer, 5, 4096);
+            assert_eq!(a.bytes, 200);
+            assert_eq!(b.bytes, 100);
+        }
+    });
+    assert!(stats.elapsed_ns() > 0.0);
+}
+
+#[test]
+fn flavors_change_execution_time() {
+    let run = |flavor: MpiFlavor| {
+        World::new(Machine::new(platform_a(), flavor), 8).run(|rank| {
+            let comm = rank.comm_world();
+            for _ in 0..20 {
+                rank.alltoall(&comm, 2048);
+                rank.allreduce(&comm, 64 * 1024);
+            }
+        })
+    };
+    let t: Vec<f64> = MpiFlavor::ALL.iter().map(|f| run(*f).elapsed_ns()).collect();
+    assert!(t[0] != t[1] && t[1] != t[2], "flavors indistinguishable: {t:?}");
+}
+
+#[test]
+fn knl_platform_is_slower_for_compute_bound_work() {
+    let program = |rank: &mut Rank| {
+        let comm = rank.comm_world();
+        rank.compute(&KernelDesc::stencil(2_000_000.0, 8.0, 4.0 * 1024.0 * 1024.0));
+        rank.barrier(&comm);
+    };
+    let ta = World::new(Machine::new(platform_a(), MpiFlavor::OpenMpi), 4)
+        .run(program)
+        .elapsed_ns();
+    let tb = World::new(Machine::new(platform_b(), MpiFlavor::OpenMpi), 4)
+        .run(program)
+        .elapsed_ns();
+    assert!(tb > 1.5 * ta, "KNL should be much slower: A={ta} B={tb}");
+}
+
+#[test]
+fn single_node_platform_rejects_oversubscription() {
+    let result = std::panic::catch_unwind(|| {
+        World::new(Machine::new(platform_c(), MpiFlavor::OpenMpi), 64)
+    });
+    assert!(result.is_err());
+    // 16 ranks fit fine.
+    let stats = World::new(Machine::new(platform_c(), MpiFlavor::OpenMpi), 16)
+        .run(|rank| {
+            let comm = rank.comm_world();
+            rank.allreduce(&comm, 4096);
+        });
+    assert!(stats.elapsed_ns() > 0.0);
+}
+
+/// Hook that counts calls and records per-call names.
+struct CountingHook {
+    pre_calls: AtomicU64,
+    post_calls: AtomicU64,
+    overhead: f64,
+}
+
+impl PmpiHook for CountingHook {
+    fn pre(&self, _ctx: &HookCtx, _call: &MpiCall) {
+        self.pre_calls.fetch_add(1, Ordering::Relaxed);
+    }
+    fn post(&self, ctx: &HookCtx, call: &MpiCall) {
+        self.post_calls.fetch_add(1, Ordering::Relaxed);
+        // Counters in the context are computation-only.
+        assert!(ctx.counters.is_valid());
+        let _ = call.func_name();
+    }
+    fn overhead_ns(&self) -> f64 {
+        self.overhead
+    }
+}
+
+#[test]
+fn hook_sees_every_app_call_and_charges_overhead() {
+    let hook = Arc::new(CountingHook {
+        pre_calls: AtomicU64::new(0),
+        post_calls: AtomicU64::new(0),
+        overhead: 500.0,
+    });
+    let base = World::new(machine(), 4).run(ring_program);
+    let hooked = World::new(machine(), 4)
+        .with_hook(hook.clone())
+        .run(ring_program);
+    let pre = hook.pre_calls.load(Ordering::Relaxed);
+    let post = hook.post_calls.load(Ordering::Relaxed);
+    assert_eq!(pre, post);
+    // 4 ranks × 3 calls each (send+recv+barrier).
+    assert_eq!(pre, 12);
+    // Overhead slows the run but only slightly.
+    assert!(hooked.elapsed_ns() > base.elapsed_ns());
+    let rel = (hooked.elapsed_ns() - base.elapsed_ns()) / base.elapsed_ns();
+    assert!(rel < 0.30, "tracing overhead too large: {rel}");
+}
+
+#[test]
+fn hook_is_not_called_for_collective_plumbing() {
+    let hook = Arc::new(CountingHook {
+        pre_calls: AtomicU64::new(0),
+        post_calls: AtomicU64::new(0),
+        overhead: 0.0,
+    });
+    World::new(machine(), 8).with_hook(hook.clone()).run(|rank| {
+        let comm = rank.comm_world();
+        rank.allreduce(&comm, 1 << 20); // many internal messages
+    });
+    // Exactly one call per rank, regardless of internal rounds.
+    assert_eq!(hook.pre_calls.load(Ordering::Relaxed), 8);
+}
+
+#[test]
+fn compute_accumulates_counters_not_mpi() {
+    let stats = World::new(machine(), 2).run(|rank| {
+        let comm = rank.comm_world();
+        rank.compute(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
+        rank.allreduce(&comm, 1 << 16);
+        rank.compute(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
+    });
+    for r in &stats.per_rank {
+        assert_eq!(r.compute_events, 2);
+        // Counter totals reflect two stencils, nothing from the allreduce.
+        let one = machine().platform.cpu.counters(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
+        let rel = (r.counters.ins - 2.0 * one.ins).abs() / (2.0 * one.ins);
+        assert!(rel < 0.05, "INS off by {rel}");
+        assert!(r.mpi_ns > 0.0 && r.compute_ns > 0.0);
+    }
+}
+
+#[test]
+fn request_ids_are_recycled_like_real_handles() {
+    World::new(machine(), 2).run(|rank| {
+        let comm = rank.comm_world();
+        let peer = 1 - rank.rank();
+        for _ in 0..5 {
+            let r = if rank.rank() == 0 {
+                rank.isend(&comm, peer, 0, 64)
+            } else {
+                rank.irecv(&comm, peer, 0, 64)
+            };
+            // Always slot 0: freed and reallocated each iteration.
+            assert_eq!(r.0, 0);
+            rank.wait(r);
+        }
+        assert_eq!(rank.outstanding_requests(), 0);
+    });
+}
+
+#[test]
+fn test_polls_until_complete() {
+    World::new(machine(), 2).run(|rank| {
+        let comm = rank.comm_world();
+        if rank.rank() == 0 {
+            // Delay the send so rank 1 polls a few times in real time.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            rank.send(&comm, 1, 0, 128);
+        } else {
+            let r = rank.irecv(&comm, 0, 0, 128);
+            let mut polls = 0;
+            let status = loop {
+                if let Some(st) = rank.test(r) {
+                    break st;
+                }
+                polls += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            };
+            assert_eq!(status.bytes, 128);
+            assert!(polls > 0, "expected at least one unsuccessful poll");
+        }
+    });
+}
+
+#[test]
+fn larger_worlds_make_collectives_slower() {
+    let time = |p: usize| {
+        World::new(machine(), p)
+            .run(|rank| {
+                let comm = rank.comm_world();
+                for _ in 0..10 {
+                    rank.allreduce(&comm, 8192);
+                }
+            })
+            .elapsed_ns()
+    };
+    let t8 = time(8);
+    let t64 = time(64);
+    assert!(t64 > t8, "allreduce over 64 ranks not slower than 8: {t64} vs {t8}");
+}
+
+#[test]
+fn scan_completes_and_costs_grow_with_payload() {
+    let run = |bytes: usize| {
+        World::new(machine(), 8).run(move |rank| {
+            let comm = rank.comm_world();
+            for _ in 0..10 {
+                rank.scan(&comm, bytes);
+            }
+        })
+    };
+    let small = run(64);
+    let large = run(1 << 20);
+    assert!(small.elapsed_ns() > 0.0);
+    assert!(large.elapsed_ns() > small.elapsed_ns());
+    // Later ranks wait on the prefix chain: rank p−1 cannot finish before
+    // rank 0's round-one contribution is available.
+    assert!(small.per_rank[7].finish_ns >= small.per_rank[0].finish_ns);
+}
+
+#[test]
+fn gatherv_handles_asymmetric_counts() {
+    let stats = World::new(machine(), 6).run(|rank| {
+        let comm = rank.comm_world();
+        // Wildly different contributions, including zero.
+        let counts = vec![0usize, 100, 50_000, 7, 1 << 20, 64];
+        rank.gatherv(&comm, 2, &counts);
+        rank.scatterv(&comm, 2, &counts);
+        rank.barrier(&comm);
+    });
+    assert!(stats.elapsed_ns() > 0.0);
+    // SPMD symmetry of call counts.
+    let c0 = stats.per_rank[0].app_calls;
+    assert!(stats.per_rank.iter().all(|r| r.app_calls == c0));
+}
+
+#[test]
+fn reduce_scatter_block_costs_like_the_ring_phase() {
+    // The ring reduce-scatter moves (p−1)·bytes_per_rank per rank — more
+    // data ⇒ more time, and it must beat a full allreduce of p·bytes.
+    let p = 8;
+    let bytes_per_rank = 1 << 16;
+    let rs = World::new(machine(), p).run(|rank| {
+        let comm = rank.comm_world();
+        rank.reduce_scatter_block(&comm, bytes_per_rank);
+    });
+    let ar = World::new(machine(), p).run(|rank| {
+        let comm = rank.comm_world();
+        rank.allreduce(&comm, bytes_per_rank * p);
+    });
+    assert!(rs.elapsed_ns() > 0.0);
+    assert!(
+        rs.elapsed_ns() < ar.elapsed_ns(),
+        "reduce_scatter {} not cheaper than allreduce {}",
+        rs.elapsed_ns(),
+        ar.elapsed_ns()
+    );
+}
+
+#[test]
+fn extended_collectives_are_hooked_once_each() {
+    let hook = Arc::new(CountingHook {
+        pre_calls: AtomicU64::new(0),
+        post_calls: AtomicU64::new(0),
+        overhead: 0.0,
+    });
+    World::new(machine(), 4).with_hook(hook.clone()).run(|rank| {
+        let comm = rank.comm_world();
+        rank.scan(&comm, 1024);
+        rank.reduce_scatter_block(&comm, 1024);
+        rank.gatherv(&comm, 0, &[8, 16, 24, 32]);
+        rank.scatterv(&comm, 1, &[8, 16, 24, 32]);
+    });
+    // 4 ranks × 4 calls, regardless of internal plumbing rounds.
+    assert_eq!(hook.pre_calls.load(Ordering::Relaxed), 16);
+}
+
+#[test]
+fn paper_scale_worlds_run() {
+    // The paper's largest configuration is 529 ranks (SP). A thread per
+    // rank must spawn, synchronize, and tear down cleanly at that scale.
+    let stats = World::new(machine(), 529).run(|rank| {
+        let comm = rank.comm_world();
+        rank.compute(&KernelDesc::stencil(2_000.0, 4.0, 65536.0));
+        rank.allreduce(&comm, 1024);
+        rank.barrier(&comm);
+    });
+    assert_eq!(stats.per_rank.len(), 529);
+    assert!(stats.elapsed_ns() > 0.0);
+    let calls = stats.per_rank[0].app_calls;
+    assert!(stats.per_rank.iter().all(|r| r.app_calls == calls));
+}
+
+#[test]
+fn wtime_is_monotone_within_a_rank() {
+    World::new(machine(), 4).run(|rank| {
+        let comm = rank.comm_world();
+        let mut last = rank.wtime();
+        for i in 0..20 {
+            match i % 4 {
+                0 => rank.compute(&KernelDesc::bookkeeping(5_000.0)),
+                1 => rank.allreduce(&comm, 256),
+                2 => {
+                    let p = rank.nranks();
+                    let right = (rank.rank() + 1) % p;
+                    let left = (rank.rank() + p - 1) % p;
+                    rank.sendrecv(&comm, right, 5, 2048, left, 5, 2048);
+                }
+                _ => rank.barrier(&comm),
+            }
+            let now = rank.wtime();
+            assert!(now >= last, "clock went backwards: {now} < {last}");
+            last = now;
+        }
+    });
+}

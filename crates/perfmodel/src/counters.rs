@@ -1,0 +1,377 @@
+//! The six performance metrics of the paper's Table 1, and arithmetic on them.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// Counts below this are within a hardware counter's run-to-run noise
+/// (interrupt skid, OS activity): relative comparisons of smaller readings
+/// are not meaningful, and evaluation metrics skip them.
+pub const MEASUREMENT_FLOOR: f64 = 1000.0;
+
+/// Identifier of one of the six hardware metrics (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Retired instructions (`PAPI_TOT_INS`).
+    Ins,
+    /// Elapsed core cycles (`PAPI_TOT_CYC`).
+    Cyc,
+    /// Load/store instructions (`PAPI_LST_INS`).
+    Lst,
+    /// L1 data-cache misses (`PAPI_L1_DCM`).
+    L1Dcm,
+    /// Conditional branches executed (`PAPI_BR_CN`).
+    BrCn,
+    /// Mispredicted conditional branches (`PAPI_BR_MSP`).
+    Msp,
+}
+
+/// All six metrics in the order the paper's Table 1 lists them.
+pub const METRICS: [Metric; 6] = [
+    Metric::Ins,
+    Metric::Cyc,
+    Metric::Lst,
+    Metric::L1Dcm,
+    Metric::BrCn,
+    Metric::Msp,
+];
+
+impl Metric {
+    /// Short name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Ins => "INS",
+            Metric::Cyc => "CYC",
+            Metric::Lst => "LST",
+            Metric::L1Dcm => "L1_DCM",
+            Metric::BrCn => "BR_CN",
+            Metric::Msp => "MSP",
+        }
+    }
+
+    /// Index of this metric inside a [`CounterVec`] array view.
+    pub fn index(self) -> usize {
+        match self {
+            Metric::Ins => 0,
+            Metric::Cyc => 1,
+            Metric::Lst => 2,
+            Metric::L1Dcm => 3,
+            Metric::BrCn => 4,
+            Metric::Msp => 5,
+        }
+    }
+}
+
+/// A reading of the six Table-1 hardware counters.
+///
+/// Counts are kept as `f64` because the synthesis pipeline constantly scales,
+/// averages, and fits them; they are only rounded when a proxy is emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterVec {
+    pub ins: f64,
+    pub cyc: f64,
+    pub lst: f64,
+    pub l1_dcm: f64,
+    pub br_cn: f64,
+    pub msp: f64,
+}
+
+impl CounterVec {
+    pub const ZERO: CounterVec = CounterVec {
+        ins: 0.0,
+        cyc: 0.0,
+        lst: 0.0,
+        l1_dcm: 0.0,
+        br_cn: 0.0,
+        msp: 0.0,
+    };
+
+    pub fn new(ins: f64, cyc: f64, lst: f64, l1_dcm: f64, br_cn: f64, msp: f64) -> Self {
+        CounterVec { ins, cyc, lst, l1_dcm, br_cn, msp }
+    }
+
+    pub fn from_array(a: [f64; 6]) -> Self {
+        CounterVec { ins: a[0], cyc: a[1], lst: a[2], l1_dcm: a[3], br_cn: a[4], msp: a[5] }
+    }
+
+    pub fn as_array(&self) -> [f64; 6] {
+        [self.ins, self.cyc, self.lst, self.l1_dcm, self.br_cn, self.msp]
+    }
+
+    pub fn get(&self, m: Metric) -> f64 {
+        self.as_array()[m.index()]
+    }
+
+    pub fn set(&mut self, m: Metric, v: f64) {
+        match m {
+            Metric::Ins => self.ins = v,
+            Metric::Cyc => self.cyc = v,
+            Metric::Lst => self.lst = v,
+            Metric::L1Dcm => self.l1_dcm = v,
+            Metric::BrCn => self.br_cn = v,
+            Metric::Msp => self.msp = v,
+        }
+    }
+
+    /// Instructions per cycle — the first MINIME comparison ratio.
+    pub fn ipc(&self) -> f64 {
+        if self.cyc > 0.0 {
+            self.ins / self.cyc
+        } else {
+            0.0
+        }
+    }
+
+    /// Cache-miss rate (L1 data misses per load/store) — second MINIME ratio.
+    pub fn cmr(&self) -> f64 {
+        if self.lst > 0.0 {
+            self.l1_dcm / self.lst
+        } else {
+            0.0
+        }
+    }
+
+    /// Branch-misprediction rate — third MINIME ratio.
+    pub fn bmr(&self) -> f64 {
+        if self.br_cn > 0.0 {
+            self.msp / self.br_cn
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean relative error of `self` against a reference reading, averaged
+    /// over the metrics whose reference value is nonzero.
+    ///
+    /// This is the error definition of the paper's Section 3.2: "the absolute
+    /// difference between the metric values divided by the original program's
+    /// metric value", averaged across metrics.
+    pub fn mean_relative_error(&self, reference: &CounterVec) -> f64 {
+        self.mean_relative_error_floored(reference, f64::EPSILON)
+    }
+
+    /// Like [`CounterVec::mean_relative_error`], but metrics whose reference
+    /// count is below `floor` are skipped — used by the evaluation harness
+    /// with [`MEASUREMENT_FLOOR`], since sub-noise counts cannot be
+    /// meaningfully compared in relative terms.
+    pub fn mean_relative_error_floored(&self, reference: &CounterVec, floor: f64) -> f64 {
+        let a = self.as_array();
+        let r = reference.as_array();
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for i in 0..6 {
+            if r[i].abs() > floor {
+                total += (a[i] - r[i]).abs() / r[i].abs();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+
+    /// True when every component is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.as_array().iter().all(|v| v.is_finite() && *v >= 0.0)
+    }
+
+    /// Sum of all six components; used as a cheap "is there anything here"
+    /// magnitude test by the trace recorder's noise floor.
+    pub fn total(&self) -> f64 {
+        self.as_array().iter().sum()
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &CounterVec) -> CounterVec {
+        let a = self.as_array();
+        let b = other.as_array();
+        CounterVec::from_array([
+            a[0].max(b[0]),
+            a[1].max(b[1]),
+            a[2].max(b[2]),
+            a[3].max(b[3]),
+            a[4].max(b[4]),
+            a[5].max(b[5]),
+        ])
+    }
+
+    /// Round every component to the nearest non-negative integer count.
+    pub fn rounded(&self) -> CounterVec {
+        let a = self.as_array();
+        CounterVec::from_array([
+            a[0].round().max(0.0),
+            a[1].round().max(0.0),
+            a[2].round().max(0.0),
+            a[3].round().max(0.0),
+            a[4].round().max(0.0),
+            a[5].round().max(0.0),
+        ])
+    }
+}
+
+impl Add for CounterVec {
+    type Output = CounterVec;
+    fn add(self, o: CounterVec) -> CounterVec {
+        CounterVec {
+            ins: self.ins + o.ins,
+            cyc: self.cyc + o.cyc,
+            lst: self.lst + o.lst,
+            l1_dcm: self.l1_dcm + o.l1_dcm,
+            br_cn: self.br_cn + o.br_cn,
+            msp: self.msp + o.msp,
+        }
+    }
+}
+
+impl AddAssign for CounterVec {
+    fn add_assign(&mut self, o: CounterVec) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for CounterVec {
+    type Output = CounterVec;
+    fn sub(self, o: CounterVec) -> CounterVec {
+        CounterVec {
+            ins: self.ins - o.ins,
+            cyc: self.cyc - o.cyc,
+            lst: self.lst - o.lst,
+            l1_dcm: self.l1_dcm - o.l1_dcm,
+            br_cn: self.br_cn - o.br_cn,
+            msp: self.msp - o.msp,
+        }
+    }
+}
+
+impl Mul<f64> for CounterVec {
+    type Output = CounterVec;
+    fn mul(self, k: f64) -> CounterVec {
+        CounterVec {
+            ins: self.ins * k,
+            cyc: self.cyc * k,
+            lst: self.lst * k,
+            l1_dcm: self.l1_dcm * k,
+            br_cn: self.br_cn * k,
+            msp: self.msp * k,
+        }
+    }
+}
+
+impl Div<f64> for CounterVec {
+    type Output = CounterVec;
+    fn div(self, k: f64) -> CounterVec {
+        self * (1.0 / k)
+    }
+}
+
+impl fmt::Display for CounterVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "INS={:.0} CYC={:.0} LST={:.0} L1_DCM={:.0} BR_CN={:.0} MSP={:.0}",
+            self.ins, self.cyc, self.lst, self.l1_dcm, self.br_cn, self.msp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CounterVec {
+        CounterVec::new(1000.0, 500.0, 300.0, 30.0, 100.0, 5.0)
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let c = sample();
+        assert_eq!(CounterVec::from_array(c.as_array()), c);
+    }
+
+    #[test]
+    fn get_set_matches_fields() {
+        let mut c = CounterVec::ZERO;
+        for (i, m) in METRICS.iter().enumerate() {
+            c.set(*m, (i + 1) as f64);
+        }
+        assert_eq!(c.ins, 1.0);
+        assert_eq!(c.msp, 6.0);
+        for (i, m) in METRICS.iter().enumerate() {
+            assert_eq!(c.get(*m), (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let c = sample();
+        assert!((c.ipc() - 2.0).abs() < 1e-12);
+        assert!((c.cmr() - 0.1).abs() < 1e-12);
+        assert!((c.bmr() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_of_zero_are_zero() {
+        let c = CounterVec::ZERO;
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.cmr(), 0.0);
+        assert_eq!(c.bmr(), 0.0);
+    }
+
+    #[test]
+    fn relative_error_zero_for_self() {
+        let c = sample();
+        assert_eq!(c.mean_relative_error(&c), 0.0);
+    }
+
+    #[test]
+    fn relative_error_scales() {
+        let c = sample();
+        let doubled = c * 2.0;
+        // Every metric is off by 100%.
+        assert!((doubled.mean_relative_error(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_skips_zero_reference_metrics() {
+        let reference = CounterVec::new(100.0, 100.0, 0.0, 0.0, 0.0, 0.0);
+        let measured = CounterVec::new(110.0, 90.0, 5.0, 5.0, 5.0, 5.0);
+        // Only INS and CYC contribute: (0.1 + 0.1) / 2.
+        assert!((measured.mean_relative_error(&reference) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let c = sample();
+        assert_eq!(c + CounterVec::ZERO, c);
+        assert_eq!(c - c, CounterVec::ZERO);
+        assert_eq!((c * 3.0) / 3.0, c);
+        let mut acc = CounterVec::ZERO;
+        acc += c;
+        acc += c;
+        assert_eq!(acc, c * 2.0);
+    }
+
+    #[test]
+    fn metric_names_and_indices_are_stable() {
+        let names: Vec<_> = METRICS.iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["INS", "CYC", "LST", "L1_DCM", "BR_CN", "MSP"]);
+        for (i, m) in METRICS.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn validity() {
+        assert!(sample().is_valid());
+        assert!(!(CounterVec::new(-1.0, 0.0, 0.0, 0.0, 0.0, 0.0)).is_valid());
+        assert!(!(CounterVec::new(f64::NAN, 0.0, 0.0, 0.0, 0.0, 0.0)).is_valid());
+    }
+
+    #[test]
+    fn rounded_clamps_negatives() {
+        let c = CounterVec::new(1.4, 1.6, -0.4, 2.5, 0.0, 0.49);
+        let r = c.rounded();
+        assert_eq!(r.as_array(), [1.0, 2.0, 0.0, 3.0, 0.0, 0.0]);
+    }
+}

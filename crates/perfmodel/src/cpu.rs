@@ -1,0 +1,251 @@
+//! Analytic processor model: micro-op mixes → Table-1 counters → time.
+//!
+//! This replaces PAPI in the reproduction. The model is deliberately simple —
+//! a bottleneck-plus-penalties pipeline model over a two-level cache — but it
+//! has the three properties the Siesta pipeline actually relies on:
+//!
+//! 1. **Diversity**: kernels with different op mixes produce linearly
+//!    independent counter vectors, so the QP search space (the 11 blocks) is
+//!    well-conditioned.
+//! 2. **Platform sensitivity**: the same kernel yields different CYC (and
+//!    therefore time) on platforms with different width / frequency / cache,
+//!    which is what makes proxy-apps *portable* in Figs 8–9 while
+//!    sleep-based replay (ScalaBench) is not.
+//! 3. **Determinism**: identical inputs produce identical counters, so every
+//!    experiment in this repository is exactly reproducible.
+
+use crate::counters::CounterVec;
+use crate::kernel::KernelDesc;
+use crate::noise;
+
+/// Parameters of one processor core plus its cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Core frequency in GHz (cycles per nanosecond).
+    pub freq_ghz: f64,
+    /// Sustained issue width (instructions per cycle upper bound).
+    pub issue_width: f64,
+    /// Load/store operations the core can retire per cycle.
+    pub mem_ports: f64,
+    /// Latency in cycles of one unpipelined floating divide.
+    pub fp_div_latency: f64,
+    /// L1 data cache size in bytes.
+    pub l1_size: f64,
+    /// Cache line size in bytes.
+    pub line_size: f64,
+    /// L2 cache size in bytes.
+    pub l2_size: f64,
+    /// Cycles lost per L1 miss that hits in L2.
+    pub l2_hit_penalty: f64,
+    /// Cycles lost per access that misses all caches.
+    pub mem_penalty: f64,
+    /// Cycles lost per mispredicted branch.
+    pub mispredict_penalty: f64,
+    /// Relative 1-sigma noise applied to "measured" counters.
+    pub noise_sigma: f64,
+}
+
+impl CpuModel {
+    /// Exact (noise-free) counters for one execution of `kernel`.
+    pub fn counters(&self, kernel: &KernelDesc) -> CounterVec {
+        let ins = kernel.instructions();
+        let lst = kernel.loads + kernel.stores;
+        let l1_dcm = self.l1_misses(kernel);
+        let br_cn = kernel.branches;
+        let msp = kernel.branches * kernel.mispredict_rate.clamp(0.0, 1.0);
+        let cyc = self.cycles(kernel, l1_dcm, msp);
+        CounterVec { ins, cyc, lst, l1_dcm, br_cn, msp }
+    }
+
+    /// Counters with deterministic measurement noise, as a PAPI read would
+    /// give. The `seed` should identify the measurement site (rank, event
+    /// index, ...) so repeated reads of different events jitter differently
+    /// but the whole experiment stays reproducible.
+    pub fn counters_noisy(&self, kernel: &KernelDesc, seed: u64) -> CounterVec {
+        // INS / LST / BR_CN are architectural and nearly exact on real
+        // hardware; CYC, L1_DCM and MSP are micro-architectural and jittery
+        // (`observe` applies per-metric sigmas accordingly).
+        self.observe(&self.counters(kernel), seed)
+    }
+
+    /// Wall-clock nanoseconds implied by a counter reading on this core.
+    pub fn time_ns(&self, c: &CounterVec) -> f64 {
+        c.cyc / self.freq_ghz
+    }
+
+    /// Apply measurement noise to an already-computed counter vector (used
+    /// when replaying synthesized proxies, whose exact counters are known
+    /// as per-block sums rather than via a single [`KernelDesc`]).
+    pub fn observe(&self, exact: &CounterVec, seed: u64) -> CounterVec {
+        if self.noise_sigma == 0.0 {
+            return *exact;
+        }
+        let a = exact.as_array();
+        let mut out = [0.0f64; 6];
+        for (i, v) in a.iter().enumerate() {
+            let sigma = match i {
+                0 | 2 | 4 => self.noise_sigma * 0.1,
+                _ => self.noise_sigma,
+            };
+            out[i] = noise::jitter(*v, sigma, seed.wrapping_add(i as u64));
+        }
+        CounterVec::from_array(out)
+    }
+
+    /// Convenience: exact execution time of a kernel in nanoseconds.
+    pub fn kernel_time_ns(&self, kernel: &KernelDesc) -> f64 {
+        self.time_ns(&self.counters(kernel))
+    }
+
+    /// Expected L1 data-cache misses for one execution.
+    ///
+    /// Model: accesses walk `working_set` bytes with the given stride. If the
+    /// set fits in L1 only compulsory misses remain (one per line of the
+    /// set, amortized across repetitions — we charge a small residual). If it
+    /// does not fit, the miss ratio grows with how badly it overflows and
+    /// with how line-unfriendly the stride is.
+    fn l1_misses(&self, kernel: &KernelDesc) -> f64 {
+        let accesses = kernel.loads + kernel.stores;
+        if accesses <= 0.0 || kernel.working_set <= 0.0 {
+            return 0.0;
+        }
+        let lines_touched = (kernel.working_set / self.line_size).max(1.0);
+        if kernel.working_set <= self.l1_size {
+            // Warm working set: only a trickle of conflict misses.
+            return (0.002 * accesses).min(lines_touched);
+        }
+        // Fraction of the set that cannot be resident.
+        let overflow = 1.0 - self.l1_size / kernel.working_set;
+        // Fraction of accesses that start a new line.
+        let line_fraction = (kernel.stride / self.line_size).clamp(1.0 / 16.0, 1.0);
+        accesses * overflow * line_fraction
+    }
+
+    /// Bottleneck-plus-penalty cycle count.
+    fn cycles(&self, kernel: &KernelDesc, l1_dcm: f64, msp: f64) -> f64 {
+        let issue = kernel.instructions() / self.issue_width;
+        let mem = (kernel.loads + kernel.stores) / self.mem_ports;
+        let div = kernel.fp_div * self.fp_div_latency;
+        let base = issue.max(mem).max(div);
+        let miss_penalty = if kernel.working_set > self.l2_size {
+            // Blend L2 and memory penalties by how far past L2 the set goes.
+            let beyond = (1.0 - self.l2_size / kernel.working_set).clamp(0.0, 1.0);
+            self.l2_hit_penalty * (1.0 - beyond) + self.mem_penalty * beyond
+        } else {
+            self.l2_hit_penalty
+        };
+        base + l1_dcm * miss_penalty + msp * self.mispredict_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{platform_a, platform_b, platform_c};
+
+    fn cpu() -> CpuModel {
+        platform_a().cpu
+    }
+
+    #[test]
+    fn counters_match_kernel_architectural_counts() {
+        let k = KernelDesc::stencil(1000.0, 4.0, 65536.0);
+        let c = cpu().counters(&k);
+        assert!((c.ins - k.instructions()).abs() < 1e-9);
+        assert!((c.lst - (k.loads + k.stores)).abs() < 1e-9);
+        assert!((c.br_cn - k.branches).abs() < 1e-9);
+        assert!(c.msp <= c.br_cn);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn small_working_set_has_few_misses() {
+        let warm = KernelDesc::stencil(10_000.0, 4.0, 16.0 * 1024.0);
+        let cold = KernelDesc::stencil(10_000.0, 4.0, 16.0 * 1024.0 * 1024.0);
+        let cw = cpu().counters(&warm);
+        let cc = cpu().counters(&cold);
+        assert!(cw.cmr() < 0.01, "warm cmr {}", cw.cmr());
+        assert!(cc.cmr() > 0.05, "cold cmr {}", cc.cmr());
+        // Misses cost cycles.
+        assert!(cc.cyc > cw.cyc);
+    }
+
+    #[test]
+    fn divides_serialize() {
+        let adds = KernelDesc {
+            fp_add: 10_000.0,
+            ..KernelDesc::ZERO
+        };
+        let divs = KernelDesc {
+            fp_div: 10_000.0,
+            ..KernelDesc::ZERO
+        };
+        let c = cpu();
+        assert!(c.counters(&divs).cyc > 5.0 * c.counters(&adds).cyc);
+        // Same instruction count, far fewer instructions per cycle.
+        assert!(c.counters(&divs).ipc() < 0.5 * c.counters(&adds).ipc());
+    }
+
+    #[test]
+    fn mispredictions_cost_cycles() {
+        let predictable = KernelDesc {
+            branches: 10_000.0,
+            mispredict_rate: 0.0,
+            int_alu: 10_000.0,
+            ..KernelDesc::ZERO
+        };
+        let random = KernelDesc {
+            mispredict_rate: 0.5,
+            ..predictable
+        };
+        let c = cpu();
+        assert!(c.counters(&random).cyc > c.counters(&predictable).cyc);
+        assert!((c.counters(&random).msp - 5_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn platforms_disagree_on_time_for_same_kernel() {
+        let k = KernelDesc::stencil(100_000.0, 8.0, 4194304.0);
+        let ta = platform_a().cpu.kernel_time_ns(&k);
+        let tb = platform_b().cpu.kernel_time_ns(&k);
+        let tc = platform_c().cpu.kernel_time_ns(&k);
+        // Knights Landing (platform B) is much slower per-core than the Xeons.
+        assert!(tb > 1.5 * ta, "ta={ta} tb={tb}");
+        // A and C are close but not identical (frequency + L2 differ).
+        assert!(ta != tc);
+        assert!((ta - tc).abs() / ta < 0.6);
+    }
+
+    #[test]
+    fn noisy_counters_are_deterministic_per_seed_and_close_to_exact() {
+        let k = KernelDesc::stencil(10_000.0, 4.0, 1048576.0);
+        let c = cpu();
+        let a = c.counters_noisy(&k, 42);
+        let b = c.counters_noisy(&k, 42);
+        assert_eq!(a, b);
+        let other = c.counters_noisy(&k, 43);
+        assert_ne!(a, other);
+        let exact = c.counters(&k);
+        assert!(a.mean_relative_error(&exact) < 5.0 * c.noise_sigma + 1e-9);
+    }
+
+    #[test]
+    fn time_scales_inverse_to_frequency() {
+        let k = KernelDesc::stencil(10_000.0, 4.0, 16384.0);
+        let mut fast = cpu();
+        let mut slow = cpu();
+        fast.freq_ghz = 4.0;
+        slow.freq_ghz = 1.0;
+        let cf = fast.counters(&k);
+        let cs = slow.counters(&k);
+        assert_eq!(cf.cyc, cs.cyc); // cycles are frequency-independent
+        assert!((slow.time_ns(&cs) / fast.time_ns(&cf) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_kernel_is_free() {
+        let c = cpu().counters(&KernelDesc::ZERO);
+        assert_eq!(c.total(), 0.0);
+        let _ = platform_c(); // silence unused in some cfgs
+    }
+}

@@ -1,0 +1,253 @@
+//! Abstract, platform-independent descriptions of computation kernels.
+//!
+//! A [`KernelDesc`] says *what* a stretch of computation does — how many
+//! integer adds, floating divides, memory accesses, branches, and over what
+//! working set — without saying how long it takes. A [`crate::CpuModel`]
+//! turns it into the six Table-1 counters for a concrete processor.
+//!
+//! Both sides of the Siesta pipeline speak this language:
+//!
+//! * the workload skeletons (`siesta-workloads`) describe each compute phase
+//!   of BT/CG/MG/... as a `KernelDesc`, standing in for the real numeric code;
+//! * the 11 pre-designed proxy code blocks (paper Figure 2) are themselves
+//!   `KernelDesc`s, so micro-benchmarking a block and replaying a synthesized
+//!   proxy use exactly the same cost model as the original program.
+
+/// Largest resident footprint a blocked loop keeps hot (see
+/// [`KernelDesc::stencil`]).
+pub const TILE_BYTES: f64 = 192.0 * 1024.0;
+
+/// Micro-op mix of a computation kernel.
+///
+/// All op counts are per one execution of the kernel. Fractional values are
+/// allowed (they arise from averaging and scaling); the CPU model works in
+/// expectations anyway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelDesc {
+    /// Integer ALU operations (adds, shifts, compares feeding branches).
+    pub int_alu: f64,
+    /// Floating-point add/multiply operations (pipelined).
+    pub fp_add: f64,
+    /// Floating-point divides (long-latency, unpipelined).
+    pub fp_div: f64,
+    /// Memory loads.
+    pub loads: f64,
+    /// Memory stores.
+    pub stores: f64,
+    /// Conditional branches executed.
+    pub branches: f64,
+    /// Intrinsic misprediction probability of those branches, in `[0, 1]`.
+    /// Data-dependent branches on random bits sit near 0.5; long regular
+    /// loops sit near `1/trip_count`.
+    pub mispredict_rate: f64,
+    /// Bytes of memory the kernel touches repeatedly (its resident set).
+    pub working_set: f64,
+    /// Access stride in bytes. A stride of one cache line defeats spatial
+    /// locality entirely; small strides amortize one miss over many accesses.
+    pub stride: f64,
+}
+
+impl KernelDesc {
+    pub const ZERO: KernelDesc = KernelDesc {
+        int_alu: 0.0,
+        fp_add: 0.0,
+        fp_div: 0.0,
+        loads: 0.0,
+        stores: 0.0,
+        branches: 0.0,
+        mispredict_rate: 0.0,
+        working_set: 0.0,
+        stride: 8.0,
+    };
+
+    /// Total dynamic instruction count implied by the mix.
+    pub fn instructions(&self) -> f64 {
+        self.int_alu + self.fp_add + self.fp_div + self.loads + self.stores + self.branches
+    }
+
+    /// Scale every op count by `k` (working set and stride are *not* scaled:
+    /// running a loop more times touches the same data more often, it does
+    /// not enlarge the data).
+    pub fn repeat(&self, k: f64) -> KernelDesc {
+        KernelDesc {
+            int_alu: self.int_alu * k,
+            fp_add: self.fp_add * k,
+            fp_div: self.fp_div * k,
+            loads: self.loads * k,
+            stores: self.stores * k,
+            branches: self.branches * k,
+            mispredict_rate: self.mispredict_rate,
+            working_set: self.working_set,
+            stride: self.stride,
+        }
+    }
+
+    /// Combine two kernels run back to back. Working sets do not add (they
+    /// generally overlap in practice); we keep the larger one and a
+    /// load/store-weighted stride.
+    pub fn then(&self, other: &KernelDesc) -> KernelDesc {
+        let w_self = self.loads + self.stores;
+        let w_other = other.loads + other.stores;
+        let stride = if w_self + w_other > 0.0 {
+            (self.stride * w_self + other.stride * w_other) / (w_self + w_other)
+        } else {
+            self.stride
+        };
+        KernelDesc {
+            int_alu: self.int_alu + other.int_alu,
+            fp_add: self.fp_add + other.fp_add,
+            fp_div: self.fp_div + other.fp_div,
+            loads: self.loads + other.loads,
+            stores: self.stores + other.stores,
+            branches: self.branches + other.branches,
+            mispredict_rate: if self.branches + other.branches > 0.0 {
+                (self.mispredict_rate * self.branches + other.mispredict_rate * other.branches)
+                    / (self.branches + other.branches)
+            } else {
+                0.0
+            },
+            working_set: self.working_set.max(other.working_set),
+            stride,
+        }
+    }
+
+    /// A dense floating-point stencil-like kernel: `points` grid points, each
+    /// with `flops_per_point` adds/multiplies, streaming reads/writes over
+    /// `bytes` of state. This is the workhorse for the numeric phases of the
+    /// NPB / SWEEP3D / FLASH skeletons.
+    ///
+    /// The *resident* working set is capped at a blocked-loop tile (dense
+    /// solvers walk planes and tiles, not their whole state at once), which
+    /// keeps the kernels L2-class memory-bound rather than DRAM-bound —
+    /// matching the locality of the real NPB codes.
+    pub fn stencil(points: f64, flops_per_point: f64, bytes: f64) -> KernelDesc {
+        let fp = points * flops_per_point;
+        KernelDesc {
+            int_alu: points * 4.0, // index arithmetic
+            fp_add: fp,
+            fp_div: 0.0,
+            loads: points * (flops_per_point * 0.5).max(1.0),
+            stores: points,
+            // Loop control scales with the body size: compiled numeric
+            // code retires roughly one branch per ~32 floating ops.
+            branches: points * (1.0 + flops_per_point / 32.0) + 16.0,
+            mispredict_rate: 0.01,
+            working_set: bytes.min(TILE_BYTES),
+            stride: 8.0,
+        }
+    }
+
+    /// A divide-heavy kernel (e.g. Gauss elimination inner steps in BT/SP).
+    pub fn divide_heavy(points: f64, divs_per_point: f64, bytes: f64) -> KernelDesc {
+        KernelDesc {
+            int_alu: points * 2.0,
+            fp_add: points * divs_per_point * 2.0,
+            fp_div: points * divs_per_point,
+            loads: points * 2.0,
+            stores: points,
+            branches: points * 0.5 + 8.0,
+            mispredict_rate: 0.01,
+            working_set: bytes.min(TILE_BYTES),
+            stride: 8.0,
+        }
+    }
+
+    /// An integer, branchy, cache-unfriendly kernel (e.g. IS key ranking).
+    /// The scatter table is capped at the tile bound like the dense kernels
+    /// (bucket sorts rank within cache-sized partitions).
+    pub fn integer_scatter(keys: f64, table_bytes: f64) -> KernelDesc {
+        KernelDesc {
+            int_alu: keys * 3.0,
+            fp_add: 0.0,
+            fp_div: 0.0,
+            loads: keys * 2.0,
+            stores: keys,
+            branches: keys,
+            mispredict_rate: 0.25,
+            working_set: table_bytes.min(TILE_BYTES),
+            // Mixed access: sequential key reads, random table writes —
+            // roughly half the accesses start a new line.
+            stride: 32.0,
+        }
+    }
+
+    /// A tiny bookkeeping kernel, used for the short gaps between MPI calls
+    /// that real applications always have (argument marshalling, loop
+    /// control around a communication phase, ...).
+    pub fn bookkeeping(ops: f64) -> KernelDesc {
+        KernelDesc {
+            int_alu: ops,
+            fp_add: 0.0,
+            fp_div: 0.0,
+            loads: ops * 0.4,
+            stores: ops * 0.2,
+            branches: ops * 0.2 + 4.0,
+            mispredict_rate: 0.05,
+            working_set: 4096.0,
+            stride: 8.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_total_is_sum_of_classes() {
+        let k = KernelDesc {
+            int_alu: 10.0,
+            fp_add: 20.0,
+            fp_div: 5.0,
+            loads: 7.0,
+            stores: 3.0,
+            branches: 5.0,
+            mispredict_rate: 0.1,
+            working_set: 1024.0,
+            stride: 8.0,
+        };
+        assert_eq!(k.instructions(), 50.0);
+    }
+
+    #[test]
+    fn repeat_scales_ops_not_working_set() {
+        let k = KernelDesc::stencil(100.0, 4.0, 65536.0);
+        let r = k.repeat(3.0);
+        assert!((r.fp_add - 3.0 * k.fp_add).abs() < 1e-9);
+        assert!((r.loads - 3.0 * k.loads).abs() < 1e-9);
+        assert_eq!(r.working_set, k.working_set);
+        assert_eq!(r.mispredict_rate, k.mispredict_rate);
+    }
+
+    #[test]
+    fn then_adds_ops_and_keeps_max_working_set() {
+        let a = KernelDesc::stencil(100.0, 4.0, 65536.0);
+        let b = KernelDesc::integer_scatter(50.0, (1 << 20) as f64);
+        let c = a.then(&b);
+        assert!((c.instructions() - (a.instructions() + b.instructions())).abs() < 1e-9);
+        // Working sets cap at the blocked-loop tile bound.
+        assert_eq!(c.working_set, TILE_BYTES);
+        // Blended misprediction rate lies between the two inputs.
+        assert!(c.mispredict_rate > a.mispredict_rate);
+        assert!(c.mispredict_rate < b.mispredict_rate);
+    }
+
+    #[test]
+    fn then_with_zero_is_identity_on_ops() {
+        let a = KernelDesc::divide_heavy(10.0, 2.0, 4096.0);
+        let c = a.then(&KernelDesc::ZERO);
+        assert!((c.instructions() - a.instructions()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constructors_produce_sane_mixes() {
+        let s = KernelDesc::stencil(1000.0, 8.0, 1048576.0);
+        assert!(s.fp_add > 0.0 && s.fp_div == 0.0);
+        let d = KernelDesc::divide_heavy(1000.0, 1.0, 65536.0);
+        assert!(d.fp_div > 0.0);
+        let i = KernelDesc::integer_scatter(1000.0, 4194304.0);
+        assert!(i.fp_add == 0.0 && i.mispredict_rate > 0.1);
+        let b = KernelDesc::bookkeeping(100.0);
+        assert!(b.instructions() > 100.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Hardware performance models for the Siesta proxy-app synthesizer.
+//!
+//! The Siesta paper (CLUSTER 2024) characterizes every *computation event* of
+//! an MPI program by six hardware performance counters (its Table 1):
+//! instructions, cycles, load/stores, L1 data-cache misses, conditional
+//! branches, and mispredicted conditional branches. On the authors' testbed
+//! these come from PAPI; in this reproduction they come from an analytic CPU
+//! model so that the whole pipeline runs on any machine, deterministically.
+//!
+//! This crate provides:
+//!
+//! * [`CounterVec`] — the six Table-1 metrics plus arithmetic and the derived
+//!   ratios (IPC / cache-miss rate / branch-misprediction rate) used by the
+//!   MINIME comparison.
+//! * [`KernelDesc`] — an abstract micro-op description of a computation
+//!   kernel (what a basic block *does*, independent of any platform).
+//! * [`CpuModel`] — maps a [`KernelDesc`] to a [`CounterVec`] and to cycles /
+//!   wall time for a specific processor.
+//! * [`Platform`] — the three evaluation platforms of the paper's Table 2
+//!   (Xeon Scale 6248, Xeon Phi 7210, Xeon E5-2680 v4).
+//! * [`MpiFlavor`] and [`NetParams`] — network / MPI-implementation cost
+//!   parameters consumed by the `siesta-mpisim` virtual-time runtime.
+//! * [`noise`] — deterministic measurement noise, so that counter readings
+//!   behave like real (jittery) hardware counters and the trace-side
+//!   clustering of similar computation events has real work to do.
+//!
+//! Everything here is pure and deterministic: the same inputs always produce
+//! the same "measurements", which is what makes the repo's experiment
+//! harnesses reproducible.
+
+pub mod counters;
+pub mod cpu;
+pub mod flavor;
+pub mod kernel;
+pub mod net;
+pub mod noise;
+pub mod platform;
+
+pub use counters::{CounterVec, Metric, MEASUREMENT_FLOOR, METRICS};
+pub use cpu::CpuModel;
+pub use flavor::{CollectiveAlgo, MpiFlavor};
+pub use kernel::{KernelDesc, TILE_BYTES};
+pub use net::{NetParams, Protocol};
+pub use platform::{platform_a, platform_b, platform_by_name, platform_c, Machine, Platform};

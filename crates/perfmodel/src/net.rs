@@ -1,0 +1,150 @@
+//! Network / messaging cost parameters consumed by the virtual-time MPI
+//! runtime (`siesta-mpisim`).
+//!
+//! The model is LogGP-flavored: a message costs software overhead at each
+//! end, plus `latency + bytes/bandwidth` on the wire, with distinct
+//! parameters for shared-memory (same node) and network (cross node) paths,
+//! and an eager/rendezvous protocol switch at a configurable threshold.
+//! MPI implementations ("flavors") differ exactly in these parameters plus
+//! their collective algorithm choices — which is why the paper's Figure 7
+//! (robustness to MPI implementation changes) is reproducible at all.
+
+/// Point-to-point protocol selected for a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Message is buffered at the sender and delivered asynchronously;
+    /// the sender does not wait for the receiver.
+    Eager,
+    /// Sender and receiver handshake; the transfer cannot start before the
+    /// receive is posted.
+    Rendezvous,
+}
+
+/// Resolved messaging cost parameters for one (platform, flavor) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetParams {
+    /// One-way cross-node latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Cross-node bandwidth in bytes per nanosecond (== GB/s).
+    pub bandwidth_bpns: f64,
+    /// Same-node (shared memory) latency in nanoseconds.
+    pub shm_latency_ns: f64,
+    /// Same-node bandwidth in bytes per nanosecond.
+    pub shm_bandwidth_bpns: f64,
+    /// Messages strictly larger than this use the rendezvous protocol.
+    pub eager_threshold: usize,
+    /// Extra handshake cost of a rendezvous transfer, in nanoseconds.
+    pub rendezvous_extra_ns: f64,
+    /// Software overhead charged to the sender per point-to-point call.
+    pub send_overhead_ns: f64,
+    /// Software overhead charged to the receiver per point-to-point call.
+    pub recv_overhead_ns: f64,
+    /// Software overhead charged per collective call (setup/bookkeeping).
+    pub collective_overhead_ns: f64,
+}
+
+impl NetParams {
+    /// Protocol used for a message of `bytes` bytes.
+    pub fn protocol(&self, bytes: usize) -> Protocol {
+        if bytes <= self.eager_threshold {
+            Protocol::Eager
+        } else {
+            Protocol::Rendezvous
+        }
+    }
+
+    /// One-way latency for the given placement.
+    pub fn latency(&self, same_node: bool) -> f64 {
+        if same_node {
+            self.shm_latency_ns
+        } else {
+            self.latency_ns
+        }
+    }
+
+    /// Bandwidth in bytes/ns for the given placement.
+    pub fn bandwidth(&self, same_node: bool) -> f64 {
+        if same_node {
+            self.shm_bandwidth_bpns
+        } else {
+            self.bandwidth_bpns
+        }
+    }
+
+    /// Wire time of a message: latency plus serialization.
+    pub fn transfer_ns(&self, bytes: usize, same_node: bool) -> f64 {
+        self.latency(same_node) + bytes as f64 / self.bandwidth(same_node)
+    }
+
+    /// Full cost of a *blocking* ping (send start to data available at the
+    /// receiver), used by the communication-shrinking regression model.
+    pub fn blocking_delivery_ns(&self, bytes: usize, same_node: bool) -> f64 {
+        let base = self.send_overhead_ns + self.transfer_ns(bytes, same_node);
+        match self.protocol(bytes) {
+            Protocol::Eager => base,
+            Protocol::Rendezvous => base + self.rendezvous_extra_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> NetParams {
+        NetParams {
+            latency_ns: 1000.0,
+            bandwidth_bpns: 20.0,
+            shm_latency_ns: 300.0,
+            shm_bandwidth_bpns: 40.0,
+            eager_threshold: 4096,
+            rendezvous_extra_ns: 800.0,
+            send_overhead_ns: 150.0,
+            recv_overhead_ns: 150.0,
+            collective_overhead_ns: 400.0,
+        }
+    }
+
+    #[test]
+    fn protocol_switches_at_threshold() {
+        let p = params();
+        assert_eq!(p.protocol(0), Protocol::Eager);
+        assert_eq!(p.protocol(4096), Protocol::Eager);
+        assert_eq!(p.protocol(4097), Protocol::Rendezvous);
+    }
+
+    #[test]
+    fn shared_memory_is_faster() {
+        let p = params();
+        assert!(p.transfer_ns(1 << 20, true) < p.transfer_ns(1 << 20, false));
+        assert!(p.latency(true) < p.latency(false));
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_size() {
+        let p = params();
+        let mut last = 0.0;
+        for sz in [0usize, 64, 1024, 65536, 1 << 20] {
+            let t = p.transfer_ns(sz, false);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn rendezvous_adds_handshake() {
+        let p = params();
+        let just_below = p.blocking_delivery_ns(4096, false);
+        let just_above = p.blocking_delivery_ns(4097, false);
+        assert!(just_above > just_below + p.rendezvous_extra_ns * 0.99);
+    }
+
+    #[test]
+    fn large_messages_are_bandwidth_bound() {
+        let p = params();
+        let bytes = 64usize << 20;
+        let t = p.transfer_ns(bytes, false);
+        let serial = bytes as f64 / p.bandwidth_bpns;
+        assert!((t - serial) / t < 0.01);
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic measurement noise.
+//!
+//! Real hardware-counter reads jitter run to run; the paper leans on this
+//! ("the statistics from the performance counter are noisy, \[so\] it is
+//! unnecessary to store accurate counts") to justify clustering similar
+//! computation events. We reproduce the jitter with a counter-mode hash so
+//! that the *whole experiment* is still a pure function of its seeds.
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform sample in `[0, 1)` derived from a seed.
+#[inline]
+pub fn unit(seed: u64) -> f64 {
+    // 53 high bits → double in [0,1).
+    (splitmix64(seed) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Approximately standard-normal sample (sum of 4 uniforms, rescaled).
+/// Light tails are fine — counters never jitter by many sigma.
+#[inline]
+pub fn gaussian(seed: u64) -> f64 {
+    let s = unit(seed)
+        + unit(seed.wrapping_add(0x9e37_79b9))
+        + unit(seed.wrapping_add(0x3c6e_f372))
+        + unit(seed.wrapping_add(0xdaa6_6d2b));
+    // Sum of 4 U(0,1): mean 2, variance 4/12 → std sqrt(1/3).
+    (s - 2.0) * (3.0f64).sqrt()
+}
+
+/// Multiplicative jitter: `value * (1 + sigma * N(0,1))`, clamped to stay
+/// non-negative. Returns `value` untouched when it is zero so that "this
+/// kernel has no divides" never becomes "0.3 divides".
+#[inline]
+pub fn jitter(value: f64, sigma: f64, seed: u64) -> f64 {
+    if value == 0.0 || sigma == 0.0 {
+        return value;
+    }
+    (value * (1.0 + sigma * gaussian(seed))).max(0.0)
+}
+
+/// Fold several identifiers into one seed.
+#[inline]
+pub fn combine(parts: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &p in parts {
+        h = splitmix64(h ^ p);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_in_range_and_deterministic() {
+        for seed in 0..1000u64 {
+            let u = unit(seed);
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, unit(seed));
+        }
+    }
+
+    #[test]
+    fn gaussian_has_roughly_unit_moments() {
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for seed in 0..n {
+            let g = gaussian(seed as u64 * 7919);
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn jitter_preserves_zero_and_stays_nonnegative() {
+        assert_eq!(jitter(0.0, 0.5, 1), 0.0);
+        assert_eq!(jitter(5.0, 0.0, 1), 5.0);
+        for seed in 0..1000u64 {
+            assert!(jitter(1.0, 2.0, seed) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_centered() {
+        let n = 10_000;
+        let mut sum = 0.0;
+        for seed in 0..n {
+            sum += jitter(100.0, 0.05, seed as u64);
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn combine_differs_on_order_and_content() {
+        assert_ne!(combine(&[1, 2]), combine(&[2, 1]));
+        assert_ne!(combine(&[1]), combine(&[1, 0]));
+        assert_eq!(combine(&[3, 4, 5]), combine(&[3, 4, 5]));
+    }
+}

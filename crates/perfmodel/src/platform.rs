@@ -1,0 +1,257 @@
+//! The three evaluation platforms of the paper's Table 2, and the resolved
+//! (platform × MPI-flavor) [`Machine`] that the simulator runs on.
+//!
+//! | | Platform A | Platform B | Platform C |
+//! |---|---|---|---|
+//! | Processor | Xeon Scale 6248 | Xeon Phi 7210 | Xeon E5-2680 v4 |
+//! | Cores/node | 20 × 2 | 64 | 14 × 2 |
+//! | L1 I/D | 32 KB | 32 KB | 32 KB |
+//! | L2 | 1024 KB | 256 KB | 256 KB |
+//! | Frequency | 2.5 GHz | 1.3 GHz | 2.4 GHz |
+//! | Network | Mellanox HDR | Intel OPA | None |
+//!
+//! The micro-architectural parameters not in Table 2 (issue width, penalties)
+//! are set to publicly documented ballpark values for the respective cores:
+//! Cascade Lake and Broadwell are 4-wide out-of-order parts; Knights Landing
+//! is a 2-wide in-order-ish core with slow divides — which is exactly why the
+//! paper's Figure 9 shows large original-time changes when moving from
+//! platform A to platform B.
+
+use crate::cpu::CpuModel;
+use crate::flavor::MpiFlavor;
+use crate::net::NetParams;
+
+/// A hardware platform: one CPU model, a node width, and a fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    pub name: &'static str,
+    pub cpu: CpuModel,
+    /// Ranks per node; ranks are placed block-wise (`node = rank / cores_per_node`).
+    pub cores_per_node: usize,
+    /// Raw fabric parameters before flavor tuning. Single-node platforms
+    /// still carry network numbers, but no rank pair ever uses them.
+    pub net_base: NetParams,
+    /// True when the platform has no interconnect (paper's platform C).
+    pub single_node: bool,
+}
+
+impl Platform {
+    /// Node index hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        if self.single_node {
+            0
+        } else {
+            rank / self.cores_per_node
+        }
+    }
+
+    /// Whether two ranks share a node (and thus the shared-memory path).
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Maximum rank count this platform can host. Only the network-less
+    /// platform C is limited (one node); clusters are treated as unbounded.
+    pub fn max_ranks(&self) -> Option<usize> {
+        if self.single_node {
+            Some(self.cores_per_node)
+        } else {
+            None
+        }
+    }
+}
+
+/// Platform A — Intel Xeon Scale 6248 cluster, Mellanox HDR.
+pub fn platform_a() -> Platform {
+    Platform {
+        name: "A",
+        cpu: CpuModel {
+            freq_ghz: 2.5,
+            issue_width: 4.0,
+            mem_ports: 2.0,
+            fp_div_latency: 14.0,
+            l1_size: 32.0 * 1024.0,
+            line_size: 64.0,
+            l2_size: 1024.0 * 1024.0,
+            l2_hit_penalty: 12.0,
+            mem_penalty: 190.0,
+            mispredict_penalty: 16.0,
+            noise_sigma: 0.02,
+        },
+        cores_per_node: 40,
+        net_base: NetParams {
+            latency_ns: 1000.0,
+            bandwidth_bpns: 23.0, // HDR100-class effective bandwidth
+            shm_latency_ns: 250.0,
+            shm_bandwidth_bpns: 45.0,
+            eager_threshold: 4096,
+            rendezvous_extra_ns: 900.0,
+            send_overhead_ns: 150.0,
+            recv_overhead_ns: 150.0,
+            collective_overhead_ns: 400.0,
+        },
+        single_node: false,
+    }
+}
+
+/// Platform B — Intel Xeon Phi 7210 (Knights Landing) cluster, Intel OPA.
+pub fn platform_b() -> Platform {
+    Platform {
+        name: "B",
+        cpu: CpuModel {
+            freq_ghz: 1.3,
+            issue_width: 2.0,
+            mem_ports: 2.0,
+            fp_div_latency: 32.0,
+            l1_size: 32.0 * 1024.0,
+            line_size: 64.0,
+            l2_size: 256.0 * 1024.0,
+            l2_hit_penalty: 18.0,
+            mem_penalty: 230.0,
+            mispredict_penalty: 12.0,
+            noise_sigma: 0.03,
+        },
+        cores_per_node: 64,
+        net_base: NetParams {
+            latency_ns: 1500.0,
+            bandwidth_bpns: 12.0, // Omni-Path 100 effective bandwidth
+            shm_latency_ns: 450.0,
+            shm_bandwidth_bpns: 18.0,
+            eager_threshold: 4096,
+            rendezvous_extra_ns: 1200.0,
+            send_overhead_ns: 350.0, // slow cores pay more software overhead
+            recv_overhead_ns: 350.0,
+            collective_overhead_ns: 900.0,
+        },
+        single_node: false,
+    }
+}
+
+/// Platform C — Intel Xeon E5-2680 v4 single-node server (no network).
+pub fn platform_c() -> Platform {
+    Platform {
+        name: "C",
+        cpu: CpuModel {
+            freq_ghz: 2.4,
+            issue_width: 4.0,
+            mem_ports: 2.0,
+            fp_div_latency: 15.0,
+            l1_size: 32.0 * 1024.0,
+            line_size: 64.0,
+            l2_size: 256.0 * 1024.0,
+            l2_hit_penalty: 12.0,
+            mem_penalty: 170.0,
+            mispredict_penalty: 15.0,
+            noise_sigma: 0.02,
+        },
+        cores_per_node: 28,
+        net_base: NetParams {
+            // Unused in practice (single node), kept finite for safety.
+            latency_ns: 10_000.0,
+            bandwidth_bpns: 1.0,
+            shm_latency_ns: 300.0,
+            shm_bandwidth_bpns: 35.0,
+            eager_threshold: 4096,
+            rendezvous_extra_ns: 700.0,
+            send_overhead_ns: 160.0,
+            recv_overhead_ns: 160.0,
+            collective_overhead_ns: 420.0,
+        },
+        single_node: true,
+    }
+}
+
+/// Look up a platform by its Table-2 letter.
+pub fn platform_by_name(name: &str) -> Option<Platform> {
+    match name {
+        "A" | "a" => Some(platform_a()),
+        "B" | "b" => Some(platform_b()),
+        "C" | "c" => Some(platform_c()),
+        _ => None,
+    }
+}
+
+/// A platform paired with an MPI implementation: the complete execution
+/// environment for a run. Holds the flavor-tuned network parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    pub platform: Platform,
+    pub flavor: MpiFlavor,
+    pub net: NetParams,
+}
+
+impl Machine {
+    pub fn new(platform: Platform, flavor: MpiFlavor) -> Machine {
+        let net = flavor.tune(platform.net_base);
+        Machine { platform, flavor, net }
+    }
+
+    /// Default environment of the paper's evaluation: platform A + OpenMPI.
+    pub fn default_eval() -> Machine {
+        Machine::new(platform_a(), MpiFlavor::OpenMpi)
+    }
+
+    pub fn cpu(&self) -> &CpuModel {
+        &self.platform.cpu
+    }
+
+    /// Shorthand: `"A/openmpi"`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.platform.name, self.flavor.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_frequencies() {
+        assert_eq!(platform_a().cpu.freq_ghz, 2.5);
+        assert_eq!(platform_b().cpu.freq_ghz, 1.3);
+        assert_eq!(platform_c().cpu.freq_ghz, 2.4);
+    }
+
+    #[test]
+    fn table2_caches() {
+        for p in [platform_a(), platform_b(), platform_c()] {
+            assert_eq!(p.cpu.l1_size, 32.0 * 1024.0);
+        }
+        assert_eq!(platform_a().cpu.l2_size, 1024.0 * 1024.0);
+        assert_eq!(platform_b().cpu.l2_size, 256.0 * 1024.0);
+        assert_eq!(platform_c().cpu.l2_size, 256.0 * 1024.0);
+    }
+
+    #[test]
+    fn node_placement_is_blockwise() {
+        let a = platform_a();
+        assert_eq!(a.node_of(0), 0);
+        assert_eq!(a.node_of(39), 0);
+        assert_eq!(a.node_of(40), 1);
+        assert!(a.same_node(0, 39));
+        assert!(!a.same_node(39, 40));
+    }
+
+    #[test]
+    fn platform_c_is_single_node() {
+        let c = platform_c();
+        assert_eq!(c.max_ranks(), Some(28));
+        assert!(c.same_node(0, 27));
+        assert_eq!(platform_a().max_ranks(), None);
+    }
+
+    #[test]
+    fn machine_applies_flavor_tuning() {
+        let m = Machine::new(platform_a(), MpiFlavor::Mvapich);
+        assert_eq!(m.net.eager_threshold, 16384);
+        assert!(m.net.latency_ns < platform_a().net_base.latency_ns);
+        assert_eq!(m.label(), "A/mvapich");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(platform_by_name("A").unwrap().name, "A");
+        assert_eq!(platform_by_name("b").unwrap().name, "B");
+        assert!(platform_by_name("D").is_none());
+    }
+}

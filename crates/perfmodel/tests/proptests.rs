@@ -1,0 +1,129 @@
+//! Property-based tests for the hardware models.
+
+use proptest::prelude::*;
+
+use siesta_perfmodel::{
+    platform_a, platform_b, platform_c, KernelDesc, Machine, MpiFlavor,
+};
+
+fn arb_kernel() -> impl Strategy<Value = KernelDesc> {
+    (
+        0.0f64..1e6, // int_alu
+        0.0f64..1e6, // fp_add
+        0.0f64..1e4, // fp_div
+        0.0f64..1e6, // loads
+        0.0f64..1e5, // stores
+        0.0f64..1e5, // branches
+        0.0f64..1.0, // mispredict_rate
+        0.0f64..1e7, // working_set
+        8.0f64..128.0, // stride
+    )
+        .prop_map(
+            |(int_alu, fp_add, fp_div, loads, stores, branches, mr, ws, stride)| KernelDesc {
+                int_alu,
+                fp_add,
+                fp_div,
+                loads,
+                stores,
+                branches,
+                mispredict_rate: mr,
+                working_set: ws,
+                stride,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Counters are always valid (finite, non-negative) and architectural
+    /// counts match the kernel exactly on every platform.
+    #[test]
+    fn counters_are_valid_everywhere(k in arb_kernel()) {
+        for platform in [platform_a(), platform_b(), platform_c()] {
+            let c = platform.cpu.counters(&k);
+            prop_assert!(c.is_valid());
+            prop_assert!((c.ins - k.instructions()).abs() < 1e-6);
+            prop_assert!((c.lst - (k.loads + k.stores)).abs() < 1e-6);
+            prop_assert!(c.msp <= c.br_cn + 1e-9);
+            prop_assert!(c.l1_dcm <= c.lst + 1e-9);
+        }
+    }
+
+    /// More work never costs fewer cycles (monotonicity in repetition).
+    #[test]
+    fn cycles_monotone_in_repetitions(k in arb_kernel(), r in 1.0f64..20.0) {
+        let cpu = platform_a().cpu;
+        let once = cpu.counters(&k).cyc;
+        let many = cpu.counters(&k.repeat(r)).cyc;
+        prop_assert!(many >= once * 0.999, "repeat {r}: {many} < {once}");
+    }
+
+    /// A larger working set never reduces cache misses (other things equal).
+    #[test]
+    fn misses_monotone_in_working_set(k in arb_kernel(), grow in 1.0f64..50.0) {
+        let cpu = platform_a().cpu;
+        let small = cpu.counters(&k).l1_dcm;
+        let mut big_k = k;
+        big_k.working_set *= grow;
+        let big = cpu.counters(&big_k).l1_dcm;
+        prop_assert!(big >= small * 0.999, "ws×{grow}: {big} < {small}");
+    }
+
+    /// Noisy readings stay within a few sigma of the exact values and are
+    /// reproducible per seed.
+    #[test]
+    fn noise_is_bounded_and_deterministic(k in arb_kernel(), seed in any::<u64>()) {
+        let cpu = platform_a().cpu;
+        let exact = cpu.counters(&k);
+        let a = cpu.counters_noisy(&k, seed);
+        let b = cpu.counters_noisy(&k, seed);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.is_valid());
+        for (x, e) in a.as_array().iter().zip(exact.as_array().iter()) {
+            if *e > 0.0 {
+                // Sum-of-uniforms noise is hard-bounded by ±2·√3·σ.
+                prop_assert!((x - e).abs() / e <= 2.0 * 3.0f64.sqrt() * cpu.noise_sigma + 1e-12);
+            } else {
+                prop_assert_eq!(*x, 0.0);
+            }
+        }
+    }
+
+    /// The KNL platform is never faster than platform A for the same kernel.
+    #[test]
+    fn knl_is_never_faster(k in arb_kernel()) {
+        let ta = platform_a().cpu.kernel_time_ns(&k);
+        let tb = platform_b().cpu.kernel_time_ns(&k);
+        prop_assert!(tb >= ta * 0.999, "B faster than A: {tb} < {ta}");
+    }
+
+    /// Flavor tuning keeps network parameters physical (positive, finite).
+    #[test]
+    fn flavored_networks_are_physical(bytes in 0usize..100_000_000) {
+        for platform in [platform_a(), platform_b()] {
+            for flavor in MpiFlavor::ALL {
+                let m = Machine::new(platform, flavor);
+                for same_node in [false, true] {
+                    let t = m.net.transfer_ns(bytes, same_node);
+                    prop_assert!(t.is_finite() && t > 0.0);
+                    let d = m.net.blocking_delivery_ns(bytes, same_node);
+                    prop_assert!(d >= t);
+                }
+            }
+        }
+    }
+
+    /// Transfer time is monotone in message size for every flavor.
+    #[test]
+    fn transfer_monotone_in_size(a in 0usize..50_000_000, b in 0usize..50_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for flavor in MpiFlavor::ALL {
+            let m = Machine::new(platform_a(), flavor);
+            prop_assert!(m.net.transfer_ns(lo, false) <= m.net.transfer_ns(hi, false));
+            prop_assert!(
+                m.net.blocking_delivery_ns(lo, false) <= m.net.blocking_delivery_ns(hi, false) + 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The 11 pre-designed code blocks of the paper's Figure 2.
+//!
+//! Each block is a tiny code snippet with a deliberately skewed performance
+//! signature, so that non-negative integer combinations of them span a wide
+//! range of (INS, CYC, LST, L1_DCM, BR_CN, MSP) targets:
+//!
+//! | # | snippet | purpose |
+//! |---|---------|---------|
+//! | 1 | `i1 = i2+i3` | simple add, high IPC |
+//! | 2 | `i1 = i2+i3+i4+i5+i6` (registers) | adds with low LST/INS |
+//! | 3 | `d1 = d1/d2` | divide, low IPC |
+//! | 4 | `d1 = d2/d3/d4/d5/d6` (registers) | divides with low LST/INS |
+//! | 5 | random-bit loop with add body | mispredictions at high IPC |
+//! | 6 | random-bit loop with divide body | mispredictions at low IPC |
+//! | 7 | stride-walk over 2×L1 | cache misses |
+//! | 8 | stride-walk with adds | cache misses at high IPC |
+//! | 9 | stride-walk with divides | cache misses at low IPC |
+//! | 10 | empty counted loop | predictable branches |
+//! | 11 | the wrapper loop around blocks 1–9 | loop overhead cover |
+//!
+//! Blocks 1–6 and 10–11 are per-iteration costs; blocks 7–9 contain their
+//! own traversal loop, so one repetition is one full 2×L1 pass. The paper's
+//! extra constraint `x₁₁ ≥ Σᵢ₌₁⁹ xᵢ` expresses that every occurrence of
+//! blocks 1–9 executes inside one iteration of block 11's wrapper loop.
+
+use siesta_perfmodel::{CpuModel, KernelDesc};
+
+/// Number of pre-designed blocks.
+pub const NUM_BLOCKS: usize = 11;
+
+/// Index (0-based) of the wrapper-loop block (block 11).
+pub const WRAPPER: usize = 10;
+
+/// Human-readable names matching Figure 2's comments.
+pub const BLOCK_NAMES: [&str; NUM_BLOCKS] = [
+    "block1_add_high_ipc",
+    "block2_add_low_lst",
+    "block3_div_low_ipc",
+    "block4_div_low_lst",
+    "block5_msp_high_ipc",
+    "block6_msp_low_ipc",
+    "block7_cache_miss",
+    "block8_cache_miss_high_ipc",
+    "block9_cache_miss_low_ipc",
+    "block10_branch_loop",
+    "block11_wrapper_loop",
+];
+
+/// Unroll factor of the straight-line blocks 1–4: one occurrence inside the
+/// wrapper loop is 32 copies of the snippet, as a compiler would emit.
+/// Without unrolling, every occurrence would pay one wrapper branch per
+/// handful of instructions, and low-branch-density targets (dense numeric
+/// kernels run ~50+ instructions per branch) would be unreachable.
+pub const UNROLL: f64 = 32.0;
+
+/// Build the block kernels for a target CPU. Figure 2 sizes the walk by
+/// the L1 cache; we use a 6×L1 span (192 KB on all three platforms):
+/// large enough that the walk's miss density (`1 − L1/span ≈ 0.83`)
+/// covers the most cache-hostile kernels (irregular gathers/scatters),
+/// small enough to stay L2-resident like the blocked loops of real codes.
+pub fn blocks_for(cpu: &CpuModel) -> [KernelDesc; NUM_BLOCKS] {
+    let line = cpu.line_size;
+    let span = 6.0 * cpu.l1_size;
+    let walk_iters = span / line; // loop j over cacheline-strided slots
+    [
+        // block1: i1 = i2 + i3 (memory operands), unrolled.
+        KernelDesc {
+            int_alu: UNROLL,
+            loads: 2.0 * UNROLL,
+            stores: UNROLL,
+            ..KernelDesc::ZERO
+        },
+        // block2: five-term register add chain, unrolled.
+        KernelDesc {
+            int_alu: 4.0 * UNROLL,
+            loads: UNROLL,
+            stores: UNROLL,
+            ..KernelDesc::ZERO
+        },
+        // block3: d1 = d1 / d2, unrolled.
+        KernelDesc {
+            fp_div: UNROLL,
+            loads: 2.0 * UNROLL,
+            stores: UNROLL,
+            ..KernelDesc::ZERO
+        },
+        // block4: four register divides, unrolled.
+        KernelDesc {
+            fp_div: 4.0 * UNROLL,
+            loads: UNROLL,
+            stores: UNROLL,
+            ..KernelDesc::ZERO
+        },
+        // block5: 20 data-dependent branches on random bits, add body.
+        KernelDesc {
+            int_alu: 35.0,
+            loads: 2.0,
+            stores: 1.0,
+            branches: 20.0,
+            mispredict_rate: 0.5,
+            ..KernelDesc::ZERO
+        },
+        // block6: same control, divide body (taken half the time).
+        KernelDesc {
+            int_alu: 26.0,
+            fp_div: 10.0,
+            loads: 2.0,
+            stores: 1.0,
+            branches: 20.0,
+            mispredict_rate: 0.5,
+            ..KernelDesc::ZERO
+        },
+        // block7: cache-line strided store walk over the span, the walk
+        // loop unrolled 8× (one loop branch per eight line stores).
+        KernelDesc {
+            int_alu: walk_iters * 2.0,
+            stores: walk_iters,
+            branches: walk_iters / 8.0,
+            mispredict_rate: 8.0 / walk_iters,
+            working_set: span,
+            stride: line,
+            ..KernelDesc::ZERO
+        },
+        // block8: the walk with an add-heavy body.
+        KernelDesc {
+            int_alu: walk_iters * 5.0,
+            stores: walk_iters,
+            branches: walk_iters / 8.0,
+            mispredict_rate: 8.0 / walk_iters,
+            working_set: span,
+            stride: line,
+            ..KernelDesc::ZERO
+        },
+        // block9: the walk with a divide-heavy body.
+        KernelDesc {
+            int_alu: walk_iters * 2.0,
+            fp_div: walk_iters * 2.0,
+            stores: walk_iters,
+            branches: walk_iters / 8.0,
+            mispredict_rate: 8.0 / walk_iters,
+            working_set: span,
+            stride: line,
+            ..KernelDesc::ZERO
+        },
+        // block10: empty counted loop (one predictable branch/iteration).
+        KernelDesc {
+            int_alu: 1.0,
+            branches: 1.0,
+            mispredict_rate: 0.001,
+            ..KernelDesc::ZERO
+        },
+        // block11: the wrapper loop (counter + bound check + dispatch).
+        KernelDesc {
+            int_alu: 2.0,
+            branches: 1.0,
+            mispredict_rate: 0.001,
+            ..KernelDesc::ZERO
+        },
+    ]
+}
+
+/// The C source of the blocks, emitted verbatim into generated proxy-apps
+/// (Figure 2 of the paper).
+pub const BLOCKS_C_SOURCE: &str = r#"/* Pre-designed computation blocks (Siesta, Figure 2).
+ * Blocks 1-4 are emitted 32x unrolled per occurrence (REP32). */
+#define REP4(X) X; X; X; X
+#define REP16(X) REP4(X); REP4(X); REP4(X); REP4(X)
+#define REP32(X) REP16(X); REP16(X)
+static int i0, i1, i2, i3, i4;
+static double d1 = 1.0, d2 = 1.000001, d3 = 1.000002, d4 = 1.000003, d5 = 1.000004, d6 = 1.000005;
+static char a[6 * L1_CACHE_SIZE + CACHELINE_SIZE];
+
+/* block1: simple add for high ipc */
+#define BLOCK1() do { REP32(i1 = i2 + i3); } while (0)
+/* block2: add with low LST/INS */
+#define BLOCK2() do { register int r2 = i2, r3 = i3, r4 = i4; REP32(i1 = r2 + r3 + r4 + r2 + r3); } while (0)
+/* block3: simple div for low ipc */
+#define BLOCK3() do { REP32(d1 = d1 / d2); } while (0)
+/* block4: div with low LST/INS */
+#define BLOCK4() do { register double r2 = d2, r3 = d3, r4 = d4, r5 = d5, r6 = d6; REP32(d1 = r2 / r3 / r4 / r5 / r6); } while (0)
+/* block5: msp with high ipc */
+#define BLOCK5() do { \
+    i4 = rand() % (1 << 20); \
+    for (register long j = 0; j < 20; j++) \
+        if ((i4 >> j) & 1) i1 = i2 + i3 + i4; \
+} while (0)
+/* block6: msp with low ipc */
+#define BLOCK6() do { \
+    i4 = rand() % (1 << 20); \
+    for (register long j = 0; j < 20; j++) \
+        if ((i4 >> j) & 1) d1 = d2 / d3 / d4; \
+} while (0)
+/* block7: get cache miss */
+#define BLOCK7() do { \
+    for (register long j = 0; j < 6 * L1_CACHE_SIZE / CACHELINE_SIZE; j++) { \
+        a[i0] = (char)i1; i0 = (i0 + CACHELINE_SIZE) % (6 * L1_CACHE_SIZE); \
+    } \
+} while (0)
+/* block8: cache miss with high ipc */
+#define BLOCK8() do { \
+    for (register long j = 0; j < 6 * L1_CACHE_SIZE / CACHELINE_SIZE; j++) { \
+        a[i0] = (char)(i1 + i2 + i3 + i4); i0 = (i0 + CACHELINE_SIZE) % (6 * L1_CACHE_SIZE); \
+    } \
+} while (0)
+/* block9: cache miss with low ipc */
+#define BLOCK9() do { \
+    for (register long j = 0; j < 6 * L1_CACHE_SIZE / CACHELINE_SIZE; j++) { \
+        a[i0] = (char)(i1 / (i2 | 1) / (i3 | 1)); i0 = (i0 + CACHELINE_SIZE) % (6 * L1_CACHE_SIZE); \
+    } \
+} while (0)
+/* block10: empty cycle for branch */
+#define BLOCK10(n) do { for (volatile long j10 = 0; j10 < (n); j10++); } while (0)
+/* block11: loop to achieve the linear combination of the other blocks */
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siesta_perfmodel::platform_a;
+
+    #[test]
+    fn blocks_have_expected_skews() {
+        let cpu = platform_a().cpu;
+        let b = blocks_for(&cpu);
+        let c: Vec<_> = b.iter().map(|k| cpu.counters(k)).collect();
+        // Adds are high-IPC, divides low-IPC.
+        assert!(c[0].ipc() > 2.0 * c[2].ipc());
+        // block2 has lower LST/INS than block1.
+        assert!(c[1].lst / c[1].ins < c[0].lst / c[0].ins);
+        // block4 has lower LST/INS than block3.
+        assert!(c[3].lst / c[3].ins < c[2].lst / c[2].ins);
+        // Blocks 5–6 produce real mispredictions, 10–11 almost none.
+        assert!(c[4].bmr() > 0.4);
+        assert!(c[9].bmr() < 0.01);
+        // Blocks 7–9 miss the cache; others basically don't.
+        assert!(c[6].cmr() > 0.3, "block7 cmr {}", c[6].cmr());
+        assert!(c[0].cmr() < 0.05);
+        // block8 beats block9 on IPC.
+        assert!(c[7].ipc() > c[8].ipc());
+    }
+
+    #[test]
+    fn block_signatures_are_linearly_diverse() {
+        // No block's counter vector is a scalar multiple of another's —
+        // a sanity check that the search space is not degenerate.
+        let cpu = platform_a().cpu;
+        let b = blocks_for(&cpu);
+        let sigs: Vec<[f64; 6]> = b.iter().map(|k| cpu.counters(k).as_array()).collect();
+        for i in 0..NUM_BLOCKS {
+            for j in (i + 1)..NUM_BLOCKS {
+                let (a, c) = (&sigs[i], &sigs[j]);
+                // Cosine similarity strictly below 1 − epsilon, except the
+                // deliberately similar wrapper/branch loops 10 & 11.
+                if (i, j) == (9, 10) {
+                    continue;
+                }
+                let dot: f64 = a.iter().zip(c).map(|(x, y)| x * y).sum();
+                let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+                let nc: f64 = c.iter().map(|x| x * x).sum::<f64>().sqrt();
+                let cos = dot / (na * nc);
+                assert!(cos < 0.999999, "blocks {i} and {j} are collinear (cos={cos})");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_blocks_scale_with_platform_l1() {
+        use siesta_perfmodel::platform_b;
+        let ba = blocks_for(&platform_a().cpu);
+        let bb = blocks_for(&platform_b().cpu);
+        // Same L1 on A and B (32 KB): identical walk footprints.
+        assert_eq!(ba[6].working_set, bb[6].working_set);
+        let mut big = platform_a().cpu;
+        big.l1_size *= 2.0;
+        assert!(blocks_for(&big)[6].working_set > ba[6].working_set);
+    }
+
+    #[test]
+    fn c_source_mentions_every_block() {
+        for i in 1..=11 {
+            if i == 11 {
+                assert!(BLOCKS_C_SOURCE.contains("block11"));
+            } else {
+                assert!(
+                    BLOCKS_C_SOURCE.contains(&format!("BLOCK{i}")),
+                    "missing BLOCK{i}"
+                );
+            }
+        }
+    }
+}

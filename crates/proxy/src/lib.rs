@@ -1,0 +1,48 @@
+//! Computation-proxy synthesis (paper Section 2.4 and the scaling part of
+//! Section 2.7).
+//!
+//! Replaying a computation event means executing code with the same six
+//! hardware-counter characteristics as the original interval. This crate
+//! provides:
+//!
+//! * [`blocks`] — the 11 pre-designed code blocks of Figure 2, both as
+//!   cost-model kernels and as the C source emitted into proxy-apps;
+//! * [`qp`] — the constrained quadratic program (row-normalized least
+//!   squares, `x ≥ 0`, `x₁₁ ≥ Σᵢ₌₁⁹ xᵢ`), reduced to plain NNLS by variable
+//!   substitution and solved with Lawson–Hanson active sets;
+//! * [`ProxySearcher`] — micro-benchmarks the blocks on a machine and fits
+//!   a [`ComputeProxy`] (integer repetition counts) per computation event;
+//! * [`Minime`] — the MINIME baseline (iterative IPC/CMR/BMR ratio
+//!   matching) used in the paper's Figures 4–5;
+//! * [`shrink`] — the scaling-factor transformations for computation
+//!   (divide counters) and communication (regression-fitted volumes).
+
+//! ```
+//! use siesta_perfmodel::{Machine, KernelDesc};
+//! use siesta_proxy::ProxySearcher;
+//!
+//! let machine = Machine::default_eval();
+//! let searcher = ProxySearcher::new(&machine); // micro-benchmark the blocks
+//!
+//! // A computation event measured at trace time (here: a dense stencil).
+//! let target = machine.cpu().counters(&KernelDesc::stencil(50_000.0, 6.0, 1e6));
+//! let proxy = searcher.search(&target);
+//!
+//! // The block combination reproduces the six counters closely.
+//! assert!(searcher.error(&proxy, &target, &machine) < 0.1);
+//! // And it satisfies the paper's wrapper-loop constraint.
+//! let inner: u64 = proxy.reps[..9].iter().sum();
+//! assert!(proxy.reps[10] >= inner);
+//! ```
+
+pub mod blocks;
+pub mod minime;
+pub mod qp;
+pub mod search;
+pub mod shrink;
+
+pub use blocks::{blocks_for, BLOCKS_C_SOURCE, BLOCK_NAMES, NUM_BLOCKS};
+pub use minime::Minime;
+pub use qp::{nnls, solve_block_fit, solve_block_fit_opts, FitResult};
+pub use search::{ComputeProxy, ProxySearcher};
+pub use shrink::{shrink_counters, CommShrink};

@@ -1,0 +1,377 @@
+//! The constrained quadratic program of Section 2.4.
+//!
+//! The paper fits a non-negative combination `x` of block signatures `B` to
+//! a counter target `t`, minimizing the row-normalized residual
+//! `Σᵢ (bᵢ·x − tᵢ)² / tᵢ²` subject to `x ≥ 0` and the loop-cover constraint
+//! `x₁₁ ≥ Σᵢ₌₁⁹ xᵢ`.
+//!
+//! The cover constraint is eliminated by the substitution
+//! `x₁₁ = s + Σᵢ₌₁⁹ xᵢ` with `s ≥ 0`: folding column 11 into columns 1–9
+//! leaves a *plain* non-negative least squares problem, solved exactly with
+//! the Lawson–Hanson active-set algorithm. The problem is tiny (6 rows, 11
+//! columns), so the dense solver below is more than enough.
+
+/// Solve `min ‖A y − b‖²` s.t. `y ≥ 0` by Lawson–Hanson active sets.
+///
+/// `a` is row-major, `rows × cols`. Returns the optimal `y` (length `cols`).
+pub fn nnls(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let rows = a.len();
+    let cols = if rows > 0 { a[0].len() } else { 0 };
+    let mut x = vec![0.0f64; cols];
+    let mut passive = vec![false; cols];
+    let tol = 1e-10 * frobenius(a) * linf(b).max(1.0);
+
+    for _outer in 0..(3 * cols + 10) {
+        // Gradient of ½‖Ax−b‖²: w = Aᵀ(b − Ax).
+        let r = residual(a, &x, b);
+        let w: Vec<f64> = (0..cols)
+            .map(|j| (0..rows).map(|i| a[i][j] * r[i]).sum())
+            .collect();
+        // Most-violating inactive variable.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..cols {
+            if !passive[j] && w[j] > tol
+                && best.map(|(_, v)| w[j] > v).unwrap_or(true) {
+                    best = Some((j, w[j]));
+                }
+        }
+        let Some((jstar, _)) = best else { break };
+        passive[jstar] = true;
+
+        // Inner loop: least squares on the passive set, stepping back when
+        // a passive variable would go negative. Feasibility tolerances are
+        // relative to the candidate solution's own scale (the gradient
+        // tolerance above is *not* appropriate here: with unnormalized,
+        // large-magnitude systems it would reject perfectly valid small
+        // coefficients).
+        loop {
+            let idx: Vec<usize> = (0..cols).filter(|&j| passive[j]).collect();
+            let z = lsq_subset(a, b, &idx);
+            let z_tol = 1e-12 * linf(&z).max(1e-300);
+            if z.iter().all(|&v| v > z_tol) {
+                for (k, &j) in idx.iter().enumerate() {
+                    x[j] = z[k];
+                }
+                for (j, xv) in x.iter_mut().enumerate() {
+                    if !passive[j] {
+                        *xv = 0.0;
+                    }
+                }
+                break;
+            }
+            // Step toward z until the first passive variable hits zero.
+            let mut alpha = f64::INFINITY;
+            for (k, &j) in idx.iter().enumerate() {
+                if z[k] <= z_tol {
+                    let denom = x[j] - z[k];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                // Degenerate: drop the entering variable and give up on it.
+                passive[jstar] = false;
+                x[jstar] = 0.0;
+                break;
+            }
+            for (k, &j) in idx.iter().enumerate() {
+                x[j] += alpha * (z[k] - x[j]);
+                if x[j] <= z_tol {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+    }
+    x
+}
+
+fn residual(a: &[Vec<f64>], x: &[f64], b: &[f64]) -> Vec<f64> {
+    a.iter()
+        .zip(b)
+        .map(|(row, &bi)| bi - row.iter().zip(x).map(|(aij, xj)| aij * xj).sum::<f64>())
+        .collect()
+}
+
+fn frobenius(a: &[Vec<f64>]) -> f64 {
+    a.iter()
+        .flat_map(|r| r.iter())
+        .map(|v| v * v)
+        .sum::<f64>()
+        .sqrt()
+}
+
+fn linf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Unconstrained least squares restricted to the columns in `idx`, via
+/// normal equations with a tiny ridge for rank-deficient subsets.
+fn lsq_subset(a: &[Vec<f64>], b: &[f64], idx: &[usize]) -> Vec<f64> {
+    let k = idx.len();
+    let rows = a.len();
+    // G = AᵀA (k×k), c = Aᵀb (k).
+    let mut g = vec![vec![0.0f64; k]; k];
+    let mut c = vec![0.0f64; k];
+    for i in 0..rows {
+        for (p, &jp) in idx.iter().enumerate() {
+            c[p] += a[i][jp] * b[i];
+            for (q, &jq) in idx.iter().enumerate() {
+                g[p][q] += a[i][jp] * a[i][jq];
+            }
+        }
+    }
+    let ridge = 1e-12 * (0..k).map(|p| g[p][p]).fold(0.0f64, f64::max).max(1e-300);
+    for (p, row) in g.iter_mut().enumerate() {
+        row[p] += ridge;
+    }
+    solve_dense(&mut g, &mut c);
+    c
+}
+
+/// In-place Gaussian elimination with partial pivoting; solution left in `b`.
+fn solve_dense(a: &mut [Vec<f64>], b: &mut [f64]) {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in (col + 1)..n {
+            if a[r][col].abs() > a[piv][col].abs() {
+                piv = r;
+            }
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let d = a[col][col];
+        if d.abs() < 1e-300 {
+            continue; // singular direction: leave zero
+        }
+        for r in (col + 1)..n {
+            let f = a[r][col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // textbook elimination form
+            for cc in col..n {
+                a[r][cc] -= f * a[col][cc];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let d = a[col][col];
+        if d.abs() < 1e-300 {
+            b[col] = 0.0;
+            continue;
+        }
+        let mut s = b[col];
+        for cc in (col + 1)..n {
+            s -= a[col][cc] * b[cc];
+        }
+        b[col] = s / d;
+    }
+}
+
+/// Result of the full Siesta block fit.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// Continuous (pre-rounding) repetition counts, length 11; satisfies
+    /// `x ≥ 0` and `x[10] ≥ Σ x[0..9]` exactly.
+    pub x: Vec<f64>,
+    /// Weighted residual value of the objective (4) at `x`.
+    pub objective: f64,
+}
+
+/// Solve the paper's full problem:
+/// `min Σᵢ (bᵢ·x − tᵢ)²/tᵢ²  s.t.  x ≥ 0, x₁₁ ≥ Σᵢ₌₁⁹ xᵢ`.
+///
+/// `b_matrix[i][j]` = metric `i` of one repetition of block `j` (6×11);
+/// `t` = the six metric targets.
+pub fn solve_block_fit(b_matrix: &[[f64; 11]; 6], t: &[f64; 6]) -> FitResult {
+    solve_block_fit_opts(b_matrix, t, true)
+}
+
+/// [`solve_block_fit`] with the row normalization switchable — the ablation
+/// for the paper's equation (3)→(4) step. Without normalization the
+/// objective is plain `‖Bx − t‖²`, which the large-magnitude metrics (INS,
+/// CYC) dominate.
+pub fn solve_block_fit_opts(
+    b_matrix: &[[f64; 11]; 6],
+    t: &[f64; 6],
+    row_normalize: bool,
+) -> FitResult {
+    // Row weights 1/tᵢ (the paper's relative-error normalization), clamped
+    // at the hardware measurement floor: a target of a few dozen counts is
+    // inside counter noise and must not dominate the objective. Zero
+    // targets keep weight 1 so they still penalize spurious contributions.
+    const NOISE_FLOOR: f64 = 256.0;
+    let weights: [f64; 6] = std::array::from_fn(|i| {
+        if row_normalize && t[i] > 1.0 {
+            1.0 / t[i].max(NOISE_FLOOR)
+        } else {
+            1.0
+        }
+    });
+
+    // Substituted system: y = (x₁..x₉, x₁₀, s); column j<9 ⇒ B_j + B₁₁,
+    // column 9 ⇒ B₁₀, column 10 ⇒ B₁₁.
+    let mut a = vec![vec![0.0f64; 11]; 6];
+    let mut bb = vec![0.0f64; 6];
+    for i in 0..6 {
+        for j in 0..9 {
+            a[i][j] = weights[i] * (b_matrix[i][j] + b_matrix[i][10]);
+        }
+        a[i][9] = weights[i] * b_matrix[i][9];
+        a[i][10] = weights[i] * b_matrix[i][10];
+        bb[i] = weights[i] * t[i];
+    }
+    let y = nnls(&a, &bb);
+
+    // Back-substitute.
+    let mut x = vec![0.0f64; 11];
+    x[..9].copy_from_slice(&y[..9]);
+    x[9] = y[9];
+    x[10] = y[10] + y[..9].iter().sum::<f64>();
+
+    // Objective at x (original formulation).
+    let mut objective = 0.0;
+    for i in 0..6 {
+        let pred: f64 = (0..11).map(|j| b_matrix[i][j] * x[j]).sum();
+        let w = weights[i];
+        objective += (w * (pred - t[i])).powi(2);
+    }
+    FitResult { x, objective }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        a.iter()
+            .map(|r| r.iter().zip(x).map(|(aij, xj)| aij * xj).sum())
+            .collect()
+    }
+
+    #[test]
+    fn nnls_recovers_nonnegative_solutions_exactly() {
+        let a = vec![
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let x_true = [2.0, 3.0, 1.0];
+        let b = matvec(&a, &x_true);
+        let x = nnls(&a, &b);
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-8, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn nnls_clamps_negative_directions() {
+        // b = -a for a single column: best non-negative answer is 0.
+        let a = vec![vec![1.0], vec![1.0]];
+        let b = vec![-1.0, -1.0];
+        let x = nnls(&a, &b);
+        assert_eq!(x, vec![0.0]);
+    }
+
+    #[test]
+    fn nnls_satisfies_kkt() {
+        // Random overdetermined instance; verify KKT conditions.
+        let mut seed = 7u64;
+        let mut rnd = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for _case in 0..50 {
+            let rows = 6;
+            let cols = 4;
+            let a: Vec<Vec<f64>> =
+                (0..rows).map(|_| (0..cols).map(|_| rnd() + 0.6).collect()).collect();
+            let b: Vec<f64> = (0..rows).map(|_| rnd() * 3.0).collect();
+            let x = nnls(&a, &b);
+            assert!(x.iter().all(|&v| v >= 0.0));
+            let r = residual(&a, &x, &b);
+            for j in 0..cols {
+                let grad_j: f64 = (0..rows).map(|i| a[i][j] * r[i]).sum();
+                if x[j] > 1e-8 {
+                    assert!(grad_j.abs() < 1e-6, "active gradient {grad_j}");
+                } else {
+                    assert!(grad_j < 1e-6, "inactive ascent direction {grad_j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nnls_beats_random_feasible_points() {
+        let a = vec![
+            vec![3.0, 1.0, 0.5, 2.0],
+            vec![1.0, 4.0, 1.5, 0.5],
+            vec![0.2, 0.7, 5.0, 1.0],
+        ];
+        let b = vec![10.0, 12.0, 7.0];
+        let x = nnls(&a, &b);
+        let obj = |x: &[f64]| -> f64 {
+            residual(&a, x, &b).iter().map(|r| r * r).sum()
+        };
+        let best = obj(&x);
+        let mut seed = 99u64;
+        for _ in 0..500 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cand: Vec<f64> = (0..4)
+                .map(|k| ((seed >> (8 * k)) & 0xff) as f64 / 40.0)
+                .collect();
+            assert!(obj(&cand) >= best - 1e-9);
+        }
+    }
+
+    fn toy_b() -> [[f64; 11]; 6] {
+        // Identity-ish synthetic block matrix: block j mostly drives
+        // metric j%6 plus a bit of everything.
+        let mut b = [[0.1f64; 11]; 6];
+        for (j, col) in (0..11).enumerate() {
+            b[j % 6][col] += 5.0 + j as f64;
+        }
+        b
+    }
+
+    #[test]
+    fn block_fit_respects_cover_constraint() {
+        let b = toy_b();
+        let t = [1000.0, 800.0, 400.0, 50.0, 300.0, 20.0];
+        let fit = solve_block_fit(&b, &t);
+        assert!(fit.x.iter().all(|&v| v >= 0.0));
+        let inner: f64 = fit.x[..9].iter().sum();
+        assert!(
+            fit.x[10] >= inner - 1e-9,
+            "cover violated: x11={} < {}",
+            fit.x[10],
+            inner
+        );
+    }
+
+    #[test]
+    fn block_fit_reaches_achievable_targets() {
+        // Build a target that is exactly a feasible combination, then check
+        // the fit finds (something as good as) it.
+        let b = toy_b();
+        let x_true: [f64; 11] = [5.0, 0.0, 2.0, 0.0, 1.0, 0.0, 3.0, 0.0, 0.0, 10.0, 20.0];
+        let mut t = [0.0f64; 6];
+        for i in 0..6 {
+            t[i] = (0..11).map(|j| b[i][j] * x_true[j]).sum();
+        }
+        let fit = solve_block_fit(&b, &t);
+        assert!(fit.objective < 1e-10, "objective {}", fit.objective);
+    }
+
+    #[test]
+    fn zero_target_yields_zero_solution() {
+        let b = toy_b();
+        let fit = solve_block_fit(&b, &[0.0; 6]);
+        assert!(fit.x.iter().all(|&v| v.abs() < 1e-9));
+    }
+}

@@ -1,0 +1,137 @@
+//! Scaling-factor shrinking (Section 2.7).
+//!
+//! Siesta can emit a proxy whose execution time is roughly `1/k` of the
+//! original (the paper defaults to k=10):
+//!
+//! * **Computation**: divide the six counter targets by `k` before the
+//!   block search — the proxy then does `1/k` of the work.
+//! * **Communication**: fit a regression `t(v) = a + b·v` of blocking
+//!   transfer time against volume (micro-benchmarked on the generation
+//!   machine), then replace each volume `v` with the `v'` whose predicted
+//!   time is `t(v)/k`. Latency does not shrink, so tiny messages stay put —
+//!   exactly why Siesta-scaled errs more than plain Siesta in Figure 6.
+
+use siesta_perfmodel::{CounterVec, NetParams};
+
+/// Linear time-vs-volume model for blocking transfers.
+#[derive(Debug, Clone, Copy)]
+pub struct CommShrink {
+    /// Fixed per-message cost (ns) — intercept.
+    pub a: f64,
+    /// Per-byte cost (ns/B) — slope.
+    pub b: f64,
+}
+
+impl CommShrink {
+    /// Least-squares fit over a size sweep of blocking deliveries on the
+    /// cross-node path (the dominant one for multi-node runs).
+    pub fn fit(net: &NetParams) -> CommShrink {
+        let sizes: [usize; 10] =
+            [0, 64, 512, 2048, 8192, 32768, 131072, 524288, 1 << 20, 4 << 20];
+        let n = sizes.len() as f64;
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for &v in &sizes {
+            let x = v as f64;
+            let y = net.blocking_delivery_ns(v, false);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let a = (sy - b * sx) / n;
+        CommShrink { a: a.max(0.0), b: b.max(1e-9) }
+    }
+
+    /// Predicted blocking time for a volume.
+    pub fn predict_ns(&self, bytes: u64) -> f64 {
+        self.a + self.b * bytes as f64
+    }
+
+    /// Volume whose predicted time is `1/factor` of the original volume's.
+    /// Clamped at zero: once latency dominates, messages cannot shrink.
+    pub fn shrink_bytes(&self, bytes: u64, factor: f64) -> u64 {
+        if factor <= 1.0 || bytes == 0 {
+            return bytes;
+        }
+        let target_t = self.predict_ns(bytes) / factor;
+        let v = (target_t - self.a) / self.b;
+        v.max(0.0).round() as u64
+    }
+}
+
+/// Shrink a computation target by the scaling factor.
+pub fn shrink_counters(target: &CounterVec, factor: f64) -> CounterVec {
+    if factor <= 1.0 {
+        *target
+    } else {
+        *target / factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+
+    fn net() -> NetParams {
+        Machine::new(platform_a(), MpiFlavor::OpenMpi).net
+    }
+
+    #[test]
+    fn fit_tracks_the_underlying_model() {
+        let net = net();
+        let s = CommShrink::fit(&net);
+        // Slope close to the inverse bandwidth.
+        let inv_bw = 1.0 / net.bandwidth(false);
+        assert!((s.b - inv_bw).abs() / inv_bw < 0.1, "slope {} vs {}", s.b, inv_bw);
+        // Large-message prediction within 10%.
+        let v = 2 << 20;
+        let predicted = s.predict_ns(v);
+        let actual = net.blocking_delivery_ns(v as usize, false);
+        assert!((predicted - actual).abs() / actual < 0.1);
+    }
+
+    #[test]
+    fn shrinking_large_messages_divides_time() {
+        let s = CommShrink::fit(&net());
+        let big = 8u64 << 20;
+        let shrunk = s.shrink_bytes(big, 10.0);
+        assert!(shrunk < big / 8, "{shrunk}");
+        let ratio = s.predict_ns(shrunk) / s.predict_ns(big);
+        assert!((ratio - 0.1).abs() < 0.03, "time ratio {ratio}");
+    }
+
+    #[test]
+    fn latency_bound_messages_stop_shrinking() {
+        let s = CommShrink::fit(&net());
+        // A tiny message's time is all latency: shrinking clamps at ~zero
+        // volume but its replay time cannot go below the intercept.
+        let shrunk = s.shrink_bytes(64, 10.0);
+        assert!(shrunk <= 64);
+        assert!(s.predict_ns(shrunk) >= s.a * 0.99);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let s = CommShrink::fit(&net());
+        assert_eq!(s.shrink_bytes(12345, 1.0), 12345);
+        let c = CounterVec::new(10.0, 20.0, 30.0, 1.0, 2.0, 3.0);
+        assert_eq!(shrink_counters(&c, 1.0), c);
+        assert_eq!(shrink_counters(&c, 10.0).ins, 1.0);
+    }
+
+    #[test]
+    fn shrink_is_monotone_in_volume() {
+        let s = CommShrink::fit(&net());
+        let mut last = 0;
+        for v in [0u64, 100, 10_000, 1 << 20, 16 << 20] {
+            let sh = s.shrink_bytes(v, 10.0);
+            assert!(sh >= last || sh == 0);
+            last = sh.max(last);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Trace recording for Siesta (paper Sections 2.2–2.3 and 2.6.1).
+//!
+//! The tracer is the PMPI side of the pipeline: a [`Recorder`] installed as
+//! a [`siesta_mpisim::PmpiHook`] observes every application MPI call,
+//! normalizes it (relative ranks, free-number pools for request and
+//! communicator handles), measures the computation interval since the
+//! previous call through the hardware-counter model, clusters similar
+//! computation events, and hash-conses everything into per-rank event
+//! tables. [`merge_tables`] then folds the per-rank tables into one global
+//! terminal table with a ⌈log₂P⌉ binary reduction, producing the
+//! [`GlobalTrace`] the grammar stage consumes.
+
+//! ```
+//! use std::sync::Arc;
+//! use siesta_mpisim::World;
+//! use siesta_perfmodel::{Machine, KernelDesc};
+//! use siesta_trace::{Recorder, TraceConfig, merge_tables};
+//!
+//! let recorder = Arc::new(Recorder::new(4, TraceConfig::default()));
+//! World::new(Machine::default_eval(), 4)
+//!     .with_hook(recorder.clone())
+//!     .run(|rank| {
+//!         let comm = rank.comm_world();
+//!         for _ in 0..3 {
+//!             rank.compute(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
+//!             rank.allreduce(&comm, 64);
+//!         }
+//!     });
+//! let global = merge_tables(recorder.finish());
+//! // Four ranks, identical behaviour: two global terminals
+//! // (one compute cluster + the allreduce), 6 events per rank.
+//! assert!(global.table.len() <= 3);
+//! assert!(global.seqs.iter().all(|s| s.len() == 6));
+//! ```
+
+pub mod event;
+pub mod merge;
+pub mod pool;
+pub mod recorder;
+pub mod serialize;
+pub mod text;
+pub mod wire;
+
+pub use event::{abs_rank, counters_close, rel_rank, CommEvent, ComputeStats, EventRecord};
+pub use merge::{merge_tables, GlobalTrace};
+pub use pool::{FreePool, HandleMap};
+pub use wire::{load_trace, save_trace, trace_from_bytes, trace_to_bytes};
+pub use recorder::{Normalizer, RankTraceData, Recorder, Trace, TraceConfig};

@@ -1,0 +1,229 @@
+//! Global terminal-table merging (paper Section 2.6.1).
+//!
+//! "Many MPI programs exhibit a significant amount of duplication in
+//! terminals between processes, which can be eliminated by recording the
+//! repeated terminals once and assigning a unique global number. ... The
+//! time complexity of the entire merging process is log₂P."
+//!
+//! This module performs that merge as an actual binary reduction tree:
+//! per-rank tables combine pairwise, level by level, with each rank's id
+//! sequence remapped into the winning table. Communication events merge on
+//! structural equality (normalization already made them comparable);
+//! computation events merge when their representatives agree within the
+//! clustering threshold, pooling their counter statistics.
+
+use std::collections::HashMap;
+
+use crate::event::{counters_close, EventRecord};
+use crate::recorder::Trace;
+
+/// Cross-rank compute clustering threshold. Representatives from different
+/// ranks measure the same kernel with independent noise, so the merge
+/// threshold matches the recording threshold.
+const MERGE_THRESHOLD: f64 = 0.15;
+
+/// The job-wide trace after table merging: one global terminal table plus
+/// per-rank sequences of global ids.
+#[derive(Debug, Clone)]
+pub struct GlobalTrace {
+    pub nranks: usize,
+    pub table: Vec<EventRecord>,
+    pub seqs: Vec<Vec<u32>>,
+    /// Total raw (uncompressed) trace bytes, carried through from recording.
+    pub raw_bytes: usize,
+    /// Tree-merge rounds performed (⌈log₂ P⌉, as the paper states).
+    pub merge_rounds: u32,
+}
+
+struct Partial {
+    table: Vec<EventRecord>,
+    comm_index: HashMap<crate::event::CommEvent, u32>,
+    /// (table id, representative) per compute cluster.
+    compute_clusters: Vec<(u32, siesta_perfmodel::CounterVec)>,
+    /// (rank, remapped sequence) pairs covered by this partial table.
+    seqs: Vec<(usize, Vec<u32>)>,
+}
+
+impl Partial {
+    fn leaf(rank: usize, table: Vec<EventRecord>, seq: Vec<u32>) -> Partial {
+        let mut comm_index = HashMap::new();
+        let mut compute_clusters = Vec::new();
+        for (i, e) in table.iter().enumerate() {
+            match e {
+                EventRecord::Comm(c) => {
+                    comm_index.insert(c.clone(), i as u32);
+                }
+                EventRecord::Compute(s) => {
+                    compute_clusters.push((i as u32, s.repr));
+                }
+            }
+        }
+        Partial { table, comm_index, compute_clusters, seqs: vec![(rank, seq)] }
+    }
+
+    /// Fold `other` into `self`, remapping its sequences.
+    fn absorb(&mut self, other: Partial) {
+        let mut remap = vec![0u32; other.table.len()];
+        for (i, e) in other.table.into_iter().enumerate() {
+            let gid = match e {
+                EventRecord::Comm(c) => match self.comm_index.get(&c) {
+                    Some(&g) => g,
+                    None => {
+                        let g = self.table.len() as u32;
+                        self.comm_index.insert(c.clone(), g);
+                        self.table.push(EventRecord::Comm(c));
+                        g
+                    }
+                },
+                EventRecord::Compute(s) => {
+                    let hit = self
+                        .compute_clusters
+                        .iter()
+                        .find(|(_, repr)| counters_close(repr, &s.repr, MERGE_THRESHOLD))
+                        .map(|&(g, _)| g);
+                    match hit {
+                        Some(g) => {
+                            if let EventRecord::Compute(mine) = &mut self.table[g as usize] {
+                                mine.absorb_stats(&s);
+                            }
+                            g
+                        }
+                        None => {
+                            let g = self.table.len() as u32;
+                            self.compute_clusters.push((g, s.repr));
+                            self.table.push(EventRecord::Compute(s));
+                            g
+                        }
+                    }
+                }
+            };
+            remap[i] = gid;
+        }
+        for (rank, seq) in other.seqs {
+            let mapped = seq.into_iter().map(|id| remap[id as usize]).collect();
+            self.seqs.push((rank, mapped));
+        }
+    }
+}
+
+/// Merge all rank tables into one global table via a binary reduction tree.
+pub fn merge_tables(trace: Trace) -> GlobalTrace {
+    let nranks = trace.nranks;
+    let raw_bytes = trace.raw_bytes();
+    let mut level: Vec<Partial> = trace
+        .ranks
+        .into_iter()
+        .enumerate()
+        .map(|(rank, rd)| Partial::leaf(rank, rd.table, rd.seq))
+        .collect();
+    let mut rounds = 0u32;
+    while level.len() > 1 {
+        rounds += 1;
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        let mut it = level.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                a.absorb(b);
+            }
+            next.push(a);
+        }
+        level = next;
+    }
+    let root = level.pop().expect("at least one rank");
+    let mut seqs = vec![Vec::new(); nranks];
+    for (rank, seq) in root.seqs {
+        seqs[rank] = seq;
+    }
+    GlobalTrace { nranks, table: root.table, seqs, raw_bytes, merge_rounds: rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CommEvent, ComputeStats, EventRecord};
+    use crate::recorder::RankTraceData;
+    use siesta_perfmodel::CounterVec;
+
+    fn comm(rel: u32) -> EventRecord {
+        EventRecord::Comm(CommEvent::Send { rel, tag: 0, bytes: 64, comm: 0 })
+    }
+
+    fn compute(scale: f64, v: f64) -> EventRecord {
+        EventRecord::Compute(ComputeStats::new(
+            CounterVec::new(v, v, v, v, v, v) * scale,
+        ))
+    }
+
+    fn trace(ranks: Vec<(Vec<EventRecord>, Vec<u32>)>) -> Trace {
+        Trace {
+            nranks: ranks.len(),
+            ranks: ranks
+                .into_iter()
+                .map(|(table, seq)| RankTraceData { table, seq, raw_bytes: 100 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn duplicate_terminals_merge_across_ranks() {
+        let t = trace(vec![
+            (vec![comm(1), compute(1.0, 10.0)], vec![0, 1, 0]),
+            (vec![comm(1), compute(1.05, 10.0)], vec![0, 1, 0]),
+            (vec![comm(2)], vec![0, 0]),
+            (vec![comm(1)], vec![0]),
+        ]);
+        let g = merge_tables(t);
+        // comm(1), compute(3), comm(2): three global terminals.
+        assert_eq!(g.table.len(), 3);
+        assert_eq!(g.merge_rounds, 2); // log2(4)
+        // Ranks 0 and 1 now share identical global sequences.
+        assert_eq!(g.seqs[0], g.seqs[1]);
+        // Rank 2 maps to the comm(2) terminal, wherever it landed.
+        assert_eq!(g.seqs[2].len(), 2);
+        assert_ne!(g.seqs[2][0], g.seqs[0][0]);
+        // Compute statistics pooled: count 2, mean 15.
+        let pooled = g
+            .table
+            .iter()
+            .find_map(|e| match e {
+                EventRecord::Compute(s) => Some(s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(pooled.count, 2);
+        assert!((pooled.mean().ins - 10.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_rank_passes_through() {
+        let t = trace(vec![(vec![comm(1), comm(2)], vec![0, 1, 1])]);
+        let g = merge_tables(t);
+        assert_eq!(g.table.len(), 2);
+        assert_eq!(g.seqs[0], vec![0, 1, 1]);
+        assert_eq!(g.merge_rounds, 0);
+        assert_eq!(g.raw_bytes, 100);
+    }
+
+    #[test]
+    fn rounds_are_log2_of_ranks() {
+        for (p, expect) in [(2usize, 1u32), (3, 2), (8, 3), (9, 4), (64, 6)] {
+            let t = trace((0..p).map(|_| (vec![comm(1)], vec![0])).collect());
+            assert_eq!(merge_tables(t).merge_rounds, expect, "p={p}");
+        }
+    }
+
+    #[test]
+    fn remap_preserves_per_rank_event_streams() {
+        // Whatever the table order, decoding each rank's global sequence
+        // must reproduce its original record stream.
+        let r0 = vec![comm(1), comm(2)];
+        let r1 = vec![comm(2), comm(3)];
+        let t = trace(vec![(r0.clone(), vec![0, 1, 0]), (r1.clone(), vec![1, 0, 1])]);
+        let g = merge_tables(t);
+        let decode = |table: &[EventRecord], seq: &[u32]| -> Vec<String> {
+            seq.iter().map(|&i| format!("{:?}", table[i as usize])).collect()
+        };
+        assert_eq!(decode(&g.table, &g.seqs[0]), decode(&r0, &[0, 1, 0]));
+        assert_eq!(decode(&g.table, &g.seqs[1]), decode(&r1, &[1, 0, 1]));
+    }
+}

@@ -1,0 +1,493 @@
+//! The PMPI trace recorder (the `mpiP`-derived tool of Section 2.2–2.3).
+//!
+//! Installed as a [`PmpiHook`] on the runtime, the recorder observes every
+//! application MPI call. At each call it:
+//!
+//! 1. closes the current *computation event* — the counter delta since the
+//!    end of the previous MPI call (the paper's virtual `MPI_Compute`) —
+//!    clustering it against cluster representatives with a relative-error threshold;
+//! 2. normalizes the call into a [`CommEvent`] (relative ranks, pool-
+//!    numbered handles) and hash-conses it into the rank-local event table;
+//! 3. appends the event id to the rank's id sequence and accounts the raw
+//!    (uncompressed) trace bytes the record would occupy on disk.
+//!
+//! Each rank's state sits behind its own mutex, touched only by that rank's
+//! thread — interposition-style isolation with no cross-rank contention.
+
+use std::mem;
+
+use parking_lot::Mutex;
+use siesta_mpisim::{CommId, HookCtx, MpiCall, PmpiHook};
+use siesta_perfmodel::CounterVec;
+use std::collections::HashMap;
+
+use crate::event::{counters_close, rel_rank, CommEvent, ComputeStats, EventRecord};
+use crate::pool::HandleMap;
+use crate::serialize;
+
+/// Tracing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Clustering threshold for computation events (paper: "a threshold to
+    /// cluster similar computation events into one event").
+    pub cluster_threshold: f64,
+    /// Virtual cost charged per traced call: two counter reads plus the
+    /// record write. Produces the Table 3 overhead column.
+    pub overhead_ns: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { cluster_threshold: 0.15, overhead_ns: 600.0 }
+    }
+}
+
+#[derive(Default)]
+struct RankTrace {
+    seq: Vec<u32>,
+    table: Vec<EventRecord>,
+    comm_index: HashMap<CommEvent, u32>,
+    /// (table id, representative) per compute cluster; scanned linearly —
+    /// programs have few distinct computation behaviours.
+    compute_clusters: Vec<(u32, CounterVec)>,
+    last_counters: CounterVec,
+    normalizer: Normalizer,
+    raw_bytes: usize,
+    initialized: bool,
+}
+
+impl RankTrace {
+    fn ensure_init(&mut self) {
+        if !self.initialized {
+            self.normalizer = Normalizer::new();
+            self.initialized = true;
+        }
+    }
+
+    fn close_compute_interval(&mut self, counters: CounterVec, threshold: f64) {
+        let delta = counters - self.last_counters;
+        self.last_counters = counters;
+        if delta.total() <= 0.0 {
+            return;
+        }
+        let found = self
+            .compute_clusters
+            .iter()
+            .find(|(_, repr)| counters_close(repr, &delta, threshold))
+            .map(|&(id, _)| id);
+        let id = match found {
+            Some(id) => {
+                if let EventRecord::Compute(stats) = &mut self.table[id as usize] {
+                    stats.absorb(delta);
+                }
+                id
+            }
+            None => {
+                let id = self.table.len() as u32;
+                self.table.push(EventRecord::Compute(ComputeStats::new(delta)));
+                self.compute_clusters.push((id, delta));
+                id
+            }
+        };
+        self.seq.push(id);
+        self.raw_bytes += serialize::compute_record_bytes();
+    }
+
+    fn record_comm(&mut self, event: CommEvent) {
+        self.raw_bytes += serialize::comm_record_bytes(&event);
+        let id = match self.comm_index.get(&event) {
+            Some(&id) => id,
+            None => {
+                let id = self.table.len() as u32;
+                self.table.push(EventRecord::Comm(event.clone()));
+                self.comm_index.insert(event, id);
+                id
+            }
+        };
+        self.seq.push(id);
+    }
+}
+
+/// Handle normalization state shared by any PMPI-style recorder: maps the
+/// runtime's request and communicator handles to free-pool numbers and
+/// rewrites call records into normalized [`CommEvent`]s. Public so baseline
+/// tracers (e.g. the ScalaBench-like recorder) normalize identically.
+pub struct Normalizer {
+    reqs: HandleMap<usize>,
+    comms: HandleMap<u64>,
+}
+
+impl Default for Normalizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Normalizer {
+    pub fn new() -> Normalizer {
+        let mut comms = HandleMap::new();
+        // MPI_COMM_WORLD is pool number 0 on every rank.
+        comms.preassign(CommId::WORLD.0);
+        Normalizer { reqs: HandleMap::new(), comms }
+    }
+
+    fn comm_id(&self, comm: CommId) -> u32 {
+        self.comms
+            .get(comm.0)
+            .expect("communicator used before creation — split/dup not traced?")
+    }
+
+    pub fn normalize(&mut self, ctx: &HookCtx, call: &MpiCall) -> CommEvent {
+        let me = ctx.comm_rank;
+        let size = ctx.comm_size;
+        match call {
+            MpiCall::Send { comm, dest, tag, bytes } => CommEvent::Send {
+                rel: rel_rank(me, *dest, size),
+                tag: *tag,
+                bytes: *bytes as u64,
+                comm: self.comm_id(*comm),
+            },
+            MpiCall::Recv { comm, src, tag, bytes } => CommEvent::Recv {
+                rel: rel_rank(me, *src, size),
+                tag: *tag,
+                bytes: *bytes as u64,
+                comm: self.comm_id(*comm),
+            },
+            MpiCall::Isend { comm, dest, tag, bytes, req } => CommEvent::Isend {
+                rel: rel_rank(me, *dest, size),
+                tag: *tag,
+                bytes: *bytes as u64,
+                comm: self.comm_id(*comm),
+                req: self.reqs.bind(*req),
+            },
+            MpiCall::Irecv { comm, src, tag, bytes, req } => CommEvent::Irecv {
+                rel: rel_rank(me, *src, size),
+                tag: *tag,
+                bytes: *bytes as u64,
+                comm: self.comm_id(*comm),
+                req: self.reqs.bind(*req),
+            },
+            MpiCall::Wait { req } => {
+                let id = self.reqs.unbind(*req).expect("wait on untraced request");
+                CommEvent::Wait { req: id }
+            }
+            MpiCall::Waitall { reqs } => {
+                let ids = reqs
+                    .iter()
+                    .map(|r| self.reqs.unbind(*r).expect("waitall on untraced request"))
+                    .collect();
+                CommEvent::Waitall { reqs: ids }
+            }
+            MpiCall::Sendrecv { comm, dest, send_tag, send_bytes, src, recv_tag, recv_bytes } => {
+                CommEvent::Sendrecv {
+                    dest_rel: rel_rank(me, *dest, size),
+                    send_tag: *send_tag,
+                    send_bytes: *send_bytes as u64,
+                    src_rel: rel_rank(me, *src, size),
+                    recv_tag: *recv_tag,
+                    recv_bytes: *recv_bytes as u64,
+                    comm: self.comm_id(*comm),
+                }
+            }
+            MpiCall::Barrier { comm } => CommEvent::Barrier { comm: self.comm_id(*comm) },
+            MpiCall::Bcast { comm, root, bytes } => CommEvent::Bcast {
+                comm: self.comm_id(*comm),
+                root: *root as u32,
+                bytes: *bytes as u64,
+            },
+            MpiCall::Reduce { comm, root, bytes } => CommEvent::Reduce {
+                comm: self.comm_id(*comm),
+                root: *root as u32,
+                bytes: *bytes as u64,
+            },
+            MpiCall::Allreduce { comm, bytes } => CommEvent::Allreduce {
+                comm: self.comm_id(*comm),
+                bytes: *bytes as u64,
+            },
+            MpiCall::Allgather { comm, bytes } => CommEvent::Allgather {
+                comm: self.comm_id(*comm),
+                bytes: *bytes as u64,
+            },
+            MpiCall::Alltoall { comm, bytes_per_peer } => CommEvent::Alltoall {
+                comm: self.comm_id(*comm),
+                bytes_per_peer: *bytes_per_peer as u64,
+            },
+            MpiCall::Alltoallv { comm, send_counts, recv_counts } => CommEvent::Alltoallv {
+                comm: self.comm_id(*comm),
+                send_counts: send_counts.iter().map(|&c| c as u64).collect(),
+                recv_counts: recv_counts.iter().map(|&c| c as u64).collect(),
+            },
+            MpiCall::Gather { comm, root, bytes } => CommEvent::Gather {
+                comm: self.comm_id(*comm),
+                root: *root as u32,
+                bytes: *bytes as u64,
+            },
+            MpiCall::Scatter { comm, root, bytes } => CommEvent::Scatter {
+                comm: self.comm_id(*comm),
+                root: *root as u32,
+                bytes: *bytes as u64,
+            },
+            MpiCall::Gatherv { comm, root, counts } => CommEvent::Gatherv {
+                comm: self.comm_id(*comm),
+                root: *root as u32,
+                counts: counts.iter().map(|&c| c as u64).collect(),
+            },
+            MpiCall::Scatterv { comm, root, counts } => CommEvent::Scatterv {
+                comm: self.comm_id(*comm),
+                root: *root as u32,
+                counts: counts.iter().map(|&c| c as u64).collect(),
+            },
+            MpiCall::Scan { comm, bytes } => CommEvent::Scan {
+                comm: self.comm_id(*comm),
+                bytes: *bytes as u64,
+            },
+            MpiCall::ReduceScatterBlock { comm, bytes_per_rank } => {
+                CommEvent::ReduceScatterBlock {
+                    comm: self.comm_id(*comm),
+                    bytes_per_rank: *bytes_per_rank as u64,
+                }
+            }
+            MpiCall::CommSplit { parent, color, key, result } => {
+                let parent_id = self.comm_id(*parent);
+                let result_id = result.map(|c| self.comms.bind(c.0));
+                CommEvent::CommSplit {
+                    parent: parent_id,
+                    color: *color,
+                    key: *key,
+                    result: result_id,
+                }
+            }
+            MpiCall::CommDup { parent, result } => {
+                let parent_id = self.comm_id(*parent);
+                let c = result.expect("dup result available at post");
+                CommEvent::CommDup { parent: parent_id, result: self.comms.bind(c.0) }
+            }
+            MpiCall::CommFree { comm } => {
+                let id = self.comms.unbind(comm.0).expect("free of untraced communicator");
+                CommEvent::CommFree { comm: id }
+            }
+        }
+    }
+
+}
+
+/// Per-rank trace output.
+#[derive(Debug, Clone)]
+pub struct RankTraceData {
+    pub table: Vec<EventRecord>,
+    pub seq: Vec<u32>,
+    /// Bytes the uncompressed trace records would occupy on disk (the
+    /// Table 3 "Trace size" model).
+    pub raw_bytes: usize,
+}
+
+/// Whole-job trace output (pre-merge).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub nranks: usize,
+    pub ranks: Vec<RankTraceData>,
+}
+
+impl Trace {
+    pub fn raw_bytes(&self) -> usize {
+        self.ranks.iter().map(|r| r.raw_bytes).sum()
+    }
+
+    pub fn total_events(&self) -> usize {
+        self.ranks.iter().map(|r| r.seq.len()).sum()
+    }
+}
+
+/// The PMPI interposer. Share it with the `World` via `Arc`, run the
+/// program, then call [`Recorder::finish`].
+pub struct Recorder {
+    per_rank: Vec<Mutex<RankTrace>>,
+    config: TraceConfig,
+}
+
+impl Recorder {
+    pub fn new(nranks: usize, config: TraceConfig) -> Recorder {
+        Recorder {
+            per_rank: (0..nranks).map(|_| Mutex::new(RankTrace::default())).collect(),
+            config,
+        }
+    }
+
+    /// Extract the recorded trace, resetting the recorder.
+    pub fn finish(&self) -> Trace {
+        let ranks = self
+            .per_rank
+            .iter()
+            .map(|m| {
+                let tr = mem::take(&mut *m.lock());
+                RankTraceData { table: tr.table, seq: tr.seq, raw_bytes: tr.raw_bytes }
+            })
+            .collect();
+        Trace { nranks: self.per_rank.len(), ranks }
+    }
+}
+
+impl PmpiHook for Recorder {
+    fn pre(&self, _ctx: &HookCtx, _call: &MpiCall) {
+        // All recording happens at post time, when results (created
+        // communicators) are known; counters cannot change inside MPI.
+    }
+
+    fn post(&self, ctx: &HookCtx, call: &MpiCall) {
+        let mut tr = self.per_rank[ctx.rank].lock();
+        tr.ensure_init();
+        tr.close_compute_interval(ctx.counters, self.config.cluster_threshold);
+        let event = tr.normalizer.normalize(ctx, call);
+        tr.record_comm(event);
+    }
+
+    fn overhead_ns(&self) -> f64 {
+        self.config.overhead_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+    use siesta_workloads::{ProblemSize, Program};
+
+    fn machine() -> Machine {
+        Machine::new(platform_a(), MpiFlavor::OpenMpi)
+    }
+
+    fn record(program: Program, nprocs: usize) -> Trace {
+        record_sized(program, nprocs, ProblemSize::Tiny)
+    }
+
+    fn record_sized(program: Program, nprocs: usize, size: ProblemSize) -> Trace {
+        let rec = Arc::new(Recorder::new(nprocs, TraceConfig::default()));
+        program.run_hooked(machine(), nprocs, size, rec.clone());
+        rec.finish()
+    }
+
+    #[test]
+    fn recording_is_deterministic() {
+        let a = record(Program::Cg, 8);
+        let b = record(Program::Cg, 8);
+        for (x, y) in a.ranks.iter().zip(&b.ranks) {
+            assert_eq!(x.seq, y.seq);
+            assert_eq!(x.raw_bytes, y.raw_bytes);
+        }
+    }
+
+    #[test]
+    fn events_alternate_compute_and_comm() {
+        let t = record(Program::Mg, 8);
+        for r in &t.ranks {
+            assert!(!r.seq.is_empty());
+            // The table contains both kinds.
+            assert!(r.table.iter().any(|e| e.is_comm()));
+            assert!(r.table.iter().any(|e| !e.is_comm()));
+        }
+    }
+
+    #[test]
+    fn table_is_much_smaller_than_sequence() {
+        // Iterative programs revisit the same events: compression potential.
+        let t = record(Program::Sweep3d, 8);
+        for r in &t.ranks {
+            assert!(
+                r.table.len() * 3 < r.seq.len(),
+                "table {} vs seq {}",
+                r.table.len(),
+                r.seq.len()
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_ring_produces_identical_comm_sequences() {
+        // A pure ring exchange: with relative-rank encoding every rank's
+        // normalized communication record stream is identical — the
+        // property Section 2.2 relies on for cross-process merging.
+        use siesta_mpisim::World;
+        use siesta_perfmodel::KernelDesc;
+        let rec = Arc::new(Recorder::new(6, TraceConfig::default()));
+        World::new(machine(), 6).with_hook(rec.clone()).run(|rank| {
+            let comm = rank.comm_world();
+            let p = rank.nranks();
+            let right = (rank.rank() + 1) % p;
+            let left = (rank.rank() + p - 1) % p;
+            for _ in 0..10 {
+                rank.compute(&KernelDesc::stencil(5_000.0, 4.0, 65536.0));
+                let r = rank.irecv(&comm, left, 3, 2048);
+                let s = rank.isend(&comm, right, 3, 2048);
+                rank.waitall(&[r, s]);
+                rank.allreduce(&comm, 8);
+            }
+        });
+        let t = rec.finish();
+        let decode = |rd: &RankTraceData| -> Vec<String> {
+            rd.seq
+                .iter()
+                .filter_map(|&id| match &rd.table[id as usize] {
+                    EventRecord::Comm(c) => Some(format!("{c:?}")),
+                    EventRecord::Compute(_) => None,
+                })
+                .collect()
+        };
+        let first = decode(&t.ranks[0]);
+        assert!(!first.is_empty());
+        for r in &t.ranks[1..] {
+            assert_eq!(decode(r), first);
+        }
+        // And with clustering, the *full* id sequences are identical too
+        // (each rank clusters its noisy kernel readings into one event).
+        for r in &t.ranks[1..] {
+            assert_eq!(r.seq, t.ranks[0].seq);
+        }
+    }
+
+    #[test]
+    fn flash_comm_management_is_traced() {
+        // Small size so the regrid interval (every 5 steps) is reached.
+        let t = record_sized(Program::Sedov, 6, ProblemSize::Small);
+        let has = |pred: &dyn Fn(&CommEvent) -> bool| {
+            t.ranks.iter().any(|r| {
+                r.table.iter().any(|e| match e {
+                    EventRecord::Comm(c) => pred(c),
+                    _ => false,
+                })
+            })
+        };
+        assert!(has(&|c| matches!(c, CommEvent::CommDup { .. })));
+        assert!(has(&|c| matches!(c, CommEvent::CommSplit { .. })));
+        assert!(has(&|c| matches!(c, CommEvent::CommFree { .. })));
+    }
+
+    #[test]
+    fn tracing_overhead_is_small() {
+        let base = Program::Bt.run(machine(), 9, ProblemSize::Tiny);
+        let rec = Arc::new(Recorder::new(9, TraceConfig::default()));
+        let hooked = Program::Bt.run_hooked(machine(), 9, ProblemSize::Tiny, rec);
+        let overhead = (hooked.elapsed_ns() - base.elapsed_ns()) / base.elapsed_ns();
+        assert!(overhead > 0.0);
+        assert!(overhead < 0.10, "overhead {overhead} too large");
+    }
+
+    #[test]
+    fn raw_trace_size_ordering_matches_paper() {
+        // IS ≪ the dense solvers, as in Table 3.
+        let is = record(Program::Is, 8).raw_bytes();
+        let sw = record(Program::Sweep3d, 8).raw_bytes();
+        assert!(is * 3 < sw, "IS {is} not well below Sweep3d {sw}");
+    }
+
+    #[test]
+    fn finish_resets_state() {
+        let rec = Arc::new(Recorder::new(4, TraceConfig::default()));
+        Program::Is.run_hooked(machine(), 4, ProblemSize::Tiny, rec.clone());
+        let t1 = rec.finish();
+        assert!(t1.total_events() > 0);
+        let t2 = rec.finish();
+        assert_eq!(t2.total_events(), 0);
+    }
+}

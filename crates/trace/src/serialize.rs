@@ -1,0 +1,109 @@
+//! Byte-size models for trace records and tables.
+//!
+//! The paper's Table 3 compares uncompressed trace size against `size_C`
+//! (grammar + tables). We model a compact binary trace format: every record
+//! carries a timestamp and a function id, plus 4 bytes per scalar parameter
+//! and 8 bytes per vector element; computation records carry the six 64-bit
+//! counters.
+
+use crate::event::{CommEvent, EventRecord};
+
+/// Per-record fixed header: 8-byte timestamp + 2-byte function id +
+/// 2 bytes of flags.
+const HEADER: usize = 12;
+
+/// Size of one raw communication record.
+pub fn comm_record_bytes(e: &CommEvent) -> usize {
+    let params = match e {
+        CommEvent::Send { .. } | CommEvent::Recv { .. } => 4 * 4,
+        CommEvent::Isend { .. } | CommEvent::Irecv { .. } => 5 * 4,
+        CommEvent::Wait { .. } => 4,
+        CommEvent::Waitall { reqs } => 4 + 4 * reqs.len(),
+        CommEvent::Sendrecv { .. } => 7 * 4,
+        CommEvent::Barrier { .. } => 4,
+        CommEvent::Bcast { .. }
+        | CommEvent::Reduce { .. }
+        | CommEvent::Gather { .. }
+        | CommEvent::Scatter { .. } => 3 * 4,
+        CommEvent::Allreduce { .. }
+        | CommEvent::Allgather { .. }
+        | CommEvent::Alltoall { .. } => 2 * 4,
+        CommEvent::Alltoallv { send_counts, recv_counts, .. } => {
+            4 + 8 * (send_counts.len() + recv_counts.len())
+        }
+        CommEvent::Gatherv { counts, .. } | CommEvent::Scatterv { counts, .. } => {
+            2 * 4 + 8 * counts.len()
+        }
+        CommEvent::Scan { .. } | CommEvent::ReduceScatterBlock { .. } => 2 * 4,
+        CommEvent::CommSplit { .. } => 4 * 4,
+        CommEvent::CommDup { .. } => 2 * 4,
+        CommEvent::CommFree { .. } => 4,
+    };
+    HEADER + params
+}
+
+/// Size of one raw computation record (six 64-bit counters).
+pub fn compute_record_bytes() -> usize {
+    HEADER + 6 * 8
+}
+
+/// Size of a terminal-table entry in the exported grammar file.
+pub fn table_entry_bytes(e: &EventRecord) -> usize {
+    match e {
+        EventRecord::Comm(c) => comm_record_bytes(c),
+        // Compute terminal: the six mean counters (the proxy search target).
+        EventRecord::Compute(_) => HEADER + 6 * 8,
+    }
+}
+
+/// Size of a whole terminal table.
+pub fn table_bytes(table: &[EventRecord]) -> usize {
+    table.iter().map(table_entry_bytes).sum()
+}
+
+/// Bytes of one serialized run-length grammar symbol: 4-byte id +
+/// 4-byte exponent.
+pub const GRAMMAR_SYM_BYTES: usize = 8;
+
+/// Bytes per rank-list range in merged main rules.
+pub const RANK_RANGE_BYTES: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ComputeStats;
+    use siesta_perfmodel::CounterVec;
+
+    #[test]
+    fn record_sizes_are_plausible() {
+        let send = CommEvent::Send { rel: 1, tag: 0, bytes: 64, comm: 0 };
+        assert_eq!(comm_record_bytes(&send), 12 + 16);
+        assert_eq!(compute_record_bytes(), 12 + 48);
+        let wa = CommEvent::Waitall { reqs: vec![0, 1, 2] };
+        assert_eq!(comm_record_bytes(&wa), 12 + 4 + 12);
+    }
+
+    #[test]
+    fn alltoallv_scales_with_comm_size() {
+        let small = CommEvent::Alltoallv {
+            comm: 0,
+            send_counts: vec![1; 4],
+            recv_counts: vec![1; 4],
+        };
+        let large = CommEvent::Alltoallv {
+            comm: 0,
+            send_counts: vec![1; 64],
+            recv_counts: vec![1; 64],
+        };
+        assert!(comm_record_bytes(&large) > 10 * comm_record_bytes(&small));
+    }
+
+    #[test]
+    fn table_bytes_sums_entries() {
+        let t = vec![
+            EventRecord::Comm(CommEvent::Barrier { comm: 0 }),
+            EventRecord::Compute(ComputeStats::new(CounterVec::ZERO)),
+        ];
+        assert_eq!(table_bytes(&t), table_entry_bytes(&t[0]) + table_entry_bytes(&t[1]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the tracing layer.
+
+use proptest::prelude::*;
+
+use siesta_perfmodel::CounterVec;
+use siesta_trace::{abs_rank, counters_close, rel_rank, FreePool, HandleMap};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Relative-rank encoding round-trips for any (me, peer, size).
+    #[test]
+    fn rel_rank_round_trips(size in 1usize..600, me_raw in 0usize..600, peer_raw in 0usize..600) {
+        let me = me_raw % size;
+        let peer = peer_raw % size;
+        let rel = rel_rank(me, peer, size);
+        prop_assert!((rel as usize) < size);
+        prop_assert_eq!(abs_rank(me, rel, size), peer);
+    }
+
+    /// Two ranks at the same offset from their targets produce the same
+    /// relative encoding — the property compression relies on.
+    #[test]
+    fn same_offset_same_encoding(size in 2usize..600, a in 0usize..600, b in 0usize..600, d in 0usize..600) {
+        let a = a % size;
+        let b = b % size;
+        let d = d % size;
+        prop_assert_eq!(
+            rel_rank(a, (a + d) % size, size),
+            rel_rank(b, (b + d) % size, size)
+        );
+    }
+
+    /// The free pool behaves like "always allocate the smallest free
+    /// number": model it against a BTreeSet.
+    #[test]
+    fn free_pool_matches_model(ops in prop::collection::vec(prop::bool::ANY, 1..200)) {
+        let mut pool = FreePool::new();
+        let mut live: Vec<u32> = Vec::new();
+        let mut model_free: std::collections::BTreeSet<u32> = Default::default();
+        let mut model_next: u32 = 0;
+        for alloc in ops {
+            if alloc || live.is_empty() {
+                let expected = model_free.pop_first().unwrap_or_else(|| {
+                    let n = model_next;
+                    model_next += 1;
+                    n
+                });
+                let got = pool.alloc();
+                prop_assert_eq!(got, expected);
+                live.push(got);
+            } else {
+                // Release the most recently allocated live number.
+                let n = live.pop().unwrap();
+                pool.release(n);
+                model_free.insert(n);
+            }
+        }
+        prop_assert_eq!(pool.live(), live.len());
+    }
+
+    /// Handle normalization is history-deterministic: the pool ids depend
+    /// only on the *sequence* of bind/unbind, never on the handle values.
+    #[test]
+    fn handle_map_is_value_independent(
+        script in prop::collection::vec(prop::bool::ANY, 1..100),
+        salt_a in any::<u64>(),
+        salt_b in any::<u64>(),
+    ) {
+        let run = |salt: u64| -> Vec<u32> {
+            let mut m: HandleMap<u64> = HandleMap::new();
+            let mut live: Vec<u64> = Vec::new();
+            let mut next_handle = 0u64;
+            let mut out = Vec::new();
+            for bind in &script {
+                if *bind || live.is_empty() {
+                    // A "runtime" handle value that depends on the salt.
+                    let h = salt.wrapping_mul(6364136223846793005).wrapping_add(next_handle);
+                    next_handle += 1;
+                    live.push(h);
+                    out.push(m.bind(h));
+                } else {
+                    let h = live.pop().unwrap();
+                    out.push(m.unbind(h).unwrap());
+                }
+            }
+            out
+        };
+        prop_assert_eq!(run(salt_a), run(salt_b));
+    }
+
+    /// `counters_close` is reflexive and symmetric, tolerates jitter below
+    /// the threshold, and rejects scaling beyond it.
+    #[test]
+    fn counters_close_properties(
+        base in prop::collection::vec(1000.0f64..1e9, 6),
+        factor in 1.0f64..3.0,
+    ) {
+        let a = CounterVec::from_array([base[0], base[1], base[2], base[3], base[4], base[5]]);
+        prop_assert!(counters_close(&a, &a, 0.15));
+        let scaled = a * factor;
+        let close_ab = counters_close(&a, &scaled, 0.15);
+        let close_ba = counters_close(&scaled, &a, 0.15);
+        prop_assert_eq!(close_ab, close_ba);
+        // |a - fa| / max = 1 - 1/f; within threshold iff f <= 1/(1-t).
+        let expected = (1.0 - 1.0 / factor) <= 0.15 + 1e-12;
+        prop_assert_eq!(close_ab, expected, "factor {}", factor);
+    }
+}

@@ -1,0 +1,204 @@
+//! FLASH skeletons: AMR compressible hydrodynamics.
+//!
+//! FLASH (Fryxell et al. 2000) runs adaptive-mesh hydro with guard-cell
+//! exchanges between neighboring blocks, global timestep reductions, and
+//! periodic regridding that involves communicator management — the feature
+//! that makes the ScalaBench baseline reject these programs in the paper.
+//! Three problem setups are evaluated:
+//!
+//! * **Sedov** — spherical blast wave: 3D exchanges, regrids frequently.
+//! * **Sod** — 1D shock tube: two-neighbor pipelines, small traces (6 MB at
+//!   64 ranks in the paper).
+//! * **StirTurb** — driven turbulence: no regridding but extra stirring
+//!   collectives every step, the largest FLASH traces.
+
+use siesta_mpisim::Rank;
+use siesta_perfmodel::KernelDesc;
+
+use crate::grid::Grid3d;
+use crate::ProblemSize;
+
+const TAG_GUARD: i32 = 70;
+
+struct FlashConfig {
+    iters: usize,
+    /// 3D guard exchange (Sedov/StirTurb) or 1D pipe (Sod).
+    one_dimensional: bool,
+    /// Steps between regrids; `None` = never regrid.
+    regrid_every: Option<usize>,
+    /// Extra stirring/forcing collectives per step.
+    stir_reductions: usize,
+    /// Cells per rank scale.
+    cells: f64,
+    guard_bytes: usize,
+}
+
+/// Sedov blast wave (input 64³ in the paper).
+pub fn sedov(rank: &mut Rank, size: ProblemSize) {
+    let cfg = FlashConfig {
+        iters: size.iters(30),
+        one_dimensional: false,
+        regrid_every: Some(5),
+        stir_reductions: 0,
+        cells: size.extent(64).pow(3) as f64 / rank.nranks() as f64,
+        guard_bytes: 4 * size.extent(64) * size.extent(64) / 16 * 8,
+    };
+    flash(rank, &cfg);
+}
+
+/// Sod shock tube: quasi-1D, the smallest traces of the suite bar IS.
+pub fn sod(rank: &mut Rank, size: ProblemSize) {
+    let cfg = FlashConfig {
+        iters: size.iters(25),
+        one_dimensional: true,
+        regrid_every: Some(12),
+        stir_reductions: 0,
+        // 1D slab decomposition: each rank still holds extent³/P cells.
+        cells: size.extent(64).pow(3) as f64 / rank.nranks() as f64,
+        guard_bytes: size.extent(64) * size.extent(64) / 8 * 8,
+    };
+    flash(rank, &cfg);
+}
+
+/// Driven (stirred) turbulence: every step adds forcing-term reductions.
+pub fn stir_turb(rank: &mut Rank, size: ProblemSize) {
+    let cfg = FlashConfig {
+        iters: size.iters(40),
+        one_dimensional: false,
+        regrid_every: None,
+        stir_reductions: 3,
+        cells: size.extent(64).pow(3) as f64 / rank.nranks() as f64,
+        guard_bytes: 4 * size.extent(64) * size.extent(64) / 16 * 8,
+    };
+    flash(rank, &cfg);
+}
+
+fn flash(rank: &mut Rank, cfg: &FlashConfig) {
+    let p = rank.nranks();
+    let world = rank.comm_world();
+    let me = rank.rank();
+    let grid = Grid3d::near_cubic(p);
+
+    // FLASH duplicates the world communicator for its mesh/I-O layers at
+    // startup — the first thing a comm-management-blind tool chokes on.
+    let mesh_comm = rank.comm_dup(&world);
+
+    // FLASH carries ~24 solution variables per cell (~192 B/cell).
+    let hydro = KernelDesc::stencil(cfg.cells, 620.0, cfg.cells * 192.0);
+    let eos = KernelDesc::divide_heavy(cfg.cells, 3.0, cfg.cells * 64.0);
+    let guard_pack = KernelDesc::bookkeeping(cfg.guard_bytes as f64 / 16.0);
+
+    let neighbors: Vec<usize> = if cfg.one_dimensional {
+        let mut v = Vec::new();
+        if me > 0 {
+            v.push(me - 1);
+        }
+        if me + 1 < p {
+            v.push(me + 1);
+        }
+        v
+    } else {
+        let mut v: Vec<usize> = grid
+            .face_neighbors_periodic(me)
+            .into_iter()
+            .filter(|&n| n != me)
+            .collect();
+        v.dedup();
+        v
+    };
+
+    // Initial conditions + first mesh check.
+    rank.compute(&hydro);
+    rank.bcast(&mesh_comm, 0, 256);
+    rank.barrier(&mesh_comm);
+
+    for step in 0..cfg.iters {
+        // Guard-cell fill: nonblocking exchange with every neighbor.
+        let mut reqs = Vec::with_capacity(neighbors.len() * 2);
+        for &nb in &neighbors {
+            reqs.push(rank.irecv(&mesh_comm, nb, TAG_GUARD, cfg.guard_bytes));
+        }
+        rank.compute(&guard_pack);
+        for &nb in &neighbors {
+            reqs.push(rank.isend(&mesh_comm, nb, TAG_GUARD, cfg.guard_bytes));
+        }
+        rank.waitall(&reqs);
+
+        // Hydro sweeps (x then y) and equation of state.
+        rank.compute(&hydro);
+        rank.compute(&hydro);
+        rank.compute(&eos);
+
+        // Stirring module (StirTurb only): forcing-term reductions plus a
+        // slab-decomposed spectral sum (reduce-scatter of mode energies).
+        for _ in 0..cfg.stir_reductions {
+            rank.allreduce(&mesh_comm, 48);
+        }
+        if cfg.stir_reductions > 0 {
+            rank.reduce_scatter_block(&mesh_comm, 64);
+        }
+
+        // Global timestep.
+        rank.allreduce(&mesh_comm, 16);
+
+        // Regridding: exchange block counts, rebalance via a temporary
+        // communicator split by refinement parity.
+        if let Some(every) = cfg.regrid_every {
+            if (step + 1) % every == 0 {
+                rank.allgather(&mesh_comm, 8);
+                let color = ((me / grid.nx.max(1)) % 2) as i64;
+                if let Some(half) = rank.comm_split(&mesh_comm, color, me as i64) {
+                    rank.allreduce(&half, 8);
+                    rank.comm_free(half);
+                }
+                rank.compute(&guard_pack);
+                rank.barrier(&mesh_comm);
+            }
+        }
+    }
+
+    // Final I/O-ish gather of diagnostics to rank 0; block counts differ
+    // per rank under AMR, so the sizes are rank-dependent (gatherv).
+    let diag_counts: Vec<usize> = (0..p).map(|r| 48 + 16 * (r % 3)).collect();
+    rank.gatherv(&mesh_comm, 0, &diag_counts);
+    rank.comm_free(mesh_comm);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ProblemSize, Program};
+    use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+
+    fn machine() -> Machine {
+        Machine::new(platform_a(), MpiFlavor::OpenMpi)
+    }
+
+    #[test]
+    fn flash_variants_run_on_odd_counts() {
+        for p in [2, 6, 12] {
+            for prog in [Program::Sedov, Program::Sod, Program::StirTurb] {
+                let stats = prog.run(machine(), p, ProblemSize::Tiny);
+                assert!(stats.elapsed_ns() > 0.0, "{} p={p}", prog.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sod_traces_less_than_stirturb() {
+        // Paper at 64 ranks: StirTurb 304 MB, Sod 6 MB.
+        let m = machine();
+        let sod = Program::Sod.run(m, 8, ProblemSize::Small).total_calls();
+        let stir = Program::StirTurb.run(m, 8, ProblemSize::Small).total_calls();
+        assert!(sod < stir, "Sod {sod} >= StirTurb {stir}");
+    }
+
+    #[test]
+    fn sod_uses_pipeline_neighbors_only() {
+        // End ranks of the 1D pipe talk to one neighbor, interior to two —
+        // visible as fewer app calls on the ends.
+        let stats = Program::Sod.run(machine(), 8, ProblemSize::Tiny);
+        let end = stats.per_rank[0].app_calls;
+        let mid = stats.per_rank[4].app_calls;
+        assert!(mid > end);
+    }
+}

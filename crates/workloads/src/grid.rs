@@ -1,0 +1,216 @@
+//! Process-grid decompositions shared by the workload skeletons.
+
+/// A 2D logical process grid of `rows × cols` ranks, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2d {
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl Grid2d {
+    /// Square grid: requires a perfect-square process count.
+    pub fn square(nprocs: usize) -> Grid2d {
+        let q = (nprocs as f64).sqrt().round() as usize;
+        assert_eq!(q * q, nprocs, "{nprocs} is not a perfect square");
+        Grid2d { rows: q, cols: q }
+    }
+
+    /// Most-square factorization `rows × cols = nprocs` with `rows ≤ cols`.
+    pub fn near_square(nprocs: usize) -> Grid2d {
+        let mut rows = (nprocs as f64).sqrt().floor() as usize;
+        while rows > 1 && !nprocs.is_multiple_of(rows) {
+            rows -= 1;
+        }
+        Grid2d { rows: rows.max(1), cols: nprocs / rows.max(1) }
+    }
+
+    pub fn size(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.cols, rank % self.cols)
+    }
+
+    pub fn rank_of(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// Neighbor in the given direction, or `None` at the boundary.
+    pub fn neighbor(&self, rank: usize, dir: Dir) -> Option<usize> {
+        let (r, c) = self.coords(rank);
+        let (nr, nc) = match dir {
+            Dir::North => (r.checked_sub(1)?, c),
+            Dir::South => {
+                if r + 1 >= self.rows {
+                    return None;
+                }
+                (r + 1, c)
+            }
+            Dir::West => (r, c.checked_sub(1)?),
+            Dir::East => {
+                if c + 1 >= self.cols {
+                    return None;
+                }
+                (r, c + 1)
+            }
+        };
+        Some(self.rank_of(nr, nc))
+    }
+
+    /// Neighbor with periodic (torus) wrap-around.
+    pub fn neighbor_periodic(&self, rank: usize, dir: Dir) -> usize {
+        let (r, c) = self.coords(rank);
+        let (nr, nc) = match dir {
+            Dir::North => ((r + self.rows - 1) % self.rows, c),
+            Dir::South => ((r + 1) % self.rows, c),
+            Dir::West => (r, (c + self.cols - 1) % self.cols),
+            Dir::East => (r, (c + 1) % self.cols),
+        };
+        self.rank_of(nr, nc)
+    }
+}
+
+/// 2D grid direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    North,
+    South,
+    East,
+    West,
+}
+
+pub const DIRS: [Dir; 4] = [Dir::North, Dir::South, Dir::East, Dir::West];
+
+/// A 3D process grid, dimensions chosen as the most-cubic factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid3d {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+}
+
+impl Grid3d {
+    pub fn near_cubic(nprocs: usize) -> Grid3d {
+        // Peel off the most-cubic factor for z, then split the rest 2D.
+        let mut nz = (nprocs as f64).cbrt().floor() as usize;
+        while nz > 1 && !nprocs.is_multiple_of(nz) {
+            nz -= 1;
+        }
+        let nz = nz.max(1);
+        let g = Grid2d::near_square(nprocs / nz);
+        Grid3d { nx: g.cols, ny: g.rows, nz }
+    }
+
+    pub fn size(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    pub fn coords(&self, rank: usize) -> (usize, usize, usize) {
+        let z = rank / (self.nx * self.ny);
+        let rem = rank % (self.nx * self.ny);
+        (rem % self.nx, rem / self.nx, z)
+    }
+
+    pub fn rank_of(&self, x: usize, y: usize, z: usize) -> usize {
+        z * self.nx * self.ny + y * self.nx + x
+    }
+
+    /// The six face neighbors with periodic wrap (MG uses a periodic grid).
+    pub fn face_neighbors_periodic(&self, rank: usize) -> [usize; 6] {
+        let (x, y, z) = self.coords(rank);
+        [
+            self.rank_of((x + 1) % self.nx, y, z),
+            self.rank_of((x + self.nx - 1) % self.nx, y, z),
+            self.rank_of(x, (y + 1) % self.ny, z),
+            self.rank_of(x, (y + self.ny - 1) % self.ny, z),
+            self.rank_of(x, y, (z + 1) % self.nz),
+            self.rank_of(x, y, (z + self.nz - 1) % self.nz),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grid_layout() {
+        let g = Grid2d::square(16);
+        assert_eq!((g.rows, g.cols), (4, 4));
+        assert_eq!(g.coords(0), (0, 0));
+        assert_eq!(g.coords(5), (1, 1));
+        assert_eq!(g.rank_of(3, 2), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a perfect square")]
+    fn square_grid_rejects_non_squares() {
+        Grid2d::square(12);
+    }
+
+    #[test]
+    fn near_square_factorizations() {
+        assert_eq!(Grid2d::near_square(12), Grid2d { rows: 3, cols: 4 });
+        assert_eq!(Grid2d::near_square(64), Grid2d { rows: 8, cols: 8 });
+        assert_eq!(Grid2d::near_square(7), Grid2d { rows: 1, cols: 7 });
+        assert_eq!(Grid2d::near_square(128), Grid2d { rows: 8, cols: 16 });
+        for p in 1..200 {
+            assert_eq!(Grid2d::near_square(p).size(), p);
+        }
+    }
+
+    #[test]
+    fn bounded_neighbors() {
+        let g = Grid2d::square(9);
+        // Center rank 4 has all four neighbors.
+        assert_eq!(g.neighbor(4, Dir::North), Some(1));
+        assert_eq!(g.neighbor(4, Dir::South), Some(7));
+        assert_eq!(g.neighbor(4, Dir::West), Some(3));
+        assert_eq!(g.neighbor(4, Dir::East), Some(5));
+        // Corner rank 0 has two.
+        assert_eq!(g.neighbor(0, Dir::North), None);
+        assert_eq!(g.neighbor(0, Dir::West), None);
+        assert_eq!(g.neighbor(0, Dir::South), Some(3));
+        assert_eq!(g.neighbor(0, Dir::East), Some(1));
+    }
+
+    #[test]
+    fn periodic_neighbors_wrap() {
+        let g = Grid2d::square(9);
+        assert_eq!(g.neighbor_periodic(0, Dir::North), 6);
+        assert_eq!(g.neighbor_periodic(0, Dir::West), 2);
+        assert_eq!(g.neighbor_periodic(8, Dir::South), 2);
+        assert_eq!(g.neighbor_periodic(8, Dir::East), 6);
+    }
+
+    #[test]
+    fn grid3d_roundtrip() {
+        let g = Grid3d::near_cubic(64);
+        assert_eq!((g.nx, g.ny, g.nz), (4, 4, 4));
+        for r in 0..64 {
+            let (x, y, z) = g.coords(r);
+            assert_eq!(g.rank_of(x, y, z), r);
+        }
+    }
+
+    #[test]
+    fn grid3d_handles_non_cubes() {
+        for p in [2, 6, 12, 24, 128, 512, 529] {
+            let g = Grid3d::near_cubic(p);
+            assert_eq!(g.size(), p, "p={p} got {:?}", g);
+        }
+    }
+
+    #[test]
+    fn face_neighbors_are_within_range_and_symmetric() {
+        let g = Grid3d::near_cubic(24);
+        for r in 0..24 {
+            for n in g.face_neighbors_periodic(r) {
+                assert!(n < 24);
+                // Symmetry: r appears among n's neighbors.
+                assert!(g.face_neighbors_periodic(n).contains(&r));
+            }
+        }
+    }
+}

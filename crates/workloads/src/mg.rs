@@ -1,0 +1,118 @@
+//! NPB MG skeleton: multigrid V-cycles on a 3D periodic grid.
+//!
+//! Each V-cycle descends the grid hierarchy (restriction) and climbs back
+//! (prolongation); at every level each rank exchanges halo faces with its
+//! six periodic neighbors, with face sizes shrinking 4× per level and
+//! compute shrinking 8×. A residual-norm `MPI_Allreduce` closes each
+//! iteration. The per-level repetition with geometrically changing sizes
+//! exercises the grammar's nesting extraction.
+
+use siesta_mpisim::Rank;
+use siesta_perfmodel::KernelDesc;
+
+use crate::grid::Grid3d;
+use crate::ProblemSize;
+
+const TAG_HALO: i32 = 50;
+
+pub fn mg(rank: &mut Rank, size: ProblemSize) {
+    let p = rank.nranks();
+    assert!(p.is_power_of_two(), "MG needs a power-of-two process count");
+    let comm = rank.comm_world();
+    let grid = Grid3d::near_cubic(p);
+    let me = rank.rank();
+    let neighbors = grid.face_neighbors_periodic(me);
+
+    let n = size.extent(256);
+    let iters = size.iters(16);
+    let levels = match size {
+        ProblemSize::Tiny => 3,
+        ProblemSize::Small => 4,
+        ProblemSize::Reference => 5,
+    };
+
+    // Per-rank extent at the finest level.
+    let sub = (n / (p as f64).cbrt().round() as usize).max(8);
+
+    let face_bytes_at = |level: usize| {
+        let s = (sub >> level).max(2);
+        s * s * 8
+    };
+    let kernel_at = |level: usize, flops: f64| {
+        let s = (sub >> level).max(2) as f64;
+        KernelDesc::stencil(s * s * s, flops, s * s * s * 8.0)
+    };
+
+    let exchange = |rank: &mut Rank, level: usize| {
+        let bytes = face_bytes_at(level);
+        // Three axes; each axis sends both directions (NPB's give3/take3).
+        for axis in 0..3 {
+            let plus = neighbors[axis * 2];
+            let minus = neighbors[axis * 2 + 1];
+            if plus == me {
+                continue; // periodic self-neighbor on a flat axis
+            }
+            rank.sendrecv(&comm, plus, TAG_HALO, bytes, minus, TAG_HALO, bytes);
+            rank.sendrecv(&comm, minus, TAG_HALO, bytes, plus, TAG_HALO, bytes);
+        }
+    };
+
+    // Setup: zero the hierarchy, seed the right-hand side.
+    rank.compute(&kernel_at(0, 8.0));
+    rank.allreduce(&comm, 16); // initial norm
+    rank.barrier(&comm);
+
+    for _ in 0..iters {
+        // Downward leg: smooth + restrict at each level.
+        for level in 0..levels {
+            exchange(rank, level);
+            rank.compute(&kernel_at(level, 25.0)); // resid + rprj3
+        }
+        // Coarsest solve.
+        rank.compute(&kernel_at(levels, 40.0));
+        // Upward leg: prolongate + smooth.
+        for level in (0..levels).rev() {
+            exchange(rank, level);
+            rank.compute(&kernel_at(level, 30.0)); // interp + psinv
+        }
+        // Convergence norm.
+        rank.allreduce(&comm, 16);
+    }
+
+    // Final verification norm.
+    rank.allreduce(&comm, 16);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ProblemSize, Program};
+    use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+
+    fn machine() -> Machine {
+        Machine::new(platform_a(), MpiFlavor::OpenMpi)
+    }
+
+    #[test]
+    fn mg_runs_on_powers_of_two() {
+        for p in [2, 8, 16] {
+            let stats = Program::Mg.run(machine(), p, ProblemSize::Tiny);
+            assert!(stats.elapsed_ns() > 0.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn mg_traces_less_than_sp() {
+        // Paper Table 3: MG 168 MB vs SP 508 MB at 64 ranks.
+        let m = machine();
+        let mg = Program::Mg.run(m, 16, ProblemSize::Small).total_calls();
+        let sp = Program::Sp.run(m, 16, ProblemSize::Small).total_calls();
+        assert!(mg < sp, "MG {mg} >= SP {sp}");
+    }
+
+    #[test]
+    fn mg_symmetric_across_ranks() {
+        let stats = Program::Mg.run(machine(), 8, ProblemSize::Tiny);
+        let c0 = stats.per_rank[0].app_calls;
+        assert!(stats.per_rank.iter().all(|r| r.app_calls == c0));
+    }
+}

@@ -1,0 +1,206 @@
+//! NPB BT and SP skeletons.
+//!
+//! Both are ADI (alternating-direction implicit) pseudo-applications on a
+//! square process grid: each time step exchanges cell faces with the four
+//! grid neighbors (`copy_faces`), then performs pipelined line solves in the
+//! x and y directions (hyperplane sweeps along grid rows/columns with
+//! boundary sends between stages), a local z solve, and a local update. BT
+//! solves 5×5 block tridiagonal systems (big messages, multiply-heavy
+//! kernels); SP solves scalar pentadiagonal systems (smaller messages, more
+//! iterations, divide-heavier kernels).
+//!
+//! The fixed rank offsets of the neighbor exchanges are what the paper's
+//! relative-rank encoding normalizes across processes.
+
+use siesta_mpisim::Rank;
+use siesta_perfmodel::KernelDesc;
+
+use crate::grid::{Dir, Grid2d};
+use crate::ProblemSize;
+
+/// Tags, mirroring NPB's direction-specific message tags.
+const TAG_FACE: i32 = 10;
+const TAG_XSWEEP: i32 = 20;
+const TAG_XBACK: i32 = 21;
+const TAG_YSWEEP: i32 = 30;
+const TAG_YBACK: i32 = 31;
+
+struct AdiConfig {
+    /// Grid extent (cube side) of the global problem.
+    n: usize,
+    iters: usize,
+    /// Doubles per face cell exchanged in `copy_faces`.
+    face_words: usize,
+    /// Doubles per boundary cell sent between sweep stages.
+    sweep_words: usize,
+    /// Flops per cell in the RHS computation.
+    rhs_flops: f64,
+    /// Divides per cell in one line solve.
+    solve_divs: f64,
+    /// Flops per cell in one line solve.
+    solve_flops: f64,
+}
+
+/// BT: block-tridiagonal. Paper runs class D (408³, 250 iterations); the
+/// reference skeleton scales this down while keeping the structure.
+pub fn bt(rank: &mut Rank, size: ProblemSize) {
+    let cfg = AdiConfig {
+        n: size.extent(144),
+        iters: size.iters(40),
+        face_words: 25, // 5×5 block faces
+        sweep_words: 30,
+        rhs_flops: 80.0,
+        solve_divs: 1.0,
+        solve_flops: 120.0,
+    };
+    adi(rank, &cfg);
+}
+
+/// SP: scalar-pentadiagonal. More, cheaper iterations and smaller messages
+/// than BT — which is why SP's Table 3 traces are the largest of the NPB set.
+pub fn sp(rank: &mut Rank, size: ProblemSize) {
+    let cfg = AdiConfig {
+        n: size.extent(144),
+        iters: size.iters(60),
+        face_words: 5,
+        sweep_words: 10,
+        rhs_flops: 50.0,
+        solve_divs: 3.0,
+        solve_flops: 40.0,
+    };
+    adi(rank, &cfg);
+}
+
+fn adi(rank: &mut Rank, cfg: &AdiConfig) {
+    let comm = rank.comm_world();
+    let p = rank.nranks();
+    let grid = Grid2d::square(p);
+    let me = rank.rank();
+    let (row, col) = grid.coords(me);
+
+    // Per-rank subdomain: n/q × n/q columns of the full z extent.
+    let q = grid.cols;
+    let sub = (cfg.n / q).max(4);
+    let cells = (sub * sub * cfg.n) as f64;
+    let face_bytes = sub * cfg.n * cfg.face_words * 8 / 4;
+    let sweep_bytes = sub * cfg.n * cfg.sweep_words * 8 / 8;
+    let state_bytes = cells * 40.0;
+
+    let rhs_kernel = KernelDesc::stencil(cells, cfg.rhs_flops, state_bytes);
+    let solve_kernel = KernelDesc::divide_heavy(cells / q as f64, cfg.solve_divs, state_bytes / q as f64)
+        .then(&KernelDesc::stencil(cells / q as f64, cfg.solve_flops, state_bytes / q as f64));
+    let add_kernel = KernelDesc::stencil(cells, 10.0, state_bytes);
+
+    // Initialization: the root distributes problem parameters.
+    rank.bcast(&comm, 0, 64);
+    rank.bcast(&comm, 0, 24);
+    rank.compute(&KernelDesc::stencil(cells, 20.0, state_bytes)); // initialize_field
+    rank.barrier(&comm);
+
+    for _step in 0..cfg.iters {
+        // ---- copy_faces: exchange with the four periodic neighbors.
+        let mut reqs = Vec::with_capacity(8);
+        for dir in [Dir::North, Dir::South, Dir::West, Dir::East] {
+            let nb = grid.neighbor_periodic(me, dir);
+            reqs.push(rank.irecv(&comm, nb, TAG_FACE, face_bytes));
+        }
+        rank.compute(&KernelDesc::bookkeeping(2_000.0)); // pack buffers
+        for dir in [Dir::North, Dir::South, Dir::West, Dir::East] {
+            let nb = grid.neighbor_periodic(me, dir);
+            reqs.push(rank.isend(&comm, nb, TAG_FACE, face_bytes));
+        }
+        rank.waitall(&reqs);
+        rank.compute(&rhs_kernel); // compute_rhs
+
+        // ---- x_solve: pipelined sweep along the row (west→east, then back).
+        if let Some(west) = grid.neighbor(me, Dir::West) {
+            rank.recv(&comm, west, TAG_XSWEEP, sweep_bytes);
+        }
+        rank.compute(&solve_kernel);
+        if let Some(east) = grid.neighbor(me, Dir::East) {
+            rank.send(&comm, east, TAG_XSWEEP, sweep_bytes);
+        }
+        // Back-substitution east→west.
+        if let Some(east) = grid.neighbor(me, Dir::East) {
+            rank.recv(&comm, east, TAG_XBACK, sweep_bytes);
+        }
+        rank.compute(&solve_kernel);
+        if let Some(west) = grid.neighbor(me, Dir::West) {
+            rank.send(&comm, west, TAG_XBACK, sweep_bytes);
+        }
+
+        // ---- y_solve: same along the column (north→south and back).
+        if let Some(north) = grid.neighbor(me, Dir::North) {
+            rank.recv(&comm, north, TAG_YSWEEP, sweep_bytes);
+        }
+        rank.compute(&solve_kernel);
+        if let Some(south) = grid.neighbor(me, Dir::South) {
+            rank.send(&comm, south, TAG_YSWEEP, sweep_bytes);
+        }
+        if let Some(south) = grid.neighbor(me, Dir::South) {
+            rank.recv(&comm, south, TAG_YBACK, sweep_bytes);
+        }
+        rank.compute(&solve_kernel);
+        if let Some(north) = grid.neighbor(me, Dir::North) {
+            rank.send(&comm, north, TAG_YBACK, sweep_bytes);
+        }
+
+        // ---- z_solve: z is not partitioned, purely local.
+        rank.compute(&solve_kernel);
+        // ---- add: apply the update.
+        rank.compute(&add_kernel);
+        let _ = (row, col);
+    }
+
+    // Verification: residual norms.
+    rank.allreduce(&comm, 40);
+    rank.allreduce(&comm, 40);
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ProblemSize, Program};
+    use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+
+    fn machine() -> Machine {
+        Machine::new(platform_a(), MpiFlavor::OpenMpi)
+    }
+
+    #[test]
+    fn bt_runs_on_square_grids() {
+        for p in [4, 9, 16] {
+            let stats = Program::Bt.run(machine(), p, ProblemSize::Tiny);
+            assert!(stats.elapsed_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sp_makes_more_calls_than_bt() {
+        // SP iterates more with the same pattern → bigger trace (paper
+        // Table 3: SP 508 MB vs BT 290 MB at 64 ranks).
+        let bt = Program::Bt.run(machine(), 9, ProblemSize::Small).total_calls();
+        let sp = Program::Sp.run(machine(), 9, ProblemSize::Small).total_calls();
+        assert!(sp > bt, "SP {sp} <= BT {bt}");
+    }
+
+    #[test]
+    fn bt_moves_more_bytes_per_call_than_sp() {
+        let m = machine();
+        let bt = Program::Bt.run(m, 9, ProblemSize::Tiny);
+        let sp = Program::Sp.run(m, 9, ProblemSize::Tiny);
+        let bt_per_call = bt.total_bytes() as f64 / bt.total_calls() as f64;
+        let sp_per_call = sp.total_bytes() as f64 / sp.total_calls() as f64;
+        assert!(bt_per_call > sp_per_call);
+    }
+
+    #[test]
+    fn interior_and_boundary_ranks_differ_in_calls() {
+        // On a 3×3 grid, the center rank participates in all four sweep
+        // directions; corners skip some — the SPMD-with-branches structure
+        // the LCS main-rule merge handles.
+        let stats = Program::Bt.run(machine(), 9, ProblemSize::Tiny);
+        let corner = stats.per_rank[0].app_calls;
+        let center = stats.per_rank[4].app_calls;
+        assert!(center > corner);
+    }
+}

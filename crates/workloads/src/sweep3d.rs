@@ -1,0 +1,139 @@
+//! SWEEP3D skeleton: discrete-ordinates neutron transport wavefronts.
+//!
+//! SWEEP3D decomposes a 3D Cartesian grid over a 2D process grid and sweeps
+//! it from all eight octants. Within one octant, each rank receives inflow
+//! faces from its upstream west/north neighbors (direction depending on the
+//! octant), computes the k-plane blocks, and forwards outflow faces east/
+//! south. The result is a long, extremely regular stream of
+//! recv-compute-send triples — the largest traces in the paper's Table 3
+//! (619 MB at 64 ranks) and ideal material for run-length grammar rules.
+
+use siesta_mpisim::Rank;
+use siesta_perfmodel::KernelDesc;
+
+use crate::grid::Grid2d;
+use crate::ProblemSize;
+
+const TAG_EW: i32 = 60;
+const TAG_NS: i32 = 61;
+
+pub fn sweep3d(rank: &mut Rank, size: ProblemSize) {
+    let p = rank.nranks();
+    let comm = rank.comm_world();
+    let grid = Grid2d::near_square(p);
+    let me = rank.rank();
+    let (row, col) = grid.coords(me);
+
+    // Paper input: 1000×1000×1000. Angles are blocked (mmi), k-planes are
+    // blocked (mk) — the block counts set the pipeline depth.
+    let n = size.extent(400);
+    let iters = size.iters(12);
+    let k_blocks = match size {
+        ProblemSize::Tiny => 2,
+        ProblemSize::Small => 4,
+        ProblemSize::Reference => 8,
+    };
+    let angle_blocks = 2usize;
+
+    let it = n / grid.cols.max(1);
+    let jt = n / grid.rows.max(1);
+    let kt_per_block = (n / k_blocks).max(1);
+
+    // Inflow/outflow face volumes per pipeline stage.
+    let ew_bytes = jt * kt_per_block * angle_blocks * 8 / 4;
+    let ns_bytes = it * kt_per_block * angle_blocks * 8 / 4;
+
+    // The per-stage compute: divide-heavy flux solves over the block.
+    let cells = (it * jt * kt_per_block) as f64;
+    let sweep_kernel = KernelDesc::divide_heavy(cells / 8.0, 1.0, cells * 8.0)
+        .then(&KernelDesc::stencil(cells, 30.0, cells * 8.0));
+
+    rank.bcast(&comm, 0, 128); // input deck
+    rank.barrier(&comm);
+
+    for _ in 0..iters {
+        for octant in 0..8u32 {
+            // Octant sweep directions.
+            let east_going = octant & 1 == 0;
+            let south_going = octant & 2 == 0;
+            for _ in 0..angle_blocks {
+                for _ in 0..k_blocks {
+                    // Upstream inflow.
+                    let west_src = if east_going { col.checked_sub(1) } else {
+                        if col + 1 < grid.cols { Some(col + 1) } else { None }
+                    };
+                    let north_src = if south_going { row.checked_sub(1) } else {
+                        if row + 1 < grid.rows { Some(row + 1) } else { None }
+                    };
+                    if let Some(c) = west_src {
+                        rank.recv(&comm, grid.rank_of(row, c), TAG_EW, ew_bytes);
+                    }
+                    if let Some(r) = north_src {
+                        rank.recv(&comm, grid.rank_of(r, col), TAG_NS, ns_bytes);
+                    }
+                    rank.compute(&sweep_kernel);
+                    // Downstream outflow.
+                    let east_dst = if east_going {
+                        if col + 1 < grid.cols { Some(col + 1) } else { None }
+                    } else {
+                        col.checked_sub(1)
+                    };
+                    let south_dst = if south_going {
+                        if row + 1 < grid.rows { Some(row + 1) } else { None }
+                    } else {
+                        row.checked_sub(1)
+                    };
+                    if let Some(c) = east_dst {
+                        rank.send(&comm, grid.rank_of(row, c), TAG_EW, ew_bytes);
+                    }
+                    if let Some(r) = south_dst {
+                        rank.send(&comm, grid.rank_of(r, col), TAG_NS, ns_bytes);
+                    }
+                }
+            }
+        }
+        // Flux convergence check.
+        rank.allreduce(&comm, 8);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ProblemSize, Program};
+    use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+
+    fn machine() -> Machine {
+        Machine::new(platform_a(), MpiFlavor::OpenMpi)
+    }
+
+    #[test]
+    fn sweep3d_runs_on_various_counts() {
+        for p in [2, 4, 6, 9, 16] {
+            let stats = Program::Sweep3d.run(machine(), p, ProblemSize::Tiny);
+            assert!(stats.elapsed_ns() > 0.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sweep3d_has_the_biggest_traces() {
+        // Paper: SWEEP3D 619 MB > SP 508 MB > BT 290 MB at 64 ranks.
+        let m = machine();
+        let sw = Program::Sweep3d.run(m, 16, ProblemSize::Small).total_calls();
+        let sp = Program::Sp.run(m, 16, ProblemSize::Small).total_calls();
+        assert!(sw > sp, "Sweep3d {sw} <= SP {sp}");
+    }
+
+    #[test]
+    fn wavefront_pipelines_delay_downstream_ranks() {
+        // In a single octant sweep, the far corner cannot start before the
+        // near corner has progressed: finish times must be strictly ordered
+        // along the diagonal for one iteration... the full 8 octants
+        // symmetrize totals, so check that the run simply synchronizes to
+        // within one pipeline depth.
+        let stats = Program::Sweep3d.run(machine(), 4, ProblemSize::Tiny);
+        let max = stats.elapsed_ns();
+        for r in &stats.per_rank {
+            assert!(r.finish_ns > max * 0.5);
+        }
+    }
+}

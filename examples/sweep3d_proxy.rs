@@ -1,0 +1,73 @@
+//! Synthesize a proxy-app for the SWEEP3D wavefront workload — the program
+//! with the largest traces in the paper's Table 3 — and inspect what the
+//! grammar extraction does with its extremely regular structure.
+//!
+//! ```sh
+//! cargo run --release --example sweep3d_proxy
+//! ```
+
+use siesta_codegen::{emit_c, replay, TerminalOp};
+use siesta_core::{human_bytes, human_ms, Siesta, SiestaConfig};
+use siesta_perfmodel::Machine;
+use siesta_workloads::{ProblemSize, Program};
+
+fn main() {
+    let machine = Machine::default_eval();
+    let nranks = 16;
+    let size = ProblemSize::Small;
+    let program = Program::Sweep3d;
+
+    println!("=== SWEEP3D proxy synthesis ({nranks} ranks, {size:?}) ===\n");
+    let original = program.run(machine, nranks, size);
+    println!("original execution time: {}", human_ms(original.elapsed_ns()));
+    println!(
+        "MPI calls: {} total; payload {}",
+        original.total_calls(),
+        human_bytes(original.total_bytes() as usize)
+    );
+
+    let siesta = Siesta::new(SiestaConfig::default());
+    let (synthesis, _) =
+        siesta.synthesize_run(machine, nranks, move |r| program.body(size)(r));
+    let s = &synthesis.stats;
+
+    println!("\n--- compression ---");
+    println!("raw trace:        {}", human_bytes(s.raw_trace_bytes));
+    println!("size_C:           {}", human_bytes(s.size_c_bytes));
+    println!("ratio:            {:.0}x", s.compression_ratio());
+    println!(
+        "terminals:        {} ({} comm + {} compute)",
+        s.num_terminals, s.num_comm_terminals, s.num_compute_terminals
+    );
+    println!("grammar rules:    {}", s.num_rules);
+    println!("merged mains:     {} (rank classes after LCS merge)", s.num_mains);
+    println!("table merge:      {} tree rounds (⌈log₂{nranks}⌉)", s.merge_rounds);
+    println!("mean fit error:   {:.2}%", 100.0 * s.mean_fit_error);
+
+    // Show one synthesized computation proxy.
+    let example = synthesis.program.terminals.iter().enumerate().find_map(|(i, t)| match t {
+        TerminalOp::Compute { proxy, target } if proxy.total_reps() > 0 => {
+            Some((i, proxy.clone(), *target))
+        }
+        _ => None,
+    });
+    if let Some((i, proxy, target)) = example {
+        println!("\n--- example computation proxy (terminal {i}) ---");
+        println!("target: {target}");
+        println!("block repetitions: {:?}", proxy.reps);
+    }
+
+    println!("\n--- replay ---");
+    let proxy_run = replay(&synthesis.program, machine);
+    println!("proxy execution:  {}", human_ms(proxy_run.elapsed_ns()));
+    println!(
+        "time error {:.2}%, counter error {:.2}%",
+        100.0 * proxy_run.time_error(&original),
+        100.0 * proxy_run.mean_counter_error(&original)
+    );
+
+    let c = emit_c(&synthesis.program);
+    let path = "target/sweep3d_proxy.c";
+    std::fs::write(path, &c).expect("write proxy source");
+    println!("\nC proxy-app written to {path} ({} bytes)", c.len());
+}

@@ -1,0 +1,93 @@
+//! Cross-platform and cross-implementation portability integration tests
+//! (the mechanisms of the paper's Figures 7–9).
+
+use siesta_baselines::scalabench;
+use siesta_codegen::replay;
+use siesta_core::{Siesta, SiestaConfig};
+use siesta_perfmodel::{platform_a, platform_b, platform_c, Machine, MpiFlavor};
+use siesta_workloads::{ProblemSize, Program};
+
+fn gen_machine() -> Machine {
+    Machine::new(platform_a(), MpiFlavor::OpenMpi)
+}
+
+#[test]
+fn siesta_tracks_platform_b_slowdown_scalabench_does_not() {
+    let program = Program::Bt;
+    let n = 16;
+    let size = ProblemSize::Tiny;
+    let ma = gen_machine();
+    let mb = Machine::new(platform_b(), MpiFlavor::OpenMpi);
+    let orig_a = program.run(ma, n, size);
+    let orig_b = program.run(mb, n, size);
+    let slowdown = orig_b.elapsed_ns() / orig_a.elapsed_ns();
+    assert!(slowdown > 2.0, "KNL should slow BT a lot: {slowdown}");
+
+    let siesta = Siesta::new(SiestaConfig::default());
+    let (synthesis, _) = siesta.synthesize_run(ma, n, move |r| program.body(size)(r));
+    let proxy_b = replay(&synthesis.program, mb);
+    let siesta_err = proxy_b.time_error(&orig_b);
+
+    let scala = scalabench::trace_and_synthesize(ma, n, move |r| program.body(size)(r))
+        .expect("BT supported");
+    let scala_err = scala.replay(mb).time_error(&orig_b);
+
+    assert!(siesta_err < 0.2, "siesta error on B: {:.1}%", siesta_err * 100.0);
+    assert!(scala_err > 0.4, "scalabench error on B: {:.1}%", scala_err * 100.0);
+    assert!(siesta_err * 3.0 < scala_err, "separation too small");
+}
+
+#[test]
+fn proxies_port_between_a_and_c_both_ways() {
+    let program = Program::Mg;
+    let n = 16;
+    let size = ProblemSize::Tiny;
+    let ma = gen_machine();
+    let mc = Machine::new(platform_c(), MpiFlavor::OpenMpi);
+    for (gen_m, run_m) in [(ma, mc), (mc, ma)] {
+        let original = program.run(run_m, n, size);
+        let siesta = Siesta::new(SiestaConfig::default());
+        let (synthesis, _) = siesta.synthesize_run(gen_m, n, move |r| program.body(size)(r));
+        let proxy = replay(&synthesis.program, run_m);
+        let err = proxy.time_error(&original);
+        assert!(
+            err < 0.20,
+            "{}→{}: error {:.1}%",
+            gen_m.platform.name,
+            run_m.platform.name,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn proxies_follow_every_mpi_implementation() {
+    let program = Program::Sweep3d;
+    let n = 16;
+    let size = ProblemSize::Tiny;
+    let siesta = Siesta::new(SiestaConfig::default());
+    let (synthesis, _) =
+        siesta.synthesize_run(gen_machine(), n, move |r| program.body(size)(r));
+    for flavor in MpiFlavor::ALL {
+        let m = Machine::new(platform_a(), flavor);
+        let original = program.run(m, n, size);
+        let proxy = replay(&synthesis.program, m);
+        let err = proxy.time_error(&original);
+        assert!(err < 0.2, "{}: error {:.1}%", flavor.name(), err * 100.0);
+    }
+}
+
+#[test]
+fn generated_where_executed_is_most_accurate_for_sleep_replay() {
+    // The sleep baseline is fine as long as the platform does not change —
+    // the nuance of Fig. 8's "similar platforms" observation.
+    let program = Program::Is;
+    let n = 16;
+    let size = ProblemSize::Tiny;
+    let ma = gen_machine();
+    let app = scalabench::trace_and_synthesize(ma, n, move |r| program.body(size)(r))
+        .expect("IS supported");
+    let orig_a = program.run(ma, n, size);
+    let err_same = app.replay(ma).time_error(&orig_a);
+    assert!(err_same < 0.15, "same-platform sleep replay error {err_same}");
+}
