@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use siesta_mpisim::{
     Communicator, HookCtx, MpiCall, PmpiHook, Rank, Request, RunStats, World,
 };
@@ -72,13 +72,13 @@ struct ScalaRecorder {
 
 impl PmpiHook for ScalaRecorder {
     fn pre(&self, ctx: &HookCtx, _call: &MpiCall) {
-        let mut log = self.per_rank[ctx.rank].lock();
+        let mut log = self.per_rank[ctx.rank].lock().unwrap();
         // Gap = time since the previous MPI call returned.
         log.last_clock = ctx.clock_ns;
     }
 
     fn post(&self, ctx: &HookCtx, call: &MpiCall) {
-        let mut log = self.per_rank[ctx.rank].lock();
+        let mut log = self.per_rank[ctx.rank].lock().unwrap();
         if log.normalizer.is_none() {
             log.normalizer = Some(Normalizer::new());
         }
@@ -596,7 +596,7 @@ where
     World::new(machine, nranks).with_hook(hook).run(body);
     let mut programs = Vec::with_capacity(nranks);
     for cell in recorder.per_rank.iter() {
-        let log = std::mem::take(&mut *cell.lock());
+        let log = std::mem::take(&mut *cell.lock().unwrap());
         if let Some(what) = log.unsupported {
             return Err(BaselineError::Unsupported(what));
         }

@@ -1,6 +1,15 @@
-//! Criterion micro-benchmarks of the pipeline's algorithmic components.
+//! Micro-benchmarks of the pipeline's algorithmic components.
+//!
+//! Hand-rolled harness (no external benchmark crate: the build environment
+//! has no registry access). Each benchmark warms up, then reports the mean
+//! and minimum wall time over a fixed number of timed iterations:
+//!
+//! ```sh
+//! cargo bench -p siesta-bench --bench components
+//! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use siesta_core::{Siesta, SiestaConfig};
 use siesta_grammar::{lcs, merge_grammars, MergeConfig, Sequitur};
@@ -8,6 +17,29 @@ use siesta_perfmodel::{platform_a, KernelDesc, Machine, MpiFlavor};
 use siesta_proxy::{solve_block_fit, ProxySearcher};
 use siesta_trace::{merge_tables, Recorder, TraceConfig};
 use siesta_workloads::{ProblemSize, Program};
+
+/// Time `f` over `iters` iterations after `warmup` untimed ones; print a
+/// criterion-style summary line.
+fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters as f64;
+    println!(
+        "{name:<28} mean {:>10.3} ms   min {:>10.3} ms   ({iters} iters)",
+        mean * 1e3,
+        min * 1e3
+    );
+}
 
 fn machine() -> Machine {
     Machine::new(platform_a(), MpiFlavor::OpenMpi)
@@ -29,36 +61,27 @@ fn trace_like_sequence(n: usize) -> Vec<u32> {
     seq
 }
 
-fn bench_sequitur(c: &mut Criterion) {
-    let seq = trace_like_sequence(10_000);
-    c.bench_function("sequitur_10k_symbols", |b| {
-        b.iter(|| Sequitur::build(black_box(&seq)))
-    });
-}
-
-fn bench_qp(c: &mut Criterion) {
+fn main() {
     let m = machine();
+
+    let seq = trace_like_sequence(10_000);
+    bench("sequitur_10k_symbols", 2, 10, || Sequitur::build(black_box(&seq)));
+
     let searcher = ProxySearcher::new(&m);
     let target = m.cpu().counters(&KernelDesc::stencil(50_000.0, 6.0, 2e6));
     let t = target.as_array();
-    c.bench_function("qp_block_fit", |b| {
-        b.iter(|| solve_block_fit(black_box(searcher.b_matrix()), black_box(&t)))
+    bench("qp_block_fit", 10, 100, || {
+        solve_block_fit(black_box(searcher.b_matrix()), black_box(&t))
     });
-}
 
-fn bench_lcs(c: &mut Criterion) {
     // Two nearly identical main rules, SPMD-style.
     let a: Vec<u32> = (0..2000).map(|i| i % 37).collect();
     let mut bv = a.clone();
     for i in (0..2000).step_by(97) {
         bv[i] = 999;
     }
-    c.bench_function("myers_lcs_2k_similar", |b| {
-        b.iter(|| lcs::diff(black_box(&a), black_box(&bv), 200))
-    });
-}
+    bench("myers_lcs_2k_similar", 2, 20, || lcs::diff(black_box(&a), black_box(&bv), 200));
 
-fn bench_grammar_merge(c: &mut Criterion) {
     let base = trace_like_sequence(2_000);
     let grammars: Vec<_> = (0..16)
         .map(|r| {
@@ -67,48 +90,20 @@ fn bench_grammar_merge(c: &mut Criterion) {
             Sequitur::build(&s)
         })
         .collect();
-    c.bench_function("merge_16_rank_grammars", |b| {
-        b.iter(|| merge_grammars(black_box(&grammars), &MergeConfig::default()))
+    bench("merge_16_rank_grammars", 2, 10, || {
+        merge_grammars(black_box(&grammars), &MergeConfig::default())
+    });
+
+    bench("mpisim_mg8_tiny", 1, 10, || Program::Mg.run(m, 8, ProblemSize::Tiny));
+
+    bench("trace_and_table_merge_cg8", 1, 10, || {
+        let rec = std::sync::Arc::new(Recorder::new(8, TraceConfig::default()));
+        Program::Cg.run_hooked(m, 8, ProblemSize::Tiny, rec.clone());
+        merge_tables(rec.finish())
+    });
+
+    bench("synthesize_bt9_tiny", 1, 10, || {
+        let siesta = Siesta::new(SiestaConfig::default());
+        siesta.synthesize_run(m, 9, move |r| Program::Bt.body(ProblemSize::Tiny)(r))
     });
 }
-
-fn bench_simulator(c: &mut Criterion) {
-    let m = machine();
-    c.bench_function("mpisim_mg8_tiny", |b| {
-        b.iter(|| Program::Mg.run(m, 8, ProblemSize::Tiny))
-    });
-}
-
-fn bench_table_merge(c: &mut Criterion) {
-    let m = machine();
-    c.bench_function("trace_and_table_merge_cg8", |b| {
-        b.iter(|| {
-            let rec = std::sync::Arc::new(Recorder::new(8, TraceConfig::default()));
-            Program::Cg.run_hooked(m, 8, ProblemSize::Tiny, rec.clone());
-            merge_tables(rec.finish())
-        })
-    });
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
-    let m = machine();
-    c.bench_function("synthesize_bt9_tiny", |b| {
-        b.iter(|| {
-            let siesta = Siesta::new(SiestaConfig::default());
-            siesta.synthesize_run(m, 9, move |r| Program::Bt.body(ProblemSize::Tiny)(r))
-        })
-    });
-}
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sequitur,
-        bench_qp,
-        bench_lcs,
-        bench_grammar_merge,
-        bench_simulator,
-        bench_table_merge,
-        bench_end_to_end
-);
-criterion_main!(benches);

@@ -1,38 +1,64 @@
 //! Minimal `--flag value` argument parsing (no external dependencies).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand plus `--key value` options and
+/// valueless boolean `--flag`s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     pub command: String,
     options: HashMap<String, String>,
+    flags: HashSet<String>,
 }
 
 impl Args {
-    /// Parse `[command, --key, value, --key, value, ...]`.
+    /// Parse `[command, --key, value, --key, value, ...]` with no boolean
+    /// flags declared. The binary itself parses through
+    /// [`Args::parse_with_flags`]; this entry point stays for flagless use.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        Args::parse_with_flags(argv, &[])
+    }
+
+    /// Parse, treating each name in `bool_flags` as a valueless boolean
+    /// flag (`--quiet` style); everything else stays `--key value`.
+    pub fn parse_with_flags<I: IntoIterator<Item = String>>(
+        argv: I,
+        bool_flags: &[&str],
+    ) -> Result<Args, String> {
         let mut it = argv.into_iter();
         let command = it.next().ok_or("missing subcommand")?;
         if command.starts_with("--") {
             return Err(format!("expected a subcommand, got option {command}"));
         }
         let mut options = HashMap::new();
+        let mut flags = HashSet::new();
         while let Some(key) = it.next() {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --option, got {key}"))?
                 .to_string();
+            if bool_flags.contains(&key.as_str()) {
+                if !flags.insert(key.clone()) {
+                    return Err(format!("--{key} given twice"));
+                }
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             if options.insert(key.clone(), value).is_some() {
                 return Err(format!("--{key} given twice"));
             }
         }
-        Ok(Args { command, options })
+        Ok(Args { command, options, flags })
     }
 
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Was the boolean flag `--key` given?
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
     }
 
     pub fn require(&self, key: &str) -> Result<&str, String> {
@@ -57,9 +83,9 @@ impl Args {
         }
     }
 
-    /// Error on any option not in `allowed` (typo protection).
+    /// Error on any option or flag not in `allowed` (typo protection).
     pub fn check_allowed(&self, allowed: &[&str]) -> Result<(), String> {
-        for key in self.options.keys() {
+        for key in self.options.keys().chain(self.flags.iter()) {
             if !allowed.contains(&key.as_str()) {
                 return Err(format!(
                     "unknown option --{key} (allowed: {})",
@@ -110,5 +136,38 @@ mod tests {
         let a = parse("run --program BT --bogus 1").unwrap();
         assert!(a.check_allowed(&["program"]).is_err());
         assert!(a.check_allowed(&["program", "bogus"]).is_ok());
+    }
+
+    fn parse_flags(s: &str, flags: &[&str]) -> Result<Args, String> {
+        Args::parse_with_flags(s.split_whitespace().map(str::to_string), flags)
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse_flags("run --quiet --program BT --stats", &["quiet", "stats"]).unwrap();
+        assert!(a.get_flag("quiet"));
+        assert!(a.get_flag("stats"));
+        assert!(!a.get_flag("verbose"));
+        assert_eq!(a.get("program"), Some("BT"));
+        // A declared flag never swallows the next token.
+        let b = parse_flags("run --quiet 4", &["quiet"]);
+        assert!(b.is_err(), "stray positional token must be rejected: {b:?}");
+    }
+
+    #[test]
+    fn boolean_flags_reject_duplicates_and_typos() {
+        assert!(parse_flags("run --quiet --quiet", &["quiet"]).is_err());
+        // An undeclared name parses as a key-value option: bare, it lacks a
+        // value; with one, check_allowed still catches the typo.
+        assert!(parse_flags("run --quite", &["quiet"]).is_err());
+        let a = parse_flags("run --quite 1", &["quiet"]).unwrap();
+        assert!(a.check_allowed(&["quiet"]).is_err());
+    }
+
+    #[test]
+    fn flags_participate_in_typo_protection() {
+        let a = parse_flags("run --stats", &["stats"]).unwrap();
+        assert!(a.check_allowed(&["program"]).is_err());
+        assert!(a.check_allowed(&["program", "stats"]).is_ok());
     }
 }

@@ -79,9 +79,36 @@ fn main() -> ExitCode {
     }
 }
 
+/// Options accepted by every command (observability controls).
+const GLOBAL_OPTS: &[&str] = &["log-level", "profile", "quiet", "stats"];
+const GLOBAL_FLAGS: &[&str] = &["quiet", "stats"];
+
+/// `check_allowed` including the global observability options.
+fn check_cmd_opts(args: &Args, cmd_opts: &[&str]) -> Result<(), String> {
+    let mut allowed: Vec<&str> = cmd_opts.to_vec();
+    allowed.extend_from_slice(GLOBAL_OPTS);
+    args.check_allowed(&allowed)
+}
+
 fn run(argv: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(argv)?;
-    match args.command.as_str() {
+    let args = Args::parse_with_flags(argv, GLOBAL_FLAGS)?;
+
+    // Observability setup, before any command output.
+    if args.get_flag("quiet") {
+        siesta_obs::log::set_off();
+    } else if let Some(level) = args.get("log-level") {
+        if !siesta_obs::set_level_from_str(level) {
+            return Err(format!(
+                "unknown log level {level} (error | warn | info | debug | trace | off)"
+            ));
+        }
+    }
+    let profile_path = args.get("profile").map(str::to_string);
+    if profile_path.is_some() {
+        siesta_obs::set_profiling_enabled(true);
+    }
+
+    let result = match args.command.as_str() {
         "synthesize" => cmd_synthesize(&args),
         "replay" => cmd_replay(&args),
         "compare" => cmd_compare(&args),
@@ -90,11 +117,30 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "inspect" => cmd_inspect(&args),
         "trace" => cmd_trace(&args),
         "list" => {
-            args.check_allowed(&[])?;
+            check_cmd_opts(&args, &[])?;
             cmd_list()
         }
         other => Err(format!("unknown command {other}")),
+    };
+
+    // Export collected spans/metrics even on command failure: a profile of
+    // the run up to the error is exactly what one wants to look at.
+    let spans = siesta_obs::drain_spans();
+    if let Some(path) = profile_path {
+        siesta_obs::chrome::write_chrome_trace(&path, &spans)
+            .map_err(|e| format!("{path}: {e}"))?;
+        siesta_obs::info!(
+            "profile: {} spans written to {path} (load in chrome://tracing or ui.perfetto.dev)",
+            spans.len()
+        );
     }
+    if args.get_flag("stats") {
+        print!(
+            "{}",
+            siesta_obs::report::render_report(&spans, &siesta_obs::metrics_snapshot())
+        );
+    }
+    result
 }
 
 fn parse_program(name: &str) -> Result<Program, String> {
@@ -126,7 +172,7 @@ fn parse_machine(args: &Args) -> Result<Machine, String> {
 }
 
 fn cmd_synthesize(args: &Args) -> Result<(), String> {
-    args.check_allowed(&[
+    check_cmd_opts(args, &[
         "program", "nprocs", "size", "platform", "flavor", "scale", "threshold", "out", "emit-c",
         "from-trace",
     ])?;
@@ -139,7 +185,7 @@ fn cmd_synthesize(args: &Args) -> Result<(), String> {
             siesta_trace::load_trace(Path::new(trace_path)).map_err(|e| e.to_string())?;
         let config = SiestaConfig { scale, ..SiestaConfig::default() };
         let synthesis = Siesta::new(config).synthesize_global(global, &machine);
-        eprintln!(
+        siesta_obs::info!(
             "synthesized from {trace_path}: raw {} -> size_C {} ({:.0}x)",
             human_bytes(synthesis.stats.raw_trace_bytes),
             human_bytes(synthesis.stats.size_c_bytes),
@@ -171,7 +217,7 @@ fn cmd_synthesize(args: &Args) -> Result<(), String> {
         out
     };
 
-    eprintln!(
+    siesta_obs::info!(
         "tracing {} on {} ranks ({size:?}, {})...",
         program.name(),
         nprocs,
@@ -186,8 +232,8 @@ fn cmd_synthesize(args: &Args) -> Result<(), String> {
     let (synthesis, traced) =
         siesta.synthesize_run(machine, nprocs, move |r| program.body(size)(r));
     let s = &synthesis.stats;
-    eprintln!("traced run: {}", human_ms(traced.elapsed_ns()));
-    eprintln!(
+    siesta_obs::info!("traced run: {}", human_ms(traced.elapsed_ns()));
+    siesta_obs::info!(
         "raw trace {} -> size_C {} ({:.0}x); {} terminals, {} rules, {} main(s)",
         human_bytes(s.raw_trace_bytes),
         human_bytes(s.size_c_bytes),
@@ -200,7 +246,7 @@ fn cmd_synthesize(args: &Args) -> Result<(), String> {
     println!("{out}");
     if let Some(c_path) = args.get("emit-c") {
         std::fs::write(c_path, emit_c(&synthesis.program)).map_err(|e| e.to_string())?;
-        eprintln!("C source written to {c_path}");
+        siesta_obs::info!("C source written to {c_path}");
     }
     Ok(())
 }
@@ -211,10 +257,10 @@ fn load_proxy(args: &Args) -> Result<siesta_codegen::ProxyProgram, String> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
-    args.check_allowed(&["proxy", "platform", "flavor"])?;
+    check_cmd_opts(args, &["proxy", "platform", "flavor"])?;
     let program = load_proxy(args)?;
     let machine = parse_machine(args)?;
-    eprintln!(
+    siesta_obs::info!(
         "replaying {}-rank proxy (generated on {}, scale {}) on {}...",
         program.nranks,
         program.generated_on,
@@ -234,15 +280,15 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    args.check_allowed(&["proxy", "program", "size", "platform", "flavor"])?;
+    check_cmd_opts(args, &["proxy", "program", "size", "platform", "flavor"])?;
     let proxy_program = load_proxy(args)?;
     let program = parse_program(args.require("program")?)?;
     let size = parse_size(&args.get_or("size", "small"))?;
     let machine = parse_machine(args)?;
     let nprocs = proxy_program.nranks;
-    eprintln!("running original {} on {} ranks...", program.name(), nprocs);
+    siesta_obs::info!("running original {} on {} ranks...", program.name(), nprocs);
     let original = program.run(machine, nprocs, size);
-    eprintln!("replaying proxy...");
+    siesta_obs::info!("replaying proxy...");
     let proxy = replay(&proxy_program, machine);
     println!("original: {}", human_ms(original.elapsed_ns()));
     println!("proxy:    {}", human_ms(proxy.elapsed_ns()));
@@ -269,7 +315,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_emit_c(args: &Args) -> Result<(), String> {
-    args.check_allowed(&["proxy", "out"])?;
+    check_cmd_opts(args, &["proxy", "out"])?;
     let program = load_proxy(args)?;
     let out = args.require("out")?;
     std::fs::write(out, emit_c(&program)).map_err(|e| e.to_string())?;
@@ -278,7 +324,7 @@ fn cmd_emit_c(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_retarget(args: &Args) -> Result<(), String> {
-    args.check_allowed(&["proxy", "nprocs", "out"])?;
+    check_cmd_opts(args, &["proxy", "nprocs", "out"])?;
     let program = load_proxy(args)?;
     let nprocs = args.get_usize("nprocs", 0)?;
     if nprocs == 0 {
@@ -287,7 +333,7 @@ fn cmd_retarget(args: &Args) -> Result<(), String> {
     let out = args.require("out")?;
     let retargeted = siesta_codegen::retarget(&program, nprocs).map_err(|e| e.to_string())?;
     wire::save(&retargeted, Path::new(out)).map_err(|e| e.to_string())?;
-    eprintln!(
+    siesta_obs::info!(
         "retargeted {} → {} ranks ({})",
         program.nranks, nprocs, retargeted.generated_on
     );
@@ -296,7 +342,7 @@ fn cmd_retarget(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
-    args.check_allowed(&["proxy"])?;
+    check_cmd_opts(args, &["proxy"])?;
     let p = load_proxy(args)?;
     println!("ranks:         {}", p.nranks);
     println!("generated on:  {}", p.generated_on);
@@ -333,7 +379,7 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {
-    args.check_allowed(&["program", "nprocs", "size", "platform", "flavor", "out"])?;
+    check_cmd_opts(args, &["program", "nprocs", "size", "platform", "flavor", "out"])?;
     let program = parse_program(args.require("program")?)?;
     let nprocs = args.get_usize("nprocs", 16)?;
     if !program.valid_nprocs(nprocs) {
@@ -347,7 +393,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     match args.get("out") {
         Some(out) => {
             siesta_trace::save_trace(&global, Path::new(out)).map_err(|e| e.to_string())?;
-            eprintln!(
+            siesta_obs::info!(
                 "saved merged trace: {} terminals, {} ranks",
                 global.table.len(),
                 global.nranks

@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use siesta_codegen::{ProxyProgram, TerminalOp};
 use siesta_grammar::{merge_grammars, Grammar, MergeConfig, Sequitur};
-use siesta_mpisim::{Rank, RunStats, World};
+use siesta_mpisim::{FanoutHook, ObsHook, PmpiHook, Rank, RunStats, World};
+use siesta_obs::{histogram, profiling_enabled, span};
 use siesta_perfmodel::Machine;
 use siesta_proxy::{shrink_counters, CommShrink, ProxySearcher, BLOCKS_C_SOURCE};
 use siesta_trace::{
@@ -98,10 +99,19 @@ impl Siesta {
     where
         F: Fn(&mut Rank) + Send + Sync,
     {
+        let _span = span!("trace", nranks = nranks);
         let recorder = Arc::new(Recorder::new(nranks, self.config.trace));
-        let stats = World::new(machine, nranks)
-            .with_hook(recorder.clone())
-            .run(body);
+        // With profiling on, stack the metrics hook under the recorder the
+        // way PMPI tools chain; otherwise install the recorder alone.
+        let hook: Arc<dyn PmpiHook> = if profiling_enabled() {
+            Arc::new(FanoutHook::new(vec![
+                recorder.clone(),
+                Arc::new(ObsHook::new(nranks)),
+            ]))
+        } else {
+            recorder.clone()
+        };
+        let stats = World::new(machine, nranks).with_hook(hook).run(body);
         (recorder.finish(), stats)
     }
 
@@ -109,7 +119,10 @@ impl Siesta {
     /// the proxy is generated on (block micro-benchmarks and the comm
     /// shrinking regression run there).
     pub fn synthesize(&self, trace: Trace, gen_machine: &Machine) -> Synthesis {
-        let global = merge_tables(trace);
+        let global = {
+            let _span = span!("table-merge", nranks = trace.nranks);
+            merge_tables(trace)
+        };
         self.synthesize_global(global, gen_machine)
     }
 
@@ -117,16 +130,29 @@ impl Siesta {
     /// [`GlobalTrace`] — the offline half of the paper's workflow: collect
     /// the trace on the production system, synthesize anywhere.
     pub fn synthesize_global(&self, global: GlobalTrace, gen_machine: &Machine) -> Synthesis {
+        let _span = span!("synthesize", nranks = global.nranks);
         let nranks = global.nranks;
 
         // Intra-process grammars, then the inter-process merge.
-        let grammars: Vec<Grammar> =
-            global.seqs.iter().map(|seq| Sequitur::build(seq)).collect();
-        let merged = merge_grammars(&grammars, &self.config.merge);
+        let grammars: Vec<Grammar> = global
+            .seqs
+            .iter()
+            .enumerate()
+            .map(|(rank, seq)| {
+                let _span = span!("sequitur", rank = rank, symbols = seq.len());
+                Sequitur::build(seq)
+            })
+            .collect();
+        let merged = {
+            let _span = span!("grammar-merge", grammars = grammars.len());
+            merge_grammars(&grammars, &self.config.merge)
+        };
 
         // Computation proxies and communication shrinking.
+        let proxy_span = span!("proxy-search", events = global.table.len());
         let searcher = ProxySearcher::new(gen_machine);
         let comm_shrink = CommShrink::fit(&gen_machine.net);
+        let fit_error_hist = histogram("proxy.fit_error_bp");
         let mut fit_error_sum = 0.0;
         let mut fit_error_n = 0usize;
         let terminals: Vec<TerminalOp> = global
@@ -136,7 +162,13 @@ impl Siesta {
                 EventRecord::Compute(stats) => {
                     let target = shrink_counters(&stats.mean(), self.config.scale);
                     let proxy = searcher.search(&target);
-                    fit_error_sum += searcher.error(&proxy, &target, gen_machine);
+                    let err = searcher.error(&proxy, &target, gen_machine);
+                    if profiling_enabled() {
+                        // Fit error in basis points (1e-4), so the log2
+                        // histogram resolves the sub-percent range.
+                        fit_error_hist.record((err * 1e4).round().max(0.0) as u64);
+                    }
+                    fit_error_sum += err;
                     fit_error_n += 1;
                     TerminalOp::Compute { proxy, target }
                 }
@@ -145,7 +177,9 @@ impl Siesta {
                 }
             })
             .collect();
+        drop(proxy_span);
 
+        let _codegen_span = span!("codegen", terminals = terminals.len());
         let program = ProxyProgram {
             nranks,
             terminals,
@@ -297,5 +331,50 @@ fn shrink_comm(e: &CommEvent, s: &CommShrink, k: f64) -> CommEvent {
         }
         // Zero-volume and management events are untouched.
         other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(raw: usize, size_c: usize) -> SynthesisStats {
+        SynthesisStats {
+            raw_trace_bytes: raw,
+            size_c_bytes: size_c,
+            num_terminals: 0,
+            num_comm_terminals: 0,
+            num_compute_terminals: 0,
+            num_rules: 0,
+            num_mains: 0,
+            grammar_size: 0,
+            merge_rounds: 0,
+            mean_fit_error: 0.0,
+        }
+    }
+
+    #[test]
+    fn compression_ratio_normal() {
+        assert_eq!(stats(1000, 100).compression_ratio(), 10.0);
+    }
+
+    #[test]
+    fn compression_ratio_zero_size_c_does_not_divide_by_zero() {
+        let r = stats(1000, 0).compression_ratio();
+        assert!(r.is_finite());
+        assert_eq!(r, 1000.0); // clamped denominator of 1
+    }
+
+    #[test]
+    fn compression_ratio_both_zero() {
+        assert_eq!(stats(0, 0).compression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn compression_ratio_expanding_representation() {
+        // A representation larger than the trace gives a ratio < 1, not an
+        // error: tiny programs can legitimately expand.
+        let r = stats(10, 100).compression_ratio();
+        assert!(r < 1.0 && r > 0.0);
     }
 }

@@ -28,11 +28,13 @@ pub fn diff<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Option<Diff> {
     let mut trace: Vec<Vec<usize>> = Vec::new();
 
     let mut found_d: Option<usize> = None;
+    let mut cells = 0u64;
     'outer: for d in 0..=max_d {
         trace.push(v.clone()); // state *before* exploring depth d
         let di = d as isize;
         let mut k = -di;
         while k <= di {
+            cells += 1;
             let idx = (k + off) as usize;
             let mut x = if k == -di || (k != di && v[idx - 1] < v[idx + 1]) {
                 v[idx + 1] // move down (consume from b)
@@ -51,6 +53,12 @@ pub fn diff<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Option<Diff> {
             }
             k += 2;
         }
+    }
+    // One atomic add per diff() call; the handle lookup is cached.
+    {
+        use std::sync::OnceLock;
+        static CELLS: OnceLock<&'static siesta_obs::Counter> = OnceLock::new();
+        CELLS.get_or_init(|| siesta_obs::counter("grammar.lcs_cells")).add(cells);
     }
     let d_final = found_d?;
 

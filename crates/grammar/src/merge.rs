@@ -208,6 +208,16 @@ pub fn merge_grammars(grammars: &[Grammar], config: &MergeConfig) -> MergedGramm
     // Deterministic order: by smallest covered rank.
     mains.sort_by_key(|m| m.ranks.iter().next().unwrap_or(u32::MAX));
 
+    siesta_obs::gauge("grammar.main_variants").set(variants.len() as i64);
+    siesta_obs::gauge("grammar.main_clusters").set(mains.len() as i64);
+    siesta_obs::gauge("grammar.merged_rules").set(global_rules.len() as i64);
+    siesta_obs::debug!(
+        "grammar-merge: {nranks} ranks -> {} main variants -> {} clusters, {} shared rules",
+        variants.len(),
+        mains.len(),
+        global_rules.len()
+    );
+
     MergedGrammar { rules: global_rules, mains, nranks }
 }
 

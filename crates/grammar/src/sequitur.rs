@@ -428,6 +428,13 @@ impl Sequitur {
     /// Convert into an immutable [`Grammar`], renumbering surviving rules
     /// densely (main rule stays rule 0).
     pub fn into_grammar(self) -> Grammar {
+        // Rule churn and digram-table metrics, flushed once per build.
+        let created = self.guards.len() as u64;
+        let inlined = self.guards.iter().filter(|&&g| g == NIL).count() as u64;
+        siesta_obs::counter("grammar.rules_created").add(created);
+        siesta_obs::counter("grammar.rules_inlined").add(inlined);
+        siesta_obs::histogram("grammar.digram_table_size").record(self.digrams.len() as u64);
+
         // Map surviving rule ids to dense ids.
         let mut remap: HashMap<u32, u32> = HashMap::new();
         let mut order: Vec<u32> = Vec::new();

@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 use siesta_perfmodel::Machine;
 
 use crate::message::{Channel, Envelope, MatchKey, WireProtocol};
@@ -82,7 +82,7 @@ impl Engine {
     /// if one matches.
     pub fn send(&self, dst_global: usize, env: Envelope) {
         let mb = &self.mailboxes[dst_global];
-        let mut inner = mb.inner.lock();
+        let mut inner = mb.inner.lock().unwrap();
         // First posted receive that matches, in post order.
         if let Some(pos) = inner.posted.iter().position(|p| p.key.matches(&env)) {
             let posted = inner.posted.remove(pos);
@@ -99,7 +99,7 @@ impl Engine {
     /// pass to [`Engine::wait`] / [`Engine::test`].
     pub fn post_recv(&self, me: usize, key: MatchKey, post_time: f64) -> u64 {
         let mb = &self.mailboxes[me];
-        let mut inner = mb.inner.lock();
+        let mut inner = mb.inner.lock().unwrap();
         let id = inner.next_recv_id;
         inner.next_recv_id += 1;
         if let Some(pos) = inner.unexpected.iter().position(|e| key.matches(e)) {
@@ -115,24 +115,24 @@ impl Engine {
     /// Block until the receive `id` posted by `me` completes.
     pub fn wait(&self, me: usize, id: u64) -> Completion {
         let mb = &self.mailboxes[me];
-        let mut inner = mb.inner.lock();
+        let mut inner = mb.inner.lock().unwrap();
         loop {
             if let Some(c) = inner.completions.remove(&id) {
                 return c;
             }
-            mb.cv.wait(&mut inner);
+            inner = mb.cv.wait(inner).unwrap();
         }
     }
 
     /// Non-blocking completion check.
     pub fn test(&self, me: usize, id: u64) -> Option<Completion> {
-        let mut inner = self.mailboxes[me].inner.lock();
+        let mut inner = self.mailboxes[me].inner.lock().unwrap();
         inner.completions.remove(&id)
     }
 
     /// Count of messages sitting in `me`'s unexpected queue (diagnostics).
     pub fn unexpected_len(&self, me: usize) -> usize {
-        self.mailboxes[me].inner.lock().unexpected.len()
+        self.mailboxes[me].inner.lock().unwrap().unexpected.len()
     }
 
     /// Resolve an envelope against a posted receive: compute when the data
@@ -268,7 +268,7 @@ mod tests {
     #[test]
     fn rendezvous_acks_sender_and_times_transfer() {
         let e = engine(80); // two nodes on platform A (40 cores/node)
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = std::sync::mpsc::channel();
         let bytes = 1 << 20;
         let env = Envelope {
             src_global: 0,

@@ -66,6 +66,7 @@ pub mod comm;
 pub mod engine;
 pub mod hook;
 pub mod message;
+pub mod obs;
 pub mod rank;
 pub mod request;
 pub mod world;
@@ -73,6 +74,7 @@ pub mod world;
 pub use comm::{CommId, Communicator};
 pub use hook::{HookCtx, MpiCall, PmpiHook};
 pub use message::{RecvStatus, Tag, ANY_TAG};
+pub use obs::{FanoutHook, ObsHook};
 pub use rank::Rank;
 pub use request::Request;
 pub use world::{RankStats, RunStats, World};

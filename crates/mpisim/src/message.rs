@@ -1,6 +1,6 @@
 //! Message envelopes and receive matching keys.
 
-use crossbeam::channel::Sender;
+use std::sync::mpsc::Sender;
 
 use crate::comm::CommId;
 

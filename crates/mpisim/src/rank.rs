@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 use siesta_perfmodel::net::Protocol;
 use siesta_perfmodel::{CounterVec, KernelDesc, Machine};
 
@@ -54,7 +54,7 @@ impl SplitRegistry {
         size: usize,
         value: (i64, i64, f64),
     ) -> Vec<(i64, i64, f64)> {
-        let mut map = self.inner.lock();
+        let mut map = self.inner.lock().unwrap();
         let slot = map.entry(slot_key).or_insert_with(|| SplitSlot {
             contributions: vec![None; size],
             filled: 0,
@@ -80,7 +80,7 @@ impl SplitRegistry {
                 }
                 return out;
             }
-            self.cv.wait(&mut map);
+            map = self.cv.wait(map).unwrap();
         }
     }
 }
@@ -586,7 +586,7 @@ impl<'w> Rank<'w> {
             }
             Protocol::Rendezvous => {
                 let rts_avail = self.clock + net.send_overhead_ns + net.latency(same);
-                let (tx, rx) = crossbeam::channel::bounded(1);
+                let (tx, rx) = std::sync::mpsc::channel();
                 self.shared.engine.send(
                     dst_global,
                     Envelope {
@@ -638,7 +638,7 @@ impl<'w> Rank<'w> {
             }
             Protocol::Rendezvous => {
                 let rts_avail = self.clock + net.send_overhead_ns + net.latency(same);
-                let (tx, rx) = crossbeam::channel::bounded(1);
+                let (tx, rx) = std::sync::mpsc::channel();
                 self.shared.engine.send(
                     dst_global,
                     Envelope {

@@ -5,7 +5,7 @@
 //! request depends on allocation history. This is exactly the behaviour the
 //! paper's free-number pool normalizes away on the tracing side.
 
-use crossbeam::channel::Receiver;
+use std::sync::mpsc::Receiver;
 
 use crate::message::Tag;
 

@@ -57,6 +57,12 @@ impl World {
     where
         F: Fn(&mut Rank) + Send + Sync,
     {
+        siesta_obs::debug!(
+            "mpisim: running {} ranks on {}{}",
+            self.nranks,
+            self.machine.label(),
+            if self.hook.is_some() { " (hooked)" } else { "" }
+        );
         let shared = Shared {
             engine: Engine::new(self.machine, self.nranks),
             hook: self.hook.clone(),

@@ -1,0 +1,106 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the `{"traceEvents": [...]}` object format with complete
+//! (`"ph":"X"`) events, loadable in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Timestamps and durations are microseconds,
+//! as the format requires. JSON is written by hand — the only strings we
+//! embed are span names and `key=value` args, escaped below.
+
+use std::fmt::Write as _;
+use std::io;
+
+use crate::span::FinishedSpan;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render spans as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(spans: &[FinishedSpan]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        escape_json_into(&mut out, s.name);
+        out.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        let _ = write!(
+            &mut out,
+            "{},\"ts\":{}.{:03},\"dur\":{}.{:03}",
+            s.tid,
+            s.start_ns / 1_000,
+            s.start_ns % 1_000,
+            s.dur_ns / 1_000,
+            s.dur_ns % 1_000
+        );
+        if !s.args.is_empty() {
+            out.push_str(",\"args\":{\"args\":\"");
+            escape_json_into(&mut out, &s.args);
+            out.push_str("\"}");
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Write spans to `path` as Chrome trace-event JSON.
+pub fn write_chrome_trace(path: &str, spans: &[FinishedSpan]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(spans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, args: &str, start_ns: u64, dur_ns: u64) -> FinishedSpan {
+        FinishedSpan { name, args: args.to_string(), tid: 1, depth: 0, start_ns, dur_ns }
+    }
+
+    #[test]
+    fn emits_complete_events_in_microseconds() {
+        let spans = vec![
+            span("trace", "", 1_500, 2_000_000),
+            span("sequitur", "rank=3", 2_000_000, 10_500),
+        ];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"trace\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        // 1500 ns -> 1.500 us, 2_000_000 ns -> 2000.000 us.
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2000.000"));
+        assert!(json.contains("\"args\":{\"args\":\"rank=3\"}"));
+        // Balanced braces => structurally sound.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn escapes_json_specials() {
+        let spans = vec![span("weird", "msg=\"a\\b\n\"", 0, 1)];
+        let json = chrome_trace_json(&spans);
+        assert!(json.contains(r#"msg=\"a\\b\n\""#));
+    }
+
+    #[test]
+    fn empty_span_list_is_valid() {
+        assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[\n]}\n");
+    }
+}

@@ -1,0 +1,35 @@
+//! `siesta-obs` — zero-dependency observability for the synthesis pipeline.
+//!
+//! Siesta's whole premise is measurement, so the pipeline itself must be
+//! measurable. This crate provides four small, hand-rolled facilities
+//! (no external crates — the build environment has no registry access):
+//!
+//! * **Leveled logging** ([`log`]): `error!` .. `trace!` macros gated by a
+//!   single atomic level, configurable via `SIESTA_LOG` or `--log-level`.
+//! * **Timed spans** ([`span`]): RAII guards created with
+//!   `span!("sequitur", rank = r)`. When profiling is disabled the macro
+//!   early-outs on one relaxed atomic load and formats nothing.
+//! * **Metrics** ([`metrics`]): process-global registry of monotonic
+//!   counters, gauges, and log2-bucket histograms with p50/p95/p99.
+//! * **Exporters**: Chrome trace-event JSON ([`chrome`], loadable in
+//!   `chrome://tracing` / Perfetto) and a human-readable per-phase
+//!   report table ([`report`]).
+//!
+//! Everything is `'static` and lock-light: spans append to a mutexed sink
+//! only when profiling is on; counters/histograms are plain atomics once
+//! registered.
+
+pub mod chrome;
+pub mod log;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use log::{set_level_from_str, Level};
+pub use metrics::{
+    counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
+    HistogramSummary, MetricsSnapshot,
+};
+pub use span::{
+    drain_spans, profiling_enabled, set_profiling_enabled, FinishedSpan, SpanGuard,
+};

@@ -1,0 +1,180 @@
+//! Leveled logging on a single global atomic.
+//!
+//! The level is read with one relaxed load per call site, so disabled
+//! levels cost a compare-and-branch and format nothing. The level is
+//! initialised lazily from the `SIESTA_LOG` environment variable
+//! (`error|warn|info|debug|trace|off`) and can be overridden by the CLI's
+//! `--log-level` flag via [`set_level_from_str`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, ordered so that `level as u8` comparisons work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    pub fn from_str_loose(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "err" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// `UNINIT` until first use (then `SIESTA_LOG` is consulted); afterwards a
+/// `Level` value, or `OFF` (below `Error`) to silence everything.
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+const UNINIT: u8 = u8::MAX;
+const OFF: u8 = 0;
+const DEFAULT: u8 = Level::Info as u8;
+
+#[cold]
+fn init_from_env() -> u8 {
+    let lvl = match std::env::var("SIESTA_LOG") {
+        Ok(v) if v.trim().eq_ignore_ascii_case("off") => OFF,
+        Ok(v) => Level::from_str_loose(&v).map(|l| l as u8).unwrap_or(DEFAULT),
+        Err(_) => DEFAULT,
+    };
+    // Racing initialisers agree on the value unless set_level ran in
+    // between; keep whatever is there in that case.
+    let _ = LEVEL.compare_exchange(UNINIT, lvl, Ordering::Relaxed, Ordering::Relaxed);
+    LEVEL.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn current() -> u8 {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNINIT => init_from_env(),
+        v => v,
+    }
+}
+
+/// Is `level` currently enabled? One relaxed load on the fast path.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= current()
+}
+
+/// Set the level explicitly (CLI `--log-level`); overrides `SIESTA_LOG`.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Silence all logging (CLI `--quiet`).
+pub fn set_off() {
+    LEVEL.store(OFF, Ordering::Relaxed);
+}
+
+/// Parse and set; returns false (leaving the level unchanged) on an
+/// unrecognised name other than "off".
+pub fn set_level_from_str(s: &str) -> bool {
+    if s.trim().eq_ignore_ascii_case("off") {
+        set_off();
+        return true;
+    }
+    match Level::from_str_loose(s) {
+        Some(l) => {
+            set_level(l);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Implementation detail of the logging macros.
+pub fn log_at(level: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[siesta {:<5}] {}", level.as_str(), args);
+}
+
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Error) {
+            $crate::log::log_at($crate::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Warn) {
+            $crate::log::log_at($crate::Level::Warn, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Info) {
+            $crate::log::log_at($crate::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Debug) {
+            $crate::log::log_at($crate::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::Level::Trace) {
+            $crate::log::log_at($crate::Level::Trace, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::from_str_loose("WARN"), Some(Level::Warn));
+        assert_eq!(Level::from_str_loose(" debug "), Some(Level::Debug));
+        assert_eq!(Level::from_str_loose("warning"), Some(Level::Warn));
+        assert_eq!(Level::from_str_loose("nope"), None);
+    }
+
+    #[test]
+    fn set_and_query() {
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Trace);
+        assert!(enabled(Level::Trace));
+        assert!(set_level_from_str("off"));
+        assert!(!enabled(Level::Error));
+        assert!(!set_level_from_str("bogus"));
+        set_level(Level::Info);
+    }
+}

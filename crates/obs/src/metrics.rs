@@ -1,0 +1,394 @@
+//! Process-global metrics registry: counters, gauges, log2 histograms.
+//!
+//! Metrics are registered once by name and then updated through plain
+//! atomics — after the first lookup a hot path touches no locks. Handles
+//! are `&'static` (backed by `Box::leak`), so call sites can cache them
+//! in a `OnceLock` and pay one `Relaxed` RMW per update.
+//!
+//! Histograms use 65 power-of-two buckets: bucket 0 holds the value 0 and
+//! bucket `k >= 1` holds values in `[2^(k-1), 2^k - 1]`. Percentiles use
+//! the nearest-rank rule over bucket counts and report the bucket's upper
+//! bound, clamped to the observed maximum — exact enough for latency and
+//! size distributions while staying allocation- and lock-free on record.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Fixed-bucket log2 histogram of `u64` samples.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros(v)`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100): the upper bound of the
+    /// bucket containing the ceil(p/100 * n)-th sample, clamped to the
+    /// observed max. Returns `None` for an empty histogram.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(bucket_upper(idx).min(self.max.load(Ordering::Relaxed)));
+            }
+        }
+        Some(self.max.load(Ordering::Relaxed))
+    }
+
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.percentile(50.0).unwrap_or(0),
+            p95: self.percentile(95.0).unwrap_or(0),
+            p99: self.percentile(99.0).unwrap_or(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+static REGISTRY: Registry = Registry {
+    counters: Mutex::new(BTreeMap::new()),
+    gauges: Mutex::new(BTreeMap::new()),
+    histograms: Mutex::new(BTreeMap::new()),
+};
+
+/// Get or register the counter named `name`. The handle is `'static`;
+/// cache it (e.g. in a `OnceLock`) on hot paths.
+pub fn counter(name: &'static str) -> &'static Counter {
+    REGISTRY
+        .counters
+        .lock()
+        .unwrap()
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Get or register the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    REGISTRY
+        .gauges
+        .lock()
+        .unwrap()
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Get or register the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    REGISTRY
+        .histograms
+        .lock()
+        .unwrap()
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Point-in-time view of every registered metric, sorted by name.
+#[derive(Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub gauges: Vec<(&'static str, i64)>,
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+pub fn metrics_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: REGISTRY
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k, v.get()))
+            .collect(),
+        gauges: REGISTRY
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k, v.get()))
+            .collect(),
+        histograms: REGISTRY
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, v)| (k, v.summary()))
+            .collect(),
+    }
+}
+
+/// Zero every registered metric (handles stay valid). Mainly for tests
+/// and for isolating per-run stats in long-lived processes.
+pub fn reset_metrics() {
+    for c in REGISTRY.counters.lock().unwrap().values() {
+        c.reset();
+    }
+    for g in REGISTRY.gauges.lock().unwrap().values() {
+        g.reset();
+    }
+    for h in REGISTRY.histograms.lock().unwrap().values() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = counter("test.counter.basics");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same handle.
+        assert_eq!(counter("test.counter.basics").get(), 5);
+
+        let g = gauge("test.gauge.basics");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p99, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_histogram() {
+        let h = Histogram::default();
+        h.record(42);
+        // Every percentile of a single sample is that sample (clamped to
+        // the observed max, so the bucket upper bound 63 is not reported).
+        assert_eq!(h.percentile(1.0), Some(42));
+        assert_eq!(h.percentile(50.0), Some(42));
+        assert_eq!(h.percentile(100.0), Some(42));
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.p50), (1, 42, 42, 42));
+    }
+
+    #[test]
+    fn bucket_boundary_percentiles() {
+        let h = Histogram::default();
+        // 90 samples of 1 (bucket 1), 10 samples of 1024 (bucket 11).
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1024);
+        }
+        assert_eq!(h.percentile(50.0), Some(1));
+        assert_eq!(h.percentile(90.0), Some(1));
+        // Rank 91 falls in the 1024 bucket, upper bound 2047 clamped to 1024.
+        assert_eq!(h.percentile(91.0), Some(1024));
+        assert_eq!(h.percentile(99.0), Some(1024));
+        assert_eq!(h.summary().sum, 90 + 10 * 1024);
+    }
+
+    #[test]
+    fn zero_values_land_in_bucket_zero() {
+        let h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(8);
+        assert_eq!(h.percentile(50.0), Some(0));
+        assert_eq!(h.percentile(100.0), Some(8));
+        assert_eq!(h.summary().min, 0);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let c = counter("test.snapshot.ctr");
+        let h = histogram("test.snapshot.hist");
+        c.add(3);
+        h.record(16);
+        let snap = metrics_snapshot();
+        assert!(snap.counters.iter().any(|&(k, v)| k == "test.snapshot.ctr" && v >= 3));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|&(k, s)| k == "test.snapshot.hist" && s.count >= 1));
+        reset_metrics();
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! Human-readable per-phase report: span timings aggregated by name plus
+//! a dump of all registered metrics. Printed by the CLI's `--stats` flag.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::FinishedSpan;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Render span timings (grouped by span name, ordered by total time) and
+/// the metrics snapshot as an aligned plain-text table.
+pub fn render_report(spans: &[FinishedSpan], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    if !spans.is_empty() {
+        let mut phases: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
+        for s in spans {
+            let agg = phases.entry(s.name).or_default();
+            agg.count += 1;
+            agg.total_ns += s.dur_ns;
+            agg.max_ns = agg.max_ns.max(s.dur_ns);
+        }
+        let mut rows: Vec<_> = phases.into_iter().collect();
+        rows.sort_by_key(|row| std::cmp::Reverse(row.1.total_ns));
+
+        out.push_str("phase timings:\n");
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>7} {:>12} {:>12} {:>12}",
+            "span", "count", "total ms", "mean ms", "max ms"
+        );
+        for (name, agg) in rows {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>7} {:>12} {:>12} {:>12}",
+                name,
+                agg.count,
+                fmt_ms(agg.total_ns),
+                fmt_ms(agg.total_ns / agg.count.max(1)),
+                fmt_ms(agg.max_ns)
+            );
+        }
+    }
+
+    if !metrics.counters.is_empty() {
+        out.push_str("counters:\n");
+        for &(name, v) in &metrics.counters {
+            let _ = writeln!(out, "  {name:<32} {v:>14}");
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for &(name, v) in &metrics.gauges {
+            let _ = writeln!(out, "  {name:<32} {v:>14}");
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>9} {:>12} {:>9} {:>9} {:>9} {:>9}",
+            "name", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for &(name, s) in &metrics.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>9} {:>12.1} {:>9} {:>9} {:>9} {:>9}",
+                name, s.count, s.mean(), s.p50, s.p95, s.p99, s.max
+            );
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no spans or metrics recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSummary;
+    use crate::span::FinishedSpan;
+
+    #[test]
+    fn report_contains_phases_and_metrics() {
+        let spans = vec![
+            FinishedSpan {
+                name: "sequitur",
+                args: "rank=0".into(),
+                tid: 1,
+                depth: 1,
+                start_ns: 0,
+                dur_ns: 2_000_000,
+            },
+            FinishedSpan {
+                name: "sequitur",
+                args: "rank=1".into(),
+                tid: 1,
+                depth: 1,
+                start_ns: 0,
+                dur_ns: 4_000_000,
+            },
+        ];
+        let metrics = MetricsSnapshot {
+            counters: vec![("mpi.calls.MPI_Send", 128)],
+            gauges: vec![("grammar.merged_rules", 12)],
+            histograms: vec![(
+                "mpi.message_bytes",
+                HistogramSummary { count: 5, sum: 50, min: 2, max: 30, p50: 8, p95: 30, p99: 30 },
+            )],
+        };
+        let text = render_report(&spans, &metrics);
+        assert!(text.contains("sequitur"));
+        assert!(text.contains("2")); // count column for the two spans
+        assert!(text.contains("mpi.calls.MPI_Send"));
+        assert!(text.contains("grammar.merged_rules"));
+        assert!(text.contains("mpi.message_bytes"));
+    }
+
+    #[test]
+    fn empty_report_is_explicit() {
+        let text = render_report(&[], &MetricsSnapshot::default());
+        assert!(text.contains("no spans or metrics"));
+    }
+}

@@ -15,13 +15,21 @@
 ///
 /// `a` is row-major, `rows × cols`. Returns the optimal `y` (length `cols`).
 pub fn nnls(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    nnls_counted(a, b).0
+}
+
+/// [`nnls`] plus the number of outer active-set iterations performed —
+/// the solver-effort figure the observability layer histograms.
+pub fn nnls_counted(a: &[Vec<f64>], b: &[f64]) -> (Vec<f64>, u32) {
     let rows = a.len();
     let cols = if rows > 0 { a[0].len() } else { 0 };
     let mut x = vec![0.0f64; cols];
     let mut passive = vec![false; cols];
     let tol = 1e-10 * frobenius(a) * linf(b).max(1.0);
+    let mut iterations = 0u32;
 
     for _outer in 0..(3 * cols + 10) {
+        iterations += 1;
         // Gradient of ½‖Ax−b‖²: w = Aᵀ(b − Ax).
         let r = residual(a, &x, b);
         let w: Vec<f64> = (0..cols)
@@ -84,7 +92,7 @@ pub fn nnls(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
             }
         }
     }
-    x
+    (x, iterations)
 }
 
 fn residual(a: &[Vec<f64>], x: &[f64], b: &[f64]) -> Vec<f64> {
@@ -181,6 +189,8 @@ pub struct FitResult {
     pub x: Vec<f64>,
     /// Weighted residual value of the objective (4) at `x`.
     pub objective: f64,
+    /// Outer active-set iterations the NNLS solver took.
+    pub iterations: u32,
 }
 
 /// Solve the paper's full problem:
@@ -226,7 +236,7 @@ pub fn solve_block_fit_opts(
         a[i][10] = weights[i] * b_matrix[i][10];
         bb[i] = weights[i] * t[i];
     }
-    let y = nnls(&a, &bb);
+    let (y, iterations) = nnls_counted(&a, &bb);
 
     // Back-substitute.
     let mut x = vec![0.0f64; 11];
@@ -241,7 +251,7 @@ pub fn solve_block_fit_opts(
         let w = weights[i];
         objective += (w * (pred - t[i])).powi(2);
     }
-    FitResult { x, objective }
+    FitResult { x, objective, iterations }
 }
 
 #[cfg(test)]

@@ -84,6 +84,12 @@ impl ProxySearcher {
     /// one clustered computation event).
     pub fn search(&self, target: &CounterVec) -> ComputeProxy {
         let fit = solve_block_fit(&self.b_matrix, &target.as_array());
+        // Called once per compute event; cache the registry handle.
+        static ITERS: std::sync::OnceLock<&'static siesta_obs::Histogram> =
+            std::sync::OnceLock::new();
+        ITERS
+            .get_or_init(|| siesta_obs::histogram("proxy.solver_iterations"))
+            .record(fit.iterations as u64);
         let mut reps = [0u64; NUM_BLOCKS];
         for (j, rep) in reps.iter_mut().enumerate() {
             *rep = fit.x[j].round().max(0.0) as u64;

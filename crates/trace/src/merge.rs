@@ -119,6 +119,7 @@ pub fn merge_tables(trace: Trace) -> GlobalTrace {
     let mut rounds = 0u32;
     while level.len() > 1 {
         rounds += 1;
+        let _span = siesta_obs::span!("table-merge.round", round = rounds, tables = level.len());
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
         let mut it = level.into_iter();
         while let Some(mut a) = it.next() {
@@ -134,6 +135,10 @@ pub fn merge_tables(trace: Trace) -> GlobalTrace {
     for (rank, seq) in root.seqs {
         seqs[rank] = seq;
     }
+    siesta_obs::debug!(
+        "table-merge: {nranks} ranks -> {} global terminals in {rounds} rounds",
+        root.table.len()
+    );
     GlobalTrace { nranks, table: root.table, seqs, raw_bytes, merge_rounds: rounds }
 }
 

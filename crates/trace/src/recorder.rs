@@ -16,7 +16,7 @@
 
 use std::mem;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use siesta_mpisim::{CommId, HookCtx, MpiCall, PmpiHook};
 use siesta_perfmodel::CounterVec;
 use std::collections::HashMap;
@@ -315,15 +315,22 @@ impl Recorder {
 
     /// Extract the recorded trace, resetting the recorder.
     pub fn finish(&self) -> Trace {
-        let ranks = self
+        let ranks: Vec<RankTraceData> = self
             .per_rank
             .iter()
             .map(|m| {
-                let tr = mem::take(&mut *m.lock());
+                let tr = mem::take(&mut *m.lock().unwrap());
                 RankTraceData { table: tr.table, seq: tr.seq, raw_bytes: tr.raw_bytes }
             })
             .collect();
-        Trace { nranks: self.per_rank.len(), ranks }
+        let trace = Trace { nranks: self.per_rank.len(), ranks };
+        siesta_obs::debug!(
+            "trace: recorded {} events ({} raw bytes) across {} ranks",
+            trace.total_events(),
+            trace.raw_bytes(),
+            trace.nranks
+        );
+        trace
     }
 }
 
@@ -334,7 +341,7 @@ impl PmpiHook for Recorder {
     }
 
     fn post(&self, ctx: &HookCtx, call: &MpiCall) {
-        let mut tr = self.per_rank[ctx.rank].lock();
+        let mut tr = self.per_rank[ctx.rank].lock().unwrap();
         tr.ensure_init();
         tr.close_compute_interval(ctx.counters, self.config.cluster_threshold);
         let event = tr.normalizer.normalize(ctx, call);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_contrasts-075b313d5768c7b6.d: crates/bench/../../tests/baseline_contrasts.rs
+
+/root/repo/target/debug/deps/baseline_contrasts-075b313d5768c7b6: crates/bench/../../tests/baseline_contrasts.rs
+
+crates/bench/../../tests/baseline_contrasts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_contrasts-6ae8099e42cff21d.d: crates/bench/../../tests/baseline_contrasts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_contrasts-6ae8099e42cff21d.rmeta: crates/bench/../../tests/baseline_contrasts.rs Cargo.toml
+
+crates/bench/../../tests/baseline_contrasts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_integration-2220c3e96a0500b4.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/debug/deps/cli_integration-2220c3e96a0500b4: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:
+
+# env-dep:CARGO_BIN_EXE_siesta=/root/repo/target/debug/siesta

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_integration-e24c464abeb685bf.d: crates/cli/tests/cli_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_integration-e24c464abeb685bf.rmeta: crates/cli/tests/cli_integration.rs Cargo.toml
+
+crates/cli/tests/cli_integration.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_siesta=placeholder:siesta
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

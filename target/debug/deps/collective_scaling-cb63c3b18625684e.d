@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/collective_scaling-cb63c3b18625684e.d: crates/mpisim/tests/collective_scaling.rs
+
+/root/repo/target/debug/deps/collective_scaling-cb63c3b18625684e: crates/mpisim/tests/collective_scaling.rs
+
+crates/mpisim/tests/collective_scaling.rs:

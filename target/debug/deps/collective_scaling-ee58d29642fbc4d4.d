@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/collective_scaling-ee58d29642fbc4d4.d: crates/mpisim/tests/collective_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcollective_scaling-ee58d29642fbc4d4.rmeta: crates/mpisim/tests/collective_scaling.rs Cargo.toml
+
+crates/mpisim/tests/collective_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7ae69a4f68d878c9.d: crates/core/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7ae69a4f68d878c9: crates/core/tests/end_to_end.rs
+
+crates/core/tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_single_event-76ff81b3cd566ace.d: crates/bench/benches/fig4_single_event.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_single_event-76ff81b3cd566ace.rmeta: crates/bench/benches/fig4_single_event.rs Cargo.toml
+
+crates/bench/benches/fig4_single_event.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

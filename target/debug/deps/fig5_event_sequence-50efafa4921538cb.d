@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_event_sequence-50efafa4921538cb.d: crates/bench/benches/fig5_event_sequence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_event_sequence-50efafa4921538cb.rmeta: crates/bench/benches/fig5_event_sequence.rs Cargo.toml
+
+crates/bench/benches/fig5_event_sequence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_exec_time-531ebe0d27f78c5c.d: crates/bench/benches/fig6_exec_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_exec_time-531ebe0d27f78c5c.rmeta: crates/bench/benches/fig6_exec_time.rs Cargo.toml
+
+crates/bench/benches/fig6_exec_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_mpi_impls-f1f992fb5c131fb3.d: crates/bench/benches/fig7_mpi_impls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_mpi_impls-f1f992fb5c131fb3.rmeta: crates/bench/benches/fig7_mpi_impls.rs Cargo.toml
+
+crates/bench/benches/fig7_mpi_impls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

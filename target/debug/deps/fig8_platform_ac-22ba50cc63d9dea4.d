@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_platform_ac-22ba50cc63d9dea4.d: crates/bench/benches/fig8_platform_ac.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_platform_ac-22ba50cc63d9dea4.rmeta: crates/bench/benches/fig8_platform_ac.rs Cargo.toml
+
+crates/bench/benches/fig8_platform_ac.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_platform_ab-fc517515d75de102.d: crates/bench/benches/fig9_platform_ab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_platform_ab-fc517515d75de102.rmeta: crates/bench/benches/fig9_platform_ab.rs Cargo.toml
+
+crates/bench/benches/fig9_platform_ab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

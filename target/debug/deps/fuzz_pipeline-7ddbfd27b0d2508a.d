@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_pipeline-7ddbfd27b0d2508a.d: crates/core/tests/fuzz_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_pipeline-7ddbfd27b0d2508a.rmeta: crates/core/tests/fuzz_pipeline.rs Cargo.toml
+
+crates/core/tests/fuzz_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

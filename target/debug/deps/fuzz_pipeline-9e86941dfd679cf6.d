@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_pipeline-9e86941dfd679cf6.d: crates/core/tests/fuzz_pipeline.rs
+
+/root/repo/target/debug/deps/fuzz_pipeline-9e86941dfd679cf6: crates/core/tests/fuzz_pipeline.rs
+
+crates/core/tests/fuzz_pipeline.rs:

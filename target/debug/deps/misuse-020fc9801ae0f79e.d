@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/misuse-020fc9801ae0f79e.d: crates/mpisim/tests/misuse.rs
+
+/root/repo/target/debug/deps/misuse-020fc9801ae0f79e: crates/mpisim/tests/misuse.rs
+
+crates/mpisim/tests/misuse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/misuse-da41ad754db17648.d: crates/mpisim/tests/misuse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmisuse-da41ad754db17648.rmeta: crates/mpisim/tests/misuse.rs Cargo.toml
+
+crates/mpisim/tests/misuse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_all_programs-42ca97fc7ad89148.d: crates/bench/../../tests/pipeline_all_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_all_programs-42ca97fc7ad89148.rmeta: crates/bench/../../tests/pipeline_all_programs.rs Cargo.toml
+
+crates/bench/../../tests/pipeline_all_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

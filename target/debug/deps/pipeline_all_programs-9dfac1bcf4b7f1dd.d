@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_all_programs-9dfac1bcf4b7f1dd.d: crates/bench/../../tests/pipeline_all_programs.rs
+
+/root/repo/target/debug/deps/pipeline_all_programs-9dfac1bcf4b7f1dd: crates/bench/../../tests/pipeline_all_programs.rs
+
+crates/bench/../../tests/pipeline_all_programs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portability-028a5ff5e2fbefcf.d: crates/bench/../../tests/portability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportability-028a5ff5e2fbefcf.rmeta: crates/bench/../../tests/portability.rs Cargo.toml
+
+crates/bench/../../tests/portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portability-8bd66cd4b795f231.d: crates/bench/../../tests/portability.rs
+
+/root/repo/target/debug/deps/portability-8bd66cd4b795f231: crates/bench/../../tests/portability.rs
+
+crates/bench/../../tests/portability.rs:

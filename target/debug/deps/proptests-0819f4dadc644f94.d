@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0819f4dadc644f94.d: crates/trace/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0819f4dadc644f94.rmeta: crates/trace/tests/proptests.rs Cargo.toml
+
+crates/trace/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

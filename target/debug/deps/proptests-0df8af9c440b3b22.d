@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-0df8af9c440b3b22.d: crates/perfmodel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-0df8af9c440b3b22.rmeta: crates/perfmodel/tests/proptests.rs Cargo.toml
+
+crates/perfmodel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

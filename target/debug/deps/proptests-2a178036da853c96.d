@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2a178036da853c96.d: crates/grammar/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2a178036da853c96: crates/grammar/tests/proptests.rs
+
+crates/grammar/tests/proptests.rs:

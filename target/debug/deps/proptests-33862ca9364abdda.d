@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-33862ca9364abdda.d: crates/proxy/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-33862ca9364abdda.rmeta: crates/proxy/tests/proptests.rs Cargo.toml
+
+crates/proxy/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4165ae18de05859a.d: crates/proxy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4165ae18de05859a: crates/proxy/tests/proptests.rs
+
+crates/proxy/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-442620a98e0d072d.d: crates/perfmodel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-442620a98e0d072d: crates/perfmodel/tests/proptests.rs
+
+crates/perfmodel/tests/proptests.rs:

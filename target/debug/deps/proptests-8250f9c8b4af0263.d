@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8250f9c8b4af0263.d: crates/trace/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8250f9c8b4af0263: crates/trace/tests/proptests.rs
+
+crates/trace/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-93ff5f6cbaebc5f5.d: crates/grammar/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-93ff5f6cbaebc5f5.rmeta: crates/grammar/tests/proptests.rs Cargo.toml
+
+crates/grammar/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

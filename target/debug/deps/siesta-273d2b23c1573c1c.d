@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/siesta-273d2b23c1573c1c.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/siesta-273d2b23c1573c1c: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

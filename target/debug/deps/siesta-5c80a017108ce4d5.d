@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/siesta-5c80a017108ce4d5.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/siesta-5c80a017108ce4d5: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/siesta-92158241a9f498a6.d: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta-92158241a9f498a6.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/siesta_baselines-7c3ad0c1d3b61f27.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_baselines-7c3ad0c1d3b61f27.rmeta: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

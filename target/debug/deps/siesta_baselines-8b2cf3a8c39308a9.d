@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/siesta_baselines-8b2cf3a8c39308a9.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/debug/deps/siesta_baselines-8b2cf3a8c39308a9: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:

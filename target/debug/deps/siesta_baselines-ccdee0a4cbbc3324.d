@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/siesta_baselines-ccdee0a4cbbc3324.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/debug/deps/libsiesta_baselines-ccdee0a4cbbc3324.rlib: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/debug/deps/libsiesta_baselines-ccdee0a4cbbc3324.rmeta: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/siesta_bench-91a3d0f9ae09a2ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/siesta_bench-91a3d0f9ae09a2ab: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

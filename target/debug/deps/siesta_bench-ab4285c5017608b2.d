@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/siesta_bench-ab4285c5017608b2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsiesta_bench-ab4285c5017608b2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsiesta_bench-ab4285c5017608b2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/siesta_bench-ac135c2cc1d16409.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_bench-ac135c2cc1d16409.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

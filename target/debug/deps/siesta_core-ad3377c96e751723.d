@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/siesta_core-ad3377c96e751723.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libsiesta_core-ad3377c96e751723.rlib: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libsiesta_core-ad3377c96e751723.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

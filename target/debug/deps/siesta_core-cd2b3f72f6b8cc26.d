@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/siesta_core-cd2b3f72f6b8cc26.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_core-cd2b3f72f6b8cc26.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

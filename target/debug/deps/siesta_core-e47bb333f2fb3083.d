@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/siesta_core-e47bb333f2fb3083.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/siesta_core-e47bb333f2fb3083: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/siesta_grammar-71bfca1aa3038895.d: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_grammar-71bfca1aa3038895.rmeta: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs Cargo.toml
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/cluster.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/lcs.rs:
+crates/grammar/src/merge.rs:
+crates/grammar/src/sequitur.rs:
+crates/grammar/src/stats.rs:
+crates/grammar/src/symbol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/siesta_grammar-d6726baeb4cc7635.d: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+/root/repo/target/debug/deps/libsiesta_grammar-d6726baeb4cc7635.rlib: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+/root/repo/target/debug/deps/libsiesta_grammar-d6726baeb4cc7635.rmeta: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/cluster.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/lcs.rs:
+crates/grammar/src/merge.rs:
+crates/grammar/src/sequitur.rs:
+crates/grammar/src/stats.rs:
+crates/grammar/src/symbol.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/siesta_mpisim-659b8ce69acf0371.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/siesta_mpisim-659b8ce69acf0371: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/collectives.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/engine.rs:
+crates/mpisim/src/hook.rs:
+crates/mpisim/src/message.rs:
+crates/mpisim/src/obs.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/request.rs:
+crates/mpisim/src/world.rs:

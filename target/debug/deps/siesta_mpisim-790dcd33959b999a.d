@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/siesta_mpisim-790dcd33959b999a.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_mpisim-790dcd33959b999a.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs Cargo.toml
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/collectives.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/engine.rs:
+crates/mpisim/src/hook.rs:
+crates/mpisim/src/message.rs:
+crates/mpisim/src/obs.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/request.rs:
+crates/mpisim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

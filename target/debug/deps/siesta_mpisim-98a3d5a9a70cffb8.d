@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/siesta_mpisim-98a3d5a9a70cffb8.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/libsiesta_mpisim-98a3d5a9a70cffb8.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+/root/repo/target/debug/deps/libsiesta_mpisim-98a3d5a9a70cffb8.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/collectives.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/engine.rs:
+crates/mpisim/src/hook.rs:
+crates/mpisim/src/message.rs:
+crates/mpisim/src/obs.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/request.rs:
+crates/mpisim/src/world.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/siesta_obs-d172c6b67cb03c20.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/siesta_obs-d172c6b67cb03c20: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/log.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/siesta_perfmodel-03ffbbeeb84c01ce.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs
+
+/root/repo/target/debug/deps/siesta_perfmodel-03ffbbeeb84c01ce: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counters.rs:
+crates/perfmodel/src/cpu.rs:
+crates/perfmodel/src/flavor.rs:
+crates/perfmodel/src/kernel.rs:
+crates/perfmodel/src/net.rs:
+crates/perfmodel/src/noise.rs:
+crates/perfmodel/src/platform.rs:

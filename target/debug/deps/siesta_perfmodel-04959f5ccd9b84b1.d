@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/siesta_perfmodel-04959f5ccd9b84b1.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs
+
+/root/repo/target/debug/deps/libsiesta_perfmodel-04959f5ccd9b84b1.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs
+
+/root/repo/target/debug/deps/libsiesta_perfmodel-04959f5ccd9b84b1.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counters.rs:
+crates/perfmodel/src/cpu.rs:
+crates/perfmodel/src/flavor.rs:
+crates/perfmodel/src/kernel.rs:
+crates/perfmodel/src/net.rs:
+crates/perfmodel/src/noise.rs:
+crates/perfmodel/src/platform.rs:

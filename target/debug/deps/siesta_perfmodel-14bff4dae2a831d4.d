@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/siesta_perfmodel-14bff4dae2a831d4.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_perfmodel-14bff4dae2a831d4.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counters.rs:
+crates/perfmodel/src/cpu.rs:
+crates/perfmodel/src/flavor.rs:
+crates/perfmodel/src/kernel.rs:
+crates/perfmodel/src/net.rs:
+crates/perfmodel/src/noise.rs:
+crates/perfmodel/src/platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/siesta_proxy-ef1f3dd4860a79b8.d: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_proxy-ef1f3dd4860a79b8.rmeta: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs Cargo.toml
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/blocks.rs:
+crates/proxy/src/minime.rs:
+crates/proxy/src/qp.rs:
+crates/proxy/src/search.rs:
+crates/proxy/src/shrink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

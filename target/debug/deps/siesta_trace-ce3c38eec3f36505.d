@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/siesta_trace-ce3c38eec3f36505.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/libsiesta_trace-ce3c38eec3f36505.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/libsiesta_trace-ce3c38eec3f36505.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/merge.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/text.rs:
+crates/trace/src/wire.rs:

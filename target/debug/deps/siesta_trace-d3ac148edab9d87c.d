@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/siesta_trace-d3ac148edab9d87c.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/siesta_trace-d3ac148edab9d87c: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/merge.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/text.rs:
+crates/trace/src/wire.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/siesta_workloads-3212e529e9129fa2.d: crates/workloads/src/lib.rs crates/workloads/src/cg.rs crates/workloads/src/flash.rs crates/workloads/src/grid.rs crates/workloads/src/is.rs crates/workloads/src/lu.rs crates/workloads/src/mg.rs crates/workloads/src/npb_adi.rs crates/workloads/src/sweep3d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_workloads-3212e529e9129fa2.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cg.rs crates/workloads/src/flash.rs crates/workloads/src/grid.rs crates/workloads/src/is.rs crates/workloads/src/lu.rs crates/workloads/src/mg.rs crates/workloads/src/npb_adi.rs crates/workloads/src/sweep3d.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cg.rs:
+crates/workloads/src/flash.rs:
+crates/workloads/src/grid.rs:
+crates/workloads/src/is.rs:
+crates/workloads/src/lu.rs:
+crates/workloads/src/mg.rs:
+crates/workloads/src/npb_adi.rs:
+crates/workloads/src/sweep3d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/siesta_workloads-cc664049a5b4b3f2.d: crates/workloads/src/lib.rs crates/workloads/src/cg.rs crates/workloads/src/flash.rs crates/workloads/src/grid.rs crates/workloads/src/is.rs crates/workloads/src/lu.rs crates/workloads/src/mg.rs crates/workloads/src/npb_adi.rs crates/workloads/src/sweep3d.rs
+
+/root/repo/target/debug/deps/siesta_workloads-cc664049a5b4b3f2: crates/workloads/src/lib.rs crates/workloads/src/cg.rs crates/workloads/src/flash.rs crates/workloads/src/grid.rs crates/workloads/src/is.rs crates/workloads/src/lu.rs crates/workloads/src/mg.rs crates/workloads/src/npb_adi.rs crates/workloads/src/sweep3d.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cg.rs:
+crates/workloads/src/flash.rs:
+crates/workloads/src/grid.rs:
+crates/workloads/src/is.rs:
+crates/workloads/src/lu.rs:
+crates/workloads/src/mg.rs:
+crates/workloads/src/npb_adi.rs:
+crates/workloads/src/sweep3d.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_proptests-19e68ed425f0d01b.d: crates/codegen/tests/wire_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_proptests-19e68ed425f0d01b.rmeta: crates/codegen/tests/wire_proptests.rs Cargo.toml
+
+crates/codegen/tests/wire_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_proptests-6564c32406eb72c0.d: crates/codegen/tests/wire_proptests.rs
+
+/root/repo/target/debug/deps/wire_proptests-6564c32406eb72c0: crates/codegen/tests/wire_proptests.rs
+
+crates/codegen/tests/wire_proptests.rs:

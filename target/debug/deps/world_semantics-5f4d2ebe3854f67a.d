@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/world_semantics-5f4d2ebe3854f67a.d: crates/mpisim/tests/world_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworld_semantics-5f4d2ebe3854f67a.rmeta: crates/mpisim/tests/world_semantics.rs Cargo.toml
+
+crates/mpisim/tests/world_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

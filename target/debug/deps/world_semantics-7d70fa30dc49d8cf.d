@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_semantics-7d70fa30dc49d8cf.d: crates/mpisim/tests/world_semantics.rs
+
+/root/repo/target/debug/deps/world_semantics-7d70fa30dc49d8cf: crates/mpisim/tests/world_semantics.rs
+
+crates/mpisim/tests/world_semantics.rs:

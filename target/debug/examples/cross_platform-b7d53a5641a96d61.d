@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_platform-b7d53a5641a96d61.d: crates/core/../../examples/cross_platform.rs
+
+/root/repo/target/debug/examples/cross_platform-b7d53a5641a96d61: crates/core/../../examples/cross_platform.rs
+
+crates/core/../../examples/cross_platform.rs:

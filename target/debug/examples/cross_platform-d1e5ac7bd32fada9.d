@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_platform-d1e5ac7bd32fada9.d: crates/core/../../examples/cross_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_platform-d1e5ac7bd32fada9.rmeta: crates/core/../../examples/cross_platform.rs Cargo.toml
+
+crates/core/../../examples/cross_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

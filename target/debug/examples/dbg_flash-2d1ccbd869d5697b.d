@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dbg_flash-2d1ccbd869d5697b.d: crates/core/examples/dbg_flash.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdbg_flash-2d1ccbd869d5697b.rmeta: crates/core/examples/dbg_flash.rs Cargo.toml
+
+crates/core/examples/dbg_flash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

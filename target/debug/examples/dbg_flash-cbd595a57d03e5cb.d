@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_flash-cbd595a57d03e5cb.d: crates/core/examples/dbg_flash.rs
+
+/root/repo/target/debug/examples/dbg_flash-cbd595a57d03e5cb: crates/core/examples/dbg_flash.rs
+
+crates/core/examples/dbg_flash.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_scale-2c4f9c038afbe718.d: crates/bench/examples/paper_scale.rs
+
+/root/repo/target/debug/examples/paper_scale-2c4f9c038afbe718: crates/bench/examples/paper_scale.rs
+
+crates/bench/examples/paper_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_scale-a938a6ef738dbf1a.d: crates/bench/examples/paper_scale.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_scale-a938a6ef738dbf1a.rmeta: crates/bench/examples/paper_scale.rs Cargo.toml
+
+crates/bench/examples/paper_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

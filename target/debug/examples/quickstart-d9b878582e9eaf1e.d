@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d9b878582e9eaf1e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d9b878582e9eaf1e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling_factor-828732711608716f.d: crates/core/../../examples/scaling_factor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_factor-828732711608716f.rmeta: crates/core/../../examples/scaling_factor.rs Cargo.toml
+
+crates/core/../../examples/scaling_factor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_factor-e1ce1f8e74f361b4.d: crates/core/../../examples/scaling_factor.rs
+
+/root/repo/target/debug/examples/scaling_factor-e1ce1f8e74f361b4: crates/core/../../examples/scaling_factor.rs
+
+crates/core/../../examples/scaling_factor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sweep3d_proxy-a8c4031e6d9e01fe.d: crates/core/../../examples/sweep3d_proxy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsweep3d_proxy-a8c4031e6d9e01fe.rmeta: crates/core/../../examples/sweep3d_proxy.rs Cargo.toml
+
+crates/core/../../examples/sweep3d_proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sweep3d_proxy-e0da006d06310ffe.d: crates/core/../../examples/sweep3d_proxy.rs
+
+/root/repo/target/debug/examples/sweep3d_proxy-e0da006d06310ffe: crates/core/../../examples/sweep3d_proxy.rs
+
+crates/core/../../examples/sweep3d_proxy.rs:

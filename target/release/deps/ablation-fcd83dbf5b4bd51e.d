@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-fcd83dbf5b4bd51e.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-fcd83dbf5b4bd51e: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

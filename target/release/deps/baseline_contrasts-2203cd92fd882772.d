@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_contrasts-2203cd92fd882772.d: crates/bench/../../tests/baseline_contrasts.rs
+
+/root/repo/target/release/deps/baseline_contrasts-2203cd92fd882772: crates/bench/../../tests/baseline_contrasts.rs
+
+crates/bench/../../tests/baseline_contrasts.rs:

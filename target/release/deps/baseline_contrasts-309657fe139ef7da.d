@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_contrasts-309657fe139ef7da.d: crates/bench/../../tests/baseline_contrasts.rs
+
+/root/repo/target/release/deps/baseline_contrasts-309657fe139ef7da: crates/bench/../../tests/baseline_contrasts.rs
+
+crates/bench/../../tests/baseline_contrasts.rs:

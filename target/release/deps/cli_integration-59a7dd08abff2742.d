@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli_integration-59a7dd08abff2742.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/release/deps/cli_integration-59a7dd08abff2742: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:
+
+# env-dep:CARGO_BIN_EXE_siesta=/root/repo/target/release/siesta

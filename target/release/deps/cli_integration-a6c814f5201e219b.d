@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli_integration-a6c814f5201e219b.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/release/deps/cli_integration-a6c814f5201e219b: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:
+
+# env-dep:CARGO_BIN_EXE_siesta=/root/repo/target/release/siesta

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collective_scaling-349f31d0959f90ad.d: crates/mpisim/tests/collective_scaling.rs
+
+/root/repo/target/release/deps/collective_scaling-349f31d0959f90ad: crates/mpisim/tests/collective_scaling.rs
+
+crates/mpisim/tests/collective_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/collective_scaling-bf3ad1642c4fb201.d: crates/mpisim/tests/collective_scaling.rs
+
+/root/repo/target/release/deps/collective_scaling-bf3ad1642c4fb201: crates/mpisim/tests/collective_scaling.rs
+
+crates/mpisim/tests/collective_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/components-0a6d6e43645d1397.d: crates/bench/benches/components.rs
+
+/root/repo/target/release/deps/components-0a6d6e43645d1397: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

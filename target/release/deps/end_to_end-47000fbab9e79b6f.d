@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-47000fbab9e79b6f.d: crates/core/tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-47000fbab9e79b6f: crates/core/tests/end_to_end.rs
+
+crates/core/tests/end_to_end.rs:

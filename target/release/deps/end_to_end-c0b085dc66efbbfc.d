@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-c0b085dc66efbbfc.d: crates/core/tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-c0b085dc66efbbfc: crates/core/tests/end_to_end.rs
+
+crates/core/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_single_event-f1603f38fd473458.d: crates/bench/benches/fig4_single_event.rs
+
+/root/repo/target/release/deps/fig4_single_event-f1603f38fd473458: crates/bench/benches/fig4_single_event.rs
+
+crates/bench/benches/fig4_single_event.rs:

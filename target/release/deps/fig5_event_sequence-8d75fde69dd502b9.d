@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_event_sequence-8d75fde69dd502b9.d: crates/bench/benches/fig5_event_sequence.rs
+
+/root/repo/target/release/deps/fig5_event_sequence-8d75fde69dd502b9: crates/bench/benches/fig5_event_sequence.rs
+
+crates/bench/benches/fig5_event_sequence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_exec_time-a323bfff5f352493.d: crates/bench/benches/fig6_exec_time.rs
+
+/root/repo/target/release/deps/fig6_exec_time-a323bfff5f352493: crates/bench/benches/fig6_exec_time.rs
+
+crates/bench/benches/fig6_exec_time.rs:

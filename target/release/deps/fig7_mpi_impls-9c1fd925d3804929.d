@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_mpi_impls-9c1fd925d3804929.d: crates/bench/benches/fig7_mpi_impls.rs
+
+/root/repo/target/release/deps/fig7_mpi_impls-9c1fd925d3804929: crates/bench/benches/fig7_mpi_impls.rs
+
+crates/bench/benches/fig7_mpi_impls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_platform_ac-92b0a0f101def064.d: crates/bench/benches/fig8_platform_ac.rs
+
+/root/repo/target/release/deps/fig8_platform_ac-92b0a0f101def064: crates/bench/benches/fig8_platform_ac.rs
+
+crates/bench/benches/fig8_platform_ac.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_platform_ab-3eb1eb205304a1ad.d: crates/bench/benches/fig9_platform_ab.rs
+
+/root/repo/target/release/deps/fig9_platform_ab-3eb1eb205304a1ad: crates/bench/benches/fig9_platform_ab.rs
+
+crates/bench/benches/fig9_platform_ab.rs:

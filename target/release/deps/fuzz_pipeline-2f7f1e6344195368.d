@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_pipeline-2f7f1e6344195368.d: crates/core/tests/fuzz_pipeline.rs
+
+/root/repo/target/release/deps/fuzz_pipeline-2f7f1e6344195368: crates/core/tests/fuzz_pipeline.rs
+
+crates/core/tests/fuzz_pipeline.rs:

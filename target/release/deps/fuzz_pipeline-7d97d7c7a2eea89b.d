@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_pipeline-7d97d7c7a2eea89b.d: crates/core/tests/fuzz_pipeline.rs
+
+/root/repo/target/release/deps/fuzz_pipeline-7d97d7c7a2eea89b: crates/core/tests/fuzz_pipeline.rs
+
+crates/core/tests/fuzz_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/misuse-547c7383addfc11c.d: crates/mpisim/tests/misuse.rs
+
+/root/repo/target/release/deps/misuse-547c7383addfc11c: crates/mpisim/tests/misuse.rs
+
+crates/mpisim/tests/misuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/misuse-acd1fbe3467fd36c.d: crates/mpisim/tests/misuse.rs
+
+/root/repo/target/release/deps/misuse-acd1fbe3467fd36c: crates/mpisim/tests/misuse.rs
+
+crates/mpisim/tests/misuse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_all_programs-186605d40430c695.d: crates/bench/../../tests/pipeline_all_programs.rs
+
+/root/repo/target/release/deps/pipeline_all_programs-186605d40430c695: crates/bench/../../tests/pipeline_all_programs.rs
+
+crates/bench/../../tests/pipeline_all_programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_all_programs-a9483e33abbf6d2e.d: crates/bench/../../tests/pipeline_all_programs.rs
+
+/root/repo/target/release/deps/pipeline_all_programs-a9483e33abbf6d2e: crates/bench/../../tests/pipeline_all_programs.rs
+
+crates/bench/../../tests/pipeline_all_programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/portability-3b4cc6accabd4f48.d: crates/bench/../../tests/portability.rs
+
+/root/repo/target/release/deps/portability-3b4cc6accabd4f48: crates/bench/../../tests/portability.rs
+
+crates/bench/../../tests/portability.rs:

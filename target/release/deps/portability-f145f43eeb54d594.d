@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/portability-f145f43eeb54d594.d: crates/bench/../../tests/portability.rs
+
+/root/repo/target/release/deps/portability-f145f43eeb54d594: crates/bench/../../tests/portability.rs
+
+crates/bench/../../tests/portability.rs:

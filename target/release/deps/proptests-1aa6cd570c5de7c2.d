@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1aa6cd570c5de7c2.d: crates/trace/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1aa6cd570c5de7c2: crates/trace/tests/proptests.rs
+
+crates/trace/tests/proptests.rs:

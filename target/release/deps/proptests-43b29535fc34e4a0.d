@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-43b29535fc34e4a0.d: crates/grammar/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-43b29535fc34e4a0: crates/grammar/tests/proptests.rs
+
+crates/grammar/tests/proptests.rs:

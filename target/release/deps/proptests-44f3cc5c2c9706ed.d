@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-44f3cc5c2c9706ed.d: crates/proxy/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-44f3cc5c2c9706ed: crates/proxy/tests/proptests.rs
+
+crates/proxy/tests/proptests.rs:

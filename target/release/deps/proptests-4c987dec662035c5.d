@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-4c987dec662035c5.d: crates/perfmodel/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-4c987dec662035c5: crates/perfmodel/tests/proptests.rs
+
+crates/perfmodel/tests/proptests.rs:

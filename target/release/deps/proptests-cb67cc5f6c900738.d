@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-cb67cc5f6c900738.d: crates/trace/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-cb67cc5f6c900738: crates/trace/tests/proptests.rs
+
+crates/trace/tests/proptests.rs:

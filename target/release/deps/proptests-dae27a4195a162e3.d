@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-dae27a4195a162e3.d: crates/grammar/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-dae27a4195a162e3: crates/grammar/tests/proptests.rs
+
+crates/grammar/tests/proptests.rs:

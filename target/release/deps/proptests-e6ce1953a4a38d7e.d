@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-e6ce1953a4a38d7e.d: crates/proxy/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-e6ce1953a4a38d7e: crates/proxy/tests/proptests.rs
+
+crates/proxy/tests/proptests.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/siesta-7e245ee4c383c9c3.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/siesta-7e245ee4c383c9c3: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/siesta-8949f718e2d32271.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/siesta-8949f718e2d32271: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

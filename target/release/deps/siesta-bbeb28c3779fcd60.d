@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/siesta-bbeb28c3779fcd60.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/siesta-bbeb28c3779fcd60: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/siesta-e572771f76a77930.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/siesta-e572771f76a77930: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

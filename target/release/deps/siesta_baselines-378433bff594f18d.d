@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/siesta_baselines-378433bff594f18d.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/release/deps/siesta_baselines-378433bff594f18d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:

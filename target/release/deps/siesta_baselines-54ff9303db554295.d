@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/siesta_baselines-54ff9303db554295.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/release/deps/siesta_baselines-54ff9303db554295: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/siesta_baselines-8f56ab2c11b9529e.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/release/deps/libsiesta_baselines-8f56ab2c11b9529e.rlib: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/release/deps/libsiesta_baselines-8f56ab2c11b9529e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/siesta_bench-48586b7ccd8c332e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsiesta_bench-48586b7ccd8c332e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsiesta_bench-48586b7ccd8c332e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

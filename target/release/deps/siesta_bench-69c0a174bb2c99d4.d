@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/siesta_bench-69c0a174bb2c99d4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/siesta_bench-69c0a174bb2c99d4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

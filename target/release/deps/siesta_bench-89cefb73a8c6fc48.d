@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/siesta_bench-89cefb73a8c6fc48.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsiesta_bench-89cefb73a8c6fc48.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsiesta_bench-89cefb73a8c6fc48.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/siesta_bench-ab3b0164863427d7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/siesta_bench-ab3b0164863427d7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/siesta_codegen-1328440a0403e10e.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+/root/repo/target/release/deps/libsiesta_codegen-1328440a0403e10e.rlib: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+/root/repo/target/release/deps/libsiesta_codegen-1328440a0403e10e.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/ir.rs:
+crates/codegen/src/replay.rs:
+crates/codegen/src/retarget.rs:
+crates/codegen/src/wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/siesta_core-3ebdad4601f74f1b.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libsiesta_core-3ebdad4601f74f1b.rlib: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libsiesta_core-3ebdad4601f74f1b.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

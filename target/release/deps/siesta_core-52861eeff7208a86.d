@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/siesta_core-52861eeff7208a86.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/siesta_core-52861eeff7208a86: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/siesta_core-ec996e88576d50c6.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libsiesta_core-ec996e88576d50c6.rlib: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libsiesta_core-ec996e88576d50c6.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

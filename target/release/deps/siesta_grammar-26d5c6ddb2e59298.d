@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/siesta_grammar-26d5c6ddb2e59298.d: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+/root/repo/target/release/deps/siesta_grammar-26d5c6ddb2e59298: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/cluster.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/lcs.rs:
+crates/grammar/src/merge.rs:
+crates/grammar/src/sequitur.rs:
+crates/grammar/src/stats.rs:
+crates/grammar/src/symbol.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/siesta_grammar-b78539a79fbd768d.d: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+/root/repo/target/release/deps/siesta_grammar-b78539a79fbd768d: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/cluster.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/lcs.rs:
+crates/grammar/src/merge.rs:
+crates/grammar/src/sequitur.rs:
+crates/grammar/src/stats.rs:
+crates/grammar/src/symbol.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/siesta_grammar-cc2333b63d95c926.d: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+/root/repo/target/release/deps/libsiesta_grammar-cc2333b63d95c926.rlib: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+/root/repo/target/release/deps/libsiesta_grammar-cc2333b63d95c926.rmeta: crates/grammar/src/lib.rs crates/grammar/src/cluster.rs crates/grammar/src/grammar.rs crates/grammar/src/lcs.rs crates/grammar/src/merge.rs crates/grammar/src/sequitur.rs crates/grammar/src/stats.rs crates/grammar/src/symbol.rs
+
+crates/grammar/src/lib.rs:
+crates/grammar/src/cluster.rs:
+crates/grammar/src/grammar.rs:
+crates/grammar/src/lcs.rs:
+crates/grammar/src/merge.rs:
+crates/grammar/src/sequitur.rs:
+crates/grammar/src/stats.rs:
+crates/grammar/src/symbol.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/siesta_mpisim-a1ee69d4013f7d99.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+/root/repo/target/release/deps/libsiesta_mpisim-a1ee69d4013f7d99.rlib: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+/root/repo/target/release/deps/libsiesta_mpisim-a1ee69d4013f7d99.rmeta: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/obs.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/collectives.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/engine.rs:
+crates/mpisim/src/hook.rs:
+crates/mpisim/src/message.rs:
+crates/mpisim/src/obs.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/request.rs:
+crates/mpisim/src/world.rs:

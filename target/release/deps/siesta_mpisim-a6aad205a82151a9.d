@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/siesta_mpisim-a6aad205a82151a9.d: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+/root/repo/target/release/deps/siesta_mpisim-a6aad205a82151a9: crates/mpisim/src/lib.rs crates/mpisim/src/collectives.rs crates/mpisim/src/comm.rs crates/mpisim/src/engine.rs crates/mpisim/src/hook.rs crates/mpisim/src/message.rs crates/mpisim/src/rank.rs crates/mpisim/src/request.rs crates/mpisim/src/world.rs
+
+crates/mpisim/src/lib.rs:
+crates/mpisim/src/collectives.rs:
+crates/mpisim/src/comm.rs:
+crates/mpisim/src/engine.rs:
+crates/mpisim/src/hook.rs:
+crates/mpisim/src/message.rs:
+crates/mpisim/src/rank.rs:
+crates/mpisim/src/request.rs:
+crates/mpisim/src/world.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/siesta_obs-0929a7d302b17324.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/siesta_obs-0929a7d302b17324: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/log.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/siesta_obs-656ee8550e1aaaed.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libsiesta_obs-656ee8550e1aaaed.rlib: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libsiesta_obs-656ee8550e1aaaed.rmeta: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/log.rs crates/obs/src/metrics.rs crates/obs/src/report.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/log.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/report.rs:
+crates/obs/src/span.rs:

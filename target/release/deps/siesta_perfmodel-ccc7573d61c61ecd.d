@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/siesta_perfmodel-ccc7573d61c61ecd.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs
+
+/root/repo/target/release/deps/libsiesta_perfmodel-ccc7573d61c61ecd.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs
+
+/root/repo/target/release/deps/libsiesta_perfmodel-ccc7573d61c61ecd.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/counters.rs crates/perfmodel/src/cpu.rs crates/perfmodel/src/flavor.rs crates/perfmodel/src/kernel.rs crates/perfmodel/src/net.rs crates/perfmodel/src/noise.rs crates/perfmodel/src/platform.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/counters.rs:
+crates/perfmodel/src/cpu.rs:
+crates/perfmodel/src/flavor.rs:
+crates/perfmodel/src/kernel.rs:
+crates/perfmodel/src/net.rs:
+crates/perfmodel/src/noise.rs:
+crates/perfmodel/src/platform.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/siesta_proxy-ae6bcf792ef45de2.d: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs
+
+/root/repo/target/release/deps/siesta_proxy-ae6bcf792ef45de2: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/blocks.rs:
+crates/proxy/src/minime.rs:
+crates/proxy/src/qp.rs:
+crates/proxy/src/search.rs:
+crates/proxy/src/shrink.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/siesta_workloads-a78bc53da77a15e6.d: crates/workloads/src/lib.rs crates/workloads/src/cg.rs crates/workloads/src/flash.rs crates/workloads/src/grid.rs crates/workloads/src/is.rs crates/workloads/src/lu.rs crates/workloads/src/mg.rs crates/workloads/src/npb_adi.rs crates/workloads/src/sweep3d.rs
+
+/root/repo/target/release/deps/libsiesta_workloads-a78bc53da77a15e6.rlib: crates/workloads/src/lib.rs crates/workloads/src/cg.rs crates/workloads/src/flash.rs crates/workloads/src/grid.rs crates/workloads/src/is.rs crates/workloads/src/lu.rs crates/workloads/src/mg.rs crates/workloads/src/npb_adi.rs crates/workloads/src/sweep3d.rs
+
+/root/repo/target/release/deps/libsiesta_workloads-a78bc53da77a15e6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/cg.rs crates/workloads/src/flash.rs crates/workloads/src/grid.rs crates/workloads/src/is.rs crates/workloads/src/lu.rs crates/workloads/src/mg.rs crates/workloads/src/npb_adi.rs crates/workloads/src/sweep3d.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/cg.rs:
+crates/workloads/src/flash.rs:
+crates/workloads/src/grid.rs:
+crates/workloads/src/is.rs:
+crates/workloads/src/lu.rs:
+crates/workloads/src/mg.rs:
+crates/workloads/src/npb_adi.rs:
+crates/workloads/src/sweep3d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-b03668ed39f27d26.d: crates/bench/benches/table3.rs
+
+/root/repo/target/release/deps/table3-b03668ed39f27d26: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

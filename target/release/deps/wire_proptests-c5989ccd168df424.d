@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wire_proptests-c5989ccd168df424.d: crates/codegen/tests/wire_proptests.rs
+
+/root/repo/target/release/deps/wire_proptests-c5989ccd168df424: crates/codegen/tests/wire_proptests.rs
+
+crates/codegen/tests/wire_proptests.rs:

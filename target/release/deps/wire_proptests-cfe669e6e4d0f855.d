@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wire_proptests-cfe669e6e4d0f855.d: crates/codegen/tests/wire_proptests.rs
+
+/root/repo/target/release/deps/wire_proptests-cfe669e6e4d0f855: crates/codegen/tests/wire_proptests.rs
+
+crates/codegen/tests/wire_proptests.rs:

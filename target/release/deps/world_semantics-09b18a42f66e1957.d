@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/world_semantics-09b18a42f66e1957.d: crates/mpisim/tests/world_semantics.rs
+
+/root/repo/target/release/deps/world_semantics-09b18a42f66e1957: crates/mpisim/tests/world_semantics.rs
+
+crates/mpisim/tests/world_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/world_semantics-43b0f31b764e8817.d: crates/mpisim/tests/world_semantics.rs
+
+/root/repo/target/release/deps/world_semantics-43b0f31b764e8817: crates/mpisim/tests/world_semantics.rs
+
+crates/mpisim/tests/world_semantics.rs:

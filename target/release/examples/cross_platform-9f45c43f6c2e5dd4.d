@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cross_platform-9f45c43f6c2e5dd4.d: crates/core/../../examples/cross_platform.rs
+
+/root/repo/target/release/examples/cross_platform-9f45c43f6c2e5dd4: crates/core/../../examples/cross_platform.rs
+
+crates/core/../../examples/cross_platform.rs:

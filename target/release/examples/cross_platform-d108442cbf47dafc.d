@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cross_platform-d108442cbf47dafc.d: crates/core/../../examples/cross_platform.rs
+
+/root/repo/target/release/examples/cross_platform-d108442cbf47dafc: crates/core/../../examples/cross_platform.rs
+
+crates/core/../../examples/cross_platform.rs:

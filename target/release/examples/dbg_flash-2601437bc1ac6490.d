@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_flash-2601437bc1ac6490.d: crates/core/examples/dbg_flash.rs
+
+/root/repo/target/release/examples/dbg_flash-2601437bc1ac6490: crates/core/examples/dbg_flash.rs
+
+crates/core/examples/dbg_flash.rs:

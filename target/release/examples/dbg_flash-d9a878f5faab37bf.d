@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_flash-d9a878f5faab37bf.d: crates/core/examples/dbg_flash.rs
+
+/root/repo/target/release/examples/dbg_flash-d9a878f5faab37bf: crates/core/examples/dbg_flash.rs
+
+crates/core/examples/dbg_flash.rs:

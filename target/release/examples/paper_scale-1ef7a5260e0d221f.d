@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_scale-1ef7a5260e0d221f.d: crates/bench/examples/paper_scale.rs
+
+/root/repo/target/release/examples/paper_scale-1ef7a5260e0d221f: crates/bench/examples/paper_scale.rs
+
+crates/bench/examples/paper_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_scale-63d515e01ab5930e.d: crates/bench/examples/paper_scale.rs
+
+/root/repo/target/release/examples/paper_scale-63d515e01ab5930e: crates/bench/examples/paper_scale.rs
+
+crates/bench/examples/paper_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1e4be0fefaac49ba.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1e4be0fefaac49ba: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

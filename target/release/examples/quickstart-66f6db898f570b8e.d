@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-66f6db898f570b8e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-66f6db898f570b8e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_factor-5b6a7b852ed95534.d: crates/core/../../examples/scaling_factor.rs
+
+/root/repo/target/release/examples/scaling_factor-5b6a7b852ed95534: crates/core/../../examples/scaling_factor.rs
+
+crates/core/../../examples/scaling_factor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_factor-ed4a408d046850b2.d: crates/core/../../examples/scaling_factor.rs
+
+/root/repo/target/release/examples/scaling_factor-ed4a408d046850b2: crates/core/../../examples/scaling_factor.rs
+
+crates/core/../../examples/scaling_factor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sweep3d_proxy-a4b5fbc8224b814e.d: crates/core/../../examples/sweep3d_proxy.rs
+
+/root/repo/target/release/examples/sweep3d_proxy-a4b5fbc8224b814e: crates/core/../../examples/sweep3d_proxy.rs
+
+crates/core/../../examples/sweep3d_proxy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sweep3d_proxy-eb172c4850484d4d.d: crates/core/../../examples/sweep3d_proxy.rs
+
+/root/repo/target/release/examples/sweep3d_proxy-eb172c4850484d4d: crates/core/../../examples/sweep3d_proxy.rs
+
+crates/core/../../examples/sweep3d_proxy.rs:
