@@ -19,8 +19,8 @@ use siesta_trace::{merge_tables, Recorder, TraceConfig};
 use siesta_workloads::{ProblemSize, Program};
 
 /// Time `f` over `iters` iterations after `warmup` untimed ones; print a
-/// criterion-style summary line.
-fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
+/// criterion-style summary line and return `(mean_s, min_s)`.
+fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> (f64, f64) {
     for _ in 0..warmup {
         black_box(f());
     }
@@ -39,10 +39,92 @@ fn bench<T>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> T) {
         mean * 1e3,
         min * 1e3
     );
+    (mean, min)
+}
+
+/// One measured point of the thread-scaling sweep.
+struct ScalePoint {
+    phase: &'static str,
+    threads: usize,
+    mean_s: f64,
+    min_s: f64,
+}
+
+/// Sweep the worker-pool width over `WIDTHS` for one parallel phase and
+/// append the points.
+fn sweep<T>(
+    points: &mut Vec<ScalePoint>,
+    phase: &'static str,
+    iters: usize,
+    mut f: impl FnMut() -> T,
+) {
+    const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+    for &w in &WIDTHS {
+        let (mean_s, min_s) =
+            siesta_par::with_threads(w, || bench(&format!("{phase}_{w}t"), 1, iters, &mut f));
+        points.push(ScalePoint { phase, threads: w, mean_s, min_s });
+    }
+}
+
+/// Emit the scaling sweep as JSON (hand-rolled: the workspace is
+/// registry-free). Speedups are against each phase's 1-thread mean.
+fn write_scaling_json(path: &str, points: &[ScalePoint]) {
+    // NOTE: on a single-core host (available_parallelism == 1) every
+    // speedup_vs_1 hovers around 1.0 by construction — interpret the
+    // curves together with host_parallelism.
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n  \"points\": [\n",
+        siesta_par::available_parallelism()
+    ));
+    for (i, p) in points.iter().enumerate() {
+        let base = points
+            .iter()
+            .find(|q| q.phase == p.phase && q.threads == 1)
+            .map_or(p.mean_s, |q| q.mean_s);
+        out.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"threads\": {}, \"mean_ms\": {:.3}, \"min_ms\": {:.3}, \"speedup_vs_1\": {:.3}}}{}\n",
+            p.phase,
+            p.threads,
+            p.mean_s * 1e3,
+            p.min_s * 1e3,
+            base / p.mean_s,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, &out) {
+        Ok(()) => println!("scaling results written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 fn machine() -> Machine {
     Machine::new(platform_a(), MpiFlavor::OpenMpi)
+}
+
+/// A trace with `events_per_rank` mostly-shared comm events per rank:
+/// every 7th event is rank-private, so pair merges both dedup and grow.
+fn synthetic_trace(nranks: usize, events_per_rank: usize) -> siesta_trace::Trace {
+    use siesta_trace::{CommEvent, EventRecord, RankTraceData, Trace};
+    let ranks = (0..nranks)
+        .map(|r| {
+            let table: Vec<EventRecord> = (0..events_per_rank)
+                .map(|i| {
+                    let tag = if i % 7 == 0 { (r * 10_000 + i) as i32 } else { i as i32 };
+                    EventRecord::Comm(CommEvent::Send {
+                        rel: 1,
+                        tag,
+                        bytes: 64 + (i as u64 % 512),
+                        comm: 0,
+                    })
+                })
+                .collect();
+            let seq: Vec<u32> = (0..events_per_rank as u32).collect();
+            RankTraceData { table, seq, raw_bytes: events_per_rank * 32 }
+        })
+        .collect();
+    Trace { nranks, ranks }
 }
 
 /// A trace-like sequence: nested loops with occasional irregularities.
@@ -106,4 +188,50 @@ fn main() {
         let siesta = Siesta::new(SiestaConfig::default());
         siesta.synthesize_run(m, 9, move |r| Program::Bt.body(ProblemSize::Tiny)(r))
     });
+
+    // Thread-scaling sweep over the pool-parallel phases (1/2/4/8 worker
+    // threads), emitted as BENCH_parallel.json for the scaling curves.
+    // The differential harness guarantees width changes only wall time,
+    // never output, so these all compute identical results.
+    let mut points: Vec<ScalePoint> = Vec::new();
+
+    // Per-rank Sequitur over a 32-rank trace, 20k symbols per rank (each
+    // rank's sequence ends with a private epilogue, like real SPMD traces).
+    let rank_seqs: Vec<Vec<u32>> = (0..32u32)
+        .map(|r| {
+            let mut s = trace_like_sequence(20_000);
+            s.push(1_000 + r);
+            s
+        })
+        .collect();
+    sweep(&mut points, "sequitur_per_rank_32x20k", 5, || {
+        siesta_par::parallel_map(&rank_seqs, |_, s| Sequitur::build(s))
+    });
+
+    // Batch QP solves over 256 distinct targets (no dedup hits, so every
+    // solve is real work).
+    let targets: Vec<_> = (0..256)
+        .map(|i| {
+            m.cpu().counters(&KernelDesc::stencil(
+                10_000.0 + 137.0 * i as f64,
+                2.0 + (i % 7) as f64,
+                1e6,
+            ))
+        })
+        .collect();
+    sweep(&mut points, "qp_batch_256", 5, || searcher.search_batch(&targets));
+
+    // The log2P table-merge tree over a production-shaped trace: 64 ranks
+    // with a few hundred unique events each (mostly shared across ranks,
+    // so the absorb path does real dedup work). Recorded tiny-size traces
+    // sit below the merge's small-work guard, so they would measure the
+    // inline path at every width.
+    let traced = synthetic_trace(64, 512);
+    sweep(&mut points, "table_merge_synth64x512", 5, || merge_tables(traced.clone()));
+
+    // Anchor to the workspace root regardless of the bench binary's cwd.
+    write_scaling_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json"),
+        &points,
+    );
 }

@@ -61,6 +61,16 @@ COMMANDS:
                  [--out <file.siestatrace>]
 
     list         Show available programs, platforms, and MPI flavors
+
+GLOBAL OPTIONS (accepted by every command):
+    --threads <n>       worker threads for the parallel phases: per-rank
+                        Sequitur, QP batch solves, table-merge rounds
+                        (default: all cores; 1 forces the sequential path —
+                        output is bit-identical either way)
+    --log-level <l>     error | warn | info | debug | trace | off
+    --profile <file>    write a Chrome trace (chrome://tracing / Perfetto)
+    --stats             print the per-phase span and metrics report
+    --quiet             silence all logging
 ";
 
 fn main() -> ExitCode {
@@ -79,8 +89,8 @@ fn main() -> ExitCode {
     }
 }
 
-/// Options accepted by every command (observability controls).
-const GLOBAL_OPTS: &[&str] = &["log-level", "profile", "quiet", "stats"];
+/// Options accepted by every command (observability + parallelism).
+const GLOBAL_OPTS: &[&str] = &["log-level", "profile", "quiet", "stats", "threads"];
 const GLOBAL_FLAGS: &[&str] = &["quiet", "stats"];
 
 /// `check_allowed` including the global observability options.
@@ -106,6 +116,13 @@ fn run(argv: Vec<String>) -> Result<(), String> {
     let profile_path = args.get("profile").map(str::to_string);
     if profile_path.is_some() {
         siesta_obs::set_profiling_enabled(true);
+    }
+    if args.get("threads").is_some() {
+        let n = args.get_usize("threads", 0)?;
+        if n == 0 {
+            return Err("--threads must be at least 1".to_string());
+        }
+        siesta_par::set_threads(n);
     }
 
     let result = match args.command.as_str() {

@@ -209,3 +209,38 @@ fn offline_trace_to_synthesis_workflow() {
     std::fs::remove_file(&trace_file).ok();
     std::fs::remove_file(&proxy).ok();
 }
+
+#[test]
+fn threads_flag_is_validated_and_output_invariant() {
+    // --threads 0 is rejected up front.
+    let out = siesta(&["list", "--threads", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads must be at least 1"));
+    let out = siesta(&["list", "--threads", "two"]);
+    assert!(!out.status.success());
+
+    // The same synthesis at --threads 1 and --threads 4 writes
+    // byte-identical .siesta files: the CLI face of the determinism
+    // contract (the in-process sweep lives in tests/differential_parallel.rs).
+    let mut outputs = Vec::new();
+    for threads in ["1", "4"] {
+        let proxy = tmp(&format!("is_t{threads}.siesta"));
+        let out = siesta(&[
+            "synthesize",
+            "--program",
+            "IS",
+            "--nprocs",
+            "8",
+            "--size",
+            "tiny",
+            "--threads",
+            threads,
+            "--out",
+            proxy.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        outputs.push(std::fs::read(&proxy).unwrap());
+        std::fs::remove_file(&proxy).ok();
+    }
+    assert_eq!(outputs[0], outputs[1], "--threads changed the synthesized bytes");
+}

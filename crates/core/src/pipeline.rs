@@ -133,36 +133,65 @@ impl Siesta {
         let _span = span!("synthesize", nranks = global.nranks);
         let nranks = global.nranks;
 
-        // Intra-process grammars, then the inter-process merge.
-        let grammars: Vec<Grammar> = global
-            .seqs
-            .iter()
-            .enumerate()
-            .map(|(rank, seq)| {
-                let _span = span!("sequitur", rank = rank, symbols = seq.len());
-                Sequitur::build(seq)
-            })
-            .collect();
+        // Intra-process grammars (one pool task per rank), then the
+        // inter-process merge. Collection is index-ordered, so the merged
+        // grammar is identical at any thread count.
+        let grammars: Vec<Grammar> = {
+            let _span =
+                span!("sequitur-fanout", ranks = nranks, threads = siesta_par::threads());
+            siesta_obs::counter("par.sequitur.tasks").add(global.seqs.len() as u64);
+            // Small-work guard: fan out only when the trace carries enough
+            // symbols to amortize the worker spawns.
+            let symbols: usize = global.seqs.iter().map(Vec::len).sum();
+            const MIN_SYMBOLS_TO_FAN_OUT: usize = 8192;
+            siesta_par::parallel_map_min_work(
+                &global.seqs,
+                symbols,
+                MIN_SYMBOLS_TO_FAN_OUT,
+                |rank, seq| {
+                    let _span = span!("sequitur", rank = rank, symbols = seq.len());
+                    Sequitur::build(seq)
+                },
+            )
+        };
         let merged = {
             let _span = span!("grammar-merge", grammars = grammars.len());
             merge_grammars(&grammars, &self.config.merge)
         };
 
-        // Computation proxies and communication shrinking.
-        let proxy_span = span!("proxy-search", events = global.table.len());
+        // Computation proxies and communication shrinking. The QP solves
+        // fan out over unique counter vectors (batch dedup inside
+        // `search_batch`); error accounting stays on this thread, in table
+        // order, so the float sums are reproducible.
+        let proxy_span = span!(
+            "proxy-search",
+            events = global.table.len(),
+            threads = siesta_par::threads()
+        );
         let searcher = ProxySearcher::new(gen_machine);
         let comm_shrink = CommShrink::fit(&gen_machine.net);
         let fit_error_hist = histogram("proxy.fit_error_bp");
         let mut fit_error_sum = 0.0;
         let mut fit_error_n = 0usize;
+        let compute_targets: Vec<_> = global
+            .table
+            .iter()
+            .filter_map(|rec| match rec {
+                EventRecord::Compute(stats) => {
+                    Some(shrink_counters(&stats.mean(), self.config.scale))
+                }
+                EventRecord::Comm(_) => None,
+            })
+            .collect();
+        let proxies = searcher.search_batch(&compute_targets);
+        let mut solved = compute_targets.iter().zip(proxies);
         let terminals: Vec<TerminalOp> = global
             .table
             .iter()
             .map(|rec| match rec {
-                EventRecord::Compute(stats) => {
-                    let target = shrink_counters(&stats.mean(), self.config.scale);
-                    let proxy = searcher.search(&target);
-                    let err = searcher.error(&proxy, &target, gen_machine);
+                EventRecord::Compute(_) => {
+                    let (target, proxy) = solved.next().expect("one proxy per compute event");
+                    let err = searcher.error(&proxy, target, gen_machine);
                     if profiling_enabled() {
                         // Fit error in basis points (1e-4), so the log2
                         // histogram resolves the sub-percent range.
@@ -170,7 +199,7 @@ impl Siesta {
                     }
                     fit_error_sum += err;
                     fit_error_n += 1;
-                    TerminalOp::Compute { proxy, target }
+                    TerminalOp::Compute { proxy, target: *target }
                 }
                 EventRecord::Comm(e) => {
                     TerminalOp::Comm(shrink_comm(e, &comm_shrink, self.config.scale))

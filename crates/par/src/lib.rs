@@ -1,0 +1,252 @@
+//! `siesta-par` — a deterministic scoped-thread worker pool (std-only).
+//!
+//! The synthesis pipeline is embarrassingly parallel along three axes:
+//! per-rank Sequitur construction, per-unique-event QP solves, and the
+//! pair-merges inside each round of the log₂P terminal-table tree. This
+//! crate provides the one primitive all three need: run N independent
+//! tasks on a bounded set of scoped worker threads and collect results
+//! **in index order**, so the output is bit-identical regardless of the
+//! thread count or OS scheduling.
+//!
+//! # Determinism contract
+//!
+//! * Results land in slots addressed by task index; scheduling order can
+//!   never reorder them.
+//! * Workers never read the clock, an RNG, or any global mutable state of
+//!   the pipeline — the task closure receives only its index (and item).
+//! * `threads() == 1` (or a single task) runs inline on the caller's
+//!   thread: the sequential path IS the parallel path at width one, not a
+//!   separate code path that could drift.
+//! * A panicking task propagates to the caller after all workers stop
+//!   (std scoped-thread join semantics), never silently drops results.
+//!
+//! The process-global width is configured once at startup (`--threads N`
+//! on the CLI, [`set_threads`] programmatically); `0` means "use
+//! [`available_parallelism`]".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Configured worker count. 0 = auto (available parallelism).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// What the OS reports as usable parallelism (1 if unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Set the process-global worker count. `0` restores the default
+/// (auto-detect). Called by the CLI's `--threads` flag; tests and benches
+/// call it directly around measured regions.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The resolved worker count parallel regions will use right now.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => available_parallelism(),
+        n => n,
+    }
+}
+
+/// Run `n_tasks` independent tasks on at most `nthreads` scoped workers;
+/// `task(i)` computes result `i`. Results are returned in index order.
+///
+/// With `nthreads <= 1` or fewer than two tasks everything runs inline on
+/// the calling thread — no spawn, no atomics, identical results.
+pub fn run_tasks<R, F>(n_tasks: usize, nthreads: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if nthreads <= 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(task).collect();
+    }
+    let nworkers = nthreads.min(n_tasks);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n_tasks);
+    slots.resize_with(n_tasks, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nworkers)
+            .map(|_| {
+                s.spawn(|| {
+                    // Work-steal from a shared counter: coarse tasks with
+                    // skewed costs (rank 0's sequence is often the odd one
+                    // out) balance better than static chunking.
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            break;
+                        }
+                        done.push((i, task(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            // join() propagates worker panics to the caller.
+            for (i, r) in h.join().expect("siesta-par worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// Map `f` over `items` in parallel at the configured width; results in
+/// input order. `f` receives `(index, &item)`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_tasks(items.len(), threads(), |i| f(i, &items[i]))
+}
+
+/// [`parallel_map`] with a small-work guard: runs inline (width 1) when
+/// `est_work` — any deterministic, data-derived work estimate the caller
+/// picks (symbols, events, solves) — is below `min_work`. Scoped-thread
+/// spawns cost ~100µs each; phases below the threshold lose more to
+/// spawning than they gain. The guard depends only on the input, never on
+/// timing or width, so outputs stay bit-identical either way.
+pub fn parallel_map_min_work<T, R, F>(items: &[T], est_work: usize, min_work: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let width = if est_work < min_work { 1 } else { threads() };
+    run_tasks(items.len(), width, |i| f(i, &items[i]))
+}
+
+/// Like [`parallel_map`] but consuming the items, for tasks that fold or
+/// absorb their input (e.g. table-merge pairs). `f` receives
+/// `(index, item)`; results in input order.
+pub fn parallel_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    parallel_map_owned_min_work(items, usize::MAX, 0, f)
+}
+
+/// [`parallel_map_owned`] with the same small-work guard as
+/// [`parallel_map_min_work`].
+pub fn parallel_map_owned_min_work<T, R, F>(
+    items: Vec<T>,
+    est_work: usize,
+    min_work: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let width = if est_work < min_work { 1 } else { threads() };
+    // Hand each owned item to exactly one worker through a per-slot cell;
+    // the width-1 path takes them in order with zero contention.
+    let cells: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    run_tasks(cells.len(), width, |i| {
+        let item = cells[i].lock().unwrap().take().expect("item taken once");
+        f(i, item)
+    })
+}
+
+/// Run `body` with the global width temporarily forced to `n`, restoring
+/// the previous setting afterwards (even on panic). Benches and the
+/// differential harness use this to sweep thread counts.
+pub fn with_threads<R>(n: usize, body: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(THREADS.swap(n, Ordering::Relaxed));
+    body()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_index_ordered_at_any_width() {
+        let items: Vec<u64> = (0..137).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for w in [1, 2, 3, 8, 64, 200] {
+            let got = run_tasks(items.len(), w, |i| items[i] * items[i]);
+            assert_eq!(got, expect, "width {w}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, |_, x: &u32| *x).is_empty());
+        assert_eq!(run_tasks(1, 8, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let count = AtomicU64::new(0);
+        let n = 1000;
+        let out = run_tasks(n, 7, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n as u64);
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Serializes the tests that touch the process-global width.
+    static GLOBAL_WIDTH: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn owned_map_consumes_in_order() {
+        let _g = GLOBAL_WIDTH.lock().unwrap();
+        let items: Vec<String> = (0..50).map(|i| format!("s{i}")).collect();
+        let got = with_threads(4, || {
+            parallel_map_owned(items.clone(), |i, s| format!("{i}:{s}"))
+        });
+        let expect: Vec<String> = (0..50).map(|i| format!("{i}:s{i}")).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn with_threads_restores_setting() {
+        let _g = GLOBAL_WIDTH.lock().unwrap();
+        set_threads(0);
+        let inner = with_threads(3, threads);
+        assert_eq!(inner, 3);
+        assert_eq!(THREADS.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn width_one_runs_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let ids = run_tasks(4, 1, |_| std::thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(8, 4, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}

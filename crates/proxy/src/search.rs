@@ -102,6 +102,42 @@ impl ProxySearcher {
         ComputeProxy { reps }
     }
 
+    /// Solve a whole table's worth of targets at once: identical counter
+    /// vectors (bit-for-bit) solve a single QP, and the unique solves fan
+    /// out across the [`siesta_par`] worker pool. Results come back in
+    /// input order, so the output is bit-identical at any thread count —
+    /// and identical to calling [`ProxySearcher::search`] per target,
+    /// since the solver is deterministic.
+    pub fn search_batch(&self, targets: &[CounterVec]) -> Vec<ComputeProxy> {
+        let mut index: std::collections::HashMap<[u64; 6], usize> =
+            std::collections::HashMap::new();
+        let mut unique: Vec<CounterVec> = Vec::new();
+        // First-seen order keeps the unique list (and hence the parallel
+        // task numbering) independent of hash-map iteration.
+        let assign: Vec<usize> = targets
+            .iter()
+            .map(|t| {
+                let key = t.as_array().map(f64::to_bits);
+                *index.entry(key).or_insert_with(|| {
+                    unique.push(*t);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        siesta_obs::counter("proxy.batch.targets").add(targets.len() as u64);
+        siesta_obs::counter("proxy.batch.unique_solves").add(unique.len() as u64);
+        // Small-work guard: each QP solve is ~tens of µs, so a batch only
+        // pays for worker spawns past a few dozen unique solves.
+        const MIN_SOLVES_TO_FAN_OUT: usize = 64;
+        let solved = siesta_par::parallel_map_min_work(
+            &unique,
+            unique.len(),
+            MIN_SOLVES_TO_FAN_OUT,
+            |_, t| self.search(t),
+        );
+        assign.into_iter().map(|u| solved[u].clone()).collect()
+    }
+
     /// Noise-free counters the proxy produces on `machine` (for error
     /// evaluation; replay adds measurement noise on top).
     pub fn predict(&self, proxy: &ComputeProxy, machine: &Machine) -> CounterVec {
@@ -212,6 +248,23 @@ mod tests {
             (proxy_ratio - orig_ratio).abs() / orig_ratio < 0.5,
             "proxy slowdown {proxy_ratio} vs original {orig_ratio}"
         );
+    }
+
+    #[test]
+    fn batch_matches_per_target_search_at_any_width() {
+        let m = machine();
+        let s = searcher();
+        // Duplicates on purpose: the dedup cache must hand every
+        // occurrence the same solve.
+        let mut targets = Vec::new();
+        for scale in [1e4, 2e4, 1e4, 5e4, 2e4, 1e4, 3e4] {
+            targets.push(m.cpu().counters(&KernelDesc::stencil(scale, 4.0, 1e6)));
+        }
+        let sequential: Vec<_> = targets.iter().map(|t| s.search(t)).collect();
+        for width in [1, 2, 8] {
+            let batch = siesta_par::with_threads(width, || s.search_batch(&targets));
+            assert_eq!(batch, sequential, "width {width}");
+        }
     }
 
     #[test]

@@ -2,8 +2,11 @@
 
 #![cfg(feature = "proptest-tests")]
 // Gated: the `proptest` dev-dependency is not vendored (no registry access
-// in the build environment). Re-add `proptest = "1"` under [dev-dependencies]
-// and run `cargo test --features proptest-tests` to execute this suite.
+// in the default build environment). The nightly CI job runs this suite via
+// `scripts/proptests.sh`, which adds the dependency on the fly; run the same
+// script locally. On failure, proptest logs the shrunken counterexample plus
+// its seed and persists it under this crate's proptest-regressions/ — commit
+// that file with the fix so the case replays forever (see tests/README.md).
 
 use proptest::prelude::*;
 

@@ -120,15 +120,37 @@ pub fn merge_tables(trace: Trace) -> GlobalTrace {
     while level.len() > 1 {
         rounds += 1;
         let _span = siesta_obs::span!("table-merge.round", round = rounds, tables = level.len());
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        // Each round's pair-merges are independent: fan them out over the
+        // worker pool. `parallel_map_owned` returns results in pair order,
+        // so the reduction tree — and therefore every global id — is the
+        // same one the sequential walk builds.
+        let mut pairs = Vec::with_capacity(level.len().div_ceil(2));
         let mut it = level.into_iter();
-        while let Some(mut a) = it.next() {
-            if let Some(b) = it.next() {
-                a.absorb(b);
-            }
-            next.push(a);
+        while let Some(a) = it.next() {
+            pairs.push((a, it.next()));
         }
-        level = next;
+        siesta_obs::counter("par.table_merge.pairs").add(pairs.len() as u64);
+        // Small-work guard: a round is worth fanning out only when its
+        // tables hold enough events to amortize the thread spawns (tiny
+        // traces would pay ~100µs per worker to merge microseconds of
+        // work). The estimate is pure data, so the guard cannot perturb
+        // determinism.
+        let events: usize = pairs
+            .iter()
+            .map(|(a, b)| a.table.len() + b.as_ref().map_or(0, |b| b.table.len()))
+            .sum();
+        const MIN_EVENTS_TO_FAN_OUT: usize = 4096;
+        level = siesta_par::parallel_map_owned_min_work(
+            pairs,
+            events,
+            MIN_EVENTS_TO_FAN_OUT,
+            |_, (mut a, b)| {
+                if let Some(b) = b {
+                    a.absorb(b);
+                }
+                a
+            },
+        );
     }
     let root = level.pop().expect("at least one rank");
     let mut seqs = vec![Vec::new(); nranks];

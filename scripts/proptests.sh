@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run every feature-gated property-test suite with the real `proptest`
+# crate. The workspace itself is registry-free (the default build
+# environment is offline), so this script adds the dev-dependency on the
+# fly, runs the suites, and restores the manifests afterwards. The nightly
+# CI job (`property-tests` in .github/workflows/ci.yml) calls this.
+#
+# Usage:
+#   scripts/proptests.sh                 # all suites, default case count
+#   PROPTEST_CASES=2048 scripts/proptests.sh
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+# Crates whose tests/ hold a `#![cfg(feature = "proptest-tests")]` suite.
+CRATES=(siesta-grammar siesta-proxy siesta-trace siesta-perfmodel siesta-codegen)
+
+# Network is required once here; everything else in this repo stays offline.
+export CARGO_NET_OFFLINE=false
+for crate in "${CRATES[@]}"; do
+  cargo add proptest@1 --dev --package "$crate" --quiet || {
+    echo "error: could not add the proptest dev-dependency (no network?)" >&2
+    exit 2
+  }
+done
+
+restore_manifests() {
+  git checkout --quiet -- 'crates/*/Cargo.toml' Cargo.lock 2>/dev/null || true
+}
+trap restore_manifests EXIT
+
+status=0
+for crate in "${CRATES[@]}"; do
+  echo "=== property tests: $crate ==="
+  if ! cargo test --package "$crate" --features proptest-tests; then
+    status=1
+    cat >&2 <<EOF
+----------------------------------------------------------------------
+FAILED: $crate property tests.
+proptest printed the shrunken counterexample and its seed above, and
+persisted the seed under crates/${crate#siesta-}/proptest-regressions/.
+Replay deterministically (regressions always re-run first):
+
+    scripts/proptests.sh
+
+Commit the new proptest-regressions/ file together with the fix so the
+case stays covered forever.
+----------------------------------------------------------------------
+EOF
+  fi
+done
+exit $status

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation-13bc63a4aac912cb.d: crates/bench/benches/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-13bc63a4aac912cb.rmeta: crates/bench/benches/ablation.rs Cargo.toml
+
+crates/bench/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

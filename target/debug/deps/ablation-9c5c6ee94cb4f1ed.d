@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-9c5c6ee94cb4f1ed.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-9c5c6ee94cb4f1ed: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

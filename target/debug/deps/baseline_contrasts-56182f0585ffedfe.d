@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_contrasts-56182f0585ffedfe.d: crates/bench/../../tests/baseline_contrasts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_contrasts-56182f0585ffedfe.rmeta: crates/bench/../../tests/baseline_contrasts.rs Cargo.toml
+
+crates/bench/../../tests/baseline_contrasts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_contrasts-f21c208c9a137136.d: crates/bench/../../tests/baseline_contrasts.rs
+
+/root/repo/target/debug/deps/baseline_contrasts-f21c208c9a137136: crates/bench/../../tests/baseline_contrasts.rs
+
+crates/bench/../../tests/baseline_contrasts.rs:

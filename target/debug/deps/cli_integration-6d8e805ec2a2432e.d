@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_integration-6d8e805ec2a2432e.d: crates/cli/tests/cli_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_integration-6d8e805ec2a2432e.rmeta: crates/cli/tests/cli_integration.rs Cargo.toml
+
+crates/cli/tests/cli_integration.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_siesta=placeholder:siesta
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

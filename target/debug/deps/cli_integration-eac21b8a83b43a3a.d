@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_integration-eac21b8a83b43a3a.d: crates/cli/tests/cli_integration.rs
+
+/root/repo/target/debug/deps/cli_integration-eac21b8a83b43a3a: crates/cli/tests/cli_integration.rs
+
+crates/cli/tests/cli_integration.rs:
+
+# env-dep:CARGO_BIN_EXE_siesta=/root/repo/target/debug/siesta

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/components-2a15c6bdef29b724.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/components-2a15c6bdef29b724: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/components-99dfb4284232da4e.d: crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomponents-99dfb4284232da4e.rmeta: crates/bench/benches/components.rs Cargo.toml
+
+crates/bench/benches/components.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

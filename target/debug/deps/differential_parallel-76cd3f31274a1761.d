@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_parallel-76cd3f31274a1761.d: crates/bench/../../tests/differential_parallel.rs
+
+/root/repo/target/debug/deps/differential_parallel-76cd3f31274a1761: crates/bench/../../tests/differential_parallel.rs
+
+crates/bench/../../tests/differential_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_parallel-f0551793743ef6e8.d: crates/bench/../../tests/differential_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_parallel-f0551793743ef6e8.rmeta: crates/bench/../../tests/differential_parallel.rs Cargo.toml
+
+crates/bench/../../tests/differential_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-43788981273628d9.d: crates/core/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-43788981273628d9: crates/core/tests/end_to_end.rs
+
+crates/core/tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_single_event-4daf6039a5695dc5.d: crates/bench/benches/fig4_single_event.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_single_event-4daf6039a5695dc5.rmeta: crates/bench/benches/fig4_single_event.rs Cargo.toml
+
+crates/bench/benches/fig4_single_event.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

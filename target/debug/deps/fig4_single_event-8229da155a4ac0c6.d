@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_single_event-8229da155a4ac0c6.d: crates/bench/benches/fig4_single_event.rs
+
+/root/repo/target/debug/deps/fig4_single_event-8229da155a4ac0c6: crates/bench/benches/fig4_single_event.rs
+
+crates/bench/benches/fig4_single_event.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_event_sequence-146561c0ffec2d04.d: crates/bench/benches/fig5_event_sequence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_event_sequence-146561c0ffec2d04.rmeta: crates/bench/benches/fig5_event_sequence.rs Cargo.toml
+
+crates/bench/benches/fig5_event_sequence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

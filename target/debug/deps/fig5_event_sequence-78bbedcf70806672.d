@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_event_sequence-78bbedcf70806672.d: crates/bench/benches/fig5_event_sequence.rs
+
+/root/repo/target/debug/deps/fig5_event_sequence-78bbedcf70806672: crates/bench/benches/fig5_event_sequence.rs
+
+crates/bench/benches/fig5_event_sequence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_exec_time-b9b817c062d7f389.d: crates/bench/benches/fig6_exec_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_exec_time-b9b817c062d7f389.rmeta: crates/bench/benches/fig6_exec_time.rs Cargo.toml
+
+crates/bench/benches/fig6_exec_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

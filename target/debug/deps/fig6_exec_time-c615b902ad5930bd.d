@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_exec_time-c615b902ad5930bd.d: crates/bench/benches/fig6_exec_time.rs
+
+/root/repo/target/debug/deps/fig6_exec_time-c615b902ad5930bd: crates/bench/benches/fig6_exec_time.rs
+
+crates/bench/benches/fig6_exec_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_mpi_impls-1b5bdaf59a7832d2.d: crates/bench/benches/fig7_mpi_impls.rs
+
+/root/repo/target/debug/deps/fig7_mpi_impls-1b5bdaf59a7832d2: crates/bench/benches/fig7_mpi_impls.rs
+
+crates/bench/benches/fig7_mpi_impls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_mpi_impls-edf2760826a2cca8.d: crates/bench/benches/fig7_mpi_impls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_mpi_impls-edf2760826a2cca8.rmeta: crates/bench/benches/fig7_mpi_impls.rs Cargo.toml
+
+crates/bench/benches/fig7_mpi_impls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

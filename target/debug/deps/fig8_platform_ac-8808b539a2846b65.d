@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_platform_ac-8808b539a2846b65.d: crates/bench/benches/fig8_platform_ac.rs
+
+/root/repo/target/debug/deps/fig8_platform_ac-8808b539a2846b65: crates/bench/benches/fig8_platform_ac.rs
+
+crates/bench/benches/fig8_platform_ac.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_platform_ac-8e65380527213ea9.d: crates/bench/benches/fig8_platform_ac.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_platform_ac-8e65380527213ea9.rmeta: crates/bench/benches/fig8_platform_ac.rs Cargo.toml
+
+crates/bench/benches/fig8_platform_ac.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_platform_ab-01a7f62a25d90afe.d: crates/bench/benches/fig9_platform_ab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_platform_ab-01a7f62a25d90afe.rmeta: crates/bench/benches/fig9_platform_ab.rs Cargo.toml
+
+crates/bench/benches/fig9_platform_ab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_platform_ab-7cba986d16a47804.d: crates/bench/benches/fig9_platform_ab.rs
+
+/root/repo/target/debug/deps/fig9_platform_ab-7cba986d16a47804: crates/bench/benches/fig9_platform_ab.rs
+
+crates/bench/benches/fig9_platform_ab.rs:

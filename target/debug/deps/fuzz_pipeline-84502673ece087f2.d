@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_pipeline-84502673ece087f2.d: crates/core/tests/fuzz_pipeline.rs
+
+/root/repo/target/debug/deps/fuzz_pipeline-84502673ece087f2: crates/core/tests/fuzz_pipeline.rs
+
+crates/core/tests/fuzz_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_pipeline-ecc80103f8483bf5.d: crates/core/tests/fuzz_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_pipeline-ecc80103f8483bf5.rmeta: crates/core/tests/fuzz_pipeline.rs Cargo.toml
+
+crates/core/tests/fuzz_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

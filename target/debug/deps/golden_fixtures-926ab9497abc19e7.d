@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_fixtures-926ab9497abc19e7.d: crates/bench/../../tests/golden_fixtures.rs
+
+/root/repo/target/debug/deps/golden_fixtures-926ab9497abc19e7: crates/bench/../../tests/golden_fixtures.rs
+
+crates/bench/../../tests/golden_fixtures.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

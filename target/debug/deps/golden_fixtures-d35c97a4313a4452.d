@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_fixtures-d35c97a4313a4452.d: crates/bench/../../tests/golden_fixtures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_fixtures-d35c97a4313a4452.rmeta: crates/bench/../../tests/golden_fixtures.rs Cargo.toml
+
+crates/bench/../../tests/golden_fixtures.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

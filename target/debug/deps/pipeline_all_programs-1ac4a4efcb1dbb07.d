@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_all_programs-1ac4a4efcb1dbb07.d: crates/bench/../../tests/pipeline_all_programs.rs
+
+/root/repo/target/debug/deps/pipeline_all_programs-1ac4a4efcb1dbb07: crates/bench/../../tests/pipeline_all_programs.rs
+
+crates/bench/../../tests/pipeline_all_programs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_all_programs-aa9f58a458f38de4.d: crates/bench/../../tests/pipeline_all_programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_all_programs-aa9f58a458f38de4.rmeta: crates/bench/../../tests/pipeline_all_programs.rs Cargo.toml
+
+crates/bench/../../tests/pipeline_all_programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

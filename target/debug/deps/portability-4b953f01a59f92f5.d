@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/portability-4b953f01a59f92f5.d: crates/bench/../../tests/portability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libportability-4b953f01a59f92f5.rmeta: crates/bench/../../tests/portability.rs Cargo.toml
+
+crates/bench/../../tests/portability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

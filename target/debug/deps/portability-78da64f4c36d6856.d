@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/portability-78da64f4c36d6856.d: crates/bench/../../tests/portability.rs
+
+/root/repo/target/debug/deps/portability-78da64f4c36d6856: crates/bench/../../tests/portability.rs
+
+crates/bench/../../tests/portability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-00b6ba2ad85cdc59.d: crates/trace/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-00b6ba2ad85cdc59: crates/trace/tests/proptests.rs
+
+crates/trace/tests/proptests.rs:

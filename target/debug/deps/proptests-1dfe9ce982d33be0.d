@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-1dfe9ce982d33be0.d: crates/trace/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-1dfe9ce982d33be0.rmeta: crates/trace/tests/proptests.rs Cargo.toml
+
+crates/trace/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b73064a2fbc647cc.d: crates/proxy/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b73064a2fbc647cc: crates/proxy/tests/proptests.rs
+
+crates/proxy/tests/proptests.rs:

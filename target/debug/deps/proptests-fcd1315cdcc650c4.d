@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-fcd1315cdcc650c4.d: crates/proxy/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-fcd1315cdcc650c4.rmeta: crates/proxy/tests/proptests.rs Cargo.toml
+
+crates/proxy/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

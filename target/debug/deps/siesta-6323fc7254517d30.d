@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/siesta-6323fc7254517d30.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/siesta-6323fc7254517d30: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

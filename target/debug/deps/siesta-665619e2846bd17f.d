@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/siesta-665619e2846bd17f.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/debug/deps/siesta-665619e2846bd17f: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

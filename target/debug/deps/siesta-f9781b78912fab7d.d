@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/siesta-f9781b78912fab7d.d: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta-f9781b78912fab7d.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

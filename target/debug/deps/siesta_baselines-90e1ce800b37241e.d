@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/siesta_baselines-90e1ce800b37241e.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_baselines-90e1ce800b37241e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

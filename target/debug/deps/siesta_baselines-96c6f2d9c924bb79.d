@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/siesta_baselines-96c6f2d9c924bb79.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/debug/deps/siesta_baselines-96c6f2d9c924bb79: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:

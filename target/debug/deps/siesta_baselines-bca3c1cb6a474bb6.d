@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/siesta_baselines-bca3c1cb6a474bb6.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_baselines-bca3c1cb6a474bb6.rmeta: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

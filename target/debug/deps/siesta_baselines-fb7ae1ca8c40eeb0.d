@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/siesta_baselines-fb7ae1ca8c40eeb0.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/debug/deps/libsiesta_baselines-fb7ae1ca8c40eeb0.rlib: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/debug/deps/libsiesta_baselines-fb7ae1ca8c40eeb0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/siesta_bench-045b60959dd61828.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsiesta_bench-045b60959dd61828.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsiesta_bench-045b60959dd61828.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

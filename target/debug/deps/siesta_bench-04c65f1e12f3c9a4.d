@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/siesta_bench-04c65f1e12f3c9a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/siesta_bench-04c65f1e12f3c9a4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

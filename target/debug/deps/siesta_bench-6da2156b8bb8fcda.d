@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/siesta_bench-6da2156b8bb8fcda.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_bench-6da2156b8bb8fcda.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

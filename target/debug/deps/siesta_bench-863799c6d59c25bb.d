@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/siesta_bench-863799c6d59c25bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsiesta_bench-863799c6d59c25bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsiesta_bench-863799c6d59c25bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/siesta_bench-fc397d2c3ed14318.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_bench-fc397d2c3ed14318.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/siesta_codegen-72eb7d4896ffa5c3.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+/root/repo/target/debug/deps/libsiesta_codegen-72eb7d4896ffa5c3.rlib: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+/root/repo/target/debug/deps/libsiesta_codegen-72eb7d4896ffa5c3.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/ir.rs:
+crates/codegen/src/replay.rs:
+crates/codegen/src/retarget.rs:
+crates/codegen/src/wire.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/siesta_codegen-b6ff652a2c62eb57.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+/root/repo/target/debug/deps/siesta_codegen-b6ff652a2c62eb57: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/ir.rs:
+crates/codegen/src/replay.rs:
+crates/codegen/src/retarget.rs:
+crates/codegen/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/siesta_codegen-dfa62a3fe3ca1ce8.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_codegen-dfa62a3fe3ca1ce8.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/ir.rs:
+crates/codegen/src/replay.rs:
+crates/codegen/src/retarget.rs:
+crates/codegen/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/siesta_core-14ed88bdf3dd804f.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/siesta_core-14ed88bdf3dd804f: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/siesta_core-598d6c9d65b32760.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_core-598d6c9d65b32760.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/siesta_core-adcb17a44c5cb5d8.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libsiesta_core-adcb17a44c5cb5d8.rlib: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libsiesta_core-adcb17a44c5cb5d8.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/siesta_core-daf450dee14d78a2.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_core-daf450dee14d78a2.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/siesta_par-62fa7c4424fe6a5f.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_par-62fa7c4424fe6a5f.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

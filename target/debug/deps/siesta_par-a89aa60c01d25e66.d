@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/siesta_par-a89aa60c01d25e66.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/siesta_par-a89aa60c01d25e66: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/siesta_par-f390f440136ce0c3.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libsiesta_par-f390f440136ce0c3.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libsiesta_par-f390f440136ce0c3.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

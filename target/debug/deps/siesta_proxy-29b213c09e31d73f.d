@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/siesta_proxy-29b213c09e31d73f.d: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs
+
+/root/repo/target/debug/deps/siesta_proxy-29b213c09e31d73f: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/blocks.rs:
+crates/proxy/src/minime.rs:
+crates/proxy/src/qp.rs:
+crates/proxy/src/search.rs:
+crates/proxy/src/shrink.rs:

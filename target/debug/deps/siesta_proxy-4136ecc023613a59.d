@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/siesta_proxy-4136ecc023613a59.d: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_proxy-4136ecc023613a59.rmeta: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs Cargo.toml
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/blocks.rs:
+crates/proxy/src/minime.rs:
+crates/proxy/src/qp.rs:
+crates/proxy/src/search.rs:
+crates/proxy/src/shrink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

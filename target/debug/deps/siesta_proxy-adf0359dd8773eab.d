@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/siesta_proxy-adf0359dd8773eab.d: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs
+
+/root/repo/target/debug/deps/libsiesta_proxy-adf0359dd8773eab.rlib: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs
+
+/root/repo/target/debug/deps/libsiesta_proxy-adf0359dd8773eab.rmeta: crates/proxy/src/lib.rs crates/proxy/src/blocks.rs crates/proxy/src/minime.rs crates/proxy/src/qp.rs crates/proxy/src/search.rs crates/proxy/src/shrink.rs
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/blocks.rs:
+crates/proxy/src/minime.rs:
+crates/proxy/src/qp.rs:
+crates/proxy/src/search.rs:
+crates/proxy/src/shrink.rs:

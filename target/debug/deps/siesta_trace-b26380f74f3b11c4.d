@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/siesta_trace-b26380f74f3b11c4.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsiesta_trace-b26380f74f3b11c4.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/merge.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/text.rs:
+crates/trace/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/siesta_trace-e1c4019025d5b890.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+/root/repo/target/debug/deps/siesta_trace-e1c4019025d5b890: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/merge.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/text.rs:
+crates/trace/src/wire.rs:

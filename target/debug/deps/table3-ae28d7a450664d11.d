@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ae28d7a450664d11.d: crates/bench/benches/table3.rs
+
+/root/repo/target/debug/deps/table3-ae28d7a450664d11: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_proptests-0a8a8bd4027aa2ac.d: crates/codegen/tests/wire_proptests.rs
+
+/root/repo/target/debug/deps/wire_proptests-0a8a8bd4027aa2ac: crates/codegen/tests/wire_proptests.rs
+
+crates/codegen/tests/wire_proptests.rs:

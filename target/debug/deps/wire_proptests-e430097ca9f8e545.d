@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_proptests-e430097ca9f8e545.d: crates/codegen/tests/wire_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_proptests-e430097ca9f8e545.rmeta: crates/codegen/tests/wire_proptests.rs Cargo.toml
+
+crates/codegen/tests/wire_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_platform-1ef11d87a0cf3ee8.d: crates/core/../../examples/cross_platform.rs
+
+/root/repo/target/debug/examples/cross_platform-1ef11d87a0cf3ee8: crates/core/../../examples/cross_platform.rs
+
+crates/core/../../examples/cross_platform.rs:

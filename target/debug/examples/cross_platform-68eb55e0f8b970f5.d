@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_platform-68eb55e0f8b970f5.d: crates/core/../../examples/cross_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_platform-68eb55e0f8b970f5.rmeta: crates/core/../../examples/cross_platform.rs Cargo.toml
+
+crates/core/../../examples/cross_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dbg_flash-21e7ddcec9b1fa06.d: crates/core/examples/dbg_flash.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdbg_flash-21e7ddcec9b1fa06.rmeta: crates/core/examples/dbg_flash.rs Cargo.toml
+
+crates/core/examples/dbg_flash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_flash-93c167edd503c163.d: crates/core/examples/dbg_flash.rs
+
+/root/repo/target/debug/examples/dbg_flash-93c167edd503c163: crates/core/examples/dbg_flash.rs
+
+crates/core/examples/dbg_flash.rs:

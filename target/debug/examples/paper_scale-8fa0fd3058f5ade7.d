@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_scale-8fa0fd3058f5ade7.d: crates/bench/examples/paper_scale.rs
+
+/root/repo/target/debug/examples/paper_scale-8fa0fd3058f5ade7: crates/bench/examples/paper_scale.rs
+
+crates/bench/examples/paper_scale.rs:

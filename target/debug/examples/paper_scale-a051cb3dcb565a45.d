@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_scale-a051cb3dcb565a45.d: crates/bench/examples/paper_scale.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_scale-a051cb3dcb565a45.rmeta: crates/bench/examples/paper_scale.rs Cargo.toml
+
+crates/bench/examples/paper_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

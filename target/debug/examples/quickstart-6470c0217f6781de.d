@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6470c0217f6781de.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6470c0217f6781de: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling_factor-aa9f7988c44e4f17.d: crates/core/../../examples/scaling_factor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_factor-aa9f7988c44e4f17.rmeta: crates/core/../../examples/scaling_factor.rs Cargo.toml
+
+crates/core/../../examples/scaling_factor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_factor-d39b90147acfa375.d: crates/core/../../examples/scaling_factor.rs
+
+/root/repo/target/debug/examples/scaling_factor-d39b90147acfa375: crates/core/../../examples/scaling_factor.rs
+
+crates/core/../../examples/scaling_factor.rs:

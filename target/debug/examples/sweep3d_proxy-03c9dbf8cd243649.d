@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sweep3d_proxy-03c9dbf8cd243649.d: crates/core/../../examples/sweep3d_proxy.rs
+
+/root/repo/target/debug/examples/sweep3d_proxy-03c9dbf8cd243649: crates/core/../../examples/sweep3d_proxy.rs
+
+crates/core/../../examples/sweep3d_proxy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sweep3d_proxy-d98d45e74e0590de.d: crates/core/../../examples/sweep3d_proxy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsweep3d_proxy-d98d45e74e0590de.rmeta: crates/core/../../examples/sweep3d_proxy.rs Cargo.toml
+
+crates/core/../../examples/sweep3d_proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

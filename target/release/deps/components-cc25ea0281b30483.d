@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/components-cc25ea0281b30483.d: crates/bench/benches/components.rs
+
+/root/repo/target/release/deps/components-cc25ea0281b30483: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/siesta-41102668aa8c7384.d: crates/cli/src/main.rs crates/cli/src/args.rs
+
+/root/repo/target/release/deps/siesta-41102668aa8c7384: crates/cli/src/main.rs crates/cli/src/args.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:

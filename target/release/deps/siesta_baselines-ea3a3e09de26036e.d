@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/siesta_baselines-ea3a3e09de26036e.d: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/release/deps/libsiesta_baselines-ea3a3e09de26036e.rlib: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+/root/repo/target/release/deps/libsiesta_baselines-ea3a3e09de26036e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/pilgrim.rs crates/baselines/src/scalabench.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/pilgrim.rs:
+crates/baselines/src/scalabench.rs:

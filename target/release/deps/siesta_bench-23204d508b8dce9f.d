@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/siesta_bench-23204d508b8dce9f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsiesta_bench-23204d508b8dce9f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsiesta_bench-23204d508b8dce9f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/siesta_codegen-57ca41744ba88e34.d: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+/root/repo/target/release/deps/libsiesta_codegen-57ca41744ba88e34.rlib: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+/root/repo/target/release/deps/libsiesta_codegen-57ca41744ba88e34.rmeta: crates/codegen/src/lib.rs crates/codegen/src/c_emit.rs crates/codegen/src/ir.rs crates/codegen/src/replay.rs crates/codegen/src/retarget.rs crates/codegen/src/wire.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/c_emit.rs:
+crates/codegen/src/ir.rs:
+crates/codegen/src/replay.rs:
+crates/codegen/src/retarget.rs:
+crates/codegen/src/wire.rs:

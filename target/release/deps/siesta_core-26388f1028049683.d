@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/siesta_core-26388f1028049683.d: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libsiesta_core-26388f1028049683.rlib: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libsiesta_core-26388f1028049683.rmeta: crates/core/src/lib.rs crates/core/src/pipeline.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/report.rs:

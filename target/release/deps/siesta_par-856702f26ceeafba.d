@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/siesta_par-856702f26ceeafba.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libsiesta_par-856702f26ceeafba.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libsiesta_par-856702f26ceeafba.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

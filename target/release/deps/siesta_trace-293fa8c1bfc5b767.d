@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/siesta_trace-293fa8c1bfc5b767.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+/root/repo/target/release/deps/libsiesta_trace-293fa8c1bfc5b767.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+/root/repo/target/release/deps/libsiesta_trace-293fa8c1bfc5b767.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/merge.rs crates/trace/src/pool.rs crates/trace/src/recorder.rs crates/trace/src/serialize.rs crates/trace/src/text.rs crates/trace/src/wire.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/merge.rs:
+crates/trace/src/pool.rs:
+crates/trace/src/recorder.rs:
+crates/trace/src/serialize.rs:
+crates/trace/src/text.rs:
+crates/trace/src/wire.rs:

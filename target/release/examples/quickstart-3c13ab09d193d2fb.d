@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3c13ab09d193d2fb.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3c13ab09d193d2fb: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

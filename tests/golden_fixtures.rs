@@ -1,0 +1,148 @@
+//! Golden-fixture tests: small recorded traces are checked in under
+//! `tests/fixtures/`, together with snapshots of what the pipeline must
+//! produce from them. Any unintended change to trace recording, table
+//! merging, grammar construction, proxy search, or C emission shows up as
+//! a snapshot diff.
+//!
+//! Regenerate after an *intended* change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p siesta-bench --test golden_fixtures
+//! git diff tests/fixtures/   # review what actually changed
+//! ```
+//!
+//! See `tests/README.md` for the full workflow.
+
+use std::path::{Path, PathBuf};
+
+use siesta_codegen::emit_c;
+use siesta_core::{Siesta, SiestaConfig};
+use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+use siesta_trace::{text, trace_from_bytes, trace_to_bytes, GlobalTrace};
+use siesta_workloads::{ProblemSize, Program};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+fn updating() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The fixture set: small, fast, and covering three program shapes
+/// (power-of-two NPB, square-grid NPB, wavefront sweep).
+const CASES: [(&str, Program, usize); 3] = [
+    ("cg4_tiny", Program::Cg, 4),
+    ("bt4_tiny", Program::Bt, 4),
+    ("sweep3d6_tiny", Program::Sweep3d, 6),
+];
+
+fn record(program: Program, nranks: usize) -> GlobalTrace {
+    let machine = Machine::new(platform_a(), MpiFlavor::OpenMpi);
+    let siesta = Siesta::new(SiestaConfig::default());
+    let (trace, _) =
+        siesta.trace_run(machine, nranks, move |r| program.body(ProblemSize::Tiny)(r));
+    siesta_trace::merge_tables(trace)
+}
+
+/// The snapshot of a synthesis that must stay stable: structure counts
+/// plus the fit error, in a fixed text format.
+fn stats_snapshot(s: &siesta_core::SynthesisStats) -> String {
+    format!(
+        "terminals: {} (comm {}, compute {})\n\
+         rules: {}\n\
+         mains: {}\n\
+         grammar_size: {}\n\
+         merge_rounds: {}\n\
+         raw_trace_bytes: {}\n\
+         size_c_bytes: {}\n\
+         mean_fit_error: {:.9}\n",
+        s.num_terminals,
+        s.num_comm_terminals,
+        s.num_compute_terminals,
+        s.num_rules,
+        s.num_mains,
+        s.grammar_size,
+        s.merge_rounds,
+        s.raw_trace_bytes,
+        s.size_c_bytes,
+        s.mean_fit_error
+    )
+}
+
+fn check_or_update(path: &Path, actual: &[u8], what: &str) {
+    if updating() {
+        std::fs::write(path, actual).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read(path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nmissing golden fixture — run UPDATE_GOLDEN=1 cargo test -p \
+             siesta-bench --test golden_fixtures to (re)generate",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{what} diverges from golden {}\n\
+         If the change is intended, regenerate with UPDATE_GOLDEN=1 and review the diff \
+         (see tests/README.md).",
+        path.display()
+    );
+}
+
+#[test]
+fn recorded_traces_match_golden() {
+    let dir = fixtures_dir();
+    for (name, program, nranks) in CASES {
+        let global = record(program, nranks);
+        check_or_update(
+            &dir.join(format!("{name}.trace.bin")),
+            &trace_to_bytes(&global),
+            &format!("{name}: recorded trace bytes"),
+        );
+        check_or_update(
+            &dir.join(format!("{name}.trace.txt")),
+            text::render(&global).as_bytes(),
+            &format!("{name}: rendered trace"),
+        );
+    }
+}
+
+#[test]
+fn synthesis_from_checked_in_traces_matches_golden() {
+    let dir = fixtures_dir();
+    let machine = Machine::new(platform_a(), MpiFlavor::OpenMpi);
+    for (name, program, nranks) in CASES {
+        // Synthesize from the *checked-in* trace, so this snapshot is
+        // insulated from recording changes (those fail the test above
+        // instead). When updating, regenerate the trace first.
+        let trace_path = dir.join(format!("{name}.trace.bin"));
+        let global = if updating() {
+            let g = record(program, nranks);
+            std::fs::write(&trace_path, trace_to_bytes(&g)).unwrap();
+            g
+        } else {
+            let bytes = std::fs::read(&trace_path).unwrap_or_else(|e| {
+                panic!(
+                    "{}: {e}\nrun UPDATE_GOLDEN=1 cargo test -p siesta-bench --test \
+                     golden_fixtures first",
+                    trace_path.display()
+                )
+            });
+            trace_from_bytes(&bytes).expect("checked-in trace parses")
+        };
+        let synthesis = Siesta::new(SiestaConfig::default()).synthesize_global(global, &machine);
+        check_or_update(
+            &dir.join(format!("{name}.proxy.c")),
+            emit_c(&synthesis.program).as_bytes(),
+            &format!("{name}: emitted C source"),
+        );
+        check_or_update(
+            &dir.join(format!("{name}.stats.txt")),
+            stats_snapshot(&synthesis.stats).as_bytes(),
+            &format!("{name}: synthesis stats"),
+        );
+    }
+}
