@@ -40,6 +40,9 @@ COMMANDS:
                  --emit-c <file>     also write the C source
                  --from-trace <f>    synthesize from a saved .siestatrace
                                      instead of running the program
+                 --no-memo           disable cross-rank grammar memoization
+                                     (rebuild Sequitur per rank even for
+                                     duplicate sequences; output unchanged)
 
     replay       Execute a generated proxy-app on a chosen machine
                  --proxy <file>  [--platform p] [--flavor f]
@@ -91,7 +94,7 @@ fn main() -> ExitCode {
 
 /// Options accepted by every command (observability + parallelism).
 const GLOBAL_OPTS: &[&str] = &["log-level", "profile", "quiet", "stats", "threads"];
-const GLOBAL_FLAGS: &[&str] = &["quiet", "stats"];
+const GLOBAL_FLAGS: &[&str] = &["quiet", "stats", "no-memo"];
 
 /// `check_allowed` including the global observability options.
 fn check_cmd_opts(args: &Args, cmd_opts: &[&str]) -> Result<(), String> {
@@ -191,7 +194,7 @@ fn parse_machine(args: &Args) -> Result<Machine, String> {
 fn cmd_synthesize(args: &Args) -> Result<(), String> {
     check_cmd_opts(args, &[
         "program", "nprocs", "size", "platform", "flavor", "scale", "threshold", "out", "emit-c",
-        "from-trace",
+        "from-trace", "no-memo",
     ])?;
     // Offline path: synthesize from a saved merged trace.
     if let Some(trace_path) = args.get("from-trace") {
@@ -200,7 +203,11 @@ fn cmd_synthesize(args: &Args) -> Result<(), String> {
         let out = args.require("out")?;
         let global =
             siesta_trace::load_trace(Path::new(trace_path)).map_err(|e| e.to_string())?;
-        let config = SiestaConfig { scale, ..SiestaConfig::default() };
+        let config = SiestaConfig {
+            scale,
+            grammar_memo: !args.get_flag("no-memo"),
+            ..SiestaConfig::default()
+        };
         let synthesis = Siesta::new(config).synthesize_global(global, &machine);
         siesta_obs::info!(
             "synthesized from {trace_path}: raw {} -> size_C {} ({:.0}x)",
@@ -243,6 +250,7 @@ fn cmd_synthesize(args: &Args) -> Result<(), String> {
     let config = SiestaConfig {
         scale,
         trace: TraceConfig { cluster_threshold: threshold, ..TraceConfig::default() },
+        grammar_memo: !args.get_flag("no-memo"),
         ..SiestaConfig::default()
     };
     let siesta = Siesta::new(config);

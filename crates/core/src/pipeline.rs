@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use siesta_codegen::{ProxyProgram, TerminalOp};
-use siesta_grammar::{merge_grammars, Grammar, MergeConfig, Sequitur};
+use siesta_grammar::{build_rank_grammars, merge_grammars, Grammar, MergeConfig};
 use siesta_mpisim::{FanoutHook, ObsHook, PmpiHook, Rank, RunStats, World};
 use siesta_obs::{histogram, profiling_enabled, span};
 use siesta_perfmodel::Machine;
@@ -29,6 +29,12 @@ pub struct SiestaConfig {
     /// Shrinking factor (Section 2.7): 1.0 emits a full-size proxy; the
     /// paper's default shrunk proxy uses 10.0.
     pub scale: f64,
+    /// Cross-rank grammar memoization: SPMD jobs repeat whole id sequences
+    /// across ranks, so Sequitur runs once per *unique* sequence and the
+    /// result is cloned for every duplicate rank. Bit-identical output
+    /// either way (Sequitur is a pure function of its input); off is only
+    /// useful for benchmarking and differential testing.
+    pub grammar_memo: bool,
 }
 
 impl Default for SiestaConfig {
@@ -37,6 +43,7 @@ impl Default for SiestaConfig {
             trace: TraceConfig::default(),
             merge: MergeConfig::default(),
             scale: 1.0,
+            grammar_memo: true,
         }
     }
 }
@@ -133,26 +140,15 @@ impl Siesta {
         let _span = span!("synthesize", nranks = global.nranks);
         let nranks = global.nranks;
 
-        // Intra-process grammars (one pool task per rank), then the
-        // inter-process merge. Collection is index-ordered, so the merged
-        // grammar is identical at any thread count.
+        // Intra-process grammars (one pool task per unique sequence), then
+        // the inter-process merge. Collection is index-ordered and
+        // memoization assigns in first-seen order, so the merged grammar is
+        // identical at any thread count, memo on or off.
         let grammars: Vec<Grammar> = {
             let _span =
                 span!("sequitur-fanout", ranks = nranks, threads = siesta_par::threads());
             siesta_obs::counter("par.sequitur.tasks").add(global.seqs.len() as u64);
-            // Small-work guard: fan out only when the trace carries enough
-            // symbols to amortize the worker spawns.
-            let symbols: usize = global.seqs.iter().map(Vec::len).sum();
-            const MIN_SYMBOLS_TO_FAN_OUT: usize = 8192;
-            siesta_par::parallel_map_min_work(
-                &global.seqs,
-                symbols,
-                MIN_SYMBOLS_TO_FAN_OUT,
-                |rank, seq| {
-                    let _span = span!("sequitur", rank = rank, symbols = seq.len());
-                    Sequitur::build(seq)
-                },
-            )
+            build_rank_grammars(&global.seqs, self.config.grammar_memo)
         };
         let merged = {
             let _span = span!("grammar-merge", grammars = grammars.len());

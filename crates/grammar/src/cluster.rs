@@ -26,6 +26,12 @@ pub fn cluster_by_edit_distance(variants: &[Vec<RSym>], threshold: f64) -> Vec<V
                 break;
             }
             let max_d = (threshold * total as f64).floor() as usize;
+            // Length gate: the edit distance is at least the length gap,
+            // so the Myers run cannot come in under the bound when the
+            // gap alone exceeds it.
+            if rep.len().abs_diff(v.len()) > max_d {
+                continue;
+            }
             if lcs::edit_distance(rep, v, max_d).is_some() {
                 cluster.push(i);
                 joined = true;
@@ -80,6 +86,20 @@ mod tests {
         let c = cluster_by_edit_distance(&v, 0.3);
         assert_eq!(c.len(), 2);
         assert_eq!(c[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn length_gate_agrees_with_full_edit_distance() {
+        // Gap (15) far over the bound (max_d 7): the gate skips Myers and
+        // must reach the same "separate clusters" verdict Myers would.
+        let v = vec![seq(&(0..20).collect::<Vec<u32>>()), seq(&(0..5).collect::<Vec<u32>>())];
+        assert_eq!(cluster_by_edit_distance(&v, 0.3).len(), 2);
+        // Gap exactly equal to the bound must still run Myers: a pure
+        // 10-deletion suffix is distance 10 = max_d, so they join.
+        let a: Vec<u32> = (0..20).collect();
+        let b: Vec<u32> = (0..10).collect();
+        let v = vec![seq(&a), seq(&b)];
+        assert_eq!(cluster_by_edit_distance(&v, 0.34).len(), 1);
     }
 
     #[test]

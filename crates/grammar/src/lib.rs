@@ -43,6 +43,7 @@
 pub mod cluster;
 pub mod grammar;
 pub mod lcs;
+pub mod memo;
 pub mod merge;
 pub mod sequitur;
 pub mod stats;
@@ -50,6 +51,7 @@ pub mod symbol;
 
 pub use cluster::cluster_by_edit_distance;
 pub use grammar::Grammar;
+pub use memo::build_rank_grammars;
 pub use merge::{merge_grammars, MainSym, MergeConfig, MergedGrammar, MergedMain};
 pub use sequitur::Sequitur;
 pub use stats::{analyze, rule_coverage, to_dot, GrammarStats};

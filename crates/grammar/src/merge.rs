@@ -16,7 +16,7 @@
 //!    subsequence; every merged symbol carries a [`RankSet`] saying which
 //!    ranks execute it (Figure 3 of the paper).
 
-use std::collections::HashMap;
+use siesta_hash::{fx_map, fx_map_with_capacity, FxHashMap};
 
 use crate::cluster::cluster_by_edit_distance;
 use crate::grammar::Grammar;
@@ -123,18 +123,18 @@ impl Default for MergeConfig {
 pub fn merge_grammars(grammars: &[Grammar], config: &MergeConfig) -> MergedGrammar {
     let nranks = grammars.len();
     let mut global_rules: Vec<Vec<RSym>> = Vec::new();
-    let mut rule_index: HashMap<Vec<RSym>, u32> = HashMap::new();
+    let mut rule_index: FxHashMap<Vec<RSym>, u32> = fx_map();
 
     // ---- Non-terminal merge, depth order.
     // For each rank: local rule id → global rule id.
-    let mut maps: Vec<HashMap<u32, u32>> = Vec::with_capacity(nranks);
+    let mut maps: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(nranks);
     for g in grammars {
         let depths = g.depths();
         // Local rules except main (rule 0), ascending depth; ties by id for
         // determinism.
         let mut order: Vec<u32> = (1..g.rules.len() as u32).collect();
         order.sort_by_key(|&r| (depths[r as usize], r));
-        let mut map: HashMap<u32, u32> = HashMap::new();
+        let mut map: FxHashMap<u32, u32> = fx_map_with_capacity(g.rules.len());
         for r in order {
             let body: Vec<RSym> = g.rules[r as usize]
                 .iter()
@@ -176,7 +176,7 @@ pub fn merge_grammars(grammars: &[Grammar], config: &MergeConfig) -> MergedGramm
     // ---- Deduplicate identical mains.
     let mut variants: Vec<Vec<RSym>> = Vec::new();
     let mut variant_ranks: Vec<RankSet> = Vec::new();
-    let mut variant_index: HashMap<Vec<RSym>, usize> = HashMap::new();
+    let mut variant_index: FxHashMap<Vec<RSym>, usize> = fx_map_with_capacity(nranks);
     for (rank, main) in mains_global.iter().enumerate() {
         match variant_index.get(main) {
             Some(&i) => {

@@ -16,7 +16,7 @@
 //! with exponent ≥ 2 still pays for itself, so only references with
 //! exponent 1 trigger inlining.
 
-use std::collections::HashMap;
+use siesta_hash::{fx_map_with_capacity, FxHashMap};
 
 use crate::grammar::Grammar;
 use crate::symbol::{RSym, Sym};
@@ -49,7 +49,9 @@ pub struct Sequitur {
     refs: Vec<u32>,
     /// node ids currently referencing each rule.
     occurrences: Vec<Vec<u32>>,
-    digrams: HashMap<DigramKey, u32>,
+    /// Digram index — the hottest map of the whole pipeline (consulted on
+    /// every splice), so it runs on the deterministic FxHash, not SipHash.
+    digrams: FxHashMap<DigramKey, u32>,
     /// Run-length constraint enabled (the paper's configuration). Disabled
     /// only by the ablation harness, which contrasts the O(1) powers
     /// against classic Sequitur's O(log n) rule chains for regular loops.
@@ -69,13 +71,25 @@ impl Sequitur {
 
     /// Construct with the run-length extension switchable (ablation).
     pub fn with_rle(rle: bool) -> Sequitur {
+        Sequitur::with_rle_and_capacity(rle, 0)
+    }
+
+    /// [`Sequitur::with_rle`] pre-sized for an input of `len` terminals:
+    /// the node arena and digram index reserve up front instead of
+    /// climbing the rehash-on-grow ladder during the one-pass scan.
+    pub fn with_rle_and_capacity(rle: bool, len: usize) -> Sequitur {
         let mut s = Sequitur {
-            nodes: Vec::new(),
+            // Terminals enter one node each; rule bodies add less than
+            // one node per substitution (freed nodes are recycled).
+            nodes: Vec::with_capacity(1 + len + len / 2),
             free: Vec::new(),
             guards: Vec::new(),
             refs: Vec::new(),
             occurrences: Vec::new(),
-            digrams: HashMap::new(),
+            // The digram table is bounded by live adjacencies; repetitive
+            // (trace-like) inputs stay far below the input length, so cap
+            // the upfront reservation rather than mirroring `len`.
+            digrams: fx_map_with_capacity(len.min(1 << 16)),
             rle,
         };
         s.new_rule(); // rule 0: main
@@ -84,7 +98,7 @@ impl Sequitur {
 
     /// Build a grammar from a whole sequence.
     pub fn build(seq: &[u32]) -> Grammar {
-        let mut s = Sequitur::new();
+        let mut s = Sequitur::with_rle_and_capacity(true, seq.len());
         for &t in seq {
             s.push(t);
         }
@@ -93,7 +107,7 @@ impl Sequitur {
 
     /// Build without the run-length extension (classic Sequitur).
     pub fn build_classic(seq: &[u32]) -> Grammar {
-        let mut s = Sequitur::with_rle(false);
+        let mut s = Sequitur::with_rle_and_capacity(false, seq.len());
         for &t in seq {
             s.push(t);
         }
@@ -436,7 +450,7 @@ impl Sequitur {
         siesta_obs::histogram("grammar.digram_table_size").record(self.digrams.len() as u64);
 
         // Map surviving rule ids to dense ids.
-        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut remap: FxHashMap<u32, u32> = fx_map_with_capacity(self.guards.len());
         let mut order: Vec<u32> = Vec::new();
         for (rule, &g) in self.guards.iter().enumerate() {
             if g != NIL {

@@ -1,12 +1,18 @@
-//! `siesta-par` — a deterministic scoped-thread worker pool (std-only).
+//! `siesta-par` — a deterministic persistent worker pool (std-only).
 //!
 //! The synthesis pipeline is embarrassingly parallel along three axes:
 //! per-rank Sequitur construction, per-unique-event QP solves, and the
 //! pair-merges inside each round of the log₂P terminal-table tree. This
 //! crate provides the one primitive all three need: run N independent
-//! tasks on a bounded set of scoped worker threads and collect results
-//! **in index order**, so the output is bit-identical regardless of the
+//! tasks on a bounded set of worker threads and collect results **in
+//! index order**, so the output is bit-identical regardless of the
 //! thread count or OS scheduling.
+//!
+//! Workers are spawned lazily on first demand and then **parked between
+//! regions** (see [`pool`]): a parallel region costs a mutex hand-off and
+//! a condvar wake instead of the ~100µs-per-thread scoped spawns the
+//! first version paid. The caller always participates, so width 1 of
+//! every region is the caller's own thread.
 //!
 //! # Determinism contract
 //!
@@ -17,13 +23,17 @@
 //! * `threads() == 1` (or a single task) runs inline on the caller's
 //!   thread: the sequential path IS the parallel path at width one, not a
 //!   separate code path that could drift.
-//! * A panicking task propagates to the caller after all workers stop
-//!   (std scoped-thread join semantics), never silently drops results.
+//! * A panicking task propagates to the caller after the region drains,
+//!   never silently drops results.
 //!
 //! The process-global width is configured once at startup (`--threads N`
 //! on the CLI, [`set_threads`] programmatically); `0` means "use
 //! [`available_parallelism`]".
 
+mod pool;
+
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -50,50 +60,75 @@ pub fn threads() -> usize {
     }
 }
 
-/// Run `n_tasks` independent tasks on at most `nthreads` scoped workers;
-/// `task(i)` computes result `i`. Results are returned in index order.
+/// Index-addressed result slots shared with pool workers. Only distinct
+/// indices are ever written (each task index is claimed exactly once from
+/// the shared counter), and the caller reads them only after the region
+/// has drained, so the aliasing is benign.
+struct Slots<'a, R>(&'a [UnsafeCell<Option<R>>]);
+
+unsafe impl<R: Send> Sync for Slots<'_, R> {}
+
+impl<R> Slots<'_, R> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the raw `UnsafeCell` slice inside it.
+    fn slot(&self, i: usize) -> *mut Option<R> {
+        self.0[i].get()
+    }
+}
+
+/// Run `n_tasks` independent tasks on the calling thread plus at most
+/// `nthreads - 1` pool workers; `task(i)` computes result `i`. Results
+/// are returned in index order.
 ///
 /// With `nthreads <= 1` or fewer than two tasks everything runs inline on
-/// the calling thread — no spawn, no atomics, identical results.
+/// the calling thread — no hand-off, no atomics, identical results.
 pub fn run_tasks<R, F>(n_tasks: usize, nthreads: usize, task: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    if nthreads <= 1 || n_tasks <= 1 {
+    // `in_worker`: a nested region started from inside a pool task runs
+    // inline rather than waiting on the pool it is itself occupying.
+    if nthreads <= 1 || n_tasks <= 1 || pool::in_worker() {
         return (0..n_tasks).map(task).collect();
     }
     let nworkers = nthreads.min(n_tasks);
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n_tasks);
-    slots.resize_with(n_tasks, || None);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..nworkers)
-            .map(|_| {
-                s.spawn(|| {
-                    // Work-steal from a shared counter: coarse tasks with
-                    // skewed costs (rank 0's sequence is often the odd one
-                    // out) balance better than static chunking.
-                    let mut done: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n_tasks {
-                            break;
-                        }
-                        done.push((i, task(i)));
+    let slots: Vec<UnsafeCell<Option<R>>> =
+        (0..n_tasks).map(|_| UnsafeCell::new(None)).collect();
+    let slots_ref = Slots(&slots);
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let runner = || {
+        // Work-steal from a shared counter: coarse tasks with skewed
+        // costs (rank 0's sequence is often the odd one out) balance
+        // better than static chunking.
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                break;
+            }
+            match panic::catch_unwind(AssertUnwindSafe(|| task(i))) {
+                Ok(r) => unsafe { *slots_ref.slot(i) = Some(r) },
+                Err(payload) => {
+                    let mut first = panicked.lock().unwrap();
+                    if first.is_none() {
+                        *first = Some(payload);
                     }
-                    done
-                })
-            })
-            .collect();
-        for h in handles {
-            // join() propagates worker panics to the caller.
-            for (i, r) in h.join().expect("siesta-par worker panicked") {
-                slots[i] = Some(r);
+                    // Abandon unclaimed tasks: the whole region is about
+                    // to propagate the panic anyway.
+                    next.store(n_tasks, Ordering::Relaxed);
+                }
             }
         }
-    });
-    slots.into_iter().map(|r| r.expect("every slot filled")).collect()
+    };
+    pool::run_region(nworkers - 1, &runner);
+    if let Some(payload) = panicked.into_inner().unwrap() {
+        panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|c| c.into_inner().expect("every slot filled"))
+        .collect()
 }
 
 /// Map `f` over `items` in parallel at the configured width; results in
@@ -109,10 +144,11 @@ where
 
 /// [`parallel_map`] with a small-work guard: runs inline (width 1) when
 /// `est_work` — any deterministic, data-derived work estimate the caller
-/// picks (symbols, events, solves) — is below `min_work`. Scoped-thread
-/// spawns cost ~100µs each; phases below the threshold lose more to
-/// spawning than they gain. The guard depends only on the input, never on
-/// timing or width, so outputs stay bit-identical either way.
+/// picks (symbols, events, solves) — is below `min_work`. Even with the
+/// persistent pool a region costs a mutex hand-off and condvar wakes;
+/// phases below the threshold lose more to the hand-off than they gain.
+/// The guard depends only on the input, never on timing or width, so
+/// outputs stay bit-identical either way.
 pub fn parallel_map_min_work<T, R, F>(items: &[T], est_work: usize, min_work: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -248,5 +284,60 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn pool_survives_many_generations() {
+        // Back-to-back regions at shifting widths: exercises the
+        // generation hand-off, worker parking/waking, and reuse of a
+        // recycled job control block (successive regions share the same
+        // stack frame address).
+        for round in 0..200usize {
+            let w = 2 + round % 7;
+            let n = 1 + round % 23;
+            let got = run_tasks(n, w, |i| i * round);
+            let expect: Vec<usize> = (0..n).map(|i| i * round).collect();
+            assert_eq!(got, expect, "round {round}, width {w}");
+        }
+    }
+
+    #[test]
+    fn pool_handles_tasks_slower_than_submitter() {
+        // Tasks long enough that parked workers actually wake and help:
+        // drains the worker-entry and retirement paths, not just the
+        // submitter-does-everything fast path.
+        let got = run_tasks(16, 8, |i| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            i * i
+        });
+        assert_eq!(got, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_region_from_a_pool_task_runs_inline() {
+        // A task that itself calls run_tasks must not deadlock on the
+        // pool it occupies; the nested region runs inline on whichever
+        // thread executes the outer task.
+        let got = run_tasks(6, 3, |i| run_tasks(4, 8, move |j| i * 10 + j));
+        for (i, inner) in got.iter().enumerate() {
+            assert_eq!(inner, &(0..4).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panic_after_partial_progress_propagates() {
+        // Panic mid-region with other tasks already complete: the payload
+        // must surface and the pool must stay usable afterwards.
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(64, 4, |i| {
+                if i == 40 {
+                    panic!("mid-region failure");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+        // The pool is not poisoned: the next region works.
+        assert_eq!(run_tasks(8, 4, |i| i + 1), (1..9).collect::<Vec<_>>());
     }
 }

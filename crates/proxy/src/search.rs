@@ -109,8 +109,8 @@ impl ProxySearcher {
     /// and identical to calling [`ProxySearcher::search`] per target,
     /// since the solver is deterministic.
     pub fn search_batch(&self, targets: &[CounterVec]) -> Vec<ComputeProxy> {
-        let mut index: std::collections::HashMap<[u64; 6], usize> =
-            std::collections::HashMap::new();
+        let mut index: siesta_hash::FxHashMap<[u64; 6], usize> =
+            siesta_hash::fx_map_with_capacity(targets.len());
         let mut unique: Vec<CounterVec> = Vec::new();
         // First-seen order keeps the unique list (and hence the parallel
         // task numbering) independent of hash-map iteration.

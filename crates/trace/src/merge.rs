@@ -12,7 +12,7 @@
 //! computation events merge when their representatives agree within the
 //! clustering threshold, pooling their counter statistics.
 
-use std::collections::HashMap;
+use siesta_hash::{fx_map_with_capacity, FxHashMap};
 
 use crate::event::{counters_close, EventRecord};
 use crate::recorder::Trace;
@@ -37,7 +37,7 @@ pub struct GlobalTrace {
 
 struct Partial {
     table: Vec<EventRecord>,
-    comm_index: HashMap<crate::event::CommEvent, u32>,
+    comm_index: FxHashMap<crate::event::CommEvent, u32>,
     /// (table id, representative) per compute cluster.
     compute_clusters: Vec<(u32, siesta_perfmodel::CounterVec)>,
     /// (rank, remapped sequence) pairs covered by this partial table.
@@ -46,7 +46,7 @@ struct Partial {
 
 impl Partial {
     fn leaf(rank: usize, table: Vec<EventRecord>, seq: Vec<u32>) -> Partial {
-        let mut comm_index = HashMap::new();
+        let mut comm_index = fx_map_with_capacity(table.len());
         let mut compute_clusters = Vec::new();
         for (i, e) in table.iter().enumerate() {
             match e {

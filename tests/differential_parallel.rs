@@ -93,6 +93,43 @@ fn scaled_synthesis_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn memoization_is_bit_identical_on_every_workload() {
+    let _g = WIDTH_LOCK.lock().unwrap();
+    // Memoization oracle: rebuilding Sequitur per rank (memo off) and
+    // cloning the first-seen build per unique sequence (memo on) must
+    // agree byte for byte — on every workload, at every pool width, in
+    // every combination. The width-1 memoized run is the baseline.
+    let memo_off = SiestaConfig { grammar_memo: false, ..SiestaConfig::default() };
+    for program in Program::ALL {
+        let baseline = synthesize_at(1, program, SiestaConfig::default());
+        for &width in &WIDTHS {
+            for config in [SiestaConfig::default(), memo_off] {
+                let got = synthesize_at(width, program, config);
+                let label = if config.grammar_memo { "memo" } else { "no-memo" };
+                assert_eq!(
+                    got.wire_bytes,
+                    baseline.wire_bytes,
+                    "{}: wire bytes diverge ({label}, {width} threads)",
+                    program.name()
+                );
+                assert_eq!(
+                    got.c_source,
+                    baseline.c_source,
+                    "{}: C source diverges ({label}, {width} threads)",
+                    program.name()
+                );
+                assert_eq!(
+                    got.report,
+                    baseline.report,
+                    "{}: report diverges ({label}, {width} threads)",
+                    program.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn merged_trace_is_bit_identical_across_thread_counts() {
     let _g = WIDTH_LOCK.lock().unwrap();
     // The table-merge tree in isolation: same global table, same ids,
