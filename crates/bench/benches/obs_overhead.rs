@@ -1,0 +1,184 @@
+//! Observability overhead budget: instrumented-vs-off pipeline time.
+//!
+//! The flight recorder's contract (DESIGN.md §12) is that measuring the
+//! pipeline does not distort it: **<1%** pipeline slowdown with profiling
+//! off and **<5%** with `--profile`. This bench measures both, prints a
+//! summary, and emits `BENCH_obs.json` for `scripts/check_bench.py` to
+//! gate in CI.
+//!
+//! ```sh
+//! cargo bench -p siesta-bench --bench obs_overhead            # full
+//! cargo bench -p siesta-bench --bench obs_overhead -- --quick # CI smoke
+//! ```
+//!
+//! Methodology:
+//!
+//! * **Profile-on overhead** is measured directly: the synthesis pipeline
+//!   runs with profiling off and with profiling on (spans drained per
+//!   iteration, as the CLI does), and the **minimum** times are compared —
+//!   min-of-N is the standard noise floor for micro-measurement.
+//! * **Profile-off overhead** cannot be measured the same way (the
+//!   baseline would need the instrumentation compiled out), so it is
+//!   modeled: a microbench measures the cost of one disabled `span!`
+//!   (one relaxed atomic load), which times the spans a run records gives
+//!   the total instrumentation cost the uninstrumented pipeline pays.
+//! * Quick mode shrinks the workload and iteration counts and writes
+//!   `BENCH_obs_quick.json` instead, so CI can smoke-test the harness
+//!   without inheriting full-run statistics.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use siesta_core::{Siesta, SiestaConfig};
+use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+use siesta_workloads::{ProblemSize, Program};
+
+struct Config {
+    quick: bool,
+    program: Program,
+    nprocs: usize,
+    size: ProblemSize,
+    warmup: usize,
+    iters: usize,
+    span_calls: usize,
+}
+
+impl Config {
+    fn detect() -> Config {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("SIESTA_BENCH_QUICK").is_ok_and(|v| v == "1");
+        if quick {
+            Config {
+                quick,
+                program: Program::Cg,
+                nprocs: 8,
+                size: ProblemSize::Tiny,
+                warmup: 3,
+                iters: 40,
+                span_calls: 200_000,
+            }
+        } else {
+            Config {
+                quick,
+                program: Program::Cg,
+                nprocs: 16,
+                size: ProblemSize::Small,
+                warmup: 5,
+                iters: 120,
+                span_calls: 2_000_000,
+            }
+        }
+    }
+}
+
+/// Minimum wall time of `f` over `iters` iterations (after `warmup`).
+fn min_time<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut min = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        min = min.min(t0.elapsed().as_secs_f64());
+    }
+    min
+}
+
+fn main() {
+    let cfg = Config::detect();
+    let machine = Machine::new(platform_a(), MpiFlavor::OpenMpi);
+    let siesta = Siesta::new(SiestaConfig::default());
+    let run = |m: Machine| {
+        let (synth, _) =
+            siesta.synthesize_run(m, cfg.nprocs, move |r| cfg.program.body(cfg.size)(r));
+        synth.stats.size_c_bytes
+    };
+
+    // Pipeline with profiling off (the production default) vs. on
+    // (spans drained per iteration, like the CLI). The two are
+    // *interleaved*, one off-iteration then one on-iteration, so slow
+    // drift of the host (frequency scaling, cache warmth) hits both
+    // measurements equally instead of biasing whichever ran second.
+    siesta_obs::set_profiling_enabled(false);
+    siesta_obs::drain_spans();
+    for _ in 0..cfg.warmup {
+        black_box(run(machine));
+    }
+    let mut off_s = f64::INFINITY;
+    let mut profile_s = f64::INFINITY;
+    let mut spans_per_run = 0usize;
+    for _ in 0..cfg.iters {
+        siesta_obs::set_profiling_enabled(false);
+        let t0 = Instant::now();
+        black_box(run(machine));
+        off_s = off_s.min(t0.elapsed().as_secs_f64());
+
+        siesta_obs::set_profiling_enabled(true);
+        let t0 = Instant::now();
+        black_box(run(machine));
+        let dt = t0.elapsed().as_secs_f64();
+        spans_per_run = siesta_obs::drain_spans().len();
+        profile_s = profile_s.min(dt);
+    }
+    siesta_obs::set_profiling_enabled(false);
+    siesta_obs::drain_spans();
+
+    // Cost of one disabled span! call (what instrumented code pays when
+    // nobody is profiling).
+    let disabled_span_s = min_time(1, 5, || {
+        for i in 0..cfg.span_calls {
+            let _g = siesta_obs::span!("disabled-probe", i = i);
+            black_box(&_g);
+        }
+    });
+    let disabled_span_ns = disabled_span_s / cfg.span_calls as f64 * 1e9;
+
+    let overhead_profile_pct = ((profile_s - off_s) / off_s * 100.0).max(0.0);
+    let overhead_off_pct =
+        (disabled_span_ns * spans_per_run as f64) / (off_s * 1e9) * 100.0;
+
+    println!(
+        "obs_overhead {} {} ranks {:?} ({} iters)",
+        cfg.program.name(),
+        cfg.nprocs,
+        cfg.size,
+        cfg.iters
+    );
+    println!("  pipeline off      {:>10.3} ms (min)", off_s * 1e3);
+    println!("  pipeline profile  {:>10.3} ms (min)", profile_s * 1e3);
+    println!("  spans per run     {spans_per_run:>10}");
+    println!("  disabled span     {disabled_span_ns:>10.2} ns/call");
+    println!("  overhead off      {overhead_off_pct:>10.4} % (budget 1%)");
+    println!("  overhead profile  {overhead_profile_pct:>10.4} % (budget 5%)");
+
+    let path = if cfg.quick {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs_quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json")
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"mode\": \"{}\",\n  \"host_parallelism\": {},\n  \
+         \"workload\": \"{}\",\n  \"nprocs\": {},\n  \"size\": \"{:?}\",\n  \"iters\": {},\n  \
+         \"pipeline_off_ms\": {:.4},\n  \"pipeline_profile_ms\": {:.4},\n  \
+         \"spans_per_run\": {},\n  \"disabled_span_ns\": {:.3},\n  \
+         \"overhead_off_pct\": {:.4},\n  \"overhead_profile_pct\": {:.4},\n  \
+         \"budget_overhead_off_pct\": 1.0,\n  \"budget_overhead_profile_pct\": 5.0\n}}\n",
+        if cfg.quick { "quick" } else { "full" },
+        siesta_par::available_parallelism(),
+        cfg.program.name(),
+        cfg.nprocs,
+        cfg.size,
+        cfg.iters,
+        off_s * 1e3,
+        profile_s * 1e3,
+        spans_per_run,
+        disabled_span_ns,
+        overhead_off_pct,
+        overhead_profile_pct,
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("overhead results written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -72,8 +72,21 @@ GLOBAL OPTIONS (accepted by every command):
                         output is bit-identical either way)
     --log-level <l>     error | warn | info | debug | trace | off
     --profile <file>    write a Chrome trace (chrome://tracing / Perfetto)
+    --trace-out <file>  alias of --profile (at most one of the two)
+    --obs-cap <n>       bound the flight recorder to n spans per thread
+                        (ring buffer: oldest spans overwritten, dropped
+                        count reported; default unbounded, env SIESTA_OBS_CAP)
+    --comm-matrix <f>   write the per-rank-pair communication matrix (JSON:
+                        p2p send counts/bytes, collective contribution
+                        bytes) collected from the traced run
     --stats             print the per-phase span and metrics report
     --quiet             silence all logging
+
+ENVIRONMENT:
+    SIESTA_LOG              default log level
+    SIESTA_OBS_CAP          default --obs-cap
+    SIESTA_OBS_CANONICAL=1  timing-free canonical trace/report output
+                            (byte-identical at any --threads width)
 ";
 
 fn main() -> ExitCode {
@@ -93,7 +106,9 @@ fn main() -> ExitCode {
 }
 
 /// Options accepted by every command (observability + parallelism).
-const GLOBAL_OPTS: &[&str] = &["log-level", "profile", "quiet", "stats", "threads"];
+const GLOBAL_OPTS: &[&str] = &[
+    "comm-matrix", "log-level", "obs-cap", "profile", "quiet", "stats", "threads", "trace-out",
+];
 const GLOBAL_FLAGS: &[&str] = &["quiet", "stats", "no-memo"];
 
 /// `check_allowed` including the global observability options.
@@ -116,9 +131,23 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             ));
         }
     }
-    let profile_path = args.get("profile").map(str::to_string);
-    if profile_path.is_some() {
+    let profile_path = match (args.get("profile"), args.get("trace-out")) {
+        (Some(_), Some(_)) => {
+            return Err("--profile and --trace-out are aliases; pass at most one".to_string())
+        }
+        (p, t) => p.or(t).map(str::to_string),
+    };
+    if let Some(path) = &profile_path {
+        check_writable_dest(path)?;
         siesta_obs::set_profiling_enabled(true);
+    }
+    if args.get("obs-cap").is_some() {
+        siesta_obs::set_span_capacity(args.get_usize("obs-cap", 0)?);
+    }
+    let comm_matrix_path = args.get("comm-matrix").map(str::to_string);
+    if let Some(path) = &comm_matrix_path {
+        check_writable_dest(path)?;
+        siesta_mpisim::set_comm_matrix_enabled(true);
     }
     if args.get("threads").is_some() {
         let n = args.get_usize("threads", 0)?;
@@ -145,22 +174,112 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 
     // Export collected spans/metrics even on command failure: a profile of
     // the run up to the error is exactly what one wants to look at.
-    let spans = siesta_obs::drain_spans();
+    // SIESTA_OBS_CANONICAL=1 selects the timing-free canonical exporters
+    // (byte-identical across --threads widths; what the differential
+    // tests compare).
+    let canonical = std::env::var("SIESTA_OBS_CANONICAL").is_ok_and(|v| v == "1");
+    let drained = siesta_obs::drain();
+    if drained.dropped > 0 {
+        siesta_obs::warn!(
+            "flight recorder dropped {} spans (ring capacity {}); raise --obs-cap for a complete trace",
+            drained.dropped,
+            siesta_obs::span_capacity()
+        );
+    }
+    let spans = drained.spans;
     if let Some(path) = profile_path {
-        siesta_obs::chrome::write_chrome_trace(&path, &spans)
-            .map_err(|e| format!("{path}: {e}"))?;
+        let json = if canonical {
+            siesta_obs::chrome::chrome_trace_json_canonical(&spans)
+        } else {
+            siesta_obs::chrome::chrome_trace_json(&spans)
+        };
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
         siesta_obs::info!(
             "profile: {} spans written to {path} (load in chrome://tracing or ui.perfetto.dev)",
             spans.len()
         );
     }
+    if let Some(path) = comm_matrix_path {
+        siesta_mpisim::set_comm_matrix_enabled(false);
+        match siesta_mpisim::take_comm_matrix() {
+            Some(matrix) => {
+                std::fs::write(&path, comm_matrix_json(&matrix))
+                    .map_err(|e| format!("{path}: {e}"))?;
+                siesta_obs::info!("communication matrix ({} ranks) written to {path}", matrix.nranks);
+            }
+            None => {
+                return result.and(Err(
+                    "--comm-matrix: no traced run in this command (only synthesize, trace, \
+                     and compare collect a communication matrix)"
+                        .to_string(),
+                ))
+            }
+        }
+    }
     if args.get_flag("stats") {
-        print!(
-            "{}",
-            siesta_obs::report::render_report(&spans, &siesta_obs::metrics_snapshot())
-        );
+        let metrics = siesta_obs::metrics_snapshot();
+        let report = if canonical {
+            siesta_obs::report::render_canonical_report(&spans, &metrics)
+        } else {
+            siesta_obs::report::render_report(&spans, &metrics)
+        };
+        print!("{report}");
     }
     result
+}
+
+/// Fail fast (and cleanly) when an output path's parent directory does not
+/// exist, instead of surfacing a bare I/O error after minutes of work.
+fn check_writable_dest(path: &str) -> Result<(), String> {
+    let parent = Path::new(path).parent();
+    if let Some(parent) = parent {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(format!(
+                "{path}: parent directory {} does not exist",
+                parent.display()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Hand-rolled JSON for the communication matrix: nonzero point-to-point
+/// cells plus per-rank collective contributions. Deterministic — the
+/// simulation is, and cells are emitted in row-major order.
+fn comm_matrix_json(m: &siesta_mpisim::CommMatrixSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n\"nranks\":{},\n\"nonworld_skipped\":{},\n\"p2p\":[",
+        m.nranks, m.nonworld_skipped
+    );
+    let mut first = true;
+    for src in 0..m.nranks {
+        for dest in 0..m.nranks {
+            let (count, bytes) = (m.count(src, dest), m.byte_volume(src, dest));
+            if count == 0 && bytes == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{{\"src\":{src},\"dest\":{dest},\"count\":{count},\"bytes\":{bytes}}}"
+            );
+        }
+    }
+    out.push_str("\n],\n\"collective_bytes\":[");
+    for (i, b) in m.collective_bytes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{b}");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 fn parse_program(name: &str) -> Result<Program, String> {

@@ -108,9 +108,12 @@ impl Siesta {
     {
         let _span = span!("trace", nranks = nranks);
         let recorder = Arc::new(Recorder::new(nranks, self.config.trace));
-        // With profiling on, stack the metrics hook under the recorder the
-        // way PMPI tools chain; otherwise install the recorder alone.
-        let hook: Arc<dyn PmpiHook> = if profiling_enabled() {
+        // With profiling (or comm-matrix collection) on, stack the metrics
+        // hook under the recorder the way PMPI tools chain; otherwise
+        // install the recorder alone.
+        let hook: Arc<dyn PmpiHook> = if profiling_enabled()
+            || siesta_mpisim::comm_matrix_enabled()
+        {
             Arc::new(FanoutHook::new(vec![
                 recorder.clone(),
                 Arc::new(ObsHook::new(nranks)),
@@ -139,14 +142,17 @@ impl Siesta {
     pub fn synthesize_global(&self, global: GlobalTrace, gen_machine: &Machine) -> Synthesis {
         let _span = span!("synthesize", nranks = global.nranks);
         let nranks = global.nranks;
+        // Width is reported as a gauge, never as a span arg: span args are
+        // part of the canonical (cross-width byte-identical) trace, and
+        // `par.threads` is exactly the thing allowed to vary between runs.
+        siesta_obs::gauge("par.threads").set(siesta_par::threads() as i64);
 
         // Intra-process grammars (one pool task per unique sequence), then
         // the inter-process merge. Collection is index-ordered and
         // memoization assigns in first-seen order, so the merged grammar is
         // identical at any thread count, memo on or off.
         let grammars: Vec<Grammar> = {
-            let _span =
-                span!("sequitur-fanout", ranks = nranks, threads = siesta_par::threads());
+            let _span = span!("sequitur-fanout", ranks = nranks);
             siesta_obs::counter("par.sequitur.tasks").add(global.seqs.len() as u64);
             build_rank_grammars(&global.seqs, self.config.grammar_memo)
         };
@@ -159,11 +165,7 @@ impl Siesta {
         // fan out over unique counter vectors (batch dedup inside
         // `search_batch`); error accounting stays on this thread, in table
         // order, so the float sums are reproducible.
-        let proxy_span = span!(
-            "proxy-search",
-            events = global.table.len(),
-            threads = siesta_par::threads()
-        );
+        let proxy_span = span!("proxy-search", events = global.table.len());
         let searcher = ProxySearcher::new(gen_machine);
         let comm_shrink = CommShrink::fit(&gen_machine.net);
         let fit_error_hist = histogram("proxy.fit_error_bp");

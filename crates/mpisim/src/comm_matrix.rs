@@ -1,0 +1,226 @@
+//! Per-rank communication-matrix collection.
+//!
+//! When enabled (the CLI's `--comm-matrix PATH`), [`crate::ObsHook`]
+//! feeds a process-global collector with one cell per `(src, dest)`
+//! global-rank pair: point-to-point send **counts** and **bytes**, plus
+//! per-rank collective contribution bytes (collectives have no single
+//! destination, so they get a vector, not matrix cells). This is the
+//! communication-pattern view tools like mpiP's sender/receiver
+//! histograms and the Caliper/Benchpark studies build their analysis on.
+//!
+//! The record path is an atomic fetch-add per call — the collector is a
+//! flat `Vec<AtomicU64>` shared with the hook via `Arc`, so the
+//! simulation's rank threads never take a lock.
+//!
+//! Only `MPI_COMM_WORLD` point-to-point traffic lands in the matrix: the
+//! hook sees communicator-**local** destination ranks (exactly what a
+//! PMPI tracer sees), and only for the world communicator is the local
+//! rank also the global one. Sends on split/duplicated communicators are
+//! tallied in `nonworld_skipped` instead of being misattributed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::comm::CommId;
+use crate::hook::{HookCtx, MpiCall};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The collector for the current (most recent) instrumented run.
+static CURRENT: Mutex<Option<Arc<CommMatrixCells>>> = Mutex::new(None);
+
+/// Turn comm-matrix collection on or off (off by default). While on,
+/// every [`crate::ObsHook`] construction installs a fresh collector
+/// sized to its world.
+pub fn set_comm_matrix_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is comm-matrix collection enabled?
+pub fn comm_matrix_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Shared atomic cells, written by the hook from rank threads.
+pub(crate) struct CommMatrixCells {
+    nranks: usize,
+    /// `src * nranks + dest`, point-to-point send counts.
+    counts: Vec<AtomicU64>,
+    /// `src * nranks + dest`, point-to-point send bytes.
+    bytes: Vec<AtomicU64>,
+    /// Per-source-rank collective contribution bytes.
+    collective_bytes: Vec<AtomicU64>,
+    /// P2p sends on non-world communicators (not attributable to a
+    /// global destination rank from the PMPI view).
+    nonworld_skipped: AtomicU64,
+}
+
+impl CommMatrixCells {
+    fn new(nranks: usize) -> CommMatrixCells {
+        CommMatrixCells {
+            nranks,
+            counts: (0..nranks * nranks).map(|_| AtomicU64::new(0)).collect(),
+            bytes: (0..nranks * nranks).map(|_| AtomicU64::new(0)).collect(),
+            collective_bytes: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
+            nonworld_skipped: AtomicU64::new(0),
+        }
+    }
+
+    fn add_p2p(&self, src: usize, dest: usize, nbytes: u64) {
+        if src < self.nranks && dest < self.nranks {
+            let cell = src * self.nranks + dest;
+            self.counts[cell].fetch_add(1, Ordering::Relaxed);
+            self.bytes[cell].fetch_add(nbytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one `pre`-hook call. Sends only (each message counted once,
+    /// at its source); collectives credit the caller's contribution.
+    pub(crate) fn record(&self, ctx: &HookCtx, call: &MpiCall) {
+        match call {
+            MpiCall::Send { comm, dest, bytes, .. }
+            | MpiCall::Isend { comm, dest, bytes, .. } => {
+                if *comm == CommId::WORLD {
+                    self.add_p2p(ctx.rank, *dest, *bytes as u64);
+                } else {
+                    self.nonworld_skipped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            MpiCall::Sendrecv { comm, dest, send_bytes, .. } => {
+                if *comm == CommId::WORLD {
+                    self.add_p2p(ctx.rank, *dest, *send_bytes as u64);
+                } else {
+                    self.nonworld_skipped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            MpiCall::Recv { .. }
+            | MpiCall::Irecv { .. }
+            | MpiCall::Wait { .. }
+            | MpiCall::Waitall { .. }
+            | MpiCall::CommSplit { .. }
+            | MpiCall::CommDup { .. }
+            | MpiCall::CommFree { .. }
+            | MpiCall::Barrier { .. } => {}
+            collective => {
+                let contrib = collective.payload_bytes() as u64;
+                if contrib > 0 {
+                    if let Some(cell) = self.collective_bytes.get(ctx.rank) {
+                        cell.fetch_add(contrib, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Install (and return) a fresh collector for a world of `nranks`,
+/// replacing any previous one. Called by [`crate::ObsHook::new`] when
+/// collection is enabled.
+pub(crate) fn install(nranks: usize) -> Arc<CommMatrixCells> {
+    let cells = Arc::new(CommMatrixCells::new(nranks));
+    *CURRENT.lock().unwrap() = Some(cells.clone());
+    cells
+}
+
+/// Final tallies of one instrumented run, flattened row-major
+/// (`src * nranks + dest`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommMatrixSnapshot {
+    pub nranks: usize,
+    pub counts: Vec<u64>,
+    pub bytes: Vec<u64>,
+    pub collective_bytes: Vec<u64>,
+    pub nonworld_skipped: u64,
+}
+
+impl CommMatrixSnapshot {
+    pub fn count(&self, src: usize, dest: usize) -> u64 {
+        self.counts[src * self.nranks + dest]
+    }
+
+    pub fn byte_volume(&self, src: usize, dest: usize) -> u64 {
+        self.bytes[src * self.nranks + dest]
+    }
+}
+
+/// Take the collector installed by the most recent instrumented run,
+/// leaving none behind. `None` if collection was never enabled.
+pub fn take_comm_matrix() -> Option<CommMatrixSnapshot> {
+    let cells = CURRENT.lock().unwrap().take()?;
+    Some(CommMatrixSnapshot {
+        nranks: cells.nranks,
+        counts: cells.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        bytes: cells.bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        collective_bytes: cells
+            .collective_bytes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        nonworld_skipped: cells.nonworld_skipped.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siesta_perfmodel::CounterVec;
+
+    fn ctx(rank: usize) -> HookCtx {
+        HookCtx { rank, clock_ns: 0.0, counters: CounterVec::ZERO, comm_rank: rank, comm_size: 4 }
+    }
+
+    #[test]
+    fn p2p_and_collectives_tally_separately() {
+        let cells = CommMatrixCells::new(4);
+        cells.record(&ctx(0), &MpiCall::Send { comm: CommId::WORLD, dest: 1, tag: 0, bytes: 100 });
+        cells.record(
+            &ctx(0),
+            &MpiCall::Isend { comm: CommId::WORLD, dest: 1, tag: 0, bytes: 28, req: 0 },
+        );
+        cells.record(
+            &ctx(2),
+            &MpiCall::Sendrecv {
+                comm: CommId::WORLD,
+                dest: 3,
+                send_tag: 0,
+                send_bytes: 64,
+                src: 3,
+                recv_tag: 0,
+                recv_bytes: 999,
+            },
+        );
+        // Receives never double-count.
+        cells.record(&ctx(1), &MpiCall::Recv { comm: CommId::WORLD, src: 0, tag: 0, bytes: 100 });
+        cells.record(&ctx(3), &MpiCall::Allreduce { comm: CommId::WORLD, bytes: 8 });
+        // Non-world sends are skipped, not misattributed.
+        let sub = CommId(7);
+        assert_ne!(sub, CommId::WORLD);
+        cells.record(&ctx(1), &MpiCall::Send { comm: sub, dest: 0, tag: 0, bytes: 5 });
+
+        assert_eq!(cells.counts[1].load(Ordering::Relaxed), 2); // 0 -> 1
+        assert_eq!(cells.bytes[1].load(Ordering::Relaxed), 128);
+        assert_eq!(cells.counts[2 * 4 + 3].load(Ordering::Relaxed), 1);
+        assert_eq!(cells.bytes[2 * 4 + 3].load(Ordering::Relaxed), 64);
+        assert_eq!(cells.collective_bytes[3].load(Ordering::Relaxed), 8);
+        assert_eq!(cells.nonworld_skipped.load(Ordering::Relaxed), 1);
+        // Nothing landed in any other cell.
+        let total: u64 = cells.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn install_and_take_round_trip() {
+        set_comm_matrix_enabled(true);
+        let cells = install(2);
+        cells.record(&ctx(0), &MpiCall::Send { comm: CommId::WORLD, dest: 1, tag: 9, bytes: 11 });
+        let snap = take_comm_matrix().expect("collector installed");
+        set_comm_matrix_enabled(false);
+        assert_eq!(snap.nranks, 2);
+        assert_eq!(snap.count(0, 1), 1);
+        assert_eq!(snap.byte_volume(0, 1), 11);
+        assert_eq!(snap.count(1, 0), 0);
+        assert_eq!(snap.nonworld_skipped, 0);
+        // Taken means gone.
+        assert!(take_comm_matrix().is_none());
+    }
+}

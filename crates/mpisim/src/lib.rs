@@ -63,6 +63,7 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod comm_matrix;
 pub mod engine;
 pub mod hook;
 pub mod message;
@@ -72,6 +73,9 @@ pub mod request;
 pub mod world;
 
 pub use comm::{CommId, Communicator};
+pub use comm_matrix::{
+    comm_matrix_enabled, set_comm_matrix_enabled, take_comm_matrix, CommMatrixSnapshot,
+};
 pub use hook::{HookCtx, MpiCall, PmpiHook};
 pub use message::{RecvStatus, Tag, ANY_TAG};
 pub use obs::{FanoutHook, ObsHook};

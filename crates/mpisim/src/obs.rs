@@ -2,12 +2,12 @@
 //! metrics registry from the PMPI stream, and a [`FanoutHook`] that lets it
 //! stack underneath the trace recorder (real PMPI tools chain the same way).
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use siesta_obs::metrics::{counter, histogram, Counter};
+use siesta_obs::metrics::{counter, histogram, Counter, Histogram};
 
+use crate::comm_matrix;
 use crate::hook::{HookCtx, MpiCall, PmpiHook};
 
 /// Broadcasts every hook event to each inner hook, in order. Per-call
@@ -40,17 +40,65 @@ impl PmpiHook for FanoutHook {
     }
 }
 
-/// Metric names follow `mpi.calls.<MPI function>`; see DESIGN.md.
-fn call_counter(call: &MpiCall) -> &'static Counter {
-    // func_name() returns one of a fixed set of static strings, so the
-    // leaked concatenations below are bounded (one per MPI function).
-    static NAMES: Mutex<BTreeMap<&'static str, &'static str>> = Mutex::new(BTreeMap::new());
-    let full: &'static str = NAMES
-        .lock()
-        .unwrap()
-        .entry(call.func_name())
-        .or_insert_with(|| Box::leak(format!("mpi.calls.{}", call.func_name()).into_boxed_str()));
-    counter(full)
+/// Metric names follow `mpi.calls.<MPI function>` (see DESIGN.md), one
+/// per [`MpiCall`] variant, indexed by [`call_index`]. The hook resolves
+/// all of them once at construction: the per-call hot path must not take
+/// the metrics-registry lock (this hook runs on every MPI call of every
+/// rank thread, and is what the <5% `--profile` overhead budget is
+/// spent on).
+const CALL_COUNTER_NAMES: [&str; 23] = [
+    "mpi.calls.MPI_Send",
+    "mpi.calls.MPI_Recv",
+    "mpi.calls.MPI_Isend",
+    "mpi.calls.MPI_Irecv",
+    "mpi.calls.MPI_Wait",
+    "mpi.calls.MPI_Waitall",
+    "mpi.calls.MPI_Sendrecv",
+    "mpi.calls.MPI_Barrier",
+    "mpi.calls.MPI_Bcast",
+    "mpi.calls.MPI_Reduce",
+    "mpi.calls.MPI_Allreduce",
+    "mpi.calls.MPI_Allgather",
+    "mpi.calls.MPI_Alltoall",
+    "mpi.calls.MPI_Alltoallv",
+    "mpi.calls.MPI_Gather",
+    "mpi.calls.MPI_Scatter",
+    "mpi.calls.MPI_Gatherv",
+    "mpi.calls.MPI_Scatterv",
+    "mpi.calls.MPI_Scan",
+    "mpi.calls.MPI_Reduce_scatter_block",
+    "mpi.calls.MPI_Comm_split",
+    "mpi.calls.MPI_Comm_dup",
+    "mpi.calls.MPI_Comm_free",
+];
+
+/// Index of a call's counter in [`CALL_COUNTER_NAMES`].
+fn call_index(call: &MpiCall) -> usize {
+    match call {
+        MpiCall::Send { .. } => 0,
+        MpiCall::Recv { .. } => 1,
+        MpiCall::Isend { .. } => 2,
+        MpiCall::Irecv { .. } => 3,
+        MpiCall::Wait { .. } => 4,
+        MpiCall::Waitall { .. } => 5,
+        MpiCall::Sendrecv { .. } => 6,
+        MpiCall::Barrier { .. } => 7,
+        MpiCall::Bcast { .. } => 8,
+        MpiCall::Reduce { .. } => 9,
+        MpiCall::Allreduce { .. } => 10,
+        MpiCall::Allgather { .. } => 11,
+        MpiCall::Alltoall { .. } => 12,
+        MpiCall::Alltoallv { .. } => 13,
+        MpiCall::Gather { .. } => 14,
+        MpiCall::Scatter { .. } => 15,
+        MpiCall::Gatherv { .. } => 16,
+        MpiCall::Scatterv { .. } => 17,
+        MpiCall::Scan { .. } => 18,
+        MpiCall::ReduceScatterBlock { .. } => 19,
+        MpiCall::CommSplit { .. } => 20,
+        MpiCall::CommDup { .. } => 21,
+        MpiCall::CommFree { .. } => 22,
+    }
 }
 
 /// Records per-call-type counts, a message-volume histogram, and a
@@ -61,25 +109,41 @@ fn call_counter(call: &MpiCall) -> &'static Counter {
 pub struct ObsHook {
     /// Outstanding Isend/Irecv requests per rank.
     outstanding: Vec<AtomicI64>,
+    /// Pre-resolved `mpi.calls.*` counters, indexed by [`call_index`].
+    call_counters: [&'static Counter; 23],
+    /// Pre-resolved histograms (same reason: no registry lock per call).
+    message_bytes: &'static Histogram,
+    queue_depth: &'static Histogram,
+    /// Per-rank-pair traffic cells, when `--comm-matrix` collection is on
+    /// (see [`crate::comm_matrix`]). Shared atomics: still lock-free.
+    comm_matrix: Option<Arc<comm_matrix::CommMatrixCells>>,
 }
 
 impl ObsHook {
     pub fn new(nranks: usize) -> ObsHook {
         ObsHook {
             outstanding: (0..nranks).map(|_| AtomicI64::new(0)).collect(),
+            call_counters: CALL_COUNTER_NAMES.map(counter),
+            message_bytes: histogram("mpi.message_bytes"),
+            queue_depth: histogram("mpi.queue_depth"),
+            comm_matrix: comm_matrix::comm_matrix_enabled()
+                .then(|| comm_matrix::install(nranks)),
         }
     }
 }
 
 impl PmpiHook for ObsHook {
     fn pre(&self, ctx: &HookCtx, call: &MpiCall) {
-        call_counter(call).inc();
+        self.call_counters[call_index(call)].inc();
+        if let Some(matrix) = &self.comm_matrix {
+            matrix.record(ctx, call);
+        }
         let bytes = call.payload_bytes();
         if bytes > 0 {
-            histogram("mpi.message_bytes").record(bytes as u64);
+            self.message_bytes.record(bytes as u64);
         }
         if let Some(q) = self.outstanding.get(ctx.rank) {
-            histogram("mpi.queue_depth").record(q.load(Ordering::Relaxed).max(0) as u64);
+            self.queue_depth.record(q.load(Ordering::Relaxed).max(0) as u64);
         }
     }
 

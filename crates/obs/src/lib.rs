@@ -1,35 +1,48 @@
-//! `siesta-obs` — zero-dependency observability for the synthesis pipeline.
+//! `siesta-obs` — flight-recorder observability for the synthesis pipeline.
 //!
 //! Siesta's whole premise is measurement, so the pipeline itself must be
-//! measurable. This crate provides four small, hand-rolled facilities
-//! (no external crates — the build environment has no registry access):
+//! measurable — without distorting what it measures. This crate provides
+//! small, hand-rolled facilities (workspace-internal only — the build
+//! environment has no registry access):
 //!
 //! * **Leveled logging** ([`log`]): `error!` .. `trace!` macros gated by a
 //!   single atomic level, configurable via `SIESTA_LOG` or `--log-level`.
-//! * **Timed spans** ([`span`]): RAII guards created with
-//!   `span!("sequitur", rank = r)`. When profiling is disabled the macro
-//!   early-outs on one relaxed atomic load and formats nothing.
+//! * **Flight-recorder spans** ([`span`]): RAII guards created with
+//!   `span!("sequitur", rank = r)`. The record path is lock-free — each
+//!   thread commits into its own sharded slot buffer — and allocation-free
+//!   for a no-arg span; dynamic args are interned to `u64` content-hash
+//!   ids ([`intern`]). A bounded ring mode (`SIESTA_OBS_CAP` /
+//!   `--obs-cap`) caps memory with an exact dropped-span count. When
+//!   profiling is disabled the macro early-outs on one relaxed atomic
+//!   load and formats nothing.
 //! * **Metrics** ([`metrics`]): process-global registry of monotonic
 //!   counters, gauges, and log2-bucket histograms with p50/p95/p99.
 //! * **Exporters**: Chrome trace-event JSON ([`chrome`], loadable in
-//!   `chrome://tracing` / Perfetto) and a human-readable per-phase
-//!   report table ([`report`]).
+//!   `chrome://tracing` / Perfetto, with the interned-args string table)
+//!   and a per-phase report table ([`report`]) with inclusive *and*
+//!   exclusive time ([`selftime`]). Both have canonical (timing-free)
+//!   variants that are byte-identical across `--threads` widths.
 //!
-//! Everything is `'static` and lock-light: spans append to a mutexed sink
-//! only when profiling is on; counters/histograms are plain atomics once
-//! registered.
+//! The overhead budget — <1% pipeline slowdown with profiling off, <5%
+//! with `--profile` — is measured by `benches/obs_overhead.rs` in
+//! `siesta-bench` and enforced in CI by `scripts/check_bench.py`.
 
 pub mod chrome;
+pub mod intern;
 pub mod log;
 pub mod metrics;
 pub mod report;
+pub mod selftime;
 pub mod span;
 
+pub use intern::ArgsId;
 pub use log::{set_level_from_str, Level};
 pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
     HistogramSummary, MetricsSnapshot,
 };
+pub use selftime::self_times;
 pub use span::{
-    drain_spans, profiling_enabled, set_profiling_enabled, FinishedSpan, SpanGuard,
+    drain, drain_spans, profiling_enabled, register_thread, set_profiling_enabled,
+    set_span_capacity, span_capacity, DrainedSpans, FinishedSpan, SpanGuard,
 };

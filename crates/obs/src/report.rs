@@ -1,16 +1,29 @@
 //! Human-readable per-phase report: span timings aggregated by name plus
 //! a dump of all registered metrics. Printed by the CLI's `--stats` flag.
+//!
+//! Two renderings live here:
+//!
+//! * [`render_report`] — the full report: inclusive **and exclusive**
+//!   (self) time per phase, every counter/gauge/histogram, and a derived
+//!   `grammar.memo.hit_rate` line when the memoization counters are
+//!   present.
+//! * [`render_canonical_report`] — a timing-free projection (span
+//!   name/count plus the deterministic counters and gauges) that is
+//!   byte-identical across `--threads` widths; the cross-width
+//!   differential test compares this form.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::metrics::MetricsSnapshot;
+use crate::selftime::self_times;
 use crate::span::FinishedSpan;
 
 #[derive(Debug, Default, Clone, Copy)]
 struct PhaseAgg {
     count: u64,
     total_ns: u64,
+    self_ns: u64,
     max_ns: u64,
 }
 
@@ -24,11 +37,13 @@ pub fn render_report(spans: &[FinishedSpan], metrics: &MetricsSnapshot) -> Strin
     let mut out = String::new();
 
     if !spans.is_empty() {
+        let self_ns = self_times(spans);
         let mut phases: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
-        for s in spans {
+        for (s, &self_t) in spans.iter().zip(&self_ns) {
             let agg = phases.entry(s.name).or_default();
             agg.count += 1;
             agg.total_ns += s.dur_ns;
+            agg.self_ns += self_t;
             agg.max_ns = agg.max_ns.max(s.dur_ns);
         }
         let mut rows: Vec<_> = phases.into_iter().collect();
@@ -37,16 +52,17 @@ pub fn render_report(spans: &[FinishedSpan], metrics: &MetricsSnapshot) -> Strin
         out.push_str("phase timings:\n");
         let _ = writeln!(
             out,
-            "  {:<24} {:>7} {:>12} {:>12} {:>12}",
-            "span", "count", "total ms", "mean ms", "max ms"
+            "  {:<24} {:>7} {:>12} {:>12} {:>12} {:>12}",
+            "span", "count", "total ms", "self ms", "mean ms", "max ms"
         );
         for (name, agg) in rows {
             let _ = writeln!(
                 out,
-                "  {:<24} {:>7} {:>12} {:>12} {:>12}",
+                "  {:<24} {:>7} {:>12} {:>12} {:>12} {:>12}",
                 name,
                 agg.count,
                 fmt_ms(agg.total_ns),
+                fmt_ms(agg.self_ns),
                 fmt_ms(agg.total_ns / agg.count.max(1)),
                 fmt_ms(agg.max_ns)
             );
@@ -57,6 +73,9 @@ pub fn render_report(spans: &[FinishedSpan], metrics: &MetricsSnapshot) -> Strin
         out.push_str("counters:\n");
         for &(name, v) in &metrics.counters {
             let _ = writeln!(out, "  {name:<32} {v:>14}");
+        }
+        if let Some(line) = memo_hit_rate_line(&metrics.counters) {
+            out.push_str(&line);
         }
     }
     if !metrics.gauges.is_empty() {
@@ -87,31 +106,99 @@ pub fn render_report(spans: &[FinishedSpan], metrics: &MetricsSnapshot) -> Strin
     out
 }
 
+/// Derived line making PR 4's grammar memoization win legible at a
+/// glance: `hits / (hits + unique)` from the two memo counters, if both
+/// were recorded this run.
+fn memo_hit_rate_line(counters: &[(&'static str, u64)]) -> Option<String> {
+    let get = |name: &str| counters.iter().find(|&&(n, _)| n == name).map(|&(_, v)| v);
+    let hits = get("grammar.memo.hits")?;
+    let unique = get("grammar.memo.unique")?;
+    let total = hits + unique;
+    if total == 0 {
+        return None;
+    }
+    Some(format!(
+        "  {:<32} {:>13.1}%\n",
+        "grammar.memo.hit_rate",
+        hits as f64 / total as f64 * 100.0
+    ))
+}
+
+/// Is this metric deterministic across thread widths? The recorder's own
+/// housekeeping (`obs.*`: dropped spans, intern collisions) and the
+/// configured width itself (`par.threads`) legitimately vary; everything
+/// else the pipeline records is workload-determined.
+fn deterministic_metric(name: &str) -> bool {
+    !name.starts_with("obs.") && name != "par.threads"
+}
+
+/// Render the timing-free canonical report: per-span-name counts plus
+/// the deterministic counters and gauges (no durations, no histograms,
+/// no `obs.*` bookkeeping, no `par.threads`). Byte-identical across
+/// `--threads` widths for the same workload.
+pub fn render_canonical_report(spans: &[FinishedSpan], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    if !spans.is_empty() {
+        let mut phases: BTreeMap<(&'static str, &'static str), u64> = BTreeMap::new();
+        for s in spans {
+            *phases.entry((s.name, s.args_str())).or_default() += 1;
+        }
+        out.push_str("spans:\n");
+        for ((name, args), count) in phases {
+            if args.is_empty() {
+                let _ = writeln!(out, "  {name:<32} x{count}");
+            } else {
+                let _ = writeln!(out, "  {name:<32} x{count} [{args}]");
+            }
+        }
+    }
+
+    let counters: Vec<_> =
+        metrics.counters.iter().filter(|&&(n, _)| deterministic_metric(n)).collect();
+    if !counters.is_empty() {
+        out.push_str("counters:\n");
+        for &&(name, v) in &counters {
+            let _ = writeln!(out, "  {name:<32} {v:>14}");
+        }
+    }
+    let gauges: Vec<_> =
+        metrics.gauges.iter().filter(|&&(n, _)| deterministic_metric(n)).collect();
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for &&(name, v) in &gauges {
+            let _ = writeln!(out, "  {name:<32} {v:>14}");
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no spans or metrics recorded)\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::intern;
     use crate::metrics::HistogramSummary;
     use crate::span::FinishedSpan;
+
+    fn span(
+        name: &'static str,
+        args: &str,
+        depth: u32,
+        start_ns: u64,
+        dur_ns: u64,
+    ) -> FinishedSpan {
+        FinishedSpan { name, args: intern(args), tid: 1, depth, start_ns, dur_ns }
+    }
 
     #[test]
     fn report_contains_phases_and_metrics() {
         let spans = vec![
-            FinishedSpan {
-                name: "sequitur",
-                args: "rank=0".into(),
-                tid: 1,
-                depth: 1,
-                start_ns: 0,
-                dur_ns: 2_000_000,
-            },
-            FinishedSpan {
-                name: "sequitur",
-                args: "rank=1".into(),
-                tid: 1,
-                depth: 1,
-                start_ns: 0,
-                dur_ns: 4_000_000,
-            },
+            span("sequitur", "rank=0", 1, 0, 2_000_000),
+            span("sequitur", "rank=1", 1, 3_000_000, 4_000_000),
         ];
         let metrics = MetricsSnapshot {
             counters: vec![("mpi.calls.MPI_Send", 128)],
@@ -123,15 +210,64 @@ mod tests {
         };
         let text = render_report(&spans, &metrics);
         assert!(text.contains("sequitur"));
-        assert!(text.contains("2")); // count column for the two spans
+        assert!(text.contains("self ms"));
         assert!(text.contains("mpi.calls.MPI_Send"));
         assert!(text.contains("grammar.merged_rules"));
         assert!(text.contains("mpi.message_bytes"));
     }
 
     #[test]
+    fn self_time_column_subtracts_children() {
+        // Outer 10ms with a 4ms child: self = 6ms for outer.
+        let spans = vec![
+            span("outer", "", 0, 0, 10_000_000),
+            span("inner", "", 1, 1_000_000, 4_000_000),
+        ];
+        let text = render_report(&spans, &MetricsSnapshot::default());
+        let outer_line = text.lines().find(|l| l.trim_start().starts_with("outer")).unwrap();
+        assert!(outer_line.contains("10.000"), "total: {outer_line}");
+        assert!(outer_line.contains("6.000"), "self: {outer_line}");
+    }
+
+    #[test]
+    fn memo_hit_rate_is_derived() {
+        let metrics = MetricsSnapshot {
+            counters: vec![("grammar.memo.hits", 30), ("grammar.memo.unique", 10)],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let text = render_report(&[], &metrics);
+        assert!(text.contains("grammar.memo.hit_rate"));
+        assert!(text.contains("75.0%"));
+    }
+
+    #[test]
+    fn canonical_report_strips_timing_and_nondeterministic_metrics() {
+        let spans = vec![
+            span("sequitur", "rank=0", 1, 17, 2_000_000),
+            span("sequitur", "rank=0", 1, 500, 9_000),
+        ];
+        let metrics = MetricsSnapshot {
+            counters: vec![("grammar.memo.hits", 3), ("obs.spans_dropped", 9)],
+            gauges: vec![("par.threads", 8), ("grammar.merged_rules", 12)],
+            histograms: vec![],
+        };
+        let text = render_canonical_report(&spans, &metrics);
+        assert!(text.contains("sequitur"));
+        assert!(text.contains("x2"));
+        assert!(text.contains("[rank=0]"));
+        assert!(text.contains("grammar.memo.hits"));
+        assert!(text.contains("grammar.merged_rules"));
+        assert!(!text.contains("obs.spans_dropped"));
+        assert!(!text.contains("par.threads"));
+        assert!(!text.contains("ms"));
+    }
+
+    #[test]
     fn empty_report_is_explicit() {
         let text = render_report(&[], &MetricsSnapshot::default());
+        assert!(text.contains("no spans or metrics"));
+        let text = render_canonical_report(&[], &MetricsSnapshot::default());
         assert!(text.contains("no spans or metrics"));
     }
 }

@@ -1,0 +1,103 @@
+//! Exclusive ("self") time for nested spans.
+//!
+//! A span's duration is *inclusive*: `proxy-search` contains every
+//! `fit-candidate` recorded inside it, so sorting phases by total time
+//! makes outer spans dominate their own children. Self time subtracts
+//! each span's **direct children** — time attributed to exactly one
+//! phase — which is what the `--stats` report needs to show where the
+//! pipeline actually spends its cycles.
+//!
+//! The computation is per thread: spans on one thread nest strictly
+//! (RAII guards), so a containment-ordered stack walk attributes every
+//! child to its nearest enclosing span in one pass.
+
+use std::collections::BTreeMap;
+
+use crate::span::FinishedSpan;
+
+/// Does `outer` strictly contain `inner` on the same thread? Uses the
+/// recorded nesting depth to break ties when a zero-duration parent and
+/// its child share a timestamp.
+fn contains(outer: &FinishedSpan, inner: &FinishedSpan) -> bool {
+    outer.depth < inner.depth
+        && outer.start_ns <= inner.start_ns
+        && inner.start_ns.saturating_add(inner.dur_ns)
+            <= outer.start_ns.saturating_add(outer.dur_ns)
+}
+
+/// Exclusive nanoseconds for each span: `dur_ns` minus the durations of
+/// its direct children. Returned parallel to the input slice (any order
+/// is accepted; grouping and ordering happen internally).
+pub fn self_times(spans: &[FinishedSpan]) -> Vec<u64> {
+    let mut self_ns: Vec<u64> = spans.iter().map(|s| s.dur_ns).collect();
+
+    let mut by_tid: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        by_tid.entry(s.tid).or_default().push(i);
+    }
+
+    for idxs in by_tid.into_values() {
+        let mut idxs = idxs;
+        // Parents before children: earlier start first, outer depth first
+        // on a shared timestamp.
+        idxs.sort_by_key(|&i| (spans[i].start_ns, spans[i].depth));
+        // Stack of open spans, each containing the next.
+        let mut stack: Vec<usize> = Vec::new();
+        for &i in &idxs {
+            while let Some(&top) = stack.last() {
+                if contains(&spans[top], &spans[i]) {
+                    break;
+                }
+                stack.pop();
+            }
+            if let Some(&parent) = stack.last() {
+                self_ns[parent] = self_ns[parent].saturating_sub(spans[i].dur_ns);
+            }
+            stack.push(i);
+        }
+    }
+    self_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::ArgsId;
+
+    fn span(tid: u32, depth: u32, start_ns: u64, dur_ns: u64) -> FinishedSpan {
+        FinishedSpan { name: "s", args: ArgsId::NONE, tid, depth, start_ns, dur_ns }
+    }
+
+    #[test]
+    fn nested_chain_subtracts_direct_children_only() {
+        // parent [0,100) > child [10,40) > grandchild [15,25).
+        let spans =
+            vec![span(1, 0, 0, 100), span(1, 1, 10, 30), span(1, 2, 15, 10)];
+        assert_eq!(self_times(&spans), vec![70, 20, 10]);
+    }
+
+    #[test]
+    fn siblings_subtract_from_parent() {
+        let spans = vec![span(1, 0, 0, 100), span(1, 1, 10, 20), span(1, 1, 40, 30)];
+        assert_eq!(self_times(&spans), vec![50, 20, 30]);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        // Identical intervals on two tids must not shadow each other.
+        let spans = vec![span(1, 0, 0, 100), span(2, 1, 10, 20)];
+        assert_eq!(self_times(&spans), vec![100, 20]);
+    }
+
+    #[test]
+    fn zero_duration_parent_ties_break_by_depth() {
+        let spans = vec![span(1, 0, 5, 0), span(1, 1, 5, 0)];
+        assert_eq!(self_times(&spans), vec![0, 0]);
+    }
+
+    #[test]
+    fn leaf_self_equals_duration() {
+        let spans = vec![span(1, 0, 0, 42)];
+        assert_eq!(self_times(&spans), vec![42]);
+    }
+}

@@ -96,6 +96,10 @@ pub(crate) fn in_worker() -> bool {
 
 fn worker_loop() {
     IN_WORKER.with(|w| w.set(true));
+    // Register this worker's flight-recorder shard up front (one lock +
+    // one chunk allocation, once per thread) so no span recorded inside a
+    // parallel region ever pays for registration.
+    siesta_obs::register_thread();
     let p = pool();
     let mut seen_gen = 0u64;
     let mut st = p.state.lock().unwrap();

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against their recorded budgets.
+
+Reads one or more BENCH_*.json files produced by the siesta-bench
+harnesses and fails (exit 1) if any measured value exceeds its budget.
+Currently gated pairs, matched by naming convention: every key
+``<metric>_pct`` with a sibling ``budget_<metric>_pct``.
+
+Usage:
+    scripts/check_bench.py BENCH_obs.json
+    scripts/check_bench.py --slack 4.0 BENCH_obs_quick.json
+
+``--slack`` multiplies every budget — CI smoke runs on shared, noisy
+runners gate loosely; the checked-in full results gate at 1.0 (exact).
+"""
+
+import argparse
+import json
+import sys
+
+
+def check_file(path: str, slack: float) -> list[str]:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+
+    violations = []
+    checked = 0
+    for key, value in sorted(data.items()):
+        if not key.startswith("budget_") or not key.endswith("_pct"):
+            continue
+        metric = key[len("budget_"):]
+        if metric not in data:
+            violations.append(f"{path}: {key} has no measured {metric}")
+            continue
+        measured = float(data[metric])
+        budget = float(value) * slack
+        checked += 1
+        status = "ok" if measured <= budget else "FAIL"
+        print(
+            f"{path}: {metric:<24} {measured:8.4f} <= {budget:8.4f}"
+            f" (budget {float(value):.4f} x slack {slack:g})  {status}"
+        )
+        if measured > budget:
+            violations.append(
+                f"{path}: {metric} = {measured:.4f} exceeds budget"
+                f" {float(value):.4f} x slack {slack:g} = {budget:.4f}"
+            )
+    if checked == 0:
+        violations.append(f"{path}: no budget_*_pct keys found — nothing gated")
+    return violations
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files to gate")
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=1.0,
+        help="multiply every budget by this factor (default 1.0)",
+    )
+    args = parser.parse_args()
+    if args.slack <= 0:
+        parser.error("--slack must be positive")
+
+    violations = []
+    for path in args.files:
+        try:
+            violations.extend(check_file(path, args.slack))
+        except (OSError, json.JSONDecodeError) as e:
+            violations.append(f"{path}: {e}")
+
+    if violations:
+        print("\nbench gate FAILED:", file=sys.stderr)
+        for v in violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+//! Flight-recorder contract tests, run against the real `siesta-par`
+//! persistent pool:
+//!
+//! * concurrent recording at widths 1/2/8 loses and tears nothing, and
+//!   drained spans come out deterministically ordered;
+//! * a no-arg span on a registered thread performs **zero heap
+//!   allocations** (verified with a counting global allocator);
+//! * ring-buffer overflow keeps exactly the newest `cap` spans and
+//!   reports the dropped count exactly;
+//! * self time on nested spans obeys `self = dur − Σ direct children`
+//!   exactly.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use siesta_obs::span;
+
+/// Counts allocations made by the current thread while armed — a global
+/// count would be polluted by the test harness's other threads.
+struct CountingAlloc;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static LOCAL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+// Both cells are `Cell<u64>`/`Cell<bool>` (no destructor, const-init), so
+// touching them from inside the allocator cannot recurse into it.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        let _ = ARMED.try_with(|a| {
+            if a.get() {
+                let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+            }
+        });
+        System.alloc(l)
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        let _ = ARMED.try_with(|a| {
+            if a.get() {
+                let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+            }
+        });
+        System.realloc(p, l, n)
+    }
+
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        let _ = ARMED.try_with(|a| {
+            if a.get() {
+                let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+            }
+        });
+        System.alloc_zeroed(l)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations the current thread makes while running `f`.
+fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    LOCAL_ALLOCS.with(|c| c.set(0));
+    ARMED.with(|a| a.set(true));
+    let out = f();
+    ARMED.with(|a| a.set(false));
+    (out, LOCAL_ALLOCS.with(Cell::get))
+}
+
+/// The recorder (profiling switch, epoch, capacity) and the pool width
+/// are process-global; every test serializes on this.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn reset_recorder() {
+    siesta_obs::set_span_capacity(0);
+    siesta_obs::set_profiling_enabled(true);
+    siesta_obs::drain_spans();
+}
+
+#[test]
+fn concurrent_stress_under_pool_loses_nothing() {
+    let _g = locked();
+    const TASKS: usize = 8;
+    const SPANS_PER_TASK: usize = 700; // 8 * 700 spans, some shards spill chunks
+    for width in [1usize, 2, 8] {
+        reset_recorder();
+        let items: Vec<usize> = (0..TASKS).collect();
+        let _: Vec<usize> = siesta_par::with_threads(width, || {
+            siesta_par::parallel_map(&items, |_, &t| {
+                for i in 0..SPANS_PER_TASK {
+                    let _s = span!("stress", i = i);
+                }
+                t
+            })
+        });
+        siesta_obs::set_profiling_enabled(false);
+        let drained = siesta_obs::drain();
+        assert_eq!(drained.dropped, 0, "width {width}: spans dropped");
+        assert_eq!(
+            drained.spans.len(),
+            TASKS * SPANS_PER_TASK,
+            "width {width}: lost spans"
+        );
+
+        // No torn span: every field is one of the values actually written.
+        let mut per_arg: BTreeMap<&str, usize> = BTreeMap::new();
+        for s in &drained.spans {
+            assert_eq!(s.name, "stress", "width {width}: torn name");
+            assert_eq!(s.depth, 0);
+            *per_arg.entry(s.args_str()).or_default() += 1;
+        }
+        assert_eq!(per_arg.len(), SPANS_PER_TASK, "width {width}: args set");
+        for (arg, &n) in &per_arg {
+            assert_eq!(n, TASKS, "width {width}: arg {arg} count");
+        }
+
+        // Deterministic drain order, hence monotonic per-thread starts.
+        assert!(
+            drained.spans.windows(2).all(|w| {
+                (w[0].start_ns, w[0].tid, w[0].name) <= (w[1].start_ns, w[1].tid, w[1].name)
+            }),
+            "width {width}: drain not sorted"
+        );
+        let mut last_per_tid: BTreeMap<u32, u64> = BTreeMap::new();
+        for s in &drained.spans {
+            let last = last_per_tid.entry(s.tid).or_insert(0);
+            assert!(*last <= s.start_ns, "width {width}: tid {} went backwards", s.tid);
+            *last = s.start_ns;
+        }
+    }
+}
+
+#[test]
+fn no_arg_span_records_without_heap_allocation() {
+    let _g = locked();
+    reset_recorder();
+    // Warm this thread's shard (registration allocates its first chunk,
+    // once per thread ever) and enter a fresh epoch before arming.
+    {
+        let _s = span!("warm");
+    }
+    siesta_obs::drain_spans();
+    {
+        let _s = span!("warm-epoch");
+    }
+
+    let ((), allocs) = allocs_during(|| {
+        for _ in 0..500 {
+            let _s = span!("noalloc");
+        }
+    });
+    siesta_obs::set_profiling_enabled(false);
+    assert_eq!(allocs, 0, "no-arg record path allocated");
+    // And the spans really were recorded, not skipped.
+    let spans = siesta_obs::drain_spans();
+    assert_eq!(spans.iter().filter(|s| s.name == "noalloc").count(), 500);
+}
+
+#[test]
+fn ring_overflow_drops_oldest_with_exact_count() {
+    let _g = locked();
+    reset_recorder();
+    siesta_obs::drain_spans(); // enter a fresh epoch before capping
+    siesta_obs::set_span_capacity(100);
+    for i in 0..137 {
+        let _s = span!("ring", i = i);
+    }
+    siesta_obs::set_span_capacity(0);
+    siesta_obs::set_profiling_enabled(false);
+    let drained = siesta_obs::drain();
+    assert_eq!(drained.spans.len(), 100);
+    assert_eq!(drained.dropped, 37);
+    let kept: Vec<&str> = drained.spans.iter().map(|s| s.args_str()).collect();
+    let expect: Vec<String> = (37..137).map(|i| format!("i={i}")).collect();
+    assert_eq!(kept, expect, "survivors must be exactly the newest 100, oldest first");
+}
+
+#[test]
+fn self_time_of_nested_spans_is_exact() {
+    let _g = locked();
+    reset_recorder();
+    {
+        let _outer = span!("outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _inner = span!("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _leaf = span!("leaf");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    siesta_obs::set_profiling_enabled(false);
+    let spans = siesta_obs::drain_spans();
+    assert_eq!(spans.len(), 3);
+    let self_ns = siesta_obs::self_times(&spans);
+    let by_name: BTreeMap<&str, (u64, u64)> = spans
+        .iter()
+        .zip(&self_ns)
+        .map(|(s, &sf)| (s.name, (s.dur_ns, sf)))
+        .collect();
+    let (outer_dur, outer_self) = by_name["outer"];
+    let (inner_dur, inner_self) = by_name["inner"];
+    let (leaf_dur, leaf_self) = by_name["leaf"];
+    // Exact arithmetic: self = dur − Σ direct children durations.
+    assert_eq!(outer_self, outer_dur - inner_dur);
+    assert_eq!(inner_self, inner_dur - leaf_dur);
+    assert_eq!(leaf_self, leaf_dur);
+    assert!(outer_self >= 4_000_000, "outer self covers its own sleeps");
+    assert!(inner_self >= 2_000_000);
+}
