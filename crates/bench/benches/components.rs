@@ -12,7 +12,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use siesta_core::{Siesta, SiestaConfig};
-use siesta_grammar::{build_rank_grammars, lcs, merge_grammars, MergeConfig, Sequitur};
+use siesta_grammar::{lcs, merge_grammars, MergeConfig, Sequitur};
 use siesta_perfmodel::{platform_a, KernelDesc, Machine, MpiFlavor};
 use siesta_proxy::{solve_block_fit, ProxySearcher};
 use siesta_trace::{merge_tables, Recorder, TraceConfig};
@@ -101,56 +101,6 @@ fn write_scaling_json(path: &str, points: &[ScalePoint]) {
 
 fn machine() -> Machine {
     Machine::new(platform_a(), MpiFlavor::OpenMpi)
-}
-
-/// One measured point of the memoization sweep.
-struct MemoPoint {
-    scenario: &'static str,
-    memo: bool,
-    threads: usize,
-    mean_s: f64,
-    min_s: f64,
-}
-
-/// Emit the memoization sweep as JSON. For each (scenario, width) the
-/// speedup is the unmemoized mean over the memoized mean — what turning
-/// the memo on buys at that width.
-fn write_grammar_json(path: &str, points: &[MemoPoint], hit_rates: &[(&'static str, usize, usize)]) {
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"host_parallelism\": {},\n  \"scenarios\": [\n",
-        siesta_par::available_parallelism()
-    ));
-    for (i, (scenario, unique, ranks)) in hit_rates.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"scenario\": \"{scenario}\", \"ranks\": {ranks}, \"unique\": {unique}, \"memo_hits\": {}, \"hit_rate\": {:.4}}}{}\n",
-            ranks - unique,
-            (ranks - unique) as f64 / *ranks as f64,
-            if i + 1 < hit_rates.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ],\n  \"points\": [\n");
-    for (i, p) in points.iter().enumerate() {
-        let unmemo = points
-            .iter()
-            .find(|q| q.scenario == p.scenario && q.threads == p.threads && !q.memo)
-            .map_or(p.mean_s, |q| q.mean_s);
-        out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"memo\": {}, \"threads\": {}, \"mean_ms\": {:.3}, \"min_ms\": {:.3}, \"speedup_vs_no_memo\": {:.3}}}{}\n",
-            p.scenario,
-            p.memo,
-            p.threads,
-            p.mean_s * 1e3,
-            p.min_s * 1e3,
-            unmemo / p.mean_s,
-            if i + 1 < points.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    match std::fs::write(path, &out) {
-        Ok(()) => println!("grammar memoization results written to {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
 }
 
 /// A trace with `events_per_rank` mostly-shared comm events per rank:
@@ -285,51 +235,8 @@ fn main() {
         &points,
     );
 
-    // Cross-rank memoization sweep: a duplicate-heavy 64-rank job (SPMD:
-    // only 4 distinct sequences, hit rate 60/64) against an all-unique
-    // 64-rank job (worst case: the memo pass is pure content-hash
-    // overhead). 20k symbols per rank, like the scaling sweep above.
-    const MEMO_RANKS: usize = 64;
-    const MEMO_UNIQUE: usize = 4;
-    let dup_unique: Vec<Vec<u32>> = (0..MEMO_UNIQUE as u32)
-        .map(|u| {
-            let mut s = trace_like_sequence(20_000);
-            s.push(1_000 + u);
-            s
-        })
-        .collect();
-    let dup_heavy: Vec<Vec<u32>> =
-        (0..MEMO_RANKS).map(|r| dup_unique[r % MEMO_UNIQUE].clone()).collect();
-    let all_unique: Vec<Vec<u32>> = (0..MEMO_RANKS as u32)
-        .map(|r| {
-            let mut s = trace_like_sequence(20_000);
-            s.push(1_000 + r);
-            s
-        })
-        .collect();
-    let mut memo_points: Vec<MemoPoint> = Vec::new();
-    const MEMO_WIDTHS: [usize; 4] = [1, 2, 4, 8];
-    for (scenario, seqs) in
-        [("sequitur_memo_dup64", &dup_heavy), ("sequitur_memo_uniq64", &all_unique)]
-    {
-        for memo in [false, true] {
-            for &w in &MEMO_WIDTHS {
-                let tag = if memo { "memo" } else { "raw" };
-                let (mean_s, min_s) = siesta_par::with_threads(w, || {
-                    bench(&format!("{scenario}_{tag}_{w}t"), 1, 3, || {
-                        build_rank_grammars(black_box(seqs), memo)
-                    })
-                });
-                memo_points.push(MemoPoint { scenario, memo, threads: w, mean_s, min_s });
-            }
-        }
-    }
-    write_grammar_json(
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_grammar.json"),
-        &memo_points,
-        &[
-            ("sequitur_memo_dup64", MEMO_UNIQUE, MEMO_RANKS),
-            ("sequitur_memo_uniq64", MEMO_RANKS, MEMO_RANKS),
-        ],
-    );
+    // The cross-rank memoization sweep and the rest of the grammar hot path
+    // (unique-rank Sequitur, clustering, LCS merge) moved to the dedicated
+    // `grammar_hotpath` bench, which emits the budget-gated
+    // BENCH_grammar.json (v2).
 }

@@ -4,9 +4,41 @@
 //! of their inputs and floods the generated code with branch statements, so
 //! the paper clusters mains by minimum edit distance first and only merges
 //! within clusters.
+//!
+//! The candidate distances of one variant against the existing cluster
+//! representatives are evaluated **in parallel** (fixed-size batches of
+//! representatives, in first-seen cluster order), and the variant joins the
+//! *lowest-indexed* matching cluster — exactly the cluster the sequential
+//! first-fit scan would pick, so the result is byte-identical at any
+//! `--threads` width. Batches are a fixed size (not a function of the
+//! width), so even the set of evaluated pairs — and with it every obs
+//! counter — is width-independent.
 
 use crate::lcs;
 use crate::symbol::RSym;
+
+/// Representatives probed per parallel batch. Fixed (never derived from
+/// the pool width) so the evaluated work-set is identical at every width;
+/// covers the pool's 8-thread sweet spot with slack.
+const REP_BATCH: usize = 16;
+
+/// Would `v` join the cluster represented by `rep` under `threshold`?
+/// Pure function of the two bodies — safe to evaluate in any order.
+fn within_threshold(rep: &[RSym], v: &[RSym], threshold: f64) -> bool {
+    let total = rep.len() + v.len();
+    if total == 0 {
+        // Two empty mains are identical.
+        return true;
+    }
+    let max_d = (threshold * total as f64).floor() as usize;
+    // Length gate: the edit distance is at least the length gap, so the
+    // Myers run cannot come in under the bound when the gap alone
+    // exceeds it.
+    if rep.len().abs_diff(v.len()) > max_d {
+        return false;
+    }
+    lcs::edit_distance(rep, v, max_d).is_some()
+}
 
 /// Greedy threshold clustering: each variant joins the first cluster whose
 /// representative is within `threshold` normalized edit distance
@@ -15,27 +47,28 @@ use crate::symbol::RSym;
 pub fn cluster_by_edit_distance(variants: &[Vec<RSym>], threshold: f64) -> Vec<Vec<usize>> {
     let mut clusters: Vec<Vec<usize>> = Vec::new();
     for (i, v) in variants.iter().enumerate() {
+        // Probe representatives in fixed-size batches: each batch's
+        // distances are independent Myers runs (fanned out across the
+        // pool), and the join target is the batch's first match — the
+        // same cluster the sequential short-circuiting scan picks.
         let mut joined = false;
-        for cluster in clusters.iter_mut() {
-            let rep = &variants[cluster[0]];
-            let total = rep.len() + v.len();
-            if total == 0 {
-                // Two empty mains are identical.
-                cluster.push(i);
+        'batches: for batch_start in (0..clusters.len()).step_by(REP_BATCH) {
+            let batch: Vec<&[RSym]> = clusters[batch_start..]
+                .iter()
+                .take(REP_BATCH)
+                .map(|c| variants[c[0]].as_slice())
+                .collect();
+            let est_work: usize = batch.iter().map(|r| r.len() + v.len()).sum();
+            let hits = siesta_par::parallel_map_min_work(
+                &batch,
+                est_work,
+                crate::memo::MIN_SYMBOLS_TO_FAN_OUT,
+                |_, rep| within_threshold(rep, v, threshold),
+            );
+            if let Some(first) = hits.iter().position(|&h| h) {
+                clusters[batch_start + first].push(i);
                 joined = true;
-                break;
-            }
-            let max_d = (threshold * total as f64).floor() as usize;
-            // Length gate: the edit distance is at least the length gap,
-            // so the Myers run cannot come in under the bound when the
-            // gap alone exceeds it.
-            if rep.len().abs_diff(v.len()) > max_d {
-                continue;
-            }
-            if lcs::edit_distance(rep, v, max_d).is_some() {
-                cluster.push(i);
-                joined = true;
-                break;
+                break 'batches;
             }
         }
         if !joined {

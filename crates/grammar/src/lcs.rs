@@ -5,6 +5,15 @@
 //! identical — exactly the regime where Myers' algorithm is fast, because
 //! its cost is proportional to the *difference* D, not the product of the
 //! lengths.
+//!
+//! The backtracking trace is stored as a **flat triangular buffer**: depth
+//! `d` only ever explores diagonals `k = -d, -d+2, …, d` (`d + 1` cells),
+//! so the whole trace costs `(D+1)(D+2)/2` words instead of the
+//! `O(D · max_d)` the old per-depth frontier clones paid — and the buffer
+//! is thread-local scratch, reused across calls, so a warm thread diffs
+//! without allocating the trace at all (DESIGN.md §13).
+
+use std::cell::RefCell;
 
 /// Result of a diff: the matching index pairs (the LCS as positions into
 /// both inputs, strictly increasing in both), plus the edit distance
@@ -15,43 +24,73 @@ pub struct Diff {
     pub distance: usize,
 }
 
+thread_local! {
+    /// Grow-only Myers trace scratch, one per thread (pool workers and the
+    /// caller each keep their own; determinism is untouched because the
+    /// buffer's contents are fully rewritten by every call that reads it).
+    static MYERS_SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Myers diff of `a` and `b`. `max_d` bounds the explored edit distance;
 /// `None` is returned when the inputs differ by more than that (callers use
 /// this as a cheap "too dissimilar to merge" signal).
 pub fn diff<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Option<Diff> {
+    MYERS_SCRATCH.with(|cell| {
+        // `take` instead of `borrow_mut`: if a `PartialEq` impl ever
+        // re-entered `diff`, the inner call would simply run on a fresh
+        // (allocating) buffer rather than panic.
+        let mut buf = cell.take();
+        buf.clear();
+        let out = diff_with_buf(a, b, max_d, &mut buf);
+        cell.replace(buf);
+        out
+    })
+}
+
+/// Row `d` of the triangular trace lives at `buf[d(d+1)/2 ..][..d + 1]`;
+/// entry `j` holds the furthest `x` on diagonal `k = 2j - d` after depth
+/// `d` completed.
+fn diff_with_buf<T: PartialEq>(
+    a: &[T],
+    b: &[T],
+    max_d: usize,
+    buf: &mut Vec<usize>,
+) -> Option<Diff> {
     let n = a.len();
     let m = b.len();
     let max_d = max_d.min(n + m);
-    let off = max_d as isize + 1;
-    let width = 2 * max_d + 3;
-    let mut v = vec![0usize; width];
-    let mut trace: Vec<Vec<usize>> = Vec::new();
 
     let mut found_d: Option<usize> = None;
     let mut cells = 0u64;
     'outer: for d in 0..=max_d {
-        trace.push(v.clone()); // state *before* exploring depth d
-        let di = d as isize;
-        let mut k = -di;
-        while k <= di {
+        let prev = if d > 0 { (d - 1) * d / 2 } else { 0 };
+        let row = buf.len(); // == d * (d + 1) / 2
+        buf.resize(row + d + 1, 0);
+        for j in 0..=d {
             cells += 1;
-            let idx = (k + off) as usize;
-            let mut x = if k == -di || (k != di && v[idx - 1] < v[idx + 1]) {
-                v[idx + 1] // move down (consume from b)
+            let k = 2 * j as isize - d as isize;
+            // Step from the better depth-(d−1) neighbour: down (consume
+            // from b) takes x from diagonal k+1 (row entry j), right
+            // (consume from a) takes x+1 from diagonal k−1 (entry j−1).
+            let mut x = if d == 0 {
+                0
+            } else if j == 0 {
+                buf[prev]
+            } else if j == d || buf[prev + j - 1] >= buf[prev + j] {
+                buf[prev + j - 1] + 1
             } else {
-                v[idx - 1] + 1 // move right (consume from a)
+                buf[prev + j]
             };
             let mut y = (x as isize - k) as usize;
             while x < n && y < m && a[x] == b[y] {
                 x += 1;
                 y += 1;
             }
-            v[idx] = x;
+            buf[row + j] = x;
             if x >= n && y >= m {
                 found_d = Some(d);
                 break 'outer;
             }
-            k += 2;
         }
     }
     // One atomic add per diff() call; the handle lookup is cached.
@@ -62,22 +101,22 @@ pub fn diff<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Option<Diff> {
     }
     let d_final = found_d?;
 
-    // Backtrack through the per-depth snapshots.
+    // Backtrack through the triangular rows, mirroring the forward pass's
+    // neighbour choice exactly.
     let mut matches = Vec::new();
     let mut x = n as isize;
     let mut y = m as isize;
-    for d in (0..=d_final).rev() {
-        let vprev = &trace[d];
+    for d in (1..=d_final).rev() {
+        let prev = (d - 1) * d / 2;
         let di = d as isize;
         let k = x - y;
-        let prev_k = if k == -di
-            || (k != di && vprev[(k - 1 + off) as usize] < vprev[(k + 1 + off) as usize])
-        {
-            k + 1
+        let j = ((k + di) / 2) as usize;
+        let down = k == -di || (k != di && buf[prev + j - 1] < buf[prev + j]);
+        let (prev_k, prev_x) = if down {
+            (k + 1, buf[prev + j] as isize)
         } else {
-            k - 1
+            (k - 1, buf[prev + j - 1] as isize)
         };
-        let prev_x = vprev[(prev_k + off) as usize] as isize;
         let prev_y = prev_x - prev_k;
         // Diagonal (matching) moves between the edit step and (x, y).
         while x > prev_x && y > prev_y {
@@ -85,11 +124,14 @@ pub fn diff<T: PartialEq>(a: &[T], b: &[T], max_d: usize) -> Option<Diff> {
             y -= 1;
             matches.push((x as usize, y as usize));
         }
-        if d == 0 {
-            break;
-        }
         x = prev_x;
         y = prev_y;
+    }
+    // Depth 0: whatever remains of the prefix is pure diagonal.
+    while x > 0 && y > 0 {
+        x -= 1;
+        y -= 1;
+        matches.push((x as usize, y as usize));
     }
     matches.reverse();
     Some(Diff { matches, distance: d_final })

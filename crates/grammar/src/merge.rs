@@ -191,20 +191,23 @@ pub fn merge_grammars(grammars: &[Grammar], config: &MergeConfig) -> MergedGramm
     }
 
     // ---- Cluster variants by edit distance, merge within clusters by LCS.
+    // Clusters are independent, so they fan out across the pool; inside a
+    // cluster the variants reduce through a balanced pairwise merge tree
+    // whose shape depends only on the cluster's first-seen order — never
+    // on the pool width — so the merged bodies are byte-identical at any
+    // `--threads` (and identical to the old sequential fold for clusters
+    // of up to three variants).
     let clusters = cluster_by_edit_distance(&variants, config.cluster_threshold);
-    let mut mains = Vec::with_capacity(clusters.len());
-    for cluster in clusters {
-        let mut acc: Vec<MainSym> = variants[cluster[0]]
-            .iter()
-            .map(|rs| MainSym { sym: rs.sym, exp: rs.exp, ranks: variant_ranks[cluster[0]].clone() })
-            .collect();
-        let mut acc_ranks = variant_ranks[cluster[0]].clone();
-        for &vi in &cluster[1..] {
-            acc = lcs_merge(&acc, &variants[vi], &variant_ranks[vi]);
-            acc_ranks = acc_ranks.union(&variant_ranks[vi]);
-        }
-        mains.push(MergedMain { ranks: acc_ranks, body: acc });
-    }
+    let cluster_work: usize = clusters
+        .iter()
+        .map(|c| c.iter().map(|&vi| variants[vi].len()).sum::<usize>())
+        .sum();
+    let mut mains = siesta_par::parallel_map_min_work(
+        &clusters,
+        cluster_work,
+        crate::memo::MIN_SYMBOLS_TO_FAN_OUT,
+        |_, cluster| merge_cluster(&variants, &variant_ranks, cluster),
+    );
     // Deterministic order: by smallest covered rank.
     mains.sort_by_key(|m| m.ranks.iter().next().unwrap_or(u32::MAX));
 
@@ -221,30 +224,82 @@ pub fn merge_grammars(grammars: &[Grammar], config: &MergeConfig) -> MergedGramm
     MergedGrammar { rules: global_rules, mains, nranks }
 }
 
-/// Merge a new variant into the accumulated main via LCS (Figure 3):
-/// symbols on the LCS take the union of rank lists; off-LCS symbols keep
-/// their own, interleaved so both sources keep their relative order.
-fn lcs_merge(acc: &[MainSym], new: &[RSym], new_ranks: &RankSet) -> Vec<MainSym> {
+/// Reduce one cluster of variants to its merged main through a balanced
+/// pairwise LCS merge tree: round one merges variants (0,1), (2,3), …,
+/// round two merges those results pairwise, and so on — log₂(cluster)
+/// rounds whose pair merges are independent and fan out across the pool.
+/// The tree shape is a pure function of the cluster's first-seen variant
+/// order, so the result is identical at every pool width.
+fn merge_cluster(
+    variants: &[Vec<RSym>],
+    variant_ranks: &[RankSet],
+    cluster: &[usize],
+) -> MergedMain {
+    let mut acc_ranks = variant_ranks[cluster[0]].clone();
+    for &vi in &cluster[1..] {
+        acc_ranks = acc_ranks.union(&variant_ranks[vi]);
+    }
+    let mut level: Vec<Vec<MainSym>> = cluster
+        .iter()
+        .map(|&vi| {
+            variants[vi]
+                .iter()
+                .map(|rs| MainSym { sym: rs.sym, exp: rs.exp, ranks: variant_ranks[vi].clone() })
+                .collect()
+        })
+        .collect();
+    while level.len() > 1 {
+        let work: usize = level.iter().map(Vec::len).sum();
+        let mut pairs: Vec<(Vec<MainSym>, Option<Vec<MainSym>>)> = Vec::with_capacity(
+            level.len().div_ceil(2),
+        );
+        let mut it = level.into_iter();
+        while let Some(left) = it.next() {
+            pairs.push((left, it.next()));
+        }
+        // Nested regions run inline on pool workers, so the per-cluster
+        // fan-out composes with the cluster-level fan-out above.
+        level = siesta_par::parallel_map_owned_min_work(
+            pairs,
+            work,
+            crate::memo::MIN_SYMBOLS_TO_FAN_OUT,
+            |_, (left, right)| match right {
+                Some(right) => lcs_merge_mains(&left, &right),
+                None => left, // odd tail passes through to the next round
+            },
+        );
+    }
+    let body = level.pop().unwrap_or_default();
+    MergedMain { ranks: acc_ranks, body }
+}
+
+/// Merge two partially merged mains via LCS (Figure 3): symbols on the
+/// LCS — matched on `(sym, exp)` — take the union of the two rank sets;
+/// off-LCS symbols keep their own, interleaved left-side-first so both
+/// sources keep their relative order.
+fn lcs_merge_mains(acc: &[MainSym], new: &[MainSym]) -> Vec<MainSym> {
     let acc_key: Vec<RSym> = acc.iter().map(|m| RSym { sym: m.sym, exp: m.exp }).collect();
-    let d = lcs::diff(&acc_key, new, acc_key.len() + new.len()).expect("unbounded diff succeeds");
+    let new_key: Vec<RSym> = new.iter().map(|m| RSym { sym: m.sym, exp: m.exp }).collect();
+    let d = lcs::diff(&acc_key, &new_key, acc_key.len() + new_key.len())
+        .expect("unbounded diff succeeds");
     let mut out = Vec::with_capacity(acc.len() + new.len());
     let mut ai = 0usize;
     let mut ni = 0usize;
     for &(ma, mn) in &d.matches {
-        // Unmatched prefix from the accumulator, then from the new variant.
+        // Unmatched prefix from the left side, then from the right.
         while ai < ma {
             out.push(acc[ai].clone());
             ai += 1;
         }
         while ni < mn {
-            out.push(MainSym { sym: new[ni].sym, exp: new[ni].exp, ranks: new_ranks.clone() });
+            out.push(new[ni].clone());
             ni += 1;
         }
         // The matched symbol: union of rank sets.
         out.push(MainSym {
             sym: acc[ai].sym,
             exp: acc[ai].exp,
-            ranks: acc[ai].ranks.union(new_ranks),
+            ranks: acc[ai].ranks.union(&new[ni].ranks),
         });
         ai += 1;
         ni += 1;
@@ -254,7 +309,7 @@ fn lcs_merge(acc: &[MainSym], new: &[RSym], new_ranks: &RankSet) -> Vec<MainSym>
         ai += 1;
     }
     while ni < new.len() {
-        out.push(MainSym { sym: new[ni].sym, exp: new[ni].exp, ranks: new_ranks.clone() });
+        out.push(new[ni].clone());
         ni += 1;
     }
     out

@@ -15,6 +15,26 @@
 //! A third invariant refines utility for powers: a rule referenced once but
 //! with exponent ≥ 2 still pays for itself, so only references with
 //! exponent 1 trigger inlining.
+//!
+//! # Storage layout (DESIGN.md §13)
+//!
+//! The hot loop is allocation-free after warm-up:
+//!
+//! * Every `(Sym, exp)` pair is **interned** to a dense `u32` id on first
+//!   sight; nodes store only the id, and the digram index keys on the two
+//!   ids packed into one `u64` — one 8-byte hash per probe instead of a
+//!   32-byte tuple hash.
+//! * Rule **occurrence lists are intrusive**: each node referencing a rule
+//!   links into that rule's doubly-linked list through `occ_prev`/`occ_next`
+//!   fields inside the node arena. `add_ref` is a head insert, `drop_ref` an
+//!   O(1) unlink — no per-rule `Vec` ever grows on the push path.
+//! * The **free list is intrusive** too: a released node's `next` field
+//!   chains it onto `free_head`, so recycling never touches the heap.
+//!
+//! With the arena, the digram index, the intern table, and the rule tables
+//! pre-sized by [`Sequitur::with_rle_and_capacity`], a steady-state
+//! [`Sequitur::push`] performs **zero heap allocations** — proven by the
+//! counting-global-allocator test in `tests/grammar_alloc.rs`.
 
 use siesta_hash::{fx_map_with_capacity, FxHashMap};
 
@@ -23,35 +43,61 @@ use crate::symbol::{RSym, Sym};
 
 const NIL: u32 = u32::MAX;
 
+/// Arena node. `id` indexes the intern table (`pairs`) holding the node's
+/// `(Sym, exp)` identity; the digram index is keyed on packed id pairs, so
+/// a node's grammar identity is exactly its id.
 #[derive(Debug, Clone, Copy)]
 struct Node {
-    sym: Sym,
-    exp: u64,
+    /// Interned `(Sym, exp)` id.
+    id: u32,
     prev: u32,
     next: u32,
-    /// Guard nodes delimit rule bodies; `rule_of_guard` is only meaningful
-    /// for them.
-    is_guard: bool,
+    /// Intrusive occurrence-list links (meaningful while this node
+    /// references a rule; see `add_ref`/`drop_ref`).
+    occ_prev: u32,
+    occ_next: u32,
+    /// `NIL` for body nodes; the owning rule for guard nodes.
     rule_of_guard: u32,
     alive: bool,
 }
 
-type DigramKey = (Sym, u64, Sym, u64);
+/// Observed live-adjacency ratios (final digram-table size over input
+/// length) stay under 1/64 for trace-like inputs — the nine paper
+/// workloads measure between 1/2000 and 1/200 — and under 1/4 even for
+/// incompressible random inputs over small alphabets. Reserving `len / 8`
+/// covers every observed workload with ≥ 2× headroom while keeping the
+/// table a small fraction of the node arena; `grammar.digram.rehashes`
+/// counts the growths whenever an input beats the model, so the reserve
+/// can be re-derived instead of guessed (the old code capped at `1 << 16`
+/// unconditionally, which forced rehash ladders on multi-million-symbol
+/// unique sequences).
+fn digram_reserve(len: usize) -> usize {
+    (len / 8 + 64).min(1 << 21)
+}
 
 /// Incremental grammar builder. Feed terminals with [`Sequitur::push`],
 /// finish with [`Sequitur::into_grammar`].
 pub struct Sequitur {
     nodes: Vec<Node>,
-    free: Vec<u32>,
+    /// Head of the intrusive free list (chained through `Node::next`).
+    free_head: u32,
     /// guard node of each rule; rule 0 is the main rule.
     guards: Vec<u32>,
     /// reference count of each rule (occurrences in other bodies).
     refs: Vec<u32>,
-    /// node ids currently referencing each rule.
-    occurrences: Vec<Vec<u32>>,
+    /// Head of each rule's intrusive occurrence list.
+    occ_head: Vec<u32>,
+    /// Intern table: id → `(Sym, exp)`.
+    pairs: Vec<(Sym, u64)>,
+    /// Reverse intern index: `(sym bits, exp)` → id.
+    pair_ids: FxHashMap<(u64, u64), u32>,
     /// Digram index — the hottest map of the whole pipeline (consulted on
-    /// every splice), so it runs on the deterministic FxHash, not SipHash.
-    digrams: FxHashMap<DigramKey, u32>,
+    /// every splice). Keys are two interned ids packed into a `u64`, hashed
+    /// with the deterministic FxHash.
+    digrams: FxHashMap<u64, u32>,
+    /// Times the digram table outgrew its reservation (flushed to the
+    /// `grammar.digram.rehashes` counter by `into_grammar`).
+    rehashes: u64,
     /// Run-length constraint enabled (the paper's configuration). Disabled
     /// only by the ablation harness, which contrasts the O(1) powers
     /// against classic Sequitur's O(log n) rule chains for regular loops.
@@ -61,6 +107,15 @@ pub struct Sequitur {
 impl Default for Sequitur {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Bit-pack a symbol for the intern index: terminals in the low half,
+/// non-terminals tagged at bit 32.
+fn sym_bits(sym: Sym) -> u64 {
+    match sym {
+        Sym::T(t) => t as u64,
+        Sym::N(n) => (1u64 << 32) | n as u64,
     }
 }
 
@@ -75,21 +130,35 @@ impl Sequitur {
     }
 
     /// [`Sequitur::with_rle`] pre-sized for an input of `len` terminals:
-    /// the node arena and digram index reserve up front instead of
-    /// climbing the rehash-on-grow ladder during the one-pass scan.
+    /// the node arena, digram index, intern table, and rule tables reserve
+    /// up front instead of climbing the rehash-on-grow ladder during the
+    /// one-pass scan. A correctly pre-sized builder pushes without any
+    /// heap allocation (see module docs).
     pub fn with_rle_and_capacity(rle: bool, len: usize) -> Sequitur {
+        // Rule ids are never recycled (recycling would permute the
+        // surviving rules' renumbering and with it every downstream
+        // artifact byte), so the rule tables and the intern table scale
+        // with rules *created*, not rules alive: heavy churn on
+        // trace-like input mints ≈ len/3 rule ids, and each new rule
+        // interns fresh `(N(rule), exp)` pairs at a similar rate
+        // (measured: 12.4k rules / 12.7k pairs per 40k symbols). `len/2`
+        // covers that with margin; the same `1 << 21` cap as the digram
+        // table bounds the up-front cost on multi-million-symbol inputs
+        // (beyond it, growth is amortized doubling, not a ladder).
+        let pair_reserve = (len / 2 + 64).min(1 << 21);
+        let rule_reserve = (len / 2 + 16).min(1 << 21);
         let mut s = Sequitur {
             // Terminals enter one node each; rule bodies add less than
             // one node per substitution (freed nodes are recycled).
             nodes: Vec::with_capacity(1 + len + len / 2),
-            free: Vec::new(),
-            guards: Vec::new(),
-            refs: Vec::new(),
-            occurrences: Vec::new(),
-            // The digram table is bounded by live adjacencies; repetitive
-            // (trace-like) inputs stay far below the input length, so cap
-            // the upfront reservation rather than mirroring `len`.
-            digrams: fx_map_with_capacity(len.min(1 << 16)),
+            free_head: NIL,
+            guards: Vec::with_capacity(rule_reserve),
+            refs: Vec::with_capacity(rule_reserve),
+            occ_head: Vec::with_capacity(rule_reserve),
+            pairs: Vec::with_capacity(pair_reserve),
+            pair_ids: fx_map_with_capacity(pair_reserve),
+            digrams: fx_map_with_capacity(digram_reserve(len)),
+            rehashes: 0,
             rle,
         };
         s.new_rule(); // rule 0: main
@@ -117,15 +186,8 @@ impl Sequitur {
     /// Append one terminal to the main rule.
     pub fn push(&mut self, terminal: u32) {
         let guard = self.guards[0];
-        let n = self.alloc(Node {
-            sym: Sym::T(terminal),
-            exp: 1,
-            prev: NIL,
-            next: NIL,
-            is_guard: false,
-            rule_of_guard: NIL,
-            alive: true,
-        });
+        let id = self.intern(Sym::T(terminal), 1);
+        let n = self.alloc(id);
         let last = self.nodes[guard as usize].prev;
         self.connect(last, n);
         self.connect(n, guard);
@@ -133,11 +195,41 @@ impl Sequitur {
     }
 
     // ------------------------------------------------------------------
-    // Arena plumbing
+    // Interning and arena plumbing
     // ------------------------------------------------------------------
 
-    fn alloc(&mut self, node: Node) -> u32 {
-        if let Some(i) = self.free.pop() {
+    /// Dense id of the `(sym, exp)` pair, minting one on first sight.
+    fn intern(&mut self, sym: Sym, exp: u64) -> u32 {
+        let pairs = &mut self.pairs;
+        *self.pair_ids.entry((sym_bits(sym), exp)).or_insert_with(|| {
+            pairs.push((sym, exp));
+            (pairs.len() - 1) as u32
+        })
+    }
+
+    fn sym_of(&self, n: u32) -> Sym {
+        self.pairs[self.nodes[n as usize].id as usize].0
+    }
+
+    fn exp_of(&self, n: u32) -> u64 {
+        self.pairs[self.nodes[n as usize].id as usize].1
+    }
+
+    /// Allocate a live body node holding the interned pair `id`, reusing
+    /// the free list (no heap traffic once the arena is warm).
+    fn alloc(&mut self, id: u32) -> u32 {
+        let node = Node {
+            id,
+            prev: NIL,
+            next: NIL,
+            occ_prev: NIL,
+            occ_next: NIL,
+            rule_of_guard: NIL,
+            alive: true,
+        };
+        if self.free_head != NIL {
+            let i = self.free_head;
+            self.free_head = self.nodes[i as usize].next;
             self.nodes[i as usize] = node;
             i
         } else {
@@ -148,20 +240,14 @@ impl Sequitur {
 
     fn new_rule(&mut self) -> u32 {
         let rule = self.guards.len() as u32;
-        let g = self.alloc(Node {
-            sym: Sym::N(rule),
-            exp: 1,
-            prev: NIL,
-            next: NIL,
-            is_guard: true,
-            rule_of_guard: rule,
-            alive: true,
-        });
+        let id = self.intern(Sym::N(rule), 1);
+        let g = self.alloc(id);
+        self.nodes[g as usize].rule_of_guard = rule;
         self.nodes[g as usize].prev = g;
         self.nodes[g as usize].next = g;
         self.guards.push(g);
         self.refs.push(0);
-        self.occurrences.push(Vec::new());
+        self.occ_head.push(NIL);
         rule
     }
 
@@ -179,10 +265,11 @@ impl Sequitur {
     }
 
     fn is_guard(&self, n: u32) -> bool {
-        self.nodes[n as usize].is_guard
+        self.nodes[n as usize].rule_of_guard != NIL
     }
 
-    fn key_at(&self, left: u32) -> Option<DigramKey> {
+    /// Digram key at `left`: both interned ids packed into one `u64`.
+    fn key_at(&self, left: u32) -> Option<u64> {
         if self.is_guard(left) {
             return None;
         }
@@ -190,9 +277,10 @@ impl Sequitur {
         if self.is_guard(right) {
             return None;
         }
-        let l = &self.nodes[left as usize];
-        let r = &self.nodes[right as usize];
-        Some((l.sym, l.exp, r.sym, r.exp))
+        Some(
+            ((self.nodes[left as usize].id as u64) << 32)
+                | self.nodes[right as usize].id as u64,
+        )
     }
 
     /// Unregister the digram starting at `left`, if the index points here.
@@ -204,22 +292,51 @@ impl Sequitur {
         }
     }
 
-    fn add_ref(&mut self, rule: u32, node: u32) {
-        self.refs[rule as usize] += 1;
-        self.occurrences[rule as usize].push(node);
-    }
-
-    fn drop_ref(&mut self, rule: u32, node: u32) {
-        self.refs[rule as usize] -= 1;
-        let occ = &mut self.occurrences[rule as usize];
-        if let Some(pos) = occ.iter().position(|&n| n == node) {
-            occ.swap_remove(pos);
+    /// Insert into the digram index, counting reservation overflows.
+    fn digram_insert(&mut self, key: u64, left: u32) {
+        let before = self.digrams.capacity();
+        self.digrams.insert(key, left);
+        if self.digrams.capacity() != before {
+            self.rehashes += 1;
         }
     }
 
+    /// Link `node` (which references `rule`) into the rule's intrusive
+    /// occurrence list. O(1), allocation-free.
+    fn add_ref(&mut self, rule: u32, node: u32) {
+        self.refs[rule as usize] += 1;
+        let head = self.occ_head[rule as usize];
+        self.nodes[node as usize].occ_prev = NIL;
+        self.nodes[node as usize].occ_next = head;
+        if head != NIL {
+            self.nodes[head as usize].occ_prev = node;
+        }
+        self.occ_head[rule as usize] = node;
+    }
+
+    /// Unlink `node` from `rule`'s occurrence list. O(1), allocation-free
+    /// (the old `Vec<Vec<u32>>` representation paid an O(occurrences) scan
+    /// here and a heap allocation per growth in `add_ref`).
+    fn drop_ref(&mut self, rule: u32, node: u32) {
+        self.refs[rule as usize] -= 1;
+        let Node { occ_prev, occ_next, .. } = self.nodes[node as usize];
+        if occ_prev != NIL {
+            self.nodes[occ_prev as usize].occ_next = occ_next;
+        } else {
+            self.occ_head[rule as usize] = occ_next;
+        }
+        if occ_next != NIL {
+            self.nodes[occ_next as usize].occ_prev = occ_prev;
+        }
+        self.nodes[node as usize].occ_prev = NIL;
+        self.nodes[node as usize].occ_next = NIL;
+    }
+
+    /// Return a node to the intrusive free list.
     fn release(&mut self, n: u32) {
         self.nodes[n as usize].alive = false;
-        self.free.push(n);
+        self.nodes[n as usize].next = self.free_head;
+        self.free_head = n;
     }
 
     // ------------------------------------------------------------------
@@ -236,14 +353,14 @@ impl Sequitur {
             return;
         }
         // Constraint 3: run-length merge of equal symbols.
-        if self.rle && self.nodes[left as usize].sym == self.nodes[right as usize].sym {
+        if self.rle && self.sym_of(left) == self.sym_of(right) {
             self.merge_run(left, right);
             return;
         }
         let key = self.key_at(left).expect("both non-guard");
         match self.digrams.get(&key) {
             None => {
-                self.digrams.insert(key, left);
+                self.digram_insert(key, left);
             }
             Some(&existing) if existing == left => {}
             Some(&existing) => {
@@ -270,12 +387,14 @@ impl Sequitur {
         self.forget(left);
         self.forget(right);
         let mut dropped: Option<u32> = None;
-        if let Sym::N(rule) = self.nodes[right as usize].sym {
+        let sym = self.sym_of(left);
+        if let Sym::N(rule) = sym {
             // One node's worth of reference disappears (exponents fold).
             self.drop_ref(rule, right);
             dropped = Some(rule);
         }
-        self.nodes[left as usize].exp += self.nodes[right as usize].exp;
+        let exp = self.exp_of(left) + self.exp_of(right);
+        self.nodes[left as usize].id = self.intern(sym, exp);
         let after = self.next(right);
         self.connect(left, after);
         self.release(right);
@@ -306,27 +425,15 @@ impl Sequitur {
             self.enforce_utility(rule);
         } else {
             // Create a new rule from the digram, substitute both sites.
-            let (s1, e1, s2, e2) = self.key_at(existing).expect("valid digram");
+            let key = self.key_at(existing).expect("valid digram");
+            let id1 = self.nodes[existing as usize].id;
+            let id2 = self.nodes[self.next(existing) as usize].id;
+            let (s1, _) = self.pairs[id1 as usize];
+            let (s2, _) = self.pairs[id2 as usize];
             let rule = self.new_rule();
             let g = self.guards[rule as usize];
-            let a = self.alloc(Node {
-                sym: s1,
-                exp: e1,
-                prev: NIL,
-                next: NIL,
-                is_guard: false,
-                rule_of_guard: NIL,
-                alive: true,
-            });
-            let b = self.alloc(Node {
-                sym: s2,
-                exp: e2,
-                prev: NIL,
-                next: NIL,
-                is_guard: false,
-                rule_of_guard: NIL,
-                alive: true,
-            });
+            let a = self.alloc(id1);
+            let b = self.alloc(id2);
             self.connect(g, a);
             self.connect(a, b);
             self.connect(b, g);
@@ -337,12 +444,12 @@ impl Sequitur {
                 self.add_ref(r, b);
             }
             // The rule body now owns this digram.
-            self.digrams.insert((s1, e1, s2, e2), a);
+            self.digram_insert(key, a);
             // Substitute the existing occurrence first, then the fresh one.
             self.substitute(existing, rule);
             // Cascades from the first substitution can in principle consume
             // the fresh occurrence; only substitute it if it still stands.
-            if self.nodes[fresh as usize].alive && self.key_at(fresh) == Some((s1, e1, s2, e2)) {
+            if self.nodes[fresh as usize].alive && self.key_at(fresh) == Some(key) {
                 self.substitute(fresh, rule);
             }
             // Newly referenced child rules may have dropped to one use.
@@ -364,22 +471,15 @@ impl Sequitur {
         self.forget(before);
         self.forget(left);
         self.forget(right);
-        let mut dropped: Vec<u32> = Vec::new();
-        for n in [left, right] {
-            if let Sym::N(r) = self.nodes[n as usize].sym {
+        let mut dropped = [NIL; 2];
+        for (i, n) in [left, right].into_iter().enumerate() {
+            if let Sym::N(r) = self.sym_of(n) {
                 self.drop_ref(r, n);
-                dropped.push(r);
+                dropped[i] = r;
             }
         }
-        let nn = self.alloc(Node {
-            sym: Sym::N(rule),
-            exp: 1,
-            prev: NIL,
-            next: NIL,
-            is_guard: false,
-            rule_of_guard: NIL,
-            alive: true,
-        });
+        let id = self.intern(Sym::N(rule), 1);
+        let nn = self.alloc(id);
         self.add_ref(rule, nn);
         self.connect(before, nn);
         self.connect(nn, after);
@@ -392,7 +492,9 @@ impl Sequitur {
         }
         // Rules that lost a reference here may have fallen to one use.
         for r in dropped {
-            self.enforce_utility(r);
+            if r != NIL {
+                self.enforce_utility(r);
+            }
         }
     }
 
@@ -405,8 +507,8 @@ impl Sequitur {
         {
             return;
         }
-        let site = self.occurrences[rule as usize][0];
-        if !self.nodes[site as usize].alive || self.nodes[site as usize].exp != 1 {
+        let site = self.occ_head[rule as usize];
+        if !self.nodes[site as usize].alive || self.exp_of(site) != 1 {
             return;
         }
         let guard = self.guards[rule as usize];
@@ -447,6 +549,7 @@ impl Sequitur {
         let inlined = self.guards.iter().filter(|&&g| g == NIL).count() as u64;
         siesta_obs::counter("grammar.rules_created").add(created);
         siesta_obs::counter("grammar.rules_inlined").add(inlined);
+        siesta_obs::counter("grammar.digram.rehashes").add(self.rehashes);
         siesta_obs::histogram("grammar.digram_table_size").record(self.digrams.len() as u64);
 
         // Map surviving rule ids to dense ids.
@@ -465,11 +568,12 @@ impl Sequitur {
             let mut n = self.nodes[g as usize].next;
             while n != g {
                 let node = &self.nodes[n as usize];
-                let sym = match node.sym {
+                let (sym, exp) = self.pairs[node.id as usize];
+                let sym = match sym {
                     Sym::T(t) => Sym::T(t),
                     Sym::N(r) => Sym::N(*remap.get(&r).expect("live rule referenced")),
                 };
-                body.push(RSym::new(sym, node.exp));
+                body.push(RSym::new(sym, exp));
                 n = node.next;
             }
             rules.push(body);
@@ -631,4 +735,25 @@ mod tests {
         assert_eq!(g.rules[0][0].exp, 2);
         g.assert_invariants();
     }
+
+    #[test]
+    fn occurrence_lists_survive_heavy_churn() {
+        // Interleaved phrases force rules to gain and lose references many
+        // times (add_ref/drop_ref/unlink churn on the intrusive lists);
+        // the grammar must still round-trip and satisfy every invariant.
+        let mut seq = Vec::new();
+        for i in 0u32..200 {
+            match i % 5 {
+                0 => seq.extend([1, 2, 3]),
+                1 => seq.extend([2, 3, 4]),
+                2 => seq.extend([1, 2, 3, 4]),
+                3 => seq.extend([4, 1, 2]),
+                _ => seq.extend([3, 4, 1]),
+            }
+        }
+        let g = build(&seq);
+        assert_eq!(g.expand_main(), seq);
+        g.assert_invariants();
+    }
 }
+

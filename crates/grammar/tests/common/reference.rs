@@ -1,0 +1,305 @@
+//! Naive reference implementation of run-length Sequitur, used to
+//! cross-check the arena/interning production builder in
+//! `src/sequitur.rs`.
+//!
+//! Same algorithm, deliberately naive storage — the representation the
+//! production code had before the arena rework:
+//!
+//! * nodes carry `(Sym, exp)` directly (no intern table), and the digram
+//!   index keys on the full 32-byte `((Sym, u64), (Sym, u64))` tuple
+//!   instead of packed ids;
+//! * node slots are never recycled (no free list);
+//! * rule reference counts and occurrence sites are recomputed by
+//!   scanning every live node (no intrusive occurrence lists).
+//!
+//! Every *decision* the algorithm takes (run merges, rule reuse vs
+//! creation, substitution order, utility inlining) depends only on map
+//! lookups, never on iteration order — so the two implementations must
+//! produce **identical** rule tables, and any divergence pinpoints a bug
+//! in the interning, the packed digram keys, or the intrusive lists.
+
+use std::collections::HashMap;
+
+use siesta_grammar::{RSym, Sym};
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    sym: Sym,
+    exp: u64,
+    prev: usize,
+    next: usize,
+    /// `NIL` for body nodes; the owning rule for guard nodes.
+    guard_of: usize,
+    alive: bool,
+}
+
+type Key = ((Sym, u64), (Sym, u64));
+
+pub struct NaiveSequitur {
+    nodes: Vec<Node>,
+    /// Guard node of each rule; `NIL` once the rule was inlined.
+    guards: Vec<usize>,
+    digrams: HashMap<Key, usize>,
+    rle: bool,
+}
+
+impl NaiveSequitur {
+    pub fn new(rle: bool) -> NaiveSequitur {
+        let mut s =
+            NaiveSequitur { nodes: Vec::new(), guards: Vec::new(), digrams: HashMap::new(), rle };
+        s.new_rule();
+        s
+    }
+
+    /// Build the rule table for `seq` (compare against `Grammar::rules`).
+    pub fn build(seq: &[u32], rle: bool) -> Vec<Vec<RSym>> {
+        let mut s = NaiveSequitur::new(rle);
+        for &t in seq {
+            s.push(t);
+        }
+        s.into_rules()
+    }
+
+    pub fn push(&mut self, terminal: u32) {
+        let guard = self.guards[0];
+        let n = self.alloc(Sym::T(terminal), 1, NIL);
+        let last = self.nodes[guard].prev;
+        self.connect(last, n);
+        self.connect(n, guard);
+        self.check(last);
+    }
+
+    fn alloc(&mut self, sym: Sym, exp: u64, guard_of: usize) -> usize {
+        self.nodes.push(Node { sym, exp, prev: NIL, next: NIL, guard_of, alive: true });
+        self.nodes.len() - 1
+    }
+
+    fn new_rule(&mut self) -> usize {
+        let rule = self.guards.len();
+        let g = self.alloc(Sym::N(rule as u32), 1, rule);
+        self.nodes[g].prev = g;
+        self.nodes[g].next = g;
+        self.guards.push(g);
+        rule
+    }
+
+    fn connect(&mut self, a: usize, b: usize) {
+        self.nodes[a].next = b;
+        self.nodes[b].prev = a;
+    }
+
+    fn is_guard(&self, n: usize) -> bool {
+        self.nodes[n].guard_of != NIL
+    }
+
+    fn key_at(&self, left: usize) -> Option<Key> {
+        if self.is_guard(left) {
+            return None;
+        }
+        let right = self.nodes[left].next;
+        if self.is_guard(right) {
+            return None;
+        }
+        Some((
+            (self.nodes[left].sym, self.nodes[left].exp),
+            (self.nodes[right].sym, self.nodes[right].exp),
+        ))
+    }
+
+    fn forget(&mut self, left: usize) {
+        if let Some(key) = self.key_at(left) {
+            if self.digrams.get(&key) == Some(&left) {
+                self.digrams.remove(&key);
+            }
+        }
+    }
+
+    /// Naive occurrence scan: every live body node referencing `rule`.
+    fn occurrences(&self, rule: usize) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&n| {
+                self.nodes[n].alive
+                    && !self.is_guard(n)
+                    && self.nodes[n].sym == Sym::N(rule as u32)
+            })
+            .collect()
+    }
+
+    fn check(&mut self, left: usize) {
+        if left == NIL || !self.nodes[left].alive || self.is_guard(left) {
+            return;
+        }
+        let right = self.nodes[left].next;
+        if self.is_guard(right) {
+            return;
+        }
+        if self.rle && self.nodes[left].sym == self.nodes[right].sym {
+            self.merge_run(left, right);
+            return;
+        }
+        let key = self.key_at(left).expect("both non-guard");
+        match self.digrams.get(&key) {
+            None => {
+                self.digrams.insert(key, left);
+            }
+            Some(&existing) if existing == left => {}
+            Some(&existing) => {
+                if !self.rle
+                    && (self.nodes[existing].next == left || self.nodes[left].next == existing)
+                {
+                    return; // the `aaa` overlap of classic Sequitur
+                }
+                self.handle_match(existing, left);
+            }
+        }
+    }
+
+    fn merge_run(&mut self, left: usize, right: usize) {
+        self.forget(self.nodes[left].prev);
+        self.forget(left);
+        self.forget(right);
+        let sym = self.nodes[left].sym;
+        let dropped = match sym {
+            Sym::N(rule) => Some(rule as usize),
+            Sym::T(_) => None,
+        };
+        self.nodes[left].exp += self.nodes[right].exp;
+        let after = self.nodes[right].next;
+        self.connect(left, after);
+        self.nodes[right].alive = false;
+        self.check(self.nodes[left].prev);
+        if self.nodes[left].alive {
+            self.check(left);
+        }
+        if let Some(r) = dropped {
+            self.enforce_utility(r);
+        }
+    }
+
+    fn handle_match(&mut self, existing: usize, fresh: usize) {
+        let e_prev = self.nodes[existing].prev;
+        let e_next_next = self.nodes[self.nodes[existing].next].next;
+        if self.is_guard(e_prev)
+            && self.is_guard(e_next_next)
+            && self.nodes[e_prev].guard_of == self.nodes[e_next_next].guard_of
+        {
+            let rule = self.nodes[e_prev].guard_of;
+            self.substitute(fresh, rule);
+            self.enforce_utility(rule);
+        } else {
+            let key = self.key_at(existing).expect("valid digram");
+            let ((s1, e1), (s2, e2)) = key;
+            let rule = self.new_rule();
+            let g = self.guards[rule];
+            let a = self.alloc(s1, e1, NIL);
+            let b = self.alloc(s2, e2, NIL);
+            self.connect(g, a);
+            self.connect(a, b);
+            self.connect(b, g);
+            self.digrams.insert(key, a);
+            self.substitute(existing, rule);
+            if self.nodes[fresh].alive && self.key_at(fresh) == Some(key) {
+                self.substitute(fresh, rule);
+            }
+            if let Sym::N(r) = s1 {
+                self.enforce_utility(r as usize);
+            }
+            if let Sym::N(r) = s2 {
+                self.enforce_utility(r as usize);
+            }
+            self.enforce_utility(rule);
+        }
+    }
+
+    fn substitute(&mut self, left: usize, rule: usize) {
+        let right = self.nodes[left].next;
+        let before = self.nodes[left].prev;
+        let after = self.nodes[right].next;
+        self.forget(before);
+        self.forget(left);
+        self.forget(right);
+        let mut dropped = [NIL; 2];
+        for (i, n) in [left, right].into_iter().enumerate() {
+            if let Sym::N(r) = self.nodes[n].sym {
+                dropped[i] = r as usize;
+            }
+        }
+        let nn = self.alloc(Sym::N(rule as u32), 1, NIL);
+        self.connect(before, nn);
+        self.connect(nn, after);
+        self.nodes[left].alive = false;
+        self.nodes[right].alive = false;
+        self.check(before);
+        if self.nodes[nn].alive {
+            self.check(nn);
+        }
+        for r in dropped {
+            if r != NIL {
+                self.enforce_utility(r);
+            }
+        }
+    }
+
+    fn enforce_utility(&mut self, rule: usize) {
+        if rule == 0 || self.guards[rule] == NIL {
+            return;
+        }
+        let occ = self.occurrences(rule);
+        if occ.len() != 1 {
+            return;
+        }
+        let site = occ[0];
+        if self.nodes[site].exp != 1 {
+            return;
+        }
+        let guard = self.guards[rule];
+        let first = self.nodes[guard].next;
+        let last = self.nodes[guard].prev;
+        if first == guard {
+            return; // empty rule body
+        }
+        let before = self.nodes[site].prev;
+        let after = self.nodes[site].next;
+        self.forget(before);
+        self.forget(site);
+        self.connect(before, first);
+        self.connect(last, after);
+        self.nodes[site].alive = false;
+        self.nodes[guard].alive = false;
+        self.guards[rule] = NIL;
+        self.check(before);
+        if self.nodes[last].alive {
+            self.check(last);
+        }
+    }
+
+    /// Surviving rules, renumbered densely in creation order (main first) —
+    /// the same numbering `Sequitur::into_grammar` produces.
+    pub fn into_rules(self) -> Vec<Vec<RSym>> {
+        let mut remap: HashMap<usize, u32> = HashMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        for (rule, &g) in self.guards.iter().enumerate() {
+            if g != NIL {
+                remap.insert(rule, order.len() as u32);
+                order.push(rule);
+            }
+        }
+        let mut rules = Vec::with_capacity(order.len());
+        for &rule in &order {
+            let g = self.guards[rule];
+            let mut body = Vec::new();
+            let mut n = self.nodes[g].next;
+            while n != g {
+                let sym = match self.nodes[n].sym {
+                    Sym::T(t) => Sym::T(t),
+                    Sym::N(r) => Sym::N(remap[&(r as usize)]),
+                };
+                body.push(RSym::new(sym, self.nodes[n].exp));
+                n = self.nodes[n].next;
+            }
+            rules.push(body);
+        }
+        rules
+    }
+}

@@ -1,0 +1,104 @@
+//! Tier-1 randomized cross-check of the arena/interning Sequitur against
+//! the naive tuple-keyed reference in `common/reference.rs`. Runs in the
+//! default `cargo test` (no proptest dependency); the feature-gated
+//! proptests add shrinking on top of the same oracle.
+//!
+//! Inputs mirror the shapes `proptests.rs::structured_seq` draws: pure
+//! random over a small alphabet, a repeated phrase with noise, nested
+//! loops, and long runs — each exercised in both RLE and classic mode.
+//! On failure the seed is printed; replay by pinning `SEED0`.
+
+#[path = "common/reference.rs"]
+mod reference;
+
+use reference::NaiveSequitur;
+use siesta_grammar::Sequitur;
+
+const SEED0: u64 = 0x5345_5155_4954_5552; // "SEQUITUR"
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, m: u64) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) % m.max(1)
+    }
+}
+
+/// One randomized sequence per call, cycling through the four structured
+/// shapes so every run covers all of them.
+fn structured_seq(rng: &mut Lcg, case: u64) -> Vec<u32> {
+    match case % 4 {
+        // Pure random over a small alphabet.
+        0 => {
+            let len = rng.next(200) as usize;
+            (0..len).map(|_| rng.next(8) as u32).collect()
+        }
+        // A repeated phrase with interleaved noise.
+        1 => {
+            let phrase: Vec<u32> =
+                (0..2 + rng.next(5) as usize).map(|_| rng.next(6) as u32).collect();
+            let mut seq = Vec::new();
+            for _ in 0..1 + rng.next(12) {
+                seq.extend(&phrase);
+                for _ in 0..rng.next(3) {
+                    seq.push(6 + rng.next(4) as u32);
+                }
+            }
+            seq
+        }
+        // Nested loops: (a b^k c)^m.
+        2 => {
+            let (a, b, c) = (rng.next(4) as u32, 4 + rng.next(4) as u32, 8 + rng.next(4) as u32);
+            let k = 1 + rng.next(6);
+            let mut seq = Vec::new();
+            for _ in 0..1 + rng.next(10) {
+                seq.push(a);
+                seq.extend(std::iter::repeat_n(b, k as usize));
+                seq.push(c);
+            }
+            seq
+        }
+        // Long runs of few symbols.
+        _ => {
+            let mut seq = Vec::new();
+            for _ in 0..1 + rng.next(8) {
+                let s = rng.next(3) as u32;
+                seq.extend(std::iter::repeat_n(s, 1 + rng.next(40) as usize));
+            }
+            seq
+        }
+    }
+}
+
+#[test]
+fn interned_sequitur_matches_naive_reference() {
+    let mut rng = Lcg(SEED0);
+    for case in 0..400u64 {
+        let seed = rng.0;
+        let seq = structured_seq(&mut rng, case);
+        let g = Sequitur::build(&seq);
+        let naive = NaiveSequitur::build(&seq, true);
+        assert_eq!(
+            g.rules, naive,
+            "RLE grammar diverges from naive reference (case {case}, seed {seed:#x}, \
+             input {seq:?})"
+        );
+    }
+}
+
+#[test]
+fn classic_sequitur_matches_naive_reference() {
+    let mut rng = Lcg(SEED0 ^ 0xC1A5_51C0);
+    for case in 0..400u64 {
+        let seed = rng.0;
+        let seq = structured_seq(&mut rng, case);
+        let g = Sequitur::build_classic(&seq);
+        let naive = NaiveSequitur::build(&seq, false);
+        assert_eq!(
+            g.rules, naive,
+            "classic grammar diverges from naive reference (case {case}, seed {seed:#x}, \
+             input {seq:?})"
+        );
+    }
+}

@@ -2,16 +2,30 @@
 """Gate benchmark results against their recorded budgets.
 
 Reads one or more BENCH_*.json files produced by the siesta-bench
-harnesses and fails (exit 1) if any measured value exceeds its budget.
-Currently gated pairs, matched by naming convention: every key
-``<metric>_pct`` with a sibling ``budget_<metric>_pct``.
+harnesses and fails (exit 1) if any measured value violates its budget.
+
+Two formats are understood:
+
+* Legacy (no ``version`` key, e.g. BENCH_obs.json): every top-level key
+  ``<metric>_pct`` with a sibling ``budget_<metric>_pct`` gates as
+  ``metric <= budget``.
+* Format v2 (``"version": 2``, e.g. BENCH_grammar.json): top-level
+  ``budget_min_<metric>`` / ``budget_max_<metric>`` keys gate the
+  sibling ``<metric>``, and each entry of ``points`` may carry
+  ``budget_max_mean_ms`` (gates its ``mean_ms``) and
+  ``budget_min_speedup_vs_1`` (gates its ``speedup_vs_1``). Speedup
+  budgets on points whose ``threads`` exceeds the file's
+  ``host_parallelism`` are *skipped* — a single-core recording host
+  cannot exhibit parallel speedup; the gate arms itself automatically
+  where the cores exist.
 
 Usage:
-    scripts/check_bench.py BENCH_obs.json
+    scripts/check_bench.py BENCH_obs.json BENCH_grammar.json
     scripts/check_bench.py --slack 4.0 BENCH_obs_quick.json
 
-``--slack`` multiplies every budget — CI smoke runs on shared, noisy
-runners gate loosely; the checked-in full results gate at 1.0 (exact).
+``--slack`` loosens every budget (upper bounds are multiplied by it,
+lower bounds divided) — CI smoke runs on shared, noisy runners gate
+loosely; the checked-in full results gate at 1.0 (exact).
 """
 
 import argparse
@@ -19,11 +33,31 @@ import json
 import sys
 
 
-def check_file(path: str, slack: float) -> list[str]:
-    with open(path, encoding="utf-8") as f:
-        data = json.load(f)
+def gate(path: str, label: str, measured: float, budget: float, slack: float,
+         minimum: bool, violations: list[str]) -> None:
+    """One budget comparison: print a line, record a violation on FAIL."""
+    if minimum:
+        eff = budget / slack
+        ok = measured >= eff
+        op = ">="
+    else:
+        eff = budget * slack
+        ok = measured <= eff
+        op = "<="
+    status = "ok" if ok else "FAIL"
+    print(
+        f"{path}: {label:<44} {measured:9.4f} {op} {eff:9.4f}"
+        f" (budget {budget:.4f} @ slack {slack:g})  {status}"
+    )
+    if not ok:
+        violations.append(
+            f"{path}: {label} = {measured:.4f} violates {op} "
+            f"{budget:.4f} @ slack {slack:g} = {eff:.4f}"
+        )
 
-    violations = []
+
+def check_legacy(path: str, data: dict, slack: float) -> list[str]:
+    violations: list[str] = []
     checked = 0
     for key, value in sorted(data.items()):
         if not key.startswith("budget_") or not key.endswith("_pct"):
@@ -32,22 +66,60 @@ def check_file(path: str, slack: float) -> list[str]:
         if metric not in data:
             violations.append(f"{path}: {key} has no measured {metric}")
             continue
-        measured = float(data[metric])
-        budget = float(value) * slack
         checked += 1
-        status = "ok" if measured <= budget else "FAIL"
-        print(
-            f"{path}: {metric:<24} {measured:8.4f} <= {budget:8.4f}"
-            f" (budget {float(value):.4f} x slack {slack:g})  {status}"
-        )
-        if measured > budget:
-            violations.append(
-                f"{path}: {metric} = {measured:.4f} exceeds budget"
-                f" {float(value):.4f} x slack {slack:g} = {budget:.4f}"
-            )
+        gate(path, metric, float(data[metric]), float(value), slack, False, violations)
     if checked == 0:
         violations.append(f"{path}: no budget_*_pct keys found — nothing gated")
     return violations
+
+
+def check_v2(path: str, data: dict, slack: float) -> list[str]:
+    violations: list[str] = []
+    checked = 0
+    host_par = int(data.get("host_parallelism", 1))
+
+    for key, value in sorted(data.items()):
+        for prefix, minimum in (("budget_min_", True), ("budget_max_", False)):
+            if not key.startswith(prefix):
+                continue
+            metric = key[len(prefix):]
+            if metric not in data:
+                violations.append(f"{path}: {key} has no measured {metric}")
+                continue
+            checked += 1
+            gate(path, metric, float(data[metric]), float(value), slack, minimum, violations)
+
+    for point in data.get("points", []):
+        phase = point.get("phase", "?")
+        tag = f"@{point['threads']}t" if "threads" in point else ""
+        memo = {True: ":memo", False: ":raw"}.get(point.get("memo"), "")
+        label = f"{phase}{memo}{tag}"
+        if "budget_max_mean_ms" in point:
+            checked += 1
+            gate(path, f"{label} mean_ms", float(point["mean_ms"]),
+                 float(point["budget_max_mean_ms"]), slack, False, violations)
+        if "budget_min_speedup_vs_1" in point:
+            if int(point.get("threads", 1)) > host_par:
+                print(
+                    f"{path}: {label + ' speedup_vs_1':<44} skipped"
+                    f" (threads {point['threads']} > host_parallelism {host_par})"
+                )
+                continue
+            checked += 1
+            gate(path, f"{label} speedup_vs_1", float(point["speedup_vs_1"]),
+                 float(point["budget_min_speedup_vs_1"]), slack, True, violations)
+
+    if checked == 0:
+        violations.append(f"{path}: no budget keys found — nothing gated")
+    return violations
+
+
+def check_file(path: str, slack: float) -> list[str]:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("version") == 2:
+        return check_v2(path, data, slack)
+    return check_legacy(path, data, slack)
 
 
 def main() -> int:

@@ -92,6 +92,72 @@ fn check_or_update(path: &Path, actual: &[u8], what: &str) {
     );
 }
 
+/// All nine paper workloads, synthesized end to end at 16 ranks: the wire
+/// bytes, emitted C, and synthesis report must match the checked-in
+/// snapshots at every pool width, memo on and off. This pins the *absolute*
+/// artifact bytes (the cross-width tests in `differential_parallel.rs` only
+/// pin them relative to the width-1 run), so a rework of the grammar hot
+/// path — arena Sequitur, parallel clustering, the pairwise merge tree —
+/// cannot silently change synthesized output.
+#[test]
+fn all_nine_workloads_match_golden_at_every_width_and_memo() {
+    use siesta_codegen::wire;
+
+    let dir = fixtures_dir().join("all9");
+    if updating() {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let machine = Machine::new(platform_a(), MpiFlavor::OpenMpi);
+    let memo_off = SiestaConfig { grammar_memo: false, ..SiestaConfig::default() };
+    let run = |width: usize, config: SiestaConfig, program: Program| {
+        siesta_par::with_threads(width, || {
+            let siesta = Siesta::new(config);
+            let (synthesis, _) =
+                siesta.synthesize_run(machine, 16, move |r| program.body(ProblemSize::Tiny)(r));
+            (
+                wire::to_bytes(&synthesis.program),
+                emit_c(&synthesis.program),
+                stats_snapshot(&synthesis.stats),
+            )
+        })
+    };
+    for program in Program::ALL {
+        let name = program.name();
+        // The width-1 memoized run is the pinned artifact...
+        let (wire_bytes, c_source, stats) = run(1, SiestaConfig::default(), program);
+        check_or_update(
+            &dir.join(format!("{name}16.wire.bin")),
+            &wire_bytes,
+            &format!("{name}: wire bytes"),
+        );
+        check_or_update(
+            &dir.join(format!("{name}16.proxy.c")),
+            c_source.as_bytes(),
+            &format!("{name}: emitted C source"),
+        );
+        check_or_update(
+            &dir.join(format!("{name}16.stats.txt")),
+            stats.as_bytes(),
+            &format!("{name}: synthesis stats"),
+        );
+        // ...and every other width × memo combination must reproduce it
+        // byte for byte (checked in memory, so a regeneration run still
+        // proves width/memo independence before writing anything bad).
+        for width in [1usize, 2, 8] {
+            for config in [SiestaConfig::default(), memo_off] {
+                let what = format!(
+                    "{name}: {width} threads, memo {}",
+                    if config.grammar_memo { "on" } else { "off" }
+                );
+                let (w, c, s) = run(width, config, program);
+                assert_eq!(w, wire_bytes, "{what}: wire bytes diverge from golden");
+                assert_eq!(c, c_source, "{what}: C source diverges from golden");
+                assert_eq!(s, stats, "{what}: synthesis report diverges from golden");
+            }
+        }
+    }
+}
+
 #[test]
 fn recorded_traces_match_golden() {
     let dir = fixtures_dir();

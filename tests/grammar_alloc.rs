@@ -1,0 +1,134 @@
+//! Allocation contract of the arena-backed Sequitur (DESIGN.md §13):
+//! a builder pre-sized with [`Sequitur::with_rle_and_capacity`] performs
+//! **zero heap allocations** on the steady-state `push` path. Nodes come
+//! from the slab's intrusive free list, occurrence bookkeeping lives
+//! inside the nodes, and the intern/digram tables are reserved up front —
+//! so after a warm-up prefix has faulted in the tables, compressing the
+//! rest of the trace touches the allocator not at all.
+//!
+//! Verified with a counting global allocator (same harness pattern as
+//! `tests/obs_flight_recorder.rs`): the count is thread-local so the test
+//! harness's other threads cannot pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use siesta_grammar::Sequitur;
+
+/// Counts allocations made by the current thread while armed.
+struct CountingAlloc;
+
+thread_local! {
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+    static LOCAL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+// Both cells are `Cell` (no destructor, const-init), so touching them from
+// inside the allocator cannot recurse into it.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        let _ = ARMED.try_with(|a| {
+            if a.get() {
+                let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+            }
+        });
+        System.alloc(l)
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        let _ = ARMED.try_with(|a| {
+            if a.get() {
+                let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+            }
+        });
+        System.realloc(p, l, n)
+    }
+
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        let _ = ARMED.try_with(|a| {
+            if a.get() {
+                let _ = LOCAL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+            }
+        });
+        System.alloc_zeroed(l)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations the current thread makes while running `f`.
+fn allocs_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    LOCAL_ALLOCS.with(|c| c.set(0));
+    ARMED.with(|a| a.set(true));
+    let out = f();
+    ARMED.with(|a| a.set(false));
+    (out, LOCAL_ALLOCS.with(Cell::get))
+}
+
+/// A trace-like sequence: nested loops with occasional irregularities —
+/// the shape the Sequitur hot loop sees from real SPMD traces (heavy rule
+/// churn: runs merge, rules form and die by the utility constraint).
+fn trace_like_sequence(n: usize) -> Vec<u32> {
+    let mut seq = Vec::with_capacity(n);
+    let mut i = 0;
+    while seq.len() < n {
+        seq.extend([1, 2, 3, 2, 4]);
+        seq.extend(std::iter::repeat_n(5, 8));
+        if i % 10 == 9 {
+            seq.extend([20, 21]);
+        }
+        i += 1;
+    }
+    seq.truncate(n);
+    seq
+}
+
+#[test]
+fn steady_state_push_performs_zero_heap_allocations() {
+    let seq = trace_like_sequence(40_000);
+    // Pre-size for the whole input, warm up on the first half — by then
+    // every vocabulary symbol has been interned and the reserved tables
+    // are live — and demand allocation-free compression of the rest.
+    let mut s = Sequitur::with_rle_and_capacity(true, seq.len());
+    let (half_a, half_b) = seq.split_at(seq.len() / 2);
+    for &t in half_a {
+        s.push(t);
+    }
+    let (_, n) = allocs_during(|| {
+        for &t in half_b {
+            s.push(t);
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "steady-state push allocated {n} times over {} symbols",
+        half_b.len()
+    );
+
+    // The builder still produces the exact same grammar as a cold build.
+    let warm = s.into_grammar();
+    let cold = Sequitur::build(&seq);
+    assert_eq!(warm.rules, cold.rules, "pre-sized build must not change the grammar");
+}
+
+#[test]
+fn zero_alloc_push_holds_with_rle_off_too() {
+    // Classic Sequitur (ablation path) shares the arena machinery.
+    let seq = trace_like_sequence(20_000);
+    let mut s = Sequitur::with_rle_and_capacity(false, seq.len());
+    let (half_a, half_b) = seq.split_at(seq.len() / 2);
+    for &t in half_a {
+        s.push(t);
+    }
+    let (_, n) = allocs_during(|| {
+        for &t in half_b {
+            s.push(t);
+        }
+    });
+    assert_eq!(n, 0, "classic-mode steady-state push allocated {n} times");
+}
