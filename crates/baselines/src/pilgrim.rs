@@ -13,7 +13,7 @@
 
 use siesta_codegen::{ProxyProgram, TerminalOp};
 use siesta_core::{Siesta, SiestaConfig};
-use siesta_mpisim::Rank;
+use siesta_mpisim::{Rank, RankFut};
 use siesta_perfmodel::{CounterVec, Machine};
 use siesta_proxy::ComputeProxy;
 use siesta_trace::Trace;
@@ -32,9 +32,9 @@ pub fn synthesize(trace: Trace, gen_machine: &Machine) -> ProxyProgram {
 }
 
 /// Trace a program and generate the comm-only proxy in one step.
-pub fn trace_and_synthesize<F>(machine: Machine, nranks: usize, body: F) -> ProxyProgram
+pub fn trace_and_synthesize<'env, F>(machine: Machine, nranks: usize, body: F) -> ProxyProgram
 where
-    F: Fn(&mut Rank) + Send + Sync,
+    F: Fn(Rank) -> RankFut<'env> + Send + Sync,
 {
     let siesta = Siesta::new(SiestaConfig::default());
     let (trace, _) = siesta.trace_run(machine, nranks, body);
@@ -57,8 +57,7 @@ mod tests {
         let m = machine();
         let program = Program::Bt;
         let original = program.run(m, 9, ProblemSize::Tiny);
-        let proxy =
-            trace_and_synthesize(m, 9, move |r| program.body(ProblemSize::Tiny)(r));
+        let proxy = trace_and_synthesize(m, 9, program.body(ProblemSize::Tiny));
         let stats = replay(&proxy, m);
         // Comm structure intact: the run completes with the same call mix.
         assert!(stats.elapsed_ns() > 0.0);
@@ -80,10 +79,8 @@ mod tests {
         let m = machine();
         let program = Program::Is;
         let siesta = Siesta::new(SiestaConfig::default());
-        let (trace, _) =
-            siesta.trace_run(m, 8, move |r| program.body(ProblemSize::Tiny)(r));
-        let (trace2, _) =
-            siesta.trace_run(m, 8, move |r| program.body(ProblemSize::Tiny)(r));
+        let (trace, _) = siesta.trace_run(m, 8, program.body(ProblemSize::Tiny));
+        let (trace2, _) = siesta.trace_run(m, 8, program.body(ProblemSize::Tiny));
         let full = siesta.synthesize(trace, &m).program;
         let comm_only = synthesize(trace2, &m);
         let comms = |p: &ProxyProgram| {

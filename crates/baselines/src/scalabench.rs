@@ -18,11 +18,13 @@
 //!   communicators (the FLASH family) are rejected at generation time, as
 //!   the paper reports ("ScalaBench gets crashed ... for certain programs").
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
 
 use std::sync::Mutex;
 use siesta_mpisim::{
-    Communicator, HookCtx, MpiCall, PmpiHook, Rank, Request, RunStats, World,
+    Communicator, HookCtx, MpiCall, PmpiHook, Rank, RankFut, Request, RunStats, World,
 };
 use siesta_perfmodel::Machine;
 use siesta_trace::{abs_rank, CommEvent, Normalizer};
@@ -452,15 +454,18 @@ impl ScalaApp {
     /// (recorded on the generation platform), communication replays with
     /// histogram-representative volumes.
     pub fn replay(&self, machine: Machine) -> RunStats {
-        World::new(machine, self.nranks).run(|rank| {
-            let items = &self.programs[rank.rank()];
-            let mut ctx = ReplayCtx {
-                world: rank.comm_world(),
-                reqs: std::collections::HashMap::new(),
-            };
-            for item in items {
-                replay_item(rank, item, &mut ctx);
-            }
+        World::new(machine, self.nranks).run(|mut rank| {
+            Box::pin(async move {
+                let items = &self.programs[rank.rank()];
+                let mut ctx = ReplayCtx {
+                    world: rank.comm_world(),
+                    reqs: std::collections::HashMap::new(),
+                };
+                for item in items {
+                    replay_item(&mut rank, item, &mut ctx).await;
+                }
+                rank
+            })
         })
     }
 }
@@ -470,34 +475,42 @@ struct ReplayCtx {
     reqs: std::collections::HashMap<u32, Request>,
 }
 
-fn replay_item(rank: &mut Rank, item: &RsdItem, ctx: &mut ReplayCtx) {
-    match item {
-        RsdItem::Loop { body, count } => {
-            for _ in 0..*count {
-                for i in body {
-                    replay_item(rank, i, ctx);
+/// RSD loops nest, and async fns cannot recurse without indirection, so
+/// each level returns a boxed future.
+fn replay_item<'a>(
+    rank: &'a mut Rank,
+    item: &'a RsdItem,
+    ctx: &'a mut ReplayCtx,
+) -> Pin<Box<dyn Future<Output = ()> + Send + 'a>> {
+    Box::pin(async move {
+        match item {
+            RsdItem::Loop { body, count } => {
+                for _ in 0..*count {
+                    for i in body {
+                        replay_item(rank, i, ctx).await;
+                    }
                 }
             }
+            RsdItem::Ev(slot) => {
+                rank.sleep_ns(slot.gap.mean());
+                let vols: Vec<u64> = slot.vols.iter().map(|h| h.representative()).collect();
+                let event = with_volumes(&slot.shape, &vols);
+                replay_event(rank, &event, ctx).await;
+            }
         }
-        RsdItem::Ev(slot) => {
-            rank.sleep_ns(slot.gap.mean());
-            let vols: Vec<u64> = slot.vols.iter().map(|h| h.representative()).collect();
-            let event = with_volumes(&slot.shape, &vols);
-            replay_event(rank, &event, ctx);
-        }
-    }
+    })
 }
 
-fn replay_event(rank: &mut Rank, e: &CommEvent, ctx: &mut ReplayCtx) {
+async fn replay_event(rank: &mut Rank, e: &CommEvent, ctx: &mut ReplayCtx) {
     let c = ctx.world.clone();
     match e {
         CommEvent::Send { rel, tag, bytes, .. } => {
             let dest = abs_rank(c.rank(), *rel, c.size());
-            rank.send(&c, dest, *tag, *bytes as usize);
+            rank.send(&c, dest, *tag, *bytes as usize).await;
         }
         CommEvent::Recv { rel, tag, bytes, .. } => {
             let src = abs_rank(c.rank(), *rel, c.size());
-            rank.recv(&c, src, *tag, *bytes as usize);
+            rank.recv(&c, src, *tag, *bytes as usize).await;
         }
         CommEvent::Isend { rel, tag, bytes, req, .. } => {
             let dest = abs_rank(c.rank(), *rel, c.size());
@@ -511,14 +524,14 @@ fn replay_event(rank: &mut Rank, e: &CommEvent, ctx: &mut ReplayCtx) {
         }
         CommEvent::Wait { req } => {
             let r = ctx.reqs.remove(req).expect("scalabench wait");
-            rank.wait(r);
+            rank.wait(r).await;
         }
         CommEvent::Waitall { reqs } => {
             let rs: Vec<Request> = reqs
                 .iter()
                 .map(|id| ctx.reqs.remove(id).expect("scalabench waitall"))
                 .collect();
-            rank.waitall(&rs);
+            rank.waitall(&rs).await;
         }
         CommEvent::Sendrecv {
             dest_rel,
@@ -539,36 +552,37 @@ fn replay_event(rank: &mut Rank, e: &CommEvent, ctx: &mut ReplayCtx) {
                 src,
                 *recv_tag,
                 *recv_bytes as usize,
-            );
+            )
+            .await;
         }
-        CommEvent::Barrier { .. } => rank.barrier(&c),
-        CommEvent::Bcast { root, bytes, .. } => rank.bcast(&c, *root as usize, *bytes as usize),
-        CommEvent::Reduce { root, bytes, .. } => rank.reduce(&c, *root as usize, *bytes as usize),
-        CommEvent::Allreduce { bytes, .. } => rank.allreduce(&c, *bytes as usize),
-        CommEvent::Allgather { bytes, .. } => rank.allgather(&c, *bytes as usize),
+        CommEvent::Barrier { .. } => rank.barrier(&c).await,
+        CommEvent::Bcast { root, bytes, .. } => rank.bcast(&c, *root as usize, *bytes as usize).await,
+        CommEvent::Reduce { root, bytes, .. } => rank.reduce(&c, *root as usize, *bytes as usize).await,
+        CommEvent::Allreduce { bytes, .. } => rank.allreduce(&c, *bytes as usize).await,
+        CommEvent::Allgather { bytes, .. } => rank.allgather(&c, *bytes as usize).await,
         CommEvent::Alltoall { bytes_per_peer, .. } => {
-            rank.alltoall(&c, *bytes_per_peer as usize)
+            rank.alltoall(&c, *bytes_per_peer as usize).await
         }
         CommEvent::Alltoallv { send_counts, recv_counts, .. } => {
             let sc: Vec<usize> = send_counts.iter().map(|&v| v as usize).collect();
             let rc: Vec<usize> = recv_counts.iter().map(|&v| v as usize).collect();
-            rank.alltoallv(&c, &sc, &rc);
+            rank.alltoallv(&c, &sc, &rc).await;
         }
-        CommEvent::Gather { root, bytes, .. } => rank.gather(&c, *root as usize, *bytes as usize),
+        CommEvent::Gather { root, bytes, .. } => rank.gather(&c, *root as usize, *bytes as usize).await,
         CommEvent::Scatter { root, bytes, .. } => {
-            rank.scatter(&c, *root as usize, *bytes as usize)
+            rank.scatter(&c, *root as usize, *bytes as usize).await
         }
         CommEvent::Gatherv { root, counts, .. } => {
             let counts: Vec<usize> = counts.iter().map(|&v| v as usize).collect();
-            rank.gatherv(&c, *root as usize, &counts);
+            rank.gatherv(&c, *root as usize, &counts).await;
         }
         CommEvent::Scatterv { root, counts, .. } => {
             let counts: Vec<usize> = counts.iter().map(|&v| v as usize).collect();
-            rank.scatterv(&c, *root as usize, &counts);
+            rank.scatterv(&c, *root as usize, &counts).await;
         }
-        CommEvent::Scan { bytes, .. } => rank.scan(&c, *bytes as usize),
+        CommEvent::Scan { bytes, .. } => rank.scan(&c, *bytes as usize).await,
         CommEvent::ReduceScatterBlock { bytes_per_rank, .. } => {
-            rank.reduce_scatter_block(&c, *bytes_per_rank as usize)
+            rank.reduce_scatter_block(&c, *bytes_per_rank as usize).await
         }
         CommEvent::CommSplit { .. } | CommEvent::CommDup { .. } | CommEvent::CommFree { .. } => {
             unreachable!("comm management rejected at generation")
@@ -581,13 +595,13 @@ fn replay_event(rank: &mut Rank, e: &CommEvent, ctx: &mut ReplayCtx) {
 // ---------------------------------------------------------------------
 
 /// Trace a program and generate a ScalaBench-style proxy.
-pub fn trace_and_synthesize<F>(
+pub fn trace_and_synthesize<'env, F>(
     machine: Machine,
     nranks: usize,
     body: F,
 ) -> Result<ScalaApp, BaselineError>
 where
-    F: Fn(&mut Rank) + Send + Sync,
+    F: Fn(Rank) -> RankFut<'env> + Send + Sync,
 {
     let recorder = Arc::new(ScalaRecorder {
         per_rank: (0..nranks).map(|_| Mutex::new(RankLog::default())).collect(),
@@ -616,9 +630,7 @@ mod tests {
     }
 
     fn generate(program: Program, nprocs: usize) -> Result<ScalaApp, BaselineError> {
-        trace_and_synthesize(machine(), nprocs, move |r| {
-            program.body(ProblemSize::Tiny)(r)
-        })
+        trace_and_synthesize(machine(), nprocs, program.body(ProblemSize::Tiny))
     }
 
     #[test]

@@ -63,6 +63,21 @@ COMMANDS:
                  --program <name> [--nprocs n] [--size s] [--platform p] [--flavor f]
                  [--out <file.siestatrace>]
 
+    simulate     Sweep the event-driven simulator over rank counts; report
+                 virtual time, wall time, ranks/s, peak RSS, schedule hash
+                 --sim-ranks <list>  comma-separated counts, k/m binary
+                                     suffixes ok (e.g. 512,4k,64k,1m);
+                                     default 4096
+                 --program <name>    evaluation program to sweep (counts
+                                     must satisfy its grid constraints), or
+                                     omit for the built-in 2D halo-exchange
+                                     microkernel (any count)
+                 --iters <n>         halo steps (default 10)
+                 --face-bytes <b>    halo face payload bytes (default 4096)
+                 --size <s>          program problem size (default tiny)
+                 [--platform p]      default B (unbounded rank capacity)
+                 [--flavor f]
+
     list         Show available programs, platforms, and MPI flavors
 
 GLOBAL OPTIONS (accepted by every command):
@@ -165,6 +180,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "retarget" => cmd_retarget(&args),
         "inspect" => cmd_inspect(&args),
         "trace" => cmd_trace(&args),
+        "simulate" => cmd_simulate(&args),
         "list" => {
             check_cmd_opts(&args, &[])?;
             cmd_list()
@@ -301,7 +317,11 @@ fn parse_size(s: &str) -> Result<ProblemSize, String> {
 }
 
 fn parse_machine(args: &Args) -> Result<Machine, String> {
-    let platform_name = args.get_or("platform", "A");
+    parse_machine_with_default(args, "A")
+}
+
+fn parse_machine_with_default(args: &Args, default_platform: &'static str) -> Result<Machine, String> {
+    let platform_name = args.get_or("platform", default_platform);
     let platform = platform_by_name(&platform_name)
         .ok_or_else(|| format!("unknown platform {platform_name} (A | B | C)"))?;
     let flavor_name = args.get_or("flavor", "openmpi");
@@ -545,6 +565,111 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
             println!("{out}");
         }
         None => print!("{}", siesta_trace::text::render(&global)),
+    }
+    Ok(())
+}
+
+/// Parse a `--sim-ranks` sweep list: comma-separated counts with optional
+/// binary `k` (×1024) / `m` (×1 048 576) suffixes, e.g. `512,4k,64k,1m`.
+fn parse_rank_list(s: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let lower = part.to_ascii_lowercase();
+        let (digits, mult) = if let Some(d) = lower.strip_suffix('k') {
+            (d, 1024usize)
+        } else if let Some(d) = lower.strip_suffix('m') {
+            (d, 1024 * 1024)
+        } else {
+            (lower.as_str(), 1)
+        };
+        let n: usize = digits
+            .parse()
+            .map_err(|_| format!("--sim-ranks: bad count {part}"))?;
+        let n = n
+            .checked_mul(mult)
+            .ok_or_else(|| format!("--sim-ranks: {part} overflows"))?;
+        if n == 0 {
+            return Err("--sim-ranks: counts must be at least 1".to_string());
+        }
+        out.push(n);
+    }
+    if out.is_empty() {
+        return Err("--sim-ranks: empty list".to_string());
+    }
+    Ok(out)
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    check_cmd_opts(args, &[
+        "sim-ranks", "program", "iters", "face-bytes", "size", "platform", "flavor",
+    ])?;
+    // Platform B by default: it is the only paper platform without a rank
+    // capacity cap, and the sweeps go far past the others' limits.
+    let machine = parse_machine_with_default(args, "B")?;
+    let counts = parse_rank_list(&args.get_or("sim-ranks", "4096"))?;
+    let program = match args.get("program") {
+        Some(name) => Some(parse_program(name)?),
+        None => None,
+    };
+    if program.is_some() && (args.get("iters").is_some() || args.get("face-bytes").is_some()) {
+        return Err(
+            "--iters/--face-bytes configure the halo kernel; with --program use --size".to_string(),
+        );
+    }
+    let size = parse_size(&args.get_or("size", "tiny"))?;
+    let iters = args.get_usize("iters", 10)?;
+    let face_bytes = args.get_usize("face-bytes", 4096)?;
+    if let Some(p) = program {
+        for &n in &counts {
+            if !p.valid_nprocs(n) {
+                return Err(format!(
+                    "{} cannot run on {n} ranks (BT/SP need squares; CG/MG/IS powers of two)",
+                    p.name()
+                ));
+            }
+        }
+    }
+    if let Some(max) = machine.platform.max_ranks() {
+        if let Some(&over) = counts.iter().find(|&&n| n > max) {
+            return Err(format!(
+                "platform {} hosts at most {max} ranks (requested {over}); use --platform B",
+                machine.platform.name
+            ));
+        }
+    }
+
+    let label = match program {
+        Some(p) => format!("{} ({size:?})", p.name()),
+        None => format!("halo2d (iters {iters}, face {face_bytes} B)"),
+    };
+    println!("simulating {label} on {}", machine.label());
+    println!(
+        "{:>9}  {:>12}  {:>9}  {:>11}  {:>9}  schedule hash",
+        "ranks", "virtual", "wall", "ranks/s", "peak RSS"
+    );
+    for &n in &counts {
+        let t0 = std::time::Instant::now();
+        let stats = match program {
+            Some(p) => p.run(machine, n, size),
+            None => siesta_mpisim::World::new(machine, n)
+                .run(siesta_workloads::halo::halo2d_body(iters, face_bytes)),
+        };
+        let wall = t0.elapsed().as_secs_f64();
+        let rss = siesta_obs::peak_rss_bytes()
+            .map(|b| human_bytes(b as usize))
+            .unwrap_or_else(|| "n/a".to_string());
+        println!(
+            "{n:>9}  {:>12}  {:>8.2}s  {:>11.0}  {:>9}  {:016x}",
+            human_ms(stats.elapsed_ns()),
+            wall,
+            n as f64 / wall.max(1e-9),
+            rss,
+            stats.schedule_hash()
+        );
     }
     Ok(())
 }

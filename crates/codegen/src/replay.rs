@@ -10,6 +10,8 @@
 //! computation does — the paper's portability mechanism (Figures 8–9).
 
 use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
 
 use siesta_grammar::Sym;
 use siesta_mpisim::{Communicator, Rank, Request, RunStats, World};
@@ -26,8 +28,12 @@ use crate::ir::{ProxyProgram, TerminalOp};
 /// paper does for Siesta-scaled.
 pub fn replay(program: &ProxyProgram, machine: Machine) -> RunStats {
     let blocks = blocks_for(&machine.platform.cpu);
-    World::new(machine, program.nranks).run(move |rank| {
-        replay_rank(rank, program, &blocks);
+    let blocks = &blocks;
+    World::new(machine, program.nranks).run(move |mut rank| {
+        Box::pin(async move {
+            replay_rank(&mut rank, program, blocks).await;
+            rank
+        })
     })
 }
 
@@ -36,7 +42,7 @@ struct ReplayCtx {
     reqs: HashMap<u32, Request>,
 }
 
-fn replay_rank(rank: &mut Rank, program: &ProxyProgram, blocks: &[KernelDesc; NUM_BLOCKS]) {
+async fn replay_rank(rank: &mut Rank, program: &ProxyProgram, blocks: &[KernelDesc; NUM_BLOCKS]) {
     let me = rank.rank() as u32;
     let main = match program.mains.iter().find(|m| m.ranks.contains(me)) {
         Some(m) => m,
@@ -50,34 +56,38 @@ fn replay_rank(rank: &mut Rank, program: &ProxyProgram, blocks: &[KernelDesc; NU
             continue;
         }
         for _ in 0..ms.exp {
-            exec_sym(rank, program, blocks, &mut ctx, ms.sym);
+            exec_sym(rank, program, blocks, &mut ctx, ms.sym).await;
         }
     }
     debug_assert_eq!(rank.outstanding_requests(), 0, "proxy left requests pending");
 }
 
-fn exec_sym(
-    rank: &mut Rank,
-    program: &ProxyProgram,
-    blocks: &[KernelDesc; NUM_BLOCKS],
-    ctx: &mut ReplayCtx,
+/// Rule expansion is recursive, and async fns cannot recurse without
+/// indirection, so each level returns a boxed future.
+fn exec_sym<'a>(
+    rank: &'a mut Rank,
+    program: &'a ProxyProgram,
+    blocks: &'a [KernelDesc; NUM_BLOCKS],
+    ctx: &'a mut ReplayCtx,
     sym: Sym,
-) {
-    match sym {
-        Sym::T(t) => exec_terminal(rank, &program.terminals[t as usize], blocks, ctx),
-        Sym::N(n) => {
-            // Work around borrow rules by indexing; rule bodies are small.
-            for i in 0..program.rules[n as usize].len() {
-                let rs = program.rules[n as usize][i];
-                for _ in 0..rs.exp {
-                    exec_sym(rank, program, blocks, ctx, rs.sym);
+) -> Pin<Box<dyn Future<Output = ()> + Send + 'a>> {
+    Box::pin(async move {
+        match sym {
+            Sym::T(t) => exec_terminal(rank, &program.terminals[t as usize], blocks, ctx).await,
+            Sym::N(n) => {
+                // Work around borrow rules by indexing; rule bodies are small.
+                for i in 0..program.rules[n as usize].len() {
+                    let rs = program.rules[n as usize][i];
+                    for _ in 0..rs.exp {
+                        exec_sym(rank, program, blocks, ctx, rs.sym).await;
+                    }
                 }
             }
         }
-    }
+    })
 }
 
-fn exec_terminal(
+async fn exec_terminal(
     rank: &mut Rank,
     op: &TerminalOp,
     blocks: &[KernelDesc; NUM_BLOCKS],
@@ -88,7 +98,7 @@ fn exec_terminal(
             let exact = proxy.counters_on(rank.machine().cpu(), blocks);
             rank.compute_counters(&exact);
         }
-        TerminalOp::Comm(event) => exec_comm(rank, event, ctx),
+        TerminalOp::Comm(event) => exec_comm(rank, event, ctx).await,
     }
 }
 
@@ -98,17 +108,17 @@ fn comm_of(ctx: &ReplayCtx, id: u32) -> &Communicator {
         .expect("proxy used a communicator before creating it")
 }
 
-fn exec_comm(rank: &mut Rank, event: &CommEvent, ctx: &mut ReplayCtx) {
+async fn exec_comm(rank: &mut Rank, event: &CommEvent, ctx: &mut ReplayCtx) {
     match event {
         CommEvent::Send { rel, tag, bytes, comm } => {
             let c = comm_of(ctx, *comm).clone();
             let dest = abs_rank(c.rank(), *rel, c.size());
-            rank.send(&c, dest, *tag, *bytes as usize);
+            rank.send(&c, dest, *tag, *bytes as usize).await;
         }
         CommEvent::Recv { rel, tag, bytes, comm } => {
             let c = comm_of(ctx, *comm).clone();
             let src = abs_rank(c.rank(), *rel, c.size());
-            rank.recv(&c, src, *tag, *bytes as usize);
+            rank.recv(&c, src, *tag, *bytes as usize).await;
         }
         CommEvent::Isend { rel, tag, bytes, comm, req } => {
             let c = comm_of(ctx, *comm).clone();
@@ -124,14 +134,14 @@ fn exec_comm(rank: &mut Rank, event: &CommEvent, ctx: &mut ReplayCtx) {
         }
         CommEvent::Wait { req } => {
             let r = ctx.reqs.remove(req).expect("wait on unknown proxy request");
-            rank.wait(r);
+            rank.wait(r).await;
         }
         CommEvent::Waitall { reqs } => {
             let rs: Vec<Request> = reqs
                 .iter()
                 .map(|id| ctx.reqs.remove(id).expect("waitall on unknown proxy request"))
                 .collect();
-            rank.waitall(&rs);
+            rank.waitall(&rs).await;
         }
         CommEvent::Sendrecv {
             dest_rel,
@@ -153,67 +163,68 @@ fn exec_comm(rank: &mut Rank, event: &CommEvent, ctx: &mut ReplayCtx) {
                 src,
                 *recv_tag,
                 *recv_bytes as usize,
-            );
+            )
+            .await;
         }
         CommEvent::Barrier { comm } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.barrier(&c);
+            rank.barrier(&c).await;
         }
         CommEvent::Bcast { comm, root, bytes } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.bcast(&c, *root as usize, *bytes as usize);
+            rank.bcast(&c, *root as usize, *bytes as usize).await;
         }
         CommEvent::Reduce { comm, root, bytes } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.reduce(&c, *root as usize, *bytes as usize);
+            rank.reduce(&c, *root as usize, *bytes as usize).await;
         }
         CommEvent::Allreduce { comm, bytes } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.allreduce(&c, *bytes as usize);
+            rank.allreduce(&c, *bytes as usize).await;
         }
         CommEvent::Allgather { comm, bytes } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.allgather(&c, *bytes as usize);
+            rank.allgather(&c, *bytes as usize).await;
         }
         CommEvent::Alltoall { comm, bytes_per_peer } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.alltoall(&c, *bytes_per_peer as usize);
+            rank.alltoall(&c, *bytes_per_peer as usize).await;
         }
         CommEvent::Alltoallv { comm, send_counts, recv_counts } => {
             let c = comm_of(ctx, *comm).clone();
             let sc: Vec<usize> = send_counts.iter().map(|&v| v as usize).collect();
             let rc: Vec<usize> = recv_counts.iter().map(|&v| v as usize).collect();
-            rank.alltoallv(&c, &sc, &rc);
+            rank.alltoallv(&c, &sc, &rc).await;
         }
         CommEvent::Gather { comm, root, bytes } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.gather(&c, *root as usize, *bytes as usize);
+            rank.gather(&c, *root as usize, *bytes as usize).await;
         }
         CommEvent::Scatter { comm, root, bytes } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.scatter(&c, *root as usize, *bytes as usize);
+            rank.scatter(&c, *root as usize, *bytes as usize).await;
         }
         CommEvent::Gatherv { comm, root, counts } => {
             let c = comm_of(ctx, *comm).clone();
             let counts: Vec<usize> = counts.iter().map(|&v| v as usize).collect();
-            rank.gatherv(&c, *root as usize, &counts);
+            rank.gatherv(&c, *root as usize, &counts).await;
         }
         CommEvent::Scatterv { comm, root, counts } => {
             let c = comm_of(ctx, *comm).clone();
             let counts: Vec<usize> = counts.iter().map(|&v| v as usize).collect();
-            rank.scatterv(&c, *root as usize, &counts);
+            rank.scatterv(&c, *root as usize, &counts).await;
         }
         CommEvent::Scan { comm, bytes } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.scan(&c, *bytes as usize);
+            rank.scan(&c, *bytes as usize).await;
         }
         CommEvent::ReduceScatterBlock { comm, bytes_per_rank } => {
             let c = comm_of(ctx, *comm).clone();
-            rank.reduce_scatter_block(&c, *bytes_per_rank as usize);
+            rank.reduce_scatter_block(&c, *bytes_per_rank as usize).await;
         }
         CommEvent::CommSplit { parent, color, key, result } => {
             let p = comm_of(ctx, *parent).clone();
-            let created = rank.comm_split(&p, *color, *key);
+            let created = rank.comm_split(&p, *color, *key).await;
             match (result, created) {
                 (Some(id), Some(c)) => {
                     ctx.comms.insert(*id, c);
@@ -227,7 +238,7 @@ fn exec_comm(rank: &mut Rank, event: &CommEvent, ctx: &mut ReplayCtx) {
         }
         CommEvent::CommDup { parent, result } => {
             let p = comm_of(ctx, *parent).clone();
-            let c = rank.comm_dup(&p);
+            let c = rank.comm_dup(&p).await;
             ctx.comms.insert(*result, c);
         }
         CommEvent::CommFree { comm } => {

@@ -8,7 +8,7 @@ fn main() {
     let m = Machine::new(platform_a(), MpiFlavor::OpenMpi);
     for (program, np) in [(Program::Sod, 16), (Program::StirTurb, 64)] {
         let siesta = Siesta::new(SiestaConfig::default());
-        let (synthesis, _) = siesta.synthesize_run(m, np, move |r| program.body(ProblemSize::Small)(r));
+        let (synthesis, _) = siesta.synthesize_run(m, np, program.body(ProblemSize::Small));
         let s = ProxySearcher::new(&m);
         println!("== {} @{np}", program.name());
         for (i, t) in synthesis.program.terminals.iter().enumerate() {

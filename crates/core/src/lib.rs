@@ -25,21 +25,25 @@
 //!
 //! ```
 //! use siesta_core::{Siesta, SiestaConfig};
-//! use siesta_mpisim::Rank;
+//! use siesta_mpisim::{Rank, RankFut};
 //! use siesta_perfmodel::{KernelDesc, Machine};
 //! use siesta_codegen::{emit_c, replay};
 //!
-//! // Any MPI program. Here: compute + ring exchange, 5 iterations.
-//! let program = |rank: &mut Rank| {
-//!     let comm = rank.comm_world();
-//!     let p = rank.nranks();
-//!     for _ in 0..5 {
-//!         rank.compute(&KernelDesc::stencil(20_000.0, 4.0, 65536.0));
-//!         let r = rank.irecv(&comm, (rank.rank() + p - 1) % p, 0, 4096);
-//!         let s = rank.isend(&comm, (rank.rank() + 1) % p, 0, 4096);
-//!         rank.waitall(&[r, s]);
-//!         rank.allreduce(&comm, 8);
-//!     }
+//! // Any MPI program: an SPMD rank state machine. Blocking MPI calls are
+//! // `.await` suspension points. Here: compute + ring exchange, 5 iterations.
+//! let program = |mut rank: Rank| -> RankFut<'static> {
+//!     Box::pin(async move {
+//!         let comm = rank.comm_world();
+//!         let p = rank.nranks();
+//!         for _ in 0..5 {
+//!             rank.compute(&KernelDesc::stencil(20_000.0, 4.0, 65536.0));
+//!             let r = rank.irecv(&comm, (rank.rank() + p - 1) % p, 0, 4096);
+//!             let s = rank.isend(&comm, (rank.rank() + 1) % p, 0, 4096);
+//!             rank.waitall(&[r, s]).await;
+//!             rank.allreduce(&comm, 8).await;
+//!         }
+//!         rank
+//!     })
 //! };
 //!
 //! let machine = Machine::default_eval();

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use siesta_codegen::{ProxyProgram, TerminalOp};
 use siesta_grammar::{build_rank_grammars, merge_grammars, Grammar, MergeConfig};
-use siesta_mpisim::{FanoutHook, ObsHook, PmpiHook, Rank, RunStats, World};
+use siesta_mpisim::{FanoutHook, ObsHook, PmpiHook, Rank, RankFut, RunStats, World};
 use siesta_obs::{histogram, profiling_enabled, span};
 use siesta_perfmodel::Machine;
 use siesta_proxy::{shrink_counters, CommShrink, ProxySearcher, BLOCKS_C_SOURCE};
@@ -102,9 +102,9 @@ impl Siesta {
 
     /// Trace an MPI program: runs it with the PMPI recorder installed.
     /// Returns the trace and the (instrumented) run statistics.
-    pub fn trace_run<F>(&self, machine: Machine, nranks: usize, body: F) -> (Trace, RunStats)
+    pub fn trace_run<'env, F>(&self, machine: Machine, nranks: usize, body: F) -> (Trace, RunStats)
     where
-        F: Fn(&mut Rank) + Send + Sync,
+        F: Fn(Rank) -> RankFut<'env> + Send + Sync,
     {
         let _span = span!("trace", nranks = nranks);
         let recorder = Arc::new(Recorder::new(nranks, self.config.trace));
@@ -236,14 +236,14 @@ impl Siesta {
     }
 
     /// Convenience: trace a program and synthesize in one step.
-    pub fn synthesize_run<F>(
+    pub fn synthesize_run<'env, F>(
         &self,
         machine: Machine,
         nranks: usize,
         body: F,
     ) -> (Synthesis, RunStats)
     where
-        F: Fn(&mut Rank) + Send + Sync,
+        F: Fn(Rank) -> RankFut<'env> + Send + Sync,
     {
         let (trace, traced_stats) = self.trace_run(machine, nranks, body);
         (self.synthesize(trace, &machine), traced_stats)

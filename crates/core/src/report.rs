@@ -86,6 +86,7 @@ mod tests {
                 app_calls: 1,
                 bytes_sent: 0,
                 compute_events: 1,
+                sched_hash: 0,
             }],
         }
     }

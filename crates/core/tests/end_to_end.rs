@@ -20,8 +20,7 @@ fn full_run_sized(
     let m = machine();
     let original = program.run(m, nprocs, size);
     let siesta = Siesta::new(SiestaConfig::default());
-    let (synthesis, traced) =
-        siesta.synthesize_run(m, nprocs, move |r| program.body(size)(r));
+    let (synthesis, traced) = siesta.synthesize_run(m, nprocs, program.body(size));
     (synthesis, original, traced)
 }
 
@@ -39,14 +38,12 @@ fn communication_is_reproduced_losslessly() {
     for program in [Program::Bt, Program::Cg, Program::Sedov] {
         let nprocs = if program == Program::Bt { 9 } else { 8 };
         let siesta = Siesta::new(SiestaConfig::default());
-        let (trace, _) =
-            siesta.trace_run(m, nprocs, move |r| program.body(ProblemSize::Tiny)(r));
+        let (trace, _) = siesta.trace_run(m, nprocs, program.body(ProblemSize::Tiny));
         let global = siesta_trace::merge_tables(trace);
         let synthesis = {
             // Re-trace (merge_tables consumed the trace) — determinism
             // makes the second trace identical.
-            let (trace2, _) =
-                siesta.trace_run(m, nprocs, move |r| program.body(ProblemSize::Tiny)(r));
+            let (trace2, _) = siesta.trace_run(m, nprocs, program.body(ProblemSize::Tiny));
             siesta.synthesize(trace2, &m)
         };
         for rank in 0..nprocs as u32 {
@@ -106,8 +103,7 @@ fn scaled_proxy_runs_faster_and_reproduces_time() {
     let nprocs = 9;
     let original = program.run(m, nprocs, ProblemSize::Tiny);
     let siesta = Siesta::new(SiestaConfig::scaled());
-    let (synthesis, _) =
-        siesta.synthesize_run(m, nprocs, move |r| program.body(ProblemSize::Tiny)(r));
+    let (synthesis, _) = siesta.synthesize_run(m, nprocs, program.body(ProblemSize::Tiny));
     let proxy = replay(&synthesis.program, m);
     // The shrunk proxy is much faster than the original...
     assert!(
@@ -187,8 +183,7 @@ fn proxy_ports_to_other_platforms() {
     let orig_a = program.run(ma, nprocs, ProblemSize::Tiny);
     let orig_b = program.run(mb, nprocs, ProblemSize::Tiny);
     let siesta = Siesta::new(SiestaConfig::default());
-    let (synthesis, _) =
-        siesta.synthesize_run(ma, nprocs, move |r| program.body(ProblemSize::Tiny)(r));
+    let (synthesis, _) = siesta.synthesize_run(ma, nprocs, program.body(ProblemSize::Tiny));
     let proxy_b = replay(&synthesis.program, mb);
     let orig_slowdown = orig_b.elapsed_ns() / orig_a.elapsed_ns();
     assert!(orig_slowdown > 1.3, "expected B slower: {orig_slowdown}");
@@ -209,9 +204,8 @@ fn proxy_tracks_mpi_implementation_changes() {
     let program = Program::Mg;
     let nprocs = 8;
     let siesta = Siesta::new(SiestaConfig::default());
-    let (synthesis, _) = siesta.synthesize_run(machine(), nprocs, move |r| {
-        program.body(ProblemSize::Tiny)(r)
-    });
+    let (synthesis, _) =
+        siesta.synthesize_run(machine(), nprocs, program.body(ProblemSize::Tiny));
     for flavor in MpiFlavor::ALL {
         let m = Machine::new(platform_a(), flavor);
         let orig = program.run(m, nprocs, ProblemSize::Tiny);
@@ -245,8 +239,7 @@ fn stats_count_the_right_things() {
     // And the trace-side record types match.
     let m = machine();
     let siesta = Siesta::new(SiestaConfig::default());
-    let (trace, _) =
-        siesta.trace_run(m, 8, move |r| Program::Is.body(ProblemSize::Tiny)(r));
+    let (trace, _) = siesta.trace_run(m, 8, Program::Is.body(ProblemSize::Tiny));
     let any_compute = trace.ranks[0].table.iter().any(|e| matches!(e, EventRecord::Compute(_)));
     assert!(any_compute);
 }
@@ -258,16 +251,19 @@ fn fully_spmd_proxies_retarget_to_new_scales() {
     // scaling: per-rank work is fixed).
     use siesta_codegen::retarget;
     use siesta_perfmodel::KernelDesc;
-    fn ring(rank: &mut siesta_mpisim::Rank) {
-        let comm = rank.comm_world();
-        let p = rank.nranks();
-        for _ in 0..25 {
-            rank.compute(&KernelDesc::stencil(30_000.0, 5.0, 1e6));
-            let right = (rank.rank() + 1) % p;
-            let left = (rank.rank() + p - 1) % p;
-            rank.sendrecv(&comm, right, 3, 8192, left, 3, 8192);
-            rank.allreduce(&comm, 16);
-        }
+    fn ring(mut rank: siesta_mpisim::Rank) -> siesta_mpisim::RankFut<'static> {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            let p = rank.nranks();
+            for _ in 0..25 {
+                rank.compute(&KernelDesc::stencil(30_000.0, 5.0, 1e6));
+                let right = (rank.rank() + 1) % p;
+                let left = (rank.rank() + p - 1) % p;
+                rank.sendrecv(&comm, right, 3, 8192, left, 3, 8192).await;
+                rank.allreduce(&comm, 16).await;
+            }
+            rank
+        })
     }
     let m = machine();
     let siesta = Siesta::new(SiestaConfig::default());
@@ -284,8 +280,6 @@ fn fully_spmd_proxies_retarget_to_new_scales() {
         original16.elapsed_ms()
     );
     // Workload programs with boundary branches are correctly refused.
-    let (bt, _) = siesta.synthesize_run(m, 9, move |r| {
-        Program::Bt.body(ProblemSize::Tiny)(r)
-    });
+    let (bt, _) = siesta.synthesize_run(m, 9, Program::Bt.body(ProblemSize::Tiny));
     assert!(retarget(&bt.program, 16).is_err(), "BT is not fully SPMD");
 }

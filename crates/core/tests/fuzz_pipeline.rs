@@ -8,7 +8,7 @@
 
 use siesta_codegen::replay;
 use siesta_core::{Siesta, SiestaConfig};
-use siesta_mpisim::Rank;
+use siesta_mpisim::{Rank, RankFut};
 use siesta_perfmodel::{noise, platform_a, platform_c, KernelDesc, Machine, MpiFlavor};
 
 const NRANKS: usize = 8;
@@ -23,7 +23,7 @@ fn machines() -> [Machine; 2] {
 }
 
 /// One round of the generated program, decoded from the schedule stream.
-fn round(rank: &mut Rank, seed: u64, step: u64) {
+async fn round(rank: &mut Rank, seed: u64, step: u64) {
     let comm = rank.comm_world();
     let p = rank.nranks();
     let me = rank.rank();
@@ -36,7 +36,7 @@ fn round(rank: &mut Rank, seed: u64, step: u64) {
             let right = (me + 1) % p;
             let left = (me + p - 1) % p;
             let tag = (r(2) % 50) as i32;
-            rank.sendrecv(&comm, right, tag, bytes, left, tag, bytes);
+            rank.sendrecv(&comm, right, tag, bytes, left, tag, bytes).await;
         }
         1 => {
             // Pairwise exchange at a schedule-derived offset.
@@ -44,7 +44,7 @@ fn round(rank: &mut Rank, seed: u64, step: u64) {
             let bytes = 16 + (r(2) % 60_000) as usize;
             let to = (me + d) % p;
             let from = (me + p - d) % p;
-            rank.sendrecv(&comm, to, 9, bytes, from, 9, bytes);
+            rank.sendrecv(&comm, to, 9, bytes, from, 9, bytes).await;
         }
         2 => {
             // Nonblocking halo with 1–3 offsets.
@@ -59,38 +59,38 @@ fn round(rank: &mut Rank, seed: u64, step: u64) {
                 let d = 1 + ((r(3 + i as u64) as usize) % (p - 1));
                 reqs.push(rank.isend(&comm, (me + d) % p, 40 + i as i32, bytes));
             }
-            rank.waitall(&reqs);
+            rank.waitall(&reqs).await;
         }
         3 => {
             let bytes = 8 + (r(1) % 50_000) as usize;
             match r(2) % 5 {
-                0 => rank.allreduce(&comm, bytes),
-                1 => rank.bcast(&comm, (r(3) as usize) % p, bytes),
-                2 => rank.reduce(&comm, (r(3) as usize) % p, bytes),
-                3 => rank.allgather(&comm, bytes / p.max(1) + 1),
-                _ => rank.alltoall(&comm, bytes / p.max(1) + 1),
+                0 => rank.allreduce(&comm, bytes).await,
+                1 => rank.bcast(&comm, (r(3) as usize) % p, bytes).await,
+                2 => rank.reduce(&comm, (r(3) as usize) % p, bytes).await,
+                3 => rank.allgather(&comm, bytes / p.max(1) + 1).await,
+                _ => rank.alltoall(&comm, bytes / p.max(1) + 1).await,
             }
         }
         4 => {
-            rank.barrier(&comm);
+            rank.barrier(&comm).await;
         }
         5 => {
             // Rooted collectives, including the variable-count variants.
             let root = (r(1) as usize) % p;
             match r(4) % 3 {
                 0 => {
-                    rank.gather(&comm, root, 64 + (r(2) % 4096) as usize);
-                    rank.scatter(&comm, root, 64 + (r(3) % 4096) as usize);
+                    rank.gather(&comm, root, 64 + (r(2) % 4096) as usize).await;
+                    rank.scatter(&comm, root, 64 + (r(3) % 4096) as usize).await;
                 }
                 1 => {
                     let counts: Vec<usize> =
                         (0..p).map(|i| 16 + ((r(5) as usize + i * 13) % 2048)).collect();
-                    rank.gatherv(&comm, root, &counts);
-                    rank.scatterv(&comm, root, &counts);
+                    rank.gatherv(&comm, root, &counts).await;
+                    rank.scatterv(&comm, root, &counts).await;
                 }
                 _ => {
-                    rank.scan(&comm, 8 + (r(2) % 8192) as usize);
-                    rank.reduce_scatter_block(&comm, 8 + (r(3) % 8192) as usize);
+                    rank.scan(&comm, 8 + (r(2) % 8192) as usize).await;
+                    rank.reduce_scatter_block(&comm, 8 + (r(3) % 8192) as usize).await;
                 }
             }
         }
@@ -98,8 +98,8 @@ fn round(rank: &mut Rank, seed: u64, step: u64) {
             // Communicator split; a collective inside; free.
             let colors = 1 + (r(1) % 3) as i64;
             let color = (me as i64) % colors;
-            if let Some(sub) = rank.comm_split(&comm, color, me as i64) {
-                rank.allreduce(&sub, 8 + (r(2) % 1024) as usize);
+            if let Some(sub) = rank.comm_split(&comm, color, me as i64).await {
+                rank.allreduce(&sub, 8 + (r(2) % 1024) as usize).await;
                 rank.comm_free(sub);
             }
         }
@@ -113,16 +113,19 @@ fn round(rank: &mut Rank, seed: u64, step: u64) {
     }
 }
 
-fn program(seed: u64) -> impl Fn(&mut Rank) + Send + Sync {
-    move |rank: &mut Rank| {
-        let steps = 10 + noise::combine(&[seed, 0xFEED]) % 30;
-        // A compute epilogue ensures every program has computation.
-        rank.compute(&KernelDesc::bookkeeping(20_000.0));
-        for step in 0..steps {
-            round(rank, seed, step);
-        }
-        let comm = rank.comm_world();
-        rank.barrier(&comm);
+fn program(seed: u64) -> impl Fn(Rank) -> RankFut<'static> + Send + Sync {
+    move |mut rank: Rank| -> RankFut<'static> {
+        Box::pin(async move {
+            let steps = 10 + noise::combine(&[seed, 0xFEED]) % 30;
+            // A compute epilogue ensures every program has computation.
+            rank.compute(&KernelDesc::bookkeeping(20_000.0));
+            for step in 0..steps {
+                round(&mut rank, seed, step).await;
+            }
+            let comm = rank.comm_world();
+            rank.barrier(&comm).await;
+            rank
+        })
     }
 }
 

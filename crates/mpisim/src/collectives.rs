@@ -20,7 +20,7 @@ use crate::rank::Rank;
 /// payloads.
 const PIPELINE_SEGMENTS: usize = 8;
 
-impl Rank<'_> {
+impl Rank {
     fn skey(comm: CommId, seq: u32, round: u32) -> u64 {
         noise::combine(&[comm.0, seq as u64, round as u64, 0xC011])
     }
@@ -30,23 +30,25 @@ impl Rank<'_> {
         (bytes as f64 / 8.0) / self.machine().cpu().freq_ghz
     }
 
-    fn plumb_send(&mut self, comm: &Communicator, dst_local: usize, bytes: usize, key: u64) {
+    async fn plumb_send(&mut self, comm: &Communicator, dst_local: usize, bytes: usize, key: u64) {
         self.p2p_send_blocking(
             comm.global_of(dst_local),
             comm.rank(),
             comm.id,
             Channel::Sys { key },
             bytes,
-        );
+        )
+        .await;
     }
 
-    fn plumb_recv(&mut self, comm: &Communicator, src_local: usize, key: u64) -> RecvStatus {
-        let id = self.post_recv_raw(comm.global_of(src_local), comm.id, Channel::Sys { key });
-        self.wait_recv_raw(id)
+    async fn plumb_recv(&mut self, comm: &Communicator, src_local: usize, key: u64) -> RecvStatus {
+        let src_global = comm.global_of(src_local);
+        let id = self.post_recv_raw(src_global, comm.id, Channel::Sys { key });
+        self.wait_recv_raw(id, src_global).await
     }
 
     /// Deadlock-free exchange: post the receive before the blocking send.
-    fn plumb_sendrecv(
+    async fn plumb_sendrecv(
         &mut self,
         comm: &Communicator,
         dst_local: usize,
@@ -56,19 +58,21 @@ impl Rank<'_> {
         key: u64,
     ) {
         let _ = recv_bytes;
-        let id = self.post_recv_raw(comm.global_of(src_local), comm.id, Channel::Sys { key });
+        let src_global = comm.global_of(src_local);
+        let id = self.post_recv_raw(src_global, comm.id, Channel::Sys { key });
         self.p2p_send_blocking(
             comm.global_of(dst_local),
             comm.rank(),
             comm.id,
             Channel::Sys { key },
             send_bytes,
-        );
-        self.wait_recv_raw(id);
+        )
+        .await;
+        self.wait_recv_raw(id, src_global).await;
     }
 
     /// Dissemination barrier over `comm` (plumbing only, no hook).
-    pub(crate) fn plumbing_barrier(&mut self, comm: &Communicator) {
+    pub(crate) async fn plumbing_barrier(&mut self, comm: &Communicator) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -80,7 +84,7 @@ impl Rank<'_> {
         while dist < p {
             let to = (r + dist) % p;
             let from = (r + p - dist) % p;
-            self.plumb_sendrecv(comm, to, from, 0, 0, Self::skey(comm.id, seq, round));
+            self.plumb_sendrecv(comm, to, from, 0, 0, Self::skey(comm.id, seq, round)).await;
             dist <<= 1;
             round += 1;
         }
@@ -91,18 +95,18 @@ impl Rank<'_> {
     // ------------------------------------------------------------------
 
     /// `MPI_Barrier`.
-    pub fn barrier(&mut self, comm: &Communicator) {
+    pub async fn barrier(&mut self, comm: &Communicator) {
         let call = MpiCall::Barrier { comm: comm.id };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
         self.clock += self.machine().net.collective_overhead_ns;
-        self.plumbing_barrier(comm);
+        self.plumbing_barrier(comm).await;
         self.account_mpi(t0, 0);
         self.hook_post_c(&call, comm);
     }
 
     /// `MPI_Bcast` of `bytes` from communicator-local `root`.
-    pub fn bcast(&mut self, comm: &Communicator, root: usize, bytes: usize) {
+    pub async fn bcast(&mut self, comm: &Communicator, root: usize, bytes: usize) {
         let call = MpiCall::Bcast { comm: comm.id, root, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -110,15 +114,15 @@ impl Rank<'_> {
         let algo = self.machine().flavor.bcast_algo(comm.size(), bytes);
         let seq = self.next_coll_seq(comm.id);
         match algo {
-            CollectiveAlgo::Ring => self.ring_bcast(comm, root, bytes, seq),
-            _ => self.binomial_bcast(comm, root, bytes, seq),
+            CollectiveAlgo::Ring => self.ring_bcast(comm, root, bytes, seq).await,
+            _ => self.binomial_bcast(comm, root, bytes, seq).await,
         }
         self.account_mpi(t0, if comm.rank() == root { bytes } else { 0 });
         self.hook_post_c(&call, comm);
     }
 
     /// `MPI_Reduce` of `bytes` to communicator-local `root`.
-    pub fn reduce(&mut self, comm: &Communicator, root: usize, bytes: usize) {
+    pub async fn reduce(&mut self, comm: &Communicator, root: usize, bytes: usize) {
         let call = MpiCall::Reduce { comm: comm.id, root, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -126,15 +130,15 @@ impl Rank<'_> {
         let algo = self.machine().flavor.reduce_algo(comm.size(), bytes);
         let seq = self.next_coll_seq(comm.id);
         match algo {
-            CollectiveAlgo::Ring => self.chain_reduce(comm, root, bytes, seq),
-            _ => self.binomial_reduce(comm, root, bytes, seq),
+            CollectiveAlgo::Ring => self.chain_reduce(comm, root, bytes, seq).await,
+            _ => self.binomial_reduce(comm, root, bytes, seq).await,
         }
         self.account_mpi(t0, bytes);
         self.hook_post_c(&call, comm);
     }
 
     /// `MPI_Allreduce` of `bytes`.
-    pub fn allreduce(&mut self, comm: &Communicator, bytes: usize) {
+    pub async fn allreduce(&mut self, comm: &Communicator, bytes: usize) {
         let call = MpiCall::Allreduce { comm: comm.id, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -142,15 +146,15 @@ impl Rank<'_> {
         let algo = self.machine().flavor.allreduce_algo(comm.size(), bytes);
         let seq = self.next_coll_seq(comm.id);
         match algo {
-            CollectiveAlgo::Ring => self.ring_allreduce(comm, bytes, seq),
-            _ => self.rd_allreduce(comm, bytes, seq),
+            CollectiveAlgo::Ring => self.ring_allreduce(comm, bytes, seq).await,
+            _ => self.rd_allreduce(comm, bytes, seq).await,
         }
         self.account_mpi(t0, bytes);
         self.hook_post_c(&call, comm);
     }
 
     /// `MPI_Allgather`: each rank contributes `bytes`.
-    pub fn allgather(&mut self, comm: &Communicator, bytes: usize) {
+    pub async fn allgather(&mut self, comm: &Communicator, bytes: usize) {
         let call = MpiCall::Allgather { comm: comm.id, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -161,9 +165,9 @@ impl Rank<'_> {
         if p > 1 {
             match algo {
                 CollectiveAlgo::RecursiveDoubling if p.is_power_of_two() => {
-                    self.rd_allgather(comm, bytes, seq)
+                    self.rd_allgather(comm, bytes, seq).await
                 }
-                _ => self.ring_allgather(comm, bytes, seq),
+                _ => self.ring_allgather(comm, bytes, seq).await,
             }
         }
         self.account_mpi(t0, bytes);
@@ -171,7 +175,7 @@ impl Rank<'_> {
     }
 
     /// `MPI_Alltoall`: each rank sends `bytes_per_peer` to every other rank.
-    pub fn alltoall(&mut self, comm: &Communicator, bytes_per_peer: usize) {
+    pub async fn alltoall(&mut self, comm: &Communicator, bytes_per_peer: usize) {
         let call = MpiCall::Alltoall { comm: comm.id, bytes_per_peer };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -181,8 +185,8 @@ impl Rank<'_> {
         let p = comm.size();
         if p > 1 {
             match algo {
-                CollectiveAlgo::Bruck => self.bruck_alltoall(comm, bytes_per_peer, seq),
-                _ => self.pairwise_alltoall(comm, bytes_per_peer, seq),
+                CollectiveAlgo::Bruck => self.bruck_alltoall(comm, bytes_per_peer, seq).await,
+                _ => self.pairwise_alltoall(comm, bytes_per_peer, seq).await,
             }
         }
         // Local block copy.
@@ -193,7 +197,7 @@ impl Rank<'_> {
 
     /// `MPI_Alltoallv` with per-peer send and receive byte counts (indexed
     /// by communicator-local rank).
-    pub fn alltoallv(
+    pub async fn alltoallv(
         &mut self,
         comm: &Communicator,
         send_counts: &[usize],
@@ -222,7 +226,8 @@ impl Rank<'_> {
                 send_counts[dst],
                 recv_counts[src],
                 Self::skey(comm.id, seq, step as u32),
-            );
+            )
+            .await;
         }
         // Local block copy.
         self.clock += send_counts[r] as f64 / self.machine().net.shm_bandwidth_bpns;
@@ -232,7 +237,7 @@ impl Rank<'_> {
     }
 
     /// `MPI_Gather` of `bytes` per rank to `root`.
-    pub fn gather(&mut self, comm: &Communicator, root: usize, bytes: usize) {
+    pub async fn gather(&mut self, comm: &Communicator, root: usize, bytes: usize) {
         let call = MpiCall::Gather { comm: comm.id, root, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -240,15 +245,15 @@ impl Rank<'_> {
         let algo = self.machine().flavor.gather_algo(comm.size(), bytes);
         let seq = self.next_coll_seq(comm.id);
         match algo {
-            CollectiveAlgo::Linear => self.linear_gather(comm, root, bytes, seq),
-            _ => self.binomial_gather(comm, root, bytes, seq),
+            CollectiveAlgo::Linear => self.linear_gather(comm, root, bytes, seq).await,
+            _ => self.binomial_gather(comm, root, bytes, seq).await,
         }
         self.account_mpi(t0, if comm.rank() == root { 0 } else { bytes });
         self.hook_post_c(&call, comm);
     }
 
     /// `MPI_Scatter` of `bytes` per rank from `root`.
-    pub fn scatter(&mut self, comm: &Communicator, root: usize, bytes: usize) {
+    pub async fn scatter(&mut self, comm: &Communicator, root: usize, bytes: usize) {
         let call = MpiCall::Scatter { comm: comm.id, root, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -256,15 +261,15 @@ impl Rank<'_> {
         let algo = self.machine().flavor.gather_algo(comm.size(), bytes);
         let seq = self.next_coll_seq(comm.id);
         match algo {
-            CollectiveAlgo::Linear => self.linear_scatter(comm, root, bytes, seq),
-            _ => self.binomial_scatter(comm, root, bytes, seq),
+            CollectiveAlgo::Linear => self.linear_scatter(comm, root, bytes, seq).await,
+            _ => self.binomial_scatter(comm, root, bytes, seq).await,
         }
         self.account_mpi(t0, if comm.rank() == root { bytes * comm.size().saturating_sub(1) } else { 0 });
         self.hook_post_c(&call, comm);
     }
 
     /// `MPI_Gatherv`: rank `i` contributes `counts[i]` bytes to `root`.
-    pub fn gatherv(&mut self, comm: &Communicator, root: usize, counts: &[usize]) {
+    pub async fn gatherv(&mut self, comm: &Communicator, root: usize, counts: &[usize]) {
         assert_eq!(counts.len(), comm.size());
         let call = MpiCall::Gatherv { comm: comm.id, root, counts: counts.to_vec() };
         self.hook_pre_c(&call, comm);
@@ -276,22 +281,24 @@ impl Rank<'_> {
             // Linear with pre-posted receives: correct for arbitrary
             // per-rank sizes (the binomial variant needs size prefixes).
             if comm.rank() == root {
-                let ids: Vec<u64> = (0..p)
+                let ids: Vec<(u64, usize)> = (0..p)
                     .filter(|&s| s != root)
                     .map(|s| {
-                        self.post_recv_raw(
-                            comm.global_of(s),
+                        let src_global = comm.global_of(s);
+                        let id = self.post_recv_raw(
+                            src_global,
                             comm.id,
                             Channel::Sys { key: Self::skey(comm.id, seq, s as u32) },
-                        )
+                        );
+                        (id, src_global)
                     })
                     .collect();
-                for id in ids {
-                    self.wait_recv_raw(id);
+                for (id, src) in ids {
+                    self.wait_recv_raw(id, src).await;
                 }
             } else {
                 let key = Self::skey(comm.id, seq, comm.rank() as u32);
-                self.plumb_send(comm, root, counts[comm.rank()], key);
+                self.plumb_send(comm, root, counts[comm.rank()], key).await;
             }
         }
         let sent = if comm.rank() == root { 0 } else { counts[comm.rank()] };
@@ -300,7 +307,7 @@ impl Rank<'_> {
     }
 
     /// `MPI_Scatterv`: `root` sends `counts[i]` bytes to rank `i`.
-    pub fn scatterv(&mut self, comm: &Communicator, root: usize, counts: &[usize]) {
+    pub async fn scatterv(&mut self, comm: &Communicator, root: usize, counts: &[usize]) {
         assert_eq!(counts.len(), comm.size());
         let call = MpiCall::Scatterv { comm: comm.id, root, counts: counts.to_vec() };
         self.hook_pre_c(&call, comm);
@@ -314,12 +321,12 @@ impl Rank<'_> {
                 for s in 0..p {
                     if s != root {
                         let key = Self::skey(comm.id, seq, s as u32);
-                        self.plumb_send(comm, s, counts[s], key);
+                        self.plumb_send(comm, s, counts[s], key).await;
                     }
                 }
             } else {
                 let key = Self::skey(comm.id, seq, comm.rank() as u32);
-                self.plumb_recv(comm, root, key);
+                self.plumb_recv(comm, root, key).await;
             }
         }
         let sent: usize = if comm.rank() == root {
@@ -334,7 +341,7 @@ impl Rank<'_> {
     /// `MPI_Scan` (inclusive prefix reduction) via the Hillis–Steele
     /// doubling schedule: ⌈log₂p⌉ rounds; in round k, rank `r` sends its
     /// partial to `r+2ᵏ` and receives from `r−2ᵏ`.
-    pub fn scan(&mut self, comm: &Communicator, bytes: usize) {
+    pub async fn scan(&mut self, comm: &Communicator, bytes: usize) {
         let call = MpiCall::Scan { comm: comm.id, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -347,15 +354,16 @@ impl Rank<'_> {
         while d < p {
             let key = Self::skey(comm.id, seq, round);
             let recv_id = if r >= d {
-                Some(self.post_recv_raw(comm.global_of(r - d), comm.id, Channel::Sys { key }))
+                let src_global = comm.global_of(r - d);
+                Some((self.post_recv_raw(src_global, comm.id, Channel::Sys { key }), src_global))
             } else {
                 None
             };
             if r + d < p {
-                self.plumb_send(comm, r + d, bytes, key);
+                self.plumb_send(comm, r + d, bytes, key).await;
             }
-            if let Some(id) = recv_id {
-                self.wait_recv_raw(id);
+            if let Some((id, src)) = recv_id {
+                self.wait_recv_raw(id, src).await;
                 self.clock += self.reduce_cost_ns(bytes);
             }
             d <<= 1;
@@ -368,7 +376,7 @@ impl Rank<'_> {
     /// `MPI_Reduce_scatter_block`: reduce a `p·bytes_per_rank` buffer and
     /// leave block `i` on rank `i` — implemented as the ring reduce-scatter
     /// phase (p−1 chunk exchanges with combining).
-    pub fn reduce_scatter_block(&mut self, comm: &Communicator, bytes_per_rank: usize) {
+    pub async fn reduce_scatter_block(&mut self, comm: &Communicator, bytes_per_rank: usize) {
         let call = MpiCall::ReduceScatterBlock { comm: comm.id, bytes_per_rank };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -387,7 +395,8 @@ impl Rank<'_> {
                     bytes_per_rank,
                     bytes_per_rank,
                     Self::skey(comm.id, seq, step as u32),
-                );
+                )
+                .await;
                 self.clock += self.reduce_cost_ns(bytes_per_rank);
             }
         }
@@ -399,7 +408,7 @@ impl Rank<'_> {
     // Algorithms
     // ------------------------------------------------------------------
 
-    fn binomial_bcast(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+    async fn binomial_bcast(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -409,7 +418,7 @@ impl Rank<'_> {
         while mask < p {
             if relative & mask != 0 {
                 let src = (relative - mask + root) % p;
-                self.plumb_recv(comm, src, Self::skey(comm.id, seq, 0));
+                self.plumb_recv(comm, src, Self::skey(comm.id, seq, 0)).await;
                 break;
             }
             mask <<= 1;
@@ -418,13 +427,13 @@ impl Rank<'_> {
         while mask > 0 {
             if relative + mask < p {
                 let dst = (relative + mask + root) % p;
-                self.plumb_send(comm, dst, bytes, Self::skey(comm.id, seq, 0));
+                self.plumb_send(comm, dst, bytes, Self::skey(comm.id, seq, 0)).await;
             }
             mask >>= 1;
         }
     }
 
-    fn ring_bcast(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+    async fn ring_bcast(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -438,16 +447,16 @@ impl Rank<'_> {
             let key = Self::skey(comm.id, seq, s as u32);
             if relative > 0 {
                 let src = (relative - 1 + root) % p;
-                self.plumb_recv(comm, src, key);
+                self.plumb_recv(comm, src, key).await;
             }
             if relative < p - 1 {
                 let dst = (relative + 1 + root) % p;
-                self.plumb_send(comm, dst, b, key);
+                self.plumb_send(comm, dst, b, key).await;
             }
         }
     }
 
-    fn binomial_reduce(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+    async fn binomial_reduce(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -460,19 +469,19 @@ impl Rank<'_> {
                 let src_rel = relative | mask;
                 if src_rel < p {
                     let src = (src_rel + root) % p;
-                    self.plumb_recv(comm, src, Self::skey(comm.id, seq, round));
+                    self.plumb_recv(comm, src, Self::skey(comm.id, seq, round)).await;
                     self.clock += self.reduce_cost_ns(bytes);
                 }
             } else {
                 let dst = (relative - mask + root) % p;
-                self.plumb_send(comm, dst, bytes, Self::skey(comm.id, seq, round));
+                self.plumb_send(comm, dst, bytes, Self::skey(comm.id, seq, round)).await;
                 break;
             }
             mask <<= 1;
         }
     }
 
-    fn chain_reduce(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+    async fn chain_reduce(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -486,17 +495,17 @@ impl Rank<'_> {
             let key = Self::skey(comm.id, seq, s as u32);
             if relative < p - 1 {
                 let src = (relative + 1 + root) % p;
-                self.plumb_recv(comm, src, key);
+                self.plumb_recv(comm, src, key).await;
                 self.clock += self.reduce_cost_ns(b);
             }
             if relative > 0 {
                 let dst = (relative - 1 + root) % p;
-                self.plumb_send(comm, dst, b, key);
+                self.plumb_send(comm, dst, b, key).await;
             }
         }
     }
 
-    fn rd_allreduce(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+    async fn rd_allreduce(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -507,10 +516,10 @@ impl Rank<'_> {
         // Fold the remainder ranks onto their odd neighbours.
         let newrank: i64 = if r < 2 * rem {
             if r.is_multiple_of(2) {
-                self.plumb_send(comm, r + 1, bytes, Self::skey(comm.id, seq, 900));
+                self.plumb_send(comm, r + 1, bytes, Self::skey(comm.id, seq, 900)).await;
                 -1
             } else {
-                self.plumb_recv(comm, r - 1, Self::skey(comm.id, seq, 900));
+                self.plumb_recv(comm, r - 1, Self::skey(comm.id, seq, 900)).await;
                 self.clock += self.reduce_cost_ns(bytes);
                 (r / 2) as i64
             }
@@ -532,7 +541,8 @@ impl Rank<'_> {
                     bytes,
                     bytes,
                     Self::skey(comm.id, seq, round),
-                );
+                )
+                .await;
                 self.clock += self.reduce_cost_ns(bytes);
                 mask <<= 1;
                 round += 1;
@@ -542,14 +552,14 @@ impl Rank<'_> {
         if r < 2 * rem {
             let key = Self::skey(comm.id, seq, 901);
             if r % 2 == 1 {
-                self.plumb_send(comm, r - 1, bytes, key);
+                self.plumb_send(comm, r - 1, bytes, key).await;
             } else {
-                self.plumb_recv(comm, r + 1, key);
+                self.plumb_recv(comm, r + 1, key).await;
             }
         }
     }
 
-    fn ring_allreduce(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+    async fn ring_allreduce(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -560,7 +570,8 @@ impl Rank<'_> {
         let chunk = bytes.div_ceil(p);
         // Reduce-scatter phase.
         for step in 0..p - 1 {
-            self.plumb_sendrecv(comm, right, left, chunk, chunk, Self::skey(comm.id, seq, step as u32));
+            self.plumb_sendrecv(comm, right, left, chunk, chunk, Self::skey(comm.id, seq, step as u32))
+                .await;
             self.clock += self.reduce_cost_ns(chunk);
         }
         // Allgather phase.
@@ -572,11 +583,12 @@ impl Rank<'_> {
                 chunk,
                 chunk,
                 Self::skey(comm.id, seq, 1000 + step as u32),
-            );
+            )
+            .await;
         }
     }
 
-    fn rd_allgather(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+    async fn rd_allgather(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
         let p = comm.size();
         let r = comm.rank();
         let mut cur = bytes;
@@ -584,34 +596,37 @@ impl Rank<'_> {
         let mut round = 0u32;
         while mask < p {
             let partner = r ^ mask;
-            self.plumb_sendrecv(comm, partner, partner, cur, cur, Self::skey(comm.id, seq, round));
+            self.plumb_sendrecv(comm, partner, partner, cur, cur, Self::skey(comm.id, seq, round))
+                .await;
             cur *= 2;
             mask <<= 1;
             round += 1;
         }
     }
 
-    fn ring_allgather(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+    async fn ring_allgather(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
         let p = comm.size();
         let r = comm.rank();
         let right = (r + 1) % p;
         let left = (r + p - 1) % p;
         for step in 0..p - 1 {
-            self.plumb_sendrecv(comm, right, left, bytes, bytes, Self::skey(comm.id, seq, step as u32));
+            self.plumb_sendrecv(comm, right, left, bytes, bytes, Self::skey(comm.id, seq, step as u32))
+                .await;
         }
     }
 
-    fn pairwise_alltoall(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
+    async fn pairwise_alltoall(&mut self, comm: &Communicator, bytes: usize, seq: u32) {
         let p = comm.size();
         let r = comm.rank();
         for step in 1..p {
             let dst = (r + step) % p;
             let src = (r + p - step) % p;
-            self.plumb_sendrecv(comm, dst, src, bytes, bytes, Self::skey(comm.id, seq, step as u32));
+            self.plumb_sendrecv(comm, dst, src, bytes, bytes, Self::skey(comm.id, seq, step as u32))
+                .await;
         }
     }
 
-    fn bruck_alltoall(&mut self, comm: &Communicator, bytes_per_peer: usize, seq: u32) {
+    async fn bruck_alltoall(&mut self, comm: &Communicator, bytes_per_peer: usize, seq: u32) {
         let p = comm.size();
         let r = comm.rank();
         let mut mask = 1usize;
@@ -622,39 +637,41 @@ impl Rank<'_> {
             let dst = (r + mask) % p;
             let src = (r + p - mask) % p;
             let b = blocks * bytes_per_peer;
-            self.plumb_sendrecv(comm, dst, src, b, b, Self::skey(comm.id, seq, round));
+            self.plumb_sendrecv(comm, dst, src, b, b, Self::skey(comm.id, seq, round)).await;
             mask <<= 1;
             round += 1;
         }
     }
 
-    fn linear_gather(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+    async fn linear_gather(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
         }
         if comm.rank() == root {
             // Post everything first so rendezvous senders can progress.
-            let ids: Vec<u64> = (0..p)
+            let ids: Vec<(u64, usize)> = (0..p)
                 .filter(|&s| s != root)
                 .map(|s| {
-                    self.post_recv_raw(
-                        comm.global_of(s),
+                    let src_global = comm.global_of(s);
+                    let id = self.post_recv_raw(
+                        src_global,
                         comm.id,
                         Channel::Sys { key: Self::skey(comm.id, seq, s as u32) },
-                    )
+                    );
+                    (id, src_global)
                 })
                 .collect();
-            for id in ids {
-                self.wait_recv_raw(id);
+            for (id, src) in ids {
+                self.wait_recv_raw(id, src).await;
             }
         } else {
             let key = Self::skey(comm.id, seq, comm.rank() as u32);
-            self.plumb_send(comm, root, bytes, key);
+            self.plumb_send(comm, root, bytes, key).await;
         }
     }
 
-    fn binomial_gather(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+    async fn binomial_gather(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -668,19 +685,19 @@ impl Rank<'_> {
                 let src_rel = relative + mask;
                 if src_rel < p {
                     let src = (src_rel + root) % p;
-                    let st = self.plumb_recv(comm, src, Self::skey(comm.id, seq, round));
+                    let st = self.plumb_recv(comm, src, Self::skey(comm.id, seq, round)).await;
                     my_bytes += st.bytes;
                 }
             } else {
                 let dst = (relative - mask + root) % p;
-                self.plumb_send(comm, dst, my_bytes, Self::skey(comm.id, seq, round));
+                self.plumb_send(comm, dst, my_bytes, Self::skey(comm.id, seq, round)).await;
                 break;
             }
             mask <<= 1;
         }
     }
 
-    fn linear_scatter(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+    async fn linear_scatter(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -688,16 +705,16 @@ impl Rank<'_> {
         if comm.rank() == root {
             for s in 0..p {
                 if s != root {
-                    self.plumb_send(comm, s, bytes, Self::skey(comm.id, seq, s as u32));
+                    self.plumb_send(comm, s, bytes, Self::skey(comm.id, seq, s as u32)).await;
                 }
             }
         } else {
             let key = Self::skey(comm.id, seq, comm.rank() as u32);
-            self.plumb_recv(comm, root, key);
+            self.plumb_recv(comm, root, key).await;
         }
     }
 
-    fn binomial_scatter(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
+    async fn binomial_scatter(&mut self, comm: &Communicator, root: usize, bytes: usize, seq: u32) {
         let p = comm.size();
         if p <= 1 {
             return;
@@ -707,7 +724,7 @@ impl Rank<'_> {
         while mask < p {
             if relative & mask != 0 {
                 let src = (relative - mask + root) % p;
-                self.plumb_recv(comm, src, Self::skey(comm.id, seq, mask.trailing_zeros()));
+                self.plumb_recv(comm, src, Self::skey(comm.id, seq, mask.trailing_zeros())).await;
                 break;
             }
             mask <<= 1;
@@ -729,7 +746,8 @@ impl Rank<'_> {
                     dst,
                     subtree * bytes,
                     Self::skey(comm.id, seq, mask.trailing_zeros()),
-                );
+                )
+                .await;
             }
             mask >>= 1;
         }
@@ -751,8 +769,8 @@ mod tests {
         use super::prev_pow2;
         assert_eq!(prev_pow2(1), 1);
         assert_eq!(prev_pow2(2), 2);
-        assert_eq!(prev_pow2(3), 2);
         assert_eq!(prev_pow2(64), 64);
+        assert_eq!(prev_pow2(3), 2);
         assert_eq!(prev_pow2(65), 64);
         assert_eq!(prev_pow2(529), 512);
     }

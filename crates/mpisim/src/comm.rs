@@ -9,6 +9,8 @@
 //! reasoning the paper uses when it replaces runtime-random `MPI_Comm`
 //! values with pool-allocated numbers.
 
+use std::sync::Arc;
+
 use siesta_perfmodel::noise;
 
 /// Globally unique identity of one communicator instance.
@@ -25,13 +27,74 @@ impl CommId {
     }
 }
 
-/// An ordered process group with a shared [`CommId`].
+/// The ordered member list of a communicator.
 ///
-/// `group[i]` is the global rank of communicator-local rank `i`.
+/// The world group of a P-rank job is always `0..P`; storing it as a range
+/// keeps per-rank communicator state O(1), which is what lets a
+/// million-rank world fit in memory (a million explicit `Vec<usize>` world
+/// groups would need terabytes). Derived communicators store their members
+/// explicitly behind an `Arc` so clones stay cheap.
+#[derive(Debug, Clone, Eq)]
+pub enum CommGroup {
+    /// Global ranks `0..n` in order (the world group).
+    Range(usize),
+    /// Arbitrary ordered member list (split/derived communicators).
+    Explicit(Arc<Vec<usize>>),
+}
+
+impl CommGroup {
+    pub fn len(&self) -> usize {
+        match self {
+            CommGroup::Range(n) => *n,
+            CommGroup::Explicit(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global rank of local rank `i`.
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            CommGroup::Range(n) => {
+                assert!(i < *n, "local rank {i} out of range for world of {n}");
+                i
+            }
+            CommGroup::Explicit(v) => v[i],
+        }
+    }
+
+    /// Local rank of a global rank, if it is a member.
+    pub fn position(&self, global: usize) -> Option<usize> {
+        match self {
+            CommGroup::Range(n) => (global < *n).then_some(global),
+            CommGroup::Explicit(v) => v.iter().position(|&g| g == global),
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Materialize the member list (diagnostics and tests only).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+// Semantic equality: Range(n) equals an Explicit list holding 0..n.
+impl PartialEq for CommGroup {
+    fn eq(&self, other: &CommGroup) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+/// An ordered process group with a shared [`CommId`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Communicator {
     pub id: CommId,
-    pub group: Vec<usize>,
+    pub group: CommGroup,
     /// This process's rank *within* the communicator.
     pub local_rank: usize,
 }
@@ -42,7 +105,7 @@ impl Communicator {
     pub fn world(nranks: usize, me: usize) -> Communicator {
         Communicator {
             id: CommId::WORLD,
-            group: (0..nranks).collect(),
+            group: CommGroup::Range(nranks),
             local_rank: me,
         }
     }
@@ -59,12 +122,12 @@ impl Communicator {
 
     /// Global rank of communicator-local rank `local`.
     pub fn global_of(&self, local: usize) -> usize {
-        self.group[local]
+        self.group.get(local)
     }
 
     /// Communicator-local rank of a global rank, if it is a member.
     pub fn local_of(&self, global: usize) -> Option<usize> {
-        self.group.iter().position(|&g| g == global)
+        self.group.position(global)
     }
 
     /// Build the split communicator containing this process, given every
@@ -87,7 +150,7 @@ impl Communicator {
             .iter()
             .enumerate()
             .filter(|(_, (c, _))| *c == my_color)
-            .map(|(local, (_, k))| (*k, local, self.group[local]))
+            .map(|(local, (_, k))| (*k, local, self.group.get(local)))
             .collect();
         members.sort();
         let group: Vec<usize> = members.iter().map(|&(_, _, g)| g).collect();
@@ -97,7 +160,7 @@ impl Communicator {
             .expect("split member must contain the caller");
         Some(Communicator {
             id: self.id.derive(seq, my_color),
-            group,
+            group: CommGroup::Explicit(Arc::new(group)),
             local_rank,
         })
     }
@@ -128,6 +191,25 @@ mod tests {
     }
 
     #[test]
+    fn world_group_is_constant_size() {
+        // The world group must not materialize its member list: million-rank
+        // worlds depend on it.
+        let c = Communicator::world(1 << 20, 12345);
+        assert!(matches!(c.group, CommGroup::Range(n) if n == 1 << 20));
+        assert_eq!(c.global_of(999_999), 999_999);
+        assert_eq!(c.local_of(1 << 20), None);
+    }
+
+    #[test]
+    fn range_and_explicit_groups_compare_semantically() {
+        let range = CommGroup::Range(3);
+        let explicit = CommGroup::Explicit(Arc::new(vec![0, 1, 2]));
+        assert_eq!(range, explicit);
+        assert_ne!(range, CommGroup::Explicit(Arc::new(vec![0, 2, 1])));
+        assert_ne!(range, CommGroup::Range(4));
+    }
+
+    #[test]
     fn derive_is_deterministic_and_distinct() {
         let a = CommId::WORLD.derive(0, 0);
         let b = CommId::WORLD.derive(0, 0);
@@ -145,7 +227,7 @@ mod tests {
             (0..6).map(|r| ((r % 2) as i64, -(r as i64))).collect();
         let c = parent.split_from(&contributions, 0, 4).unwrap();
         // Color 0 members are globals {0,2,4}; key = -rank reverses: [4,2,0].
-        assert_eq!(c.group, vec![4, 2, 0]);
+        assert_eq!(c.group.to_vec(), vec![4, 2, 0]);
         assert_eq!(c.rank(), 0);
         // Same call from rank 2's perspective yields the same id and group.
         let parent2 = Communicator::world(6, 2);

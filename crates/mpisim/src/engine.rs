@@ -11,13 +11,20 @@
 //! All completion *times* are pure functions of the virtual timestamps
 //! carried in the envelope and the posted receive, so results do not depend
 //! on real thread scheduling. Non-overtaking order is preserved because each
-//! sender thread enqueues its messages in program order and matching always
-//! scans queues front to back filtered by exact source.
+//! sender state machine enqueues its messages in program order and matching
+//! always scans queues front to back filtered by exact source.
+//!
+//! Waiting is event-driven: a rank blocked in [`Engine::wait`] registers a
+//! [`Waker`] with its own mailbox and is woken by the send that completes
+//! its receive — no condvars, no parked OS threads.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Mutex;
+use std::task::{Context, Poll, Waker};
 
-use std::sync::{Condvar, Mutex};
 use siesta_perfmodel::Machine;
 
 use crate::message::{Channel, Envelope, MatchKey, WireProtocol};
@@ -47,17 +54,15 @@ struct MailboxInner {
     posted: Vec<Posted>,
     completions: HashMap<u64, Completion>,
     next_recv_id: u64,
+    /// The mailbox owner, if currently blocked in [`Engine::wait`]: the
+    /// receive id it needs and how to resume it. Only the owning rank ever
+    /// waits on its own mailbox, and on one receive at a time.
+    waiter: Option<(u64, Waker)>,
 }
 
+#[derive(Default)]
 struct Mailbox {
     inner: Mutex<MailboxInner>,
-    cv: Condvar,
-}
-
-impl Default for Mailbox {
-    fn default() -> Self {
-        Mailbox { inner: Mutex::new(MailboxInner::default()), cv: Condvar::new() }
-    }
 }
 
 /// Shared matching state for a whole world.
@@ -79,18 +84,29 @@ impl Engine {
     }
 
     /// Deliver `env` to `dst_global`'s mailbox, completing a posted receive
-    /// if one matches.
+    /// if one matches — and waking the owner if it was blocked on it.
     pub fn send(&self, dst_global: usize, env: Envelope) {
         let mb = &self.mailboxes[dst_global];
-        let mut inner = mb.inner.lock().unwrap();
-        // First posted receive that matches, in post order.
-        if let Some(pos) = inner.posted.iter().position(|p| p.key.matches(&env)) {
-            let posted = inner.posted.remove(pos);
-            let completion = self.complete(&env, posted.post_time, dst_global);
-            inner.completions.insert(posted.id, completion);
-            mb.cv.notify_all();
-        } else {
-            inner.unexpected.push_back(env);
+        let wake = {
+            let mut inner = mb.inner.lock().unwrap();
+            // First posted receive that matches, in post order.
+            if let Some(pos) = inner.posted.iter().position(|p| p.key.matches(&env)) {
+                let posted = inner.posted.remove(pos);
+                let completion = self.complete(&env, posted.post_time, dst_global);
+                inner.completions.insert(posted.id, completion);
+                match &inner.waiter {
+                    Some((id, _)) if inner.completions.contains_key(id) => {
+                        inner.waiter.take().map(|(_, w)| w)
+                    }
+                    _ => None,
+                }
+            } else {
+                inner.unexpected.push_back(env);
+                None
+            }
+        };
+        if let Some(w) = wake {
+            w.wake();
         }
     }
 
@@ -112,16 +128,11 @@ impl Engine {
         id
     }
 
-    /// Block until the receive `id` posted by `me` completes.
-    pub fn wait(&self, me: usize, id: u64) -> Completion {
-        let mb = &self.mailboxes[me];
-        let mut inner = mb.inner.lock().unwrap();
-        loop {
-            if let Some(c) = inner.completions.remove(&id) {
-                return c;
-            }
-            inner = mb.cv.wait(inner).unwrap();
-        }
+    /// Resolve when the receive `id` posted by `me` completes. The returned
+    /// future registers `me` as the mailbox's waiter and is woken by the
+    /// matching [`Engine::send`].
+    pub fn wait(&self, me: usize, id: u64) -> WaitRecv<'_> {
+        WaitRecv { engine: self, me, id }
     }
 
     /// Non-blocking completion check.
@@ -150,9 +161,9 @@ impl Engine {
                 let start = rts_avail.max(post_time) + net.rendezvous_extra_ns;
                 let sender_done = start + env.bytes as f64 / net.bandwidth(same_node);
                 if let Some(ack) = &env.ack {
-                    // Unbounded channel: never blocks. The sender may have
-                    // already given up only if the program is erroneous.
-                    let _ = ack.send(sender_done);
+                    // Waking the blocked sender happens inside `set` — in
+                    // the event executor that is a queue push, never a park.
+                    ack.set(sender_done);
                 }
                 sender_done + net.latency(same_node)
             }
@@ -166,11 +177,34 @@ impl Engine {
     }
 }
 
+/// Future for [`Engine::wait`].
+pub struct WaitRecv<'e> {
+    engine: &'e Engine,
+    me: usize,
+    id: u64,
+}
+
+impl Future for WaitRecv<'_> {
+    type Output = Completion;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Completion> {
+        let mut inner = self.engine.mailboxes[self.me].inner.lock().unwrap();
+        if let Some(c) = inner.completions.remove(&self.id) {
+            inner.waiter = None;
+            Poll::Ready(c)
+        } else {
+            inner.waiter = Some((self.id, cx.waker().clone()));
+            Poll::Pending
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::comm::CommId;
-    use crate::message::{Channel, ANY_TAG};
+    use crate::message::{AckCell, Channel, ANY_TAG};
+    use std::sync::Arc;
+    use std::task::Wake;
     use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
 
     fn engine(n: usize) -> Engine {
@@ -197,12 +231,36 @@ mod tests {
         }
     }
 
+    /// A waker that records whether it fired — lets the tests drive
+    /// `WaitRecv` by hand, deterministically, with no threads or sleeps.
+    struct FlagWaker(std::sync::atomic::AtomicBool);
+    impl Wake for FlagWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    fn poll_wait(e: &Engine, me: usize, id: u64) -> Poll<Completion> {
+        let flag = Arc::new(FlagWaker(std::sync::atomic::AtomicBool::new(false)));
+        let waker = std::task::Waker::from(flag);
+        let mut cx = Context::from_waker(&waker);
+        Pin::new(&mut e.wait(me, id)).poll(&mut cx)
+    }
+
+    /// Wait that must already be complete (all pure-matching tests are).
+    fn wait_now(e: &Engine, me: usize, id: u64) -> Completion {
+        match poll_wait(e, me, id) {
+            Poll::Ready(c) => c,
+            Poll::Pending => panic!("receive {id} not complete"),
+        }
+    }
+
     #[test]
     fn send_then_recv_matches_unexpected() {
         let e = engine(2);
         e.send(1, eager_env(0, 5, 64, 100.0));
         let id = e.post_recv(1, key(0, 5), 50.0);
-        let c = e.wait(1, id);
+        let c = wait_now(&e, 1, id);
         assert_eq!(c.bytes, 64);
         assert_eq!(c.data_avail, 100.0);
         assert_eq!(c.src_comm_rank, 0);
@@ -225,8 +283,8 @@ mod tests {
         e.send(1, eager_env(0, 5, 2, 20.0));
         let id1 = e.post_recv(1, key(0, 5), 0.0);
         let id2 = e.post_recv(1, key(0, 5), 0.0);
-        assert_eq!(e.wait(1, id1).bytes, 1);
-        assert_eq!(e.wait(1, id2).bytes, 2);
+        assert_eq!(wait_now(&e, 1, id1).bytes, 1);
+        assert_eq!(wait_now(&e, 1, id2).bytes, 2);
     }
 
     #[test]
@@ -236,11 +294,11 @@ mod tests {
         e.send(1, eager_env(0, 5, 2, 20.0));
         // Receive for tag 5 must take the second message.
         let id = e.post_recv(1, key(0, 5), 0.0);
-        assert_eq!(e.wait(1, id).bytes, 2);
+        assert_eq!(wait_now(&e, 1, id).bytes, 2);
         // Tag-7 message is still queued.
         assert_eq!(e.unexpected_len(1), 1);
         let id7 = e.post_recv(1, key(0, 7), 0.0);
-        assert_eq!(e.wait(1, id7).bytes, 1);
+        assert_eq!(wait_now(&e, 1, id7).bytes, 1);
     }
 
     #[test]
@@ -249,7 +307,7 @@ mod tests {
         e.send(1, eager_env(0, 7, 1, 10.0));
         e.send(1, eager_env(0, 5, 2, 20.0));
         let id = e.post_recv(1, key(0, ANY_TAG), 0.0);
-        let c = e.wait(1, id);
+        let c = wait_now(&e, 1, id);
         assert_eq!(c.bytes, 1);
         assert_eq!(c.channel, Channel::App { tag: 7 });
     }
@@ -261,14 +319,14 @@ mod tests {
         let id2 = e.post_recv(1, key(0, 5), 20.0);
         e.send(1, eager_env(0, 5, 1, 30.0));
         e.send(1, eager_env(0, 5, 2, 40.0));
-        assert_eq!(e.wait(1, id1).bytes, 1);
-        assert_eq!(e.wait(1, id2).bytes, 2);
+        assert_eq!(wait_now(&e, 1, id1).bytes, 1);
+        assert_eq!(wait_now(&e, 1, id2).bytes, 2);
     }
 
     #[test]
     fn rendezvous_acks_sender_and_times_transfer() {
         let e = engine(80); // two nodes on platform A (40 cores/node)
-        let (tx, rx) = std::sync::mpsc::channel();
+        let ack = Arc::new(AckCell::default());
         let bytes = 1 << 20;
         let env = Envelope {
             src_global: 0,
@@ -277,14 +335,14 @@ mod tests {
             channel: Channel::App { tag: 1 },
             bytes,
             protocol: WireProtocol::Rendezvous { rts_avail: 100.0 },
-            ack: Some(tx),
+            ack: Some(ack.clone()),
         };
         e.send(50, env); // cross-node
         // Receive posted *later* than the RTS arrival: transfer waits for it.
         let post_time = 5_000.0;
         let id = e.post_recv(50, key(0, 1), post_time);
-        let c = e.wait(50, id);
-        let sender_done = rx.try_recv().expect("ack delivered");
+        let c = wait_now(&e, 50, id);
+        let sender_done = ack.try_get().expect("ack delivered");
         let net = e.machine().net;
         let expected_start = post_time + net.rendezvous_extra_ns;
         let expected_sender_done = expected_start + bytes as f64 / net.bandwidth(false);
@@ -293,17 +351,41 @@ mod tests {
     }
 
     #[test]
-    fn cross_thread_wait_wakes_up() {
-        let e = std::sync::Arc::new(engine(2));
-        let e2 = e.clone();
-        let handle = std::thread::spawn(move || {
-            let id = e2.post_recv(1, key(0, 3), 0.0);
-            e2.wait(1, id)
-        });
-        // Give the receiver a moment to post, then send.
-        std::thread::sleep(std::time::Duration::from_millis(10));
+    fn blocked_wait_is_woken_by_matching_send() {
+        // The event-driven replacement for the old sleep-synchronized
+        // cross-thread test: post a receive, observe the wait future park a
+        // waker, deliver the send, and check the waker fired and the next
+        // poll completes — all on one thread, in deterministic virtual time.
+        let e = engine(2);
+        let id = e.post_recv(1, key(0, 3), 0.0);
+
+        let flag = Arc::new(FlagWaker(std::sync::atomic::AtomicBool::new(false)));
+        let waker = std::task::Waker::from(flag.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut wait = e.wait(1, id);
+        assert!(Pin::new(&mut wait).poll(&mut cx).is_pending());
+        assert!(!flag.0.load(std::sync::atomic::Ordering::SeqCst));
+
         e.send(1, eager_env(0, 3, 8, 42.0));
-        let c = handle.join().unwrap();
-        assert_eq!(c.data_avail, 42.0);
+        assert!(flag.0.load(std::sync::atomic::Ordering::SeqCst), "send wakes the waiter");
+        match Pin::new(&mut wait).poll(&mut cx) {
+            Poll::Ready(c) => assert_eq!(c.data_avail, 42.0),
+            Poll::Pending => panic!("woken wait must complete"),
+        }
+    }
+
+    #[test]
+    fn non_matching_send_does_not_wake_waiter() {
+        let e = engine(2);
+        let id = e.post_recv(1, key(0, 3), 0.0);
+        let flag = Arc::new(FlagWaker(std::sync::atomic::AtomicBool::new(false)));
+        let waker = std::task::Waker::from(flag.clone());
+        let mut cx = Context::from_waker(&waker);
+        let mut wait = e.wait(1, id);
+        assert!(Pin::new(&mut wait).poll(&mut cx).is_pending());
+        // Different tag: lands in the unexpected queue, no wake.
+        e.send(1, eager_env(0, 9, 8, 42.0));
+        assert!(!flag.0.load(std::sync::atomic::Ordering::SeqCst));
+        assert!(Pin::new(&mut wait).poll(&mut cx).is_pending());
     }
 }

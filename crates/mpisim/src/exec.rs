@@ -1,0 +1,340 @@
+//! Executors that drive rank futures.
+//!
+//! The default executor is a discrete-event scheduler: every rank is a
+//! resumable state machine (a boxed future), and the scheduler polls
+//! runnable ranks in deterministic batches on the `siesta-par` pool. A
+//! rank that blocks (unmatched recv, rendezvous ack, collective quorum,
+//! split rendezvous) registers a [`std::task::Waker`] with the engine and
+//! returns `Pending`; the peer that completes the condition wakes it.
+//! This decouples rank count from thread count: a million virtual ranks
+//! need a million small heap objects, not a million OS threads.
+//!
+//! Determinism: each scheduling round drains the wake queue, sorts it by
+//! rank index, and polls the batch via [`siesta_par::run_tasks`] (which
+//! assigns tasks to workers by index, never by arrival). Simulated time
+//! is virtual — per-rank clocks advanced by the performance model — so
+//! the set of wakes produced by a batch does not depend on host thread
+//! interleaving, and the composition of rounds is a pure function of the
+//! program. Output artifacts are byte-identical at any `--threads`.
+//!
+//! The old thread-per-rank executor survives one release behind the
+//! `legacy-threads` feature (a `block_on` loop per scoped thread, driving
+//! the same futures) so the differential oracle in
+//! `tests/differential_engine.rs` can prove both executors byte-identical
+//! before the threaded path is deleted.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// The boxed resumable state machine of one rank. Rank bodies receive a
+/// [`crate::Rank`] by value and return it when done (so the world can
+/// collect per-rank statistics); `'env` lets the body borrow data owned
+/// by the caller of [`crate::World::run`].
+pub type RankFut<'env, T> = Pin<Box<dyn Future<Output = T> + Send + 'env>>;
+
+// Rank scheduling states. IDLE: blocked, waiting for a wake. QUEUED: in
+// the wake queue for the next batch. RUNNING: being polled right now.
+// DONE: future completed.
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const DONE: u8 = 3;
+
+/// Shared scheduler state the wakers point at.
+struct ExecShared {
+    status: Vec<AtomicU8>,
+    /// Set when a wake arrives while the rank is mid-poll; the poller
+    /// re-queues the rank after storing `IDLE` so the wake is not lost.
+    pending: Vec<AtomicBool>,
+    /// Ranks runnable in the next batch. Drained, sorted, and polled as
+    /// one `run_tasks` region per scheduling round.
+    queue: Mutex<Vec<usize>>,
+}
+
+impl ExecShared {
+    fn new(n: usize) -> ExecShared {
+        ExecShared {
+            status: (0..n).map(|_| AtomicU8::new(QUEUED)).collect(),
+            pending: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            queue: Mutex::new((0..n).collect()),
+        }
+    }
+
+    /// Make `rank` runnable. Safe to call from any thread, including the
+    /// thread currently polling `rank`.
+    fn wake_rank(&self, rank: usize) {
+        loop {
+            match self.status[rank].load(Ordering::Acquire) {
+                IDLE => {
+                    if self.status[rank]
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.queue.lock().unwrap().push(rank);
+                        return;
+                    }
+                    // Lost the race with another waker or the poller; retry.
+                }
+                RUNNING => {
+                    self.pending[rank].store(true, Ordering::Release);
+                    // The poller may have stored IDLE just before our flag
+                    // landed; re-check, and if it already consumed the flag
+                    // someone queued the rank for us.
+                    if self.status[rank].load(Ordering::Acquire) == RUNNING {
+                        return;
+                    }
+                    if !self.pending[rank].swap(false, Ordering::AcqRel) {
+                        return;
+                    }
+                    // We took the flag back; loop and enqueue ourselves.
+                }
+                // QUEUED or DONE: nothing to do.
+                _ => return,
+            }
+        }
+    }
+}
+
+struct RankWaker {
+    exec: Arc<ExecShared>,
+    rank: usize,
+}
+
+impl Wake for RankWaker {
+    fn wake(self: Arc<Self>) {
+        self.exec.wake_rank(self.rank);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.exec.wake_rank(self.rank);
+    }
+}
+
+struct Slot<'env, T> {
+    fut: Option<RankFut<'env, T>>,
+    out: Option<T>,
+}
+
+/// Drive all rank futures to completion on the event scheduler.
+///
+/// Returns `Err(blocked_ranks)` if the simulation deadlocks: no rank is
+/// runnable but some have not finished. Between batches no rank is
+/// executing, so an empty wake queue with unfinished ranks is a true
+/// quiescent deadlock, never a race.
+pub(crate) fn run_event<'env, T: Send>(
+    futs: Vec<RankFut<'env, T>>,
+) -> Result<Vec<T>, Vec<usize>> {
+    let n = futs.len();
+    let exec = Arc::new(ExecShared::new(n));
+    let wakers: Vec<Waker> = (0..n)
+        .map(|rank| Waker::from(Arc::new(RankWaker { exec: exec.clone(), rank })))
+        .collect();
+    let slots: Vec<Mutex<Slot<'env, T>>> = futs
+        .into_iter()
+        .map(|f| Mutex::new(Slot { fut: Some(f), out: None }))
+        .collect();
+
+    let mut unfinished = n;
+    while unfinished > 0 {
+        let mut batch = std::mem::take(&mut *exec.queue.lock().unwrap());
+        if batch.is_empty() {
+            // Quiescent with work left: deadlock. Report who is stuck.
+            let blocked: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.lock().unwrap().fut.is_some())
+                .map(|(r, _)| r)
+                .collect();
+            return Err(blocked);
+        }
+        // Deterministic batch order: rank index, not wake arrival.
+        batch.sort_unstable();
+        let width = siesta_par::threads().min(batch.len());
+        let finished = siesta_par::run_tasks(batch.len(), width, |i| {
+            let rank = batch[i];
+            let mut slot = slots[rank].lock().unwrap();
+            exec.status[rank].store(RUNNING, Ordering::Release);
+            let fut = slot.fut.as_mut().expect("queued rank has a live future");
+            let mut cx = Context::from_waker(&wakers[rank]);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(out) => {
+                    slot.fut = None;
+                    slot.out = Some(out);
+                    exec.status[rank].store(DONE, Ordering::Release);
+                    true
+                }
+                Poll::Pending => {
+                    exec.status[rank].store(IDLE, Ordering::Release);
+                    // A wake that landed mid-poll parked itself in
+                    // `pending`; convert it into a queue entry now.
+                    if exec.pending[rank].swap(false, Ordering::AcqRel)
+                        && exec.status[rank]
+                            .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    {
+                        exec.queue.lock().unwrap().push(rank);
+                    }
+                    false
+                }
+            }
+        });
+        unfinished -= finished.iter().filter(|&&done| done).count();
+    }
+
+    Ok(slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().out.expect("finished rank has output"))
+        .collect())
+}
+
+/// Cooperatively yield once: wake self, return `Pending` a single time.
+/// Used by [`crate::Rank::test`] so a test-poll loop cannot livelock the
+/// cooperative scheduler.
+pub(crate) struct YieldNow {
+    yielded: bool,
+}
+
+impl YieldNow {
+    pub(crate) fn new() -> YieldNow {
+        YieldNow { yielded: false }
+    }
+}
+
+impl Future for YieldNow {
+    type Output = ();
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy thread-per-rank executor (one release, differential oracle only)
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "legacy-threads")]
+static LEGACY_THREADS: AtomicBool = AtomicBool::new(false);
+
+/// Route subsequent [`crate::World::run`] calls through the legacy
+/// thread-per-rank executor (scoped OS thread per rank, `block_on` loop)
+/// instead of the event scheduler. Process-global; intended only for the
+/// differential oracle that proves both executors byte-identical.
+#[cfg(feature = "legacy-threads")]
+pub fn set_legacy_threads(on: bool) {
+    LEGACY_THREADS.store(on, Ordering::SeqCst);
+}
+
+#[cfg(feature = "legacy-threads")]
+pub(crate) fn legacy_threads() -> bool {
+    LEGACY_THREADS.load(Ordering::SeqCst)
+}
+
+/// Drive one future to completion on the current thread, parking between
+/// polls. The legacy executor runs one of these per scoped rank thread.
+#[cfg(feature = "legacy-threads")]
+pub(crate) fn block_on<T>(fut: impl Future<Output = T>) -> T {
+    struct ThreadWaker {
+        thread: std::thread::Thread,
+        woken: AtomicBool,
+    }
+    impl Wake for ThreadWaker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.woken.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+    let tw = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        woken: AtomicBool::new(false),
+    });
+    let waker = Waker::from(tw.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                while !tw.woken.swap(false, Ordering::AcqRel) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_executor_runs_independent_futures() {
+        let futs: Vec<RankFut<'_, usize>> =
+            (0..64usize).map(|i| Box::pin(async move { i * 2 }) as RankFut<'_, usize>).collect();
+        let out = run_event(futs).expect("no deadlock");
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn yield_now_resumes_in_a_later_batch() {
+        let futs: Vec<RankFut<'_, u32>> = (0..4u32)
+            .map(|i| {
+                Box::pin(async move {
+                    YieldNow::new().await;
+                    YieldNow::new().await;
+                    i
+                }) as RankFut<'_, u32>
+            })
+            .collect();
+        assert_eq!(run_event(futs).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn never_woken_future_reports_deadlock() {
+        struct Never;
+        impl Future for Never {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        let futs: Vec<RankFut<'_, ()>> = vec![
+            Box::pin(async {}),
+            Box::pin(async {
+                Never.await;
+            }),
+        ];
+        assert_eq!(run_event(futs).unwrap_err(), vec![1]);
+    }
+
+    #[test]
+    fn cross_rank_wakes_are_not_lost() {
+        // Rank 1 blocks on a one-shot cell; rank 0 fills it. Exercises the
+        // waker CAS protocol (wake may land while the target is RUNNING).
+        use crate::message::AckCell;
+        let cell = Arc::new(AckCell::default());
+        let c0 = cell.clone();
+        let c1 = cell.clone();
+        let futs: Vec<RankFut<'_, f64>> = vec![
+            Box::pin(async move {
+                YieldNow::new().await;
+                c0.set(7.5);
+                0.0
+            }),
+            Box::pin(async move {
+                let cell = c1;
+                crate::message::AckWait(&cell).await
+            }),
+        ];
+        assert_eq!(run_event(futs).unwrap(), vec![0.0, 7.5]);
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! The Siesta paper traces and replays real MPI programs on real clusters.
 //! This crate is the reproduction's substitute for both the MPI library and
-//! the cluster: MPI ranks run as OS threads, every MPI operation advances a
-//! per-rank *virtual clock* through the LogGP-style cost models of
+//! the cluster: MPI ranks run as *resumable state machines* on a
+//! discrete-event scheduler, every MPI operation advances a per-rank
+//! *virtual clock* through the LogGP-style cost models of
 //! [`siesta_perfmodel`], and message matching follows real MPI semantics
 //! (communicators, tags, non-overtaking order, eager/rendezvous protocols,
 //! blocking and non-blocking operations, collective algorithms built from
@@ -22,9 +23,14 @@
 //!   its execution time the same way the original moves — the property
 //!   Figures 7–9 evaluate.
 //! * **Everything is deterministic.** All completion times are functions of
-//!   virtual timestamps, never of real thread-arrival order, so experiments
-//!   reproduce bit-for-bit (provided programs use fully-specified receive
-//!   sources; `ANY_SOURCE`-style wildcards are intentionally unsupported).
+//!   virtual timestamps, never of real scheduling order, so experiments
+//!   reproduce bit-for-bit at any worker count — and identically under the
+//!   `legacy-threads` thread-per-rank executor (provided programs use
+//!   fully-specified receive sources; `ANY_SOURCE`-style wildcards are
+//!   intentionally unsupported).
+//! * **Scale is decoupled from the host.** A rank costs one small heap
+//!   future plus a mailbox, not an OS thread, so worlds of 10⁴–10⁶ virtual
+//!   ranks simulate on a laptop; see `World::run`.
 //!
 //! # Interposition (the PMPI substitute)
 //!
@@ -37,26 +43,30 @@
 //!
 //! # Example
 //!
+//! Rank bodies take the [`Rank`] by value, `.await` blocking MPI calls (each
+//! is a continuation point for the scheduler), and return the rank:
+//!
 //! ```
-//! use siesta_mpisim::{World, Rank};
+//! use siesta_mpisim::World;
 //! use siesta_perfmodel::{Machine, KernelDesc};
 //!
 //! let world = World::new(Machine::default_eval(), 4);
-//! let stats = world.run(|rank: &mut Rank| {
+//! let stats = world.run(|mut rank| Box::pin(async move {
 //!     // Each rank computes, then everyone exchanges a ring message.
 //!     rank.compute(&KernelDesc::stencil(1000.0, 4.0, 65536.0));
 //!     let right = (rank.rank() + 1) % rank.nranks();
 //!     let left = (rank.rank() + rank.nranks() - 1) % rank.nranks();
 //!     let world_comm = rank.comm_world();
 //!     if rank.rank() % 2 == 0 {
-//!         rank.send(&world_comm, right, 99, 1024);
-//!         rank.recv(&world_comm, left, 99, 1024);
+//!         rank.send(&world_comm, right, 99, 1024).await;
+//!         rank.recv(&world_comm, left, 99, 1024).await;
 //!     } else {
-//!         rank.recv(&world_comm, left, 99, 1024);
-//!         rank.send(&world_comm, right, 99, 1024);
+//!         rank.recv(&world_comm, left, 99, 1024).await;
+//!         rank.send(&world_comm, right, 99, 1024).await;
 //!     }
-//!     rank.barrier(&world_comm);
-//! });
+//!     rank.barrier(&world_comm).await;
+//!     rank
+//! }));
 //! assert_eq!(stats.per_rank.len(), 4);
 //! assert!(stats.elapsed_ns() > 0.0);
 //! ```
@@ -65,6 +75,7 @@ pub mod collectives;
 pub mod comm;
 pub mod comm_matrix;
 pub mod engine;
+pub mod exec;
 pub mod hook;
 pub mod message;
 pub mod obs;
@@ -72,13 +83,15 @@ pub mod rank;
 pub mod request;
 pub mod world;
 
-pub use comm::{CommId, Communicator};
+pub use comm::{CommGroup, CommId, Communicator};
 pub use comm_matrix::{
     comm_matrix_enabled, set_comm_matrix_enabled, take_comm_matrix, CommMatrixSnapshot,
 };
+#[cfg(feature = "legacy-threads")]
+pub use exec::set_legacy_threads;
 pub use hook::{HookCtx, MpiCall, PmpiHook};
 pub use message::{RecvStatus, Tag, ANY_TAG};
 pub use obs::{FanoutHook, ObsHook};
 pub use rank::Rank;
 pub use request::Request;
-pub use world::{RankStats, RunStats, World};
+pub use world::{Deadlock, RankFut, RankStats, RunStats, World};

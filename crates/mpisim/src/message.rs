@@ -1,6 +1,9 @@
 //! Message envelopes and receive matching keys.
 
-use std::sync::mpsc::Sender;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Mutex;
+use std::task::{Context, Poll, Waker};
 
 use crate::comm::CommId;
 
@@ -33,6 +36,61 @@ pub enum WireProtocol {
     Rendezvous { rts_avail: f64 },
 }
 
+/// One-shot cell carrying the sender-side completion time of a rendezvous
+/// transfer from the matching engine back to the blocked sender. The
+/// engine [`AckCell::set`]s it when the receiver matches; the sender's
+/// state machine awaits it via [`AckWait`].
+#[derive(Debug, Default)]
+pub struct AckCell {
+    inner: Mutex<AckInner>,
+}
+
+#[derive(Debug, Default)]
+struct AckInner {
+    value: Option<f64>,
+    waker: Option<Waker>,
+}
+
+impl AckCell {
+    /// Deliver the value, waking the registered waiter if any.
+    pub fn set(&self, value: f64) {
+        let waker = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.value = Some(value);
+            inner.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    /// Non-blocking read (for `test`).
+    pub fn try_get(&self) -> Option<f64> {
+        self.inner.lock().unwrap().value
+    }
+
+    fn poll_value(&self, cx: &mut Context<'_>) -> Poll<f64> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.value {
+            Some(v) => Poll::Ready(v),
+            None => {
+                inner.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Future resolving to the value of an [`AckCell`].
+pub(crate) struct AckWait<'a>(pub &'a AckCell);
+
+impl Future for AckWait<'_> {
+    type Output = f64;
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<f64> {
+        self.0.poll_value(cx)
+    }
+}
+
 /// An in-flight message: everything the receiver's matching engine needs.
 #[derive(Debug)]
 pub struct Envelope {
@@ -47,7 +105,7 @@ pub struct Envelope {
     pub protocol: WireProtocol,
     /// For rendezvous messages: where to report the sender-side completion
     /// time once the transfer is scheduled.
-    pub ack: Option<Sender<f64>>,
+    pub ack: Option<std::sync::Arc<AckCell>>,
 }
 
 /// What a completed receive reports back to the application.
@@ -138,5 +196,13 @@ mod tests {
         assert!(key.matches(&env(2, CommId::WORLD, Channel::Sys { key: 42 })));
         assert!(!key.matches(&env(2, CommId::WORLD, Channel::Sys { key: 43 })));
         assert!(!key.matches(&env(2, CommId::WORLD, Channel::App { tag: 42 })));
+    }
+
+    #[test]
+    fn ack_cell_set_then_get() {
+        let cell = AckCell::default();
+        assert_eq!(cell.try_get(), None);
+        cell.set(3.25);
+        assert_eq!(cell.try_get(), Some(3.25));
     }
 }

@@ -1,17 +1,25 @@
 //! The per-process MPI handle: point-to-point operations, computation,
 //! communicator management, and the virtual clock.
+//!
+//! A `Rank` is the state a rank's resumable state machine threads through
+//! its body. Blocking MPI calls are `async`: each is an explicit
+//! continuation point where the state machine may return `Pending` to the
+//! event scheduler (registering a waker with the matching engine, a
+//! rendezvous ack cell, or the split registry) instead of parking an OS
+//! thread. Non-blocking calls (`isend`, `irecv`) remain plain methods.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
 
-use std::sync::{Condvar, Mutex};
 use siesta_perfmodel::net::Protocol;
 use siesta_perfmodel::{CounterVec, KernelDesc, Machine};
 
 use crate::comm::{CommId, Communicator};
 use crate::engine::{Completion, Engine};
 use crate::hook::{HookCtx, MpiCall, PmpiHook};
-use crate::message::{Channel, Envelope, MatchKey, RecvStatus, Tag, WireProtocol};
+use crate::message::{AckCell, AckWait, Channel, Envelope, MatchKey, RecvStatus, Tag, WireProtocol};
 use crate::request::{ReqState, Request, RequestTable};
 use crate::world::RankStats;
 
@@ -22,6 +30,46 @@ pub(crate) struct Shared {
     pub splits: SplitRegistry,
     pub seed: u64,
     pub nranks: usize,
+    /// Per-rank "why am I blocked" hints, written before every blocking
+    /// await and cleared after. The scheduler reads them to build a
+    /// per-rank diagnosis when the simulation deadlocks.
+    pub blocked: Vec<AtomicU64>,
+}
+
+/// Encoding of the per-rank blocked-reason hints: kind in the top byte,
+/// peer global rank (or `u32::MAX` for unknown) in the low 32 bits.
+pub(crate) mod blocked {
+    pub const NONE: u64 = 0;
+    const RECV: u64 = 1;
+    const ACK: u64 = 2;
+    const SPLIT: u64 = 3;
+
+    fn pack(kind: u64, peer: usize) -> u64 {
+        (kind << 56) | (peer as u64 & 0xFFFF_FFFF)
+    }
+
+    pub fn recv(src_global: usize) -> u64 {
+        pack(RECV, src_global)
+    }
+
+    pub fn ack(dst_global: usize) -> u64 {
+        pack(ACK, dst_global)
+    }
+
+    pub fn split() -> u64 {
+        pack(SPLIT, u32::MAX as usize)
+    }
+
+    pub fn describe(hint: u64) -> String {
+        let peer = (hint & 0xFFFF_FFFF) as u32;
+        let peer = if peer == u32::MAX { "?".to_string() } else { peer.to_string() };
+        match hint >> 56 {
+            RECV => format!("waiting for a message from global rank {peer}"),
+            ACK => format!("waiting for rendezvous ack from global rank {peer}"),
+            SPLIT => "waiting for comm_split contributions".to_string(),
+            _ => "blocked".to_string(),
+        }
+    }
 }
 
 /// Rendezvous point for `MPI_Comm_split` contributions. Data moves through
@@ -30,57 +78,76 @@ pub(crate) struct Shared {
 /// virtual timestamps.
 pub(crate) struct SplitRegistry {
     inner: Mutex<HashMap<(u64, u32), SplitSlot>>,
-    cv: Condvar,
 }
 
 struct SplitSlot {
     contributions: Vec<Option<(i64, i64, f64)>>,
     filled: usize,
     readers: usize,
+    /// Wakers of members blocked waiting for the slot to fill, keyed by
+    /// parent-local rank (each member waits at most once per slot).
+    wakers: Vec<(usize, Waker)>,
 }
 
 impl SplitRegistry {
     pub fn new() -> SplitRegistry {
-        SplitRegistry { inner: Mutex::new(HashMap::new()), cv: Condvar::new() }
+        SplitRegistry { inner: Mutex::new(HashMap::new()) }
     }
+}
 
-    /// Deposit this rank's `(color, key, entry_clock)` and block until every
-    /// member of the parent communicator has done the same. Returns all
-    /// contributions indexed by parent-local rank.
-    fn exchange(
-        &self,
-        slot_key: (u64, u32),
-        local_rank: usize,
-        size: usize,
-        value: (i64, i64, f64),
-    ) -> Vec<(i64, i64, f64)> {
-        let mut map = self.inner.lock().unwrap();
-        let slot = map.entry(slot_key).or_insert_with(|| SplitSlot {
-            contributions: vec![None; size],
+/// Future of one rank's participation in a split exchange: deposits the
+/// `(color, key, entry_clock)` contribution on first poll and resolves once
+/// every member of the parent communicator has contributed.
+struct SplitWait<'a> {
+    reg: &'a SplitRegistry,
+    slot_key: (u64, u32),
+    local_rank: usize,
+    size: usize,
+    value: (i64, i64, f64),
+    deposited: bool,
+}
+
+impl std::future::Future for SplitWait<'_> {
+    type Output = Vec<(i64, i64, f64)>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut map = this.reg.inner.lock().unwrap();
+        let slot = map.entry(this.slot_key).or_insert_with(|| SplitSlot {
+            contributions: vec![None; this.size],
             filled: 0,
             readers: 0,
+            wakers: Vec::new(),
         });
-        assert!(
-            slot.contributions[local_rank].is_none(),
-            "rank {local_rank} contributed twice to the same split"
-        );
-        slot.contributions[local_rank] = Some(value);
-        slot.filled += 1;
-        if slot.filled == size {
-            self.cv.notify_all();
-        }
-        loop {
-            let slot = map.get_mut(&slot_key).expect("slot present until last reader");
-            if slot.filled == size {
-                let out: Vec<(i64, i64, f64)> =
-                    slot.contributions.iter().map(|c| c.expect("filled")).collect();
-                slot.readers += 1;
-                if slot.readers == size {
-                    map.remove(&slot_key);
+        if !this.deposited {
+            assert!(
+                slot.contributions[this.local_rank].is_none(),
+                "rank {} contributed twice to the same split",
+                this.local_rank
+            );
+            slot.contributions[this.local_rank] = Some(this.value);
+            slot.filled += 1;
+            this.deposited = true;
+            if slot.filled == this.size {
+                for (_, w) in slot.wakers.drain(..) {
+                    w.wake();
                 }
-                return out;
             }
-            map = self.cv.wait(map).unwrap();
+        }
+        if slot.filled == this.size {
+            let out: Vec<(i64, i64, f64)> =
+                slot.contributions.iter().map(|c| c.expect("filled")).collect();
+            slot.readers += 1;
+            if slot.readers == this.size {
+                map.remove(&this.slot_key);
+            }
+            Poll::Ready(out)
+        } else {
+            match slot.wakers.iter_mut().find(|(r, _)| *r == this.local_rank) {
+                Some(entry) => entry.1 = cx.waker().clone(),
+                None => slot.wakers.push((this.local_rank, cx.waker().clone())),
+            }
+            Poll::Pending
         }
     }
 }
@@ -89,8 +156,10 @@ impl SplitRegistry {
 ///
 /// All methods mirror their MPI namesakes; ranks and tags follow MPI
 /// conventions (communicator-local ranks, non-negative application tags).
-pub struct Rank<'w> {
-    pub(crate) shared: &'w Shared,
+/// Rank bodies receive the `Rank` by value and must return it so the world
+/// can collect statistics.
+pub struct Rank {
+    pub(crate) shared: Arc<Shared>,
     pub(crate) rank: usize,
     pub(crate) clock: f64,
     pub(crate) counters: CounterVec,
@@ -105,10 +174,13 @@ pub struct Rank<'w> {
     pub(crate) bytes_sent: u64,
     pub(crate) compute_events: u64,
     pub(crate) event_seq: u64,
+    /// Rolling hash over (clock, call count) at every accounted MPI call —
+    /// a fingerprint of this rank's event schedule in virtual time.
+    pub(crate) sched_hash: u64,
 }
 
-impl<'w> Rank<'w> {
-    pub(crate) fn new(shared: &'w Shared, rank: usize) -> Rank<'w> {
+impl Rank {
+    pub(crate) fn new(shared: Arc<Shared>, rank: usize) -> Rank {
         Rank {
             shared,
             rank,
@@ -123,6 +195,7 @@ impl<'w> Rank<'w> {
             bytes_sent: 0,
             compute_events: 0,
             event_seq: 0,
+            sched_hash: 0,
         }
     }
 
@@ -218,7 +291,7 @@ impl<'w> Rank<'w> {
     // ------------------------------------------------------------------
 
     /// Blocking standard-mode send (`MPI_Send`).
-    pub fn send(&mut self, comm: &Communicator, dest: usize, tag: Tag, bytes: usize) {
+    pub async fn send(&mut self, comm: &Communicator, dest: usize, tag: Tag, bytes: usize) {
         let call = MpiCall::Send { comm: comm.id, dest, tag, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
@@ -228,20 +301,27 @@ impl<'w> Rank<'w> {
             comm.id,
             Channel::App { tag },
             bytes,
-        );
+        )
+        .await;
         self.account_mpi(t0, bytes);
         self.hook_post_c(&call, comm);
     }
 
     /// Blocking receive (`MPI_Recv`). `bytes` is the receive buffer size;
     /// the returned status reports the actual message size.
-    pub fn recv(&mut self, comm: &Communicator, src: usize, tag: Tag, bytes: usize) -> RecvStatus {
+    pub async fn recv(
+        &mut self,
+        comm: &Communicator,
+        src: usize,
+        tag: Tag,
+        bytes: usize,
+    ) -> RecvStatus {
         let call = MpiCall::Recv { comm: comm.id, src, tag, bytes };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
-        let id = self.post_recv_raw(comm.global_of(src), comm.id, Channel::App { tag });
-        let c = self.shared.engine.wait(self.rank, id);
-        let status = self.finish_recv(&c);
+        let src_global = comm.global_of(src);
+        let id = self.post_recv_raw(src_global, comm.id, Channel::App { tag });
+        let status = self.wait_recv_raw(id, src_global).await;
         self.account_mpi(t0, 0);
         self.hook_post_c(&call, comm);
         status
@@ -269,7 +349,6 @@ impl<'w> Rank<'w> {
     /// Non-blocking receive (`MPI_Irecv`).
     pub fn irecv(&mut self, comm: &Communicator, src: usize, tag: Tag, bytes: usize) -> Request {
         // Post first so the request id in the call record is real.
-         
         let id = self.post_recv_raw(comm.global_of(src), comm.id, Channel::App { tag });
         let req = self.requests.alloc(ReqState::RecvPending { recv_id: id }, tag);
         let call = MpiCall::Irecv { comm: comm.id, src, tag, bytes, req: req.0 };
@@ -283,31 +362,37 @@ impl<'w> Rank<'w> {
     }
 
     /// Block until a request completes (`MPI_Wait`).
-    pub fn wait(&mut self, req: Request) -> RecvStatus {
+    pub async fn wait(&mut self, req: Request) -> RecvStatus {
         let call = MpiCall::Wait { req: req.0 };
         self.hook_pre(&call);
         let t0 = self.clock;
-        let status = self.complete_request(req);
+        let status = self.complete_request(req).await;
         self.account_mpi(t0, 0);
         self.hook_post(&call);
         status
     }
 
     /// Block until all requests complete (`MPI_Waitall`).
-    pub fn waitall(&mut self, reqs: &[Request]) -> Vec<RecvStatus> {
+    pub async fn waitall(&mut self, reqs: &[Request]) -> Vec<RecvStatus> {
         let call = MpiCall::Waitall { reqs: reqs.iter().map(|r| r.0).collect() };
         self.hook_pre(&call);
         let t0 = self.clock;
-        let statuses: Vec<RecvStatus> =
-            reqs.iter().map(|r| self.complete_request(*r)).collect();
+        let mut statuses = Vec::with_capacity(reqs.len());
+        for r in reqs {
+            statuses.push(self.complete_request(*r).await);
+        }
         self.account_mpi(t0, 0);
         self.hook_post(&call);
         statuses
     }
 
     /// Non-blocking completion test (`MPI_Test`). Completes and consumes
-    /// the request on success.
-    pub fn test(&mut self, req: Request) -> Option<RecvStatus> {
+    /// the request on success; on failure it *yields* once to the scheduler
+    /// so a test-poll loop cannot livelock cooperative execution. Poll
+    /// counts (and thus the clock cost of a polling loop) depend on
+    /// scheduling, so `test` is excluded from the byte-identical-schedule
+    /// contract — real MPI makes the same non-guarantee.
+    pub async fn test(&mut self, req: Request) -> Option<RecvStatus> {
         let ready = match self.requests.get(req) {
             Some(ReqState::RecvPending { recv_id, .. }) => {
                 let recv_id = *recv_id;
@@ -323,12 +408,12 @@ impl<'w> Rank<'w> {
                 self.clock = self.clock.max(done);
                 Some(self.dummy_send_status())
             }
-            Some(ReqState::SendRendezvous { ack }) => match ack.try_recv() {
-                Ok(done) => {
+            Some(ReqState::SendRendezvous { ack }) => match ack.try_get() {
+                Some(done) => {
                     self.clock = self.clock.max(done);
                     Some(self.dummy_send_status())
                 }
-                Err(_) => None,
+                None => None,
             },
             None => panic!("test on inactive request"),
         };
@@ -337,6 +422,8 @@ impl<'w> Rank<'w> {
         if ready.is_some() {
             // Consume the slot; state was already acted upon above.
             let _ = self.requests.take(req);
+        } else {
+            crate::exec::YieldNow::new().await;
         }
         ready
     }
@@ -344,7 +431,7 @@ impl<'w> Rank<'w> {
     /// Combined blocking exchange (`MPI_Sendrecv`), deadlock-free under
     /// rendezvous because the receive is posted before the send blocks.
     #[allow(clippy::too_many_arguments)]
-    pub fn sendrecv(
+    pub async fn sendrecv(
         &mut self,
         comm: &Communicator,
         dest: usize,
@@ -365,16 +452,17 @@ impl<'w> Rank<'w> {
         };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
-        let id = self.post_recv_raw(comm.global_of(src), comm.id, Channel::App { tag: recv_tag });
+        let src_global = comm.global_of(src);
+        let id = self.post_recv_raw(src_global, comm.id, Channel::App { tag: recv_tag });
         self.p2p_send_blocking(
             comm.global_of(dest),
             comm.rank(),
             comm.id,
             Channel::App { tag: send_tag },
             send_bytes,
-        );
-        let c = self.shared.engine.wait(self.rank, id);
-        let status = self.finish_recv(&c);
+        )
+        .await;
+        let status = self.wait_recv_raw(id, src_global).await;
         self.account_mpi(t0, send_bytes);
         self.hook_post_c(&call, comm);
         status
@@ -386,7 +474,7 @@ impl<'w> Rank<'w> {
 
     /// `MPI_Comm_split`: collective over `comm`; returns the new
     /// communicator containing this process, or `None` for negative colors.
-    pub fn comm_split(
+    pub async fn comm_split(
         &mut self,
         comm: &Communicator,
         color: i64,
@@ -396,12 +484,17 @@ impl<'w> Rank<'w> {
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
         let seq = self.next_derive_seq(comm.id);
-        let contributions = self.shared.splits.exchange(
-            (comm.id.0, seq),
-            comm.rank(),
-            comm.size(),
-            (color, key, self.clock),
-        );
+        self.set_blocked(blocked::split());
+        let contributions = SplitWait {
+            reg: &self.shared.splits,
+            slot_key: (comm.id.0, seq),
+            local_rank: comm.rank(),
+            size: comm.size(),
+            value: (color, key, self.clock),
+            deposited: false,
+        }
+        .await;
+        self.clear_blocked();
         // Allgather-shaped completion: everyone leaves at the same time.
         let t_all = contributions.iter().map(|c| c.2).fold(0.0f64, f64::max);
         let net = &self.machine().net;
@@ -409,7 +502,7 @@ impl<'w> Rank<'w> {
         let span_nodes = !self
             .machine()
             .platform
-            .same_node(*comm.group.first().unwrap(), *comm.group.last().unwrap());
+            .same_node(comm.group.get(0), comm.group.get(p - 1));
         let rounds = (p as f64).log2().ceil().max(1.0);
         let cost = net.collective_overhead_ns
             + rounds * net.latency(!span_nodes)
@@ -426,12 +519,12 @@ impl<'w> Rank<'w> {
     }
 
     /// `MPI_Comm_dup`: collective duplicate of `comm`.
-    pub fn comm_dup(&mut self, comm: &Communicator) -> Communicator {
+    pub async fn comm_dup(&mut self, comm: &Communicator) -> Communicator {
         let mut call = MpiCall::CommDup { parent: comm.id, result: None };
         self.hook_pre_c(&call, comm);
         let t0 = self.clock;
         let seq = self.next_derive_seq(comm.id);
-        self.plumbing_barrier(comm);
+        self.plumbing_barrier(comm).await;
         let result = comm.dup_from(seq);
         if let MpiCall::CommDup { result: r, .. } = &mut call {
             *r = Some(result.id);
@@ -454,6 +547,14 @@ impl<'w> Rank<'w> {
     // ------------------------------------------------------------------
     // Internals shared with the collectives module
     // ------------------------------------------------------------------
+
+    fn set_blocked(&self, hint: u64) {
+        self.shared.blocked[self.rank].store(hint, Ordering::Relaxed);
+    }
+
+    fn clear_blocked(&self) {
+        self.shared.blocked[self.rank].store(blocked::NONE, Ordering::Relaxed);
+    }
 
     pub(crate) fn hook_pre(&mut self, call: &MpiCall) {
         self.hook_pre_raw(call, self.rank, self.shared.nranks);
@@ -503,6 +604,14 @@ impl<'w> Rank<'w> {
         self.mpi_ns += self.clock - t0;
         self.app_calls += 1;
         self.bytes_sent += sent_bytes as u64;
+        // Fold the virtual completion time of this call into the schedule
+        // hash: two runs with identical hashes made the same calls at the
+        // same virtual times, regardless of host threads or executor.
+        self.sched_hash = siesta_perfmodel::noise::combine(&[
+            self.sched_hash,
+            self.clock.to_bits(),
+            self.app_calls,
+        ]);
     }
 
     fn next_derive_seq(&mut self, comm: CommId) -> u32 {
@@ -546,15 +655,18 @@ impl<'w> Rank<'w> {
         }
     }
 
-    /// Wait for an engine receive and apply completion.
-    pub(crate) fn wait_recv_raw(&mut self, recv_id: u64) -> RecvStatus {
-        let c = self.shared.engine.wait(self.rank, recv_id);
+    /// Wait for an engine receive and apply completion. `src_global` is
+    /// only a diagnostic hint for deadlock reports (`usize::MAX` = unknown).
+    pub(crate) async fn wait_recv_raw(&mut self, recv_id: u64, src_global: usize) -> RecvStatus {
+        self.set_blocked(blocked::recv(src_global));
+        let c = self.shared.engine.wait(self.rank, recv_id).await;
+        self.clear_blocked();
         self.finish_recv(&c)
     }
 
     /// Blocking send through the wire model (shared by app ops and
     /// collective plumbing).
-    pub(crate) fn p2p_send_blocking(
+    pub(crate) async fn p2p_send_blocking(
         &mut self,
         dst_global: usize,
         src_comm_rank: usize,
@@ -586,7 +698,7 @@ impl<'w> Rank<'w> {
             }
             Protocol::Rendezvous => {
                 let rts_avail = self.clock + net.send_overhead_ns + net.latency(same);
-                let (tx, rx) = std::sync::mpsc::channel();
+                let ack = Arc::new(AckCell::default());
                 self.shared.engine.send(
                     dst_global,
                     Envelope {
@@ -596,10 +708,12 @@ impl<'w> Rank<'w> {
                         channel,
                         bytes,
                         protocol: WireProtocol::Rendezvous { rts_avail },
-                        ack: Some(tx),
+                        ack: Some(ack.clone()),
                     },
                 );
-                let sender_done = rx.recv().expect("receiver matches rendezvous send");
+                self.set_blocked(blocked::ack(dst_global));
+                let sender_done = AckWait(&ack).await;
+                self.clear_blocked();
                 self.clock = (self.clock + net.send_overhead_ns).max(sender_done);
             }
         }
@@ -638,7 +752,7 @@ impl<'w> Rank<'w> {
             }
             Protocol::Rendezvous => {
                 let rts_avail = self.clock + net.send_overhead_ns + net.latency(same);
-                let (tx, rx) = std::sync::mpsc::channel();
+                let ack = Arc::new(AckCell::default());
                 self.shared.engine.send(
                     dst_global,
                     Envelope {
@@ -648,24 +762,28 @@ impl<'w> Rank<'w> {
                         channel,
                         bytes,
                         protocol: WireProtocol::Rendezvous { rts_avail },
-                        ack: Some(tx),
+                        ack: Some(ack.clone()),
                     },
                 );
-                (ReqState::SendRendezvous { ack: rx }, net.send_overhead_ns)
+                (ReqState::SendRendezvous { ack }, net.send_overhead_ns)
             }
         }
     }
 
-    fn complete_request(&mut self, req: Request) -> RecvStatus {
+    async fn complete_request(&mut self, req: Request) -> RecvStatus {
         let (state, _tag) = self.requests.take(req);
         match state {
-            ReqState::RecvPending { recv_id, .. } => self.wait_recv_raw(recv_id),
+            ReqState::RecvPending { recv_id, .. } => {
+                self.wait_recv_raw(recv_id, usize::MAX).await
+            }
             ReqState::SendDone { done } => {
                 self.clock = self.clock.max(done);
                 self.dummy_send_status()
             }
             ReqState::SendRendezvous { ack } => {
-                let done = ack.recv().expect("receiver matches rendezvous send");
+                self.set_blocked(blocked::ack(usize::MAX));
+                let done = AckWait(&ack).await;
+                self.clear_blocked();
                 self.clock = self.clock.max(done);
                 self.dummy_send_status()
             }
@@ -686,6 +804,7 @@ impl<'w> Rank<'w> {
             app_calls: self.app_calls,
             bytes_sent: self.bytes_sent,
             compute_events: self.compute_events,
+            sched_hash: self.sched_hash,
         }
     }
 }

@@ -5,9 +5,9 @@
 //! request depends on allocation history. This is exactly the behaviour the
 //! paper's free-number pool normalizes away on the tracing side.
 
-use std::sync::mpsc::Receiver;
+use std::sync::Arc;
 
-use crate::message::Tag;
+use crate::message::{AckCell, Tag};
 
 /// Handle to an outstanding non-blocking operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,9 +19,9 @@ pub(crate) enum ReqState {
     RecvPending { recv_id: u64 },
     /// Eager send: completed locally at a known virtual time.
     SendDone { done: f64 },
-    /// Rendezvous send: completion time arrives on this channel when the
+    /// Rendezvous send: completion time lands in this cell when the
     /// receiver matches.
-    SendRendezvous { ack: Receiver<f64> },
+    SendRendezvous { ack: Arc<AckCell> },
 }
 
 /// What kind of call produced a request — used by `MpiCall` records.

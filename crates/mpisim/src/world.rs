@@ -1,12 +1,20 @@
-//! World setup and run statistics.
+//! World setup, the run entry points, and run statistics.
 
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use siesta_perfmodel::{CounterVec, Machine};
 
 use crate::engine::Engine;
 use crate::hook::PmpiHook;
-use crate::rank::{Rank, Shared, SplitRegistry};
+use crate::rank::{blocked, Rank, Shared, SplitRegistry};
+
+/// The boxed resumable state machine of one rank: what a rank body returns.
+/// `'env` is the lifetime of whatever the body closure borrows (trace
+/// buffers, proxy programs, …) — bodies that own their data use `'static`.
+pub type RankFut<'env> =
+    std::pin::Pin<Box<dyn std::future::Future<Output = Rank> + Send + 'env>>;
 
 /// Configuration for one simulated MPI job.
 pub struct World {
@@ -50,12 +58,32 @@ impl World {
         self.nranks
     }
 
-    /// Run `body` once per rank, each on its own thread, and collect
-    /// statistics. `body` receives the rank handle; rank 0..n-1 execute the
-    /// same function (SPMD), branching internally as MPI programs do.
-    pub fn run<F>(&self, body: F) -> RunStats
+    /// Run `body` once per rank and collect statistics. Ranks 0..n-1 execute
+    /// the same function (SPMD), branching internally as MPI programs do.
+    ///
+    /// The body receives its [`Rank`] by value and must return it (the
+    /// idiomatic shape is `|mut rank| Box::pin(async move { …; rank })`).
+    /// Ranks run as resumable state machines on a discrete-event scheduler:
+    /// only *runnable* ranks occupy a worker, so worlds of a million ranks
+    /// need a million small futures, not a million OS threads.
+    ///
+    /// Panics with a per-rank diagnosis if the program deadlocks (every
+    /// unfinished rank blocked with nothing in flight to wake it).
+    pub fn run<'env, F>(&self, body: F) -> RunStats
     where
-        F: Fn(&mut Rank) + Send + Sync,
+        F: Fn(Rank) -> RankFut<'env> + Send + Sync,
+    {
+        match self.try_run(body) {
+            Ok(stats) => stats,
+            Err(deadlock) => panic!("{deadlock}"),
+        }
+    }
+
+    /// Like [`World::run`], but reports deadlock as an error instead of
+    /// panicking.
+    pub fn try_run<'env, F>(&self, body: F) -> Result<RunStats, Deadlock>
+    where
+        F: Fn(Rank) -> RankFut<'env> + Send + Sync,
     {
         siesta_obs::debug!(
             "mpisim: running {} ranks on {}{}",
@@ -63,22 +91,51 @@ impl World {
             self.machine.label(),
             if self.hook.is_some() { " (hooked)" } else { "" }
         );
-        let shared = Shared {
+        let shared = Arc::new(Shared {
             engine: Engine::new(self.machine, self.nranks),
             hook: self.hook.clone(),
             splits: SplitRegistry::new(),
             seed: self.seed,
             nranks: self.nranks,
-        };
-        let body = &body;
-        let shared_ref = &shared;
+            blocked: (0..self.nranks).map(|_| AtomicU64::new(blocked::NONE)).collect(),
+        });
+        #[cfg(feature = "legacy-threads")]
+        if crate::exec::legacy_threads() {
+            return Ok(self.run_threaded(&shared, &body));
+        }
+        let futs: Vec<RankFut<'env>> =
+            (0..self.nranks).map(|r| body(Rank::new(shared.clone(), r))).collect();
+        match crate::exec::run_event(futs) {
+            Ok(ranks) => {
+                // The executor returns results in slot order == rank order.
+                Ok(RunStats { per_rank: ranks.into_iter().map(Rank::into_stats).collect() })
+            }
+            Err(stuck) => Err(Deadlock {
+                nranks: self.nranks,
+                ranks: stuck
+                    .into_iter()
+                    .map(|r| (r, blocked::describe(shared.blocked[r].load(Ordering::Relaxed))))
+                    .collect(),
+            }),
+        }
+    }
+
+    /// The pre-event-scheduler execution mode: one OS thread per rank, each
+    /// driving its state machine with a parking waker. Kept (behind the
+    /// `legacy-threads` feature) as the independent reference implementation
+    /// for the threaded-vs-event differential oracle. Cannot diagnose
+    /// deadlock — a deadlocked program parks forever, like real MPI.
+    #[cfg(feature = "legacy-threads")]
+    fn run_threaded<'env, F>(&self, shared: &Arc<Shared>, body: &F) -> RunStats
+    where
+        F: Fn(Rank) -> RankFut<'env> + Send + Sync,
+    {
         let per_rank: Vec<RankStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.nranks)
                 .map(|r| {
+                    let shared = shared.clone();
                     scope.spawn(move || {
-                        let mut rank = Rank::new(shared_ref, r);
-                        body(&mut rank);
-                        rank.into_stats()
+                        crate::exec::block_on(body(Rank::new(shared, r))).into_stats()
                     })
                 })
                 .collect();
@@ -90,6 +147,37 @@ impl World {
         RunStats { per_rank }
     }
 }
+
+/// A detected simulation deadlock: the scheduler went quiescent with
+/// unfinished ranks. Carries a per-rank diagnosis of what each blocked rank
+/// was waiting for.
+#[derive(Debug)]
+pub struct Deadlock {
+    pub nranks: usize,
+    /// `(global rank, reason)` for every blocked rank.
+    pub ranks: Vec<(usize, String)>,
+}
+
+impl fmt::Display for Deadlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simulation deadlock: {} of {} ranks blocked with no message in flight to wake them",
+            self.ranks.len(),
+            self.nranks
+        )?;
+        const SHOWN: usize = 16;
+        for (r, why) in self.ranks.iter().take(SHOWN) {
+            writeln!(f, "  rank {r}: {why}")?;
+        }
+        if self.ranks.len() > SHOWN {
+            writeln!(f, "  … and {} more", self.ranks.len() - SHOWN)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Deadlock {}
 
 /// Final accounting for one rank.
 #[derive(Debug, Clone, Copy)]
@@ -109,6 +197,10 @@ pub struct RankStats {
     pub bytes_sent: u64,
     /// Number of `compute` invocations.
     pub compute_events: u64,
+    /// Fingerprint of this rank's event schedule in virtual time (rolling
+    /// hash over every accounted MPI call's completion clock). Equal hashes
+    /// ⇒ the rank made the same calls completing at the same virtual times.
+    pub sched_hash: u64,
 }
 
 /// Statistics for a whole run.
@@ -136,6 +228,15 @@ impl RunStats {
     /// Total application payload bytes sent across ranks.
     pub fn total_bytes(&self) -> u64 {
         self.per_rank.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Whole-run schedule fingerprint: per-rank schedule hashes folded in
+    /// rank order. Byte-identical schedules — across worker counts and
+    /// across the threaded/event executors — produce equal hashes.
+    pub fn schedule_hash(&self) -> u64 {
+        self.per_rank.iter().fold(0x5c4ed01eu64, |acc, r| {
+            siesta_perfmodel::noise::combine(&[acc, r.rank as u64, r.sched_hash])
+        })
     }
 
     /// Sum of computation counters over all ranks.

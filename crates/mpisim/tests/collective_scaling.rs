@@ -1,14 +1,17 @@
 //! Analytic cross-checks of the collective algorithms: measured virtual
 //! times must scale the way the algorithms' round structures predict.
 
-use siesta_mpisim::World;
+use siesta_mpisim::{Rank, RankFut, World};
 use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
 
 fn machine() -> Machine {
     Machine::new(platform_a(), MpiFlavor::OpenMpi)
 }
 
-fn time_of<F: Fn(&mut siesta_mpisim::Rank) + Send + Sync>(p: usize, body: F) -> f64 {
+fn time_of<F>(p: usize, body: F) -> f64
+where
+    F: Fn(Rank) -> RankFut<'static> + Send + Sync,
+{
     World::new(machine(), p).run(body).elapsed_ns()
 }
 
@@ -16,18 +19,17 @@ fn time_of<F: Fn(&mut siesta_mpisim::Rank) + Send + Sync>(p: usize, body: F) -> 
 fn binomial_bcast_scales_logarithmically() {
     // Small broadcast → binomial tree → ⌈log₂p⌉ rounds. Quadrupling the
     // ranks adds ~2 rounds, nowhere near 4× the time.
-    let t8 = time_of(8, |r| {
-        let c = r.comm_world();
-        for _ in 0..20 {
-            r.bcast(&c, 0, 512);
-        }
-    });
-    let t64 = time_of(64, |r| {
-        let c = r.comm_world();
-        for _ in 0..20 {
-            r.bcast(&c, 0, 512);
-        }
-    });
+    let bcast20 = |mut r: Rank| -> RankFut<'static> {
+        Box::pin(async move {
+            let c = r.comm_world();
+            for _ in 0..20 {
+                r.bcast(&c, 0, 512).await;
+            }
+            r
+        })
+    };
+    let t8 = time_of(8, bcast20);
+    let t64 = time_of(64, bcast20);
     assert!(t64 > t8, "more rounds must cost more");
     assert!(
         t64 < 3.0 * t8,
@@ -42,14 +44,15 @@ fn ring_allreduce_is_bandwidth_optimal_in_shape() {
     // *transfer* volume per rank is ~2·bytes regardless of p; time should
     // grow only mildly (latency terms) as p grows at fixed bytes.
     let bytes = 4 << 20;
-    let t8 = time_of(8, move |r| {
-        let c = r.comm_world();
-        r.allreduce(&c, bytes);
-    });
-    let t32 = time_of(32, move |r| {
-        let c = r.comm_world();
-        r.allreduce(&c, bytes);
-    });
+    let body = move |mut r: Rank| -> RankFut<'static> {
+        Box::pin(async move {
+            let c = r.comm_world();
+            r.allreduce(&c, bytes).await;
+            r
+        })
+    };
+    let t8 = time_of(8, body);
+    let t32 = time_of(32, body);
     assert!(
         t32 < 2.2 * t8,
         "ring allreduce time exploded with ranks: t8={t8} t32={t32}"
@@ -61,14 +64,15 @@ fn pairwise_alltoall_scales_linearly_in_ranks() {
     // Pairwise alltoall does p−1 rounds of fixed-size exchanges: time is
     // ~linear in p at fixed bytes-per-peer.
     let bytes = 32 << 10;
-    let t8 = time_of(8, move |r| {
-        let c = r.comm_world();
-        r.alltoall(&c, bytes);
-    });
-    let t32 = time_of(32, move |r| {
-        let c = r.comm_world();
-        r.alltoall(&c, bytes);
-    });
+    let body = move |mut r: Rank| -> RankFut<'static> {
+        Box::pin(async move {
+            let c = r.comm_world();
+            r.alltoall(&c, bytes).await;
+            r
+        })
+    };
+    let t8 = time_of(8, body);
+    let t32 = time_of(32, body);
     let ratio = t32 / t8;
     assert!(
         (2.0..8.0).contains(&ratio),
@@ -80,22 +84,21 @@ fn pairwise_alltoall_scales_linearly_in_ranks() {
 fn bandwidth_term_dominates_large_messages() {
     // Doubling the payload of a large p2p transfer roughly doubles its
     // time (latency amortized away).
-    let t1 = time_of(2, |r| {
-        let c = r.comm_world();
-        if r.rank() == 0 {
-            r.send(&c, 1, 0, 8 << 20);
-        } else {
-            r.recv(&c, 0, 0, 8 << 20);
-        }
-    });
-    let t2 = time_of(2, |r| {
-        let c = r.comm_world();
-        if r.rank() == 0 {
-            r.send(&c, 1, 0, 16 << 20);
-        } else {
-            r.recv(&c, 0, 0, 16 << 20);
-        }
-    });
+    let p2p = |bytes: usize| {
+        time_of(2, move |mut r| {
+            Box::pin(async move {
+                let c = r.comm_world();
+                if r.rank() == 0 {
+                    r.send(&c, 1, 0, bytes).await;
+                } else {
+                    r.recv(&c, 0, 0, bytes).await;
+                }
+                r
+            })
+        })
+    };
+    let t1 = p2p(8 << 20);
+    let t2 = p2p(16 << 20);
     let ratio = t2 / t1;
     assert!(
         (1.7..2.3).contains(&ratio),
@@ -107,15 +110,18 @@ fn bandwidth_term_dominates_large_messages() {
 fn latency_term_dominates_small_messages() {
     // Doubling a tiny payload barely moves the time.
     let run = |bytes: usize| {
-        time_of(2, move |r| {
-            let c = r.comm_world();
-            for tag in 0..50 {
-                if r.rank() == 0 {
-                    r.send(&c, 1, tag, bytes);
-                } else {
-                    r.recv(&c, 0, tag, bytes);
+        time_of(2, move |mut r| {
+            Box::pin(async move {
+                let c = r.comm_world();
+                for tag in 0..50 {
+                    if r.rank() == 0 {
+                        r.send(&c, 1, tag, bytes).await;
+                    } else {
+                        r.recv(&c, 0, tag, bytes).await;
+                    }
                 }
-            }
+                r
+            })
         })
     };
     let t64 = run(64);
@@ -131,18 +137,17 @@ fn dissemination_barrier_rounds_match_theory() {
     // ⌈log₂p⌉ rounds: barrier(16) ≈ 4 rounds vs barrier(4) ≈ 2 rounds, so
     // roughly 2× once the constant collective overhead is subtracted off.
     let reps = 50;
-    let t4 = time_of(4, move |r| {
-        let c = r.comm_world();
-        for _ in 0..reps {
-            r.barrier(&c);
-        }
-    });
-    let t16 = time_of(16, move |r| {
-        let c = r.comm_world();
-        for _ in 0..reps {
-            r.barrier(&c);
-        }
-    });
+    let body = move |mut r: Rank| -> RankFut<'static> {
+        Box::pin(async move {
+            let c = r.comm_world();
+            for _ in 0..reps {
+                r.barrier(&c).await;
+            }
+            r
+        })
+    };
+    let t4 = time_of(4, body);
+    let t16 = time_of(16, body);
     let ratio = t16 / t4;
     assert!(
         (1.2..3.0).contains(&ratio),

@@ -1,48 +1,62 @@
 //! Failure injection: erroneous MPI usage must fail loudly and precisely,
 //! not corrupt state or hang.
 
-use siesta_mpisim::{Rank, World};
+use siesta_mpisim::{Rank, RankFut, World};
 use siesta_perfmodel::{platform_a, platform_c, Machine, MpiFlavor};
 
 fn machine() -> Machine {
     Machine::new(platform_a(), MpiFlavor::OpenMpi)
 }
 
-/// Run a 2-rank world where rank 0 executes `bad` and rank 1 idles; the
-/// world panics (propagated from the rank thread).
-fn expect_rank0_panic<F: Fn(&mut Rank) + Send + Sync>(bad: F) {
+/// Run a 2-rank world with `body`; assert it panics (the scheduler resumes
+/// a rank state machine's panic on the driving thread).
+fn expect_world_panic<F>(body: F)
+where
+    F: Fn(Rank) -> RankFut<'static> + Send + Sync,
+{
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        World::new(machine(), 2).run(|rank| {
-            if rank.rank() == 0 {
-                bad(rank);
-            }
-        });
+        World::new(machine(), 2).run(body);
     }));
     assert!(result.is_err(), "expected a panic");
 }
 
 #[test]
 fn double_wait_panics() {
-    expect_rank0_panic(|rank| {
-        let comm = rank.comm_world();
-        let r = rank.isend(&comm, 1, 0, 8);
-        rank.wait(r);
-        rank.wait(r); // the handle was released
+    expect_world_panic(|mut rank| {
+        Box::pin(async move {
+            if rank.rank() == 0 {
+                let comm = rank.comm_world();
+                let r = rank.isend(&comm, 1, 0, 8);
+                rank.wait(r).await;
+                rank.wait(r).await; // the handle was released
+            }
+            rank
+        })
     });
 }
 
 #[test]
 fn wait_on_foreign_request_value_panics() {
-    expect_rank0_panic(|rank| {
-        rank.wait(siesta_mpisim::Request(42)); // never allocated
+    expect_world_panic(|mut rank| {
+        Box::pin(async move {
+            if rank.rank() == 0 {
+                rank.wait(siesta_mpisim::Request(42)).await; // never allocated
+            }
+            rank
+        })
     });
 }
 
 #[test]
 fn out_of_range_peer_panics() {
-    expect_rank0_panic(|rank| {
-        let comm = rank.comm_world();
-        rank.send(&comm, 7, 0, 8); // world has 2 ranks
+    expect_world_panic(|mut rank| {
+        Box::pin(async move {
+            if rank.rank() == 0 {
+                let comm = rank.comm_world();
+                rank.send(&comm, 7, 0, 8).await; // world has 2 ranks
+            }
+            rank
+        })
     });
 }
 
@@ -62,32 +76,63 @@ fn zero_rank_world_is_rejected() {
 
 #[test]
 fn gatherv_with_wrong_count_length_panics() {
-    expect_rank0_panic(|rank| {
-        let comm = rank.comm_world();
-        rank.gatherv(&comm, 0, &[1, 2, 3]); // 3 counts for 2 ranks
+    expect_world_panic(|mut rank| {
+        Box::pin(async move {
+            if rank.rank() == 0 {
+                let comm = rank.comm_world();
+                rank.gatherv(&comm, 0, &[1, 2, 3]).await; // 3 counts for 2 ranks
+            }
+            rank
+        })
     });
 }
 
 #[test]
 fn alltoallv_with_wrong_count_length_panics() {
-    expect_rank0_panic(|rank| {
-        let comm = rank.comm_world();
-        rank.alltoallv(&comm, &[1], &[1, 2]);
+    expect_world_panic(|mut rank| {
+        Box::pin(async move {
+            if rank.rank() == 0 {
+                let comm = rank.comm_world();
+                rank.alltoallv(&comm, &[1], &[1, 2]).await;
+            }
+            rank
+        })
     });
+}
+
+#[test]
+fn unmatched_recv_is_a_clean_deadlock_error() {
+    // A plain hang in real MPI; here `try_run` reports it as a typed error.
+    let err = World::new(machine(), 2)
+        .try_run(|mut rank| {
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                if rank.rank() == 1 {
+                    rank.recv(&comm, 0, 0, 32).await; // rank 0 never sends
+                }
+                rank
+            })
+        })
+        .unwrap_err();
+    assert_eq!(err.nranks, 2);
+    assert_eq!(err.ranks, vec![(1, err.ranks[0].1.clone())]);
 }
 
 #[test]
 fn split_color_out_of_subgroup_returns_none_not_panic() {
     // MPI_UNDEFINED-style negative colors are a supported non-error.
-    let stats = World::new(machine(), 4).run(|rank| {
-        let comm = rank.comm_world();
-        let color = if rank.rank() == 0 { -1 } else { 0 };
-        let sub = rank.comm_split(&comm, color, 0);
-        assert_eq!(sub.is_none(), rank.rank() == 0);
-        if let Some(sub) = sub {
-            rank.allreduce(&sub, 8);
-            rank.comm_free(sub);
-        }
+    let stats = World::new(machine(), 4).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            let color = if rank.rank() == 0 { -1 } else { 0 };
+            let sub = rank.comm_split(&comm, color, 0).await;
+            assert_eq!(sub.is_none(), rank.rank() == 0);
+            if let Some(sub) = sub {
+                rank.allreduce(&sub, 8).await;
+                rank.comm_free(sub);
+            }
+            rank
+        })
     });
     assert!(stats.elapsed_ns() > 0.0);
 }
@@ -96,17 +141,20 @@ fn split_color_out_of_subgroup_returns_none_not_panic() {
 fn messages_between_disjoint_tags_do_not_cross() {
     // Send on tag 1; a recv on tag 2 posted first must keep waiting until
     // the matching send arrives later — never steal the tag-1 message.
-    let stats = World::new(machine(), 2).run(|rank| {
-        let comm = rank.comm_world();
-        if rank.rank() == 0 {
-            rank.send(&comm, 1, 1, 100);
-            rank.send(&comm, 1, 2, 200);
-        } else {
-            let st2 = rank.recv(&comm, 0, 2, 4096);
-            let st1 = rank.recv(&comm, 0, 1, 4096);
-            assert_eq!(st2.bytes, 200);
-            assert_eq!(st1.bytes, 100);
-        }
+    let stats = World::new(machine(), 2).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            if rank.rank() == 0 {
+                rank.send(&comm, 1, 1, 100).await;
+                rank.send(&comm, 1, 2, 200).await;
+            } else {
+                let st2 = rank.recv(&comm, 0, 2, 4096).await;
+                let st1 = rank.recv(&comm, 0, 1, 4096).await;
+                assert_eq!(st2.bytes, 200);
+                assert_eq!(st1.bytes, 100);
+            }
+            rank
+        })
     });
     assert!(stats.elapsed_ns() > 0.0);
 }

@@ -1,0 +1,278 @@
+//! Property-based tests for the event scheduler: random MPI programs.
+
+#![cfg(feature = "proptest-tests")]
+// Gated: the `proptest` dev-dependency is not vendored (no registry access
+// in the default build environment). The nightly CI job runs this suite via
+// `scripts/proptests.sh`, which adds the dependency on the fly; run the same
+// script locally. On failure, proptest logs the shrunken counterexample plus
+// its seed and persists it under this crate's proptest-regressions/ — commit
+// that file with the fix so the case replays forever (see tests/README.md).
+//
+// The generator builds *globally ordered* programs: a list of rounds, each
+// either a matched point-to-point transfer, a collective over the world
+// communicator, a barrier, or a comm_split phase (split → subcomm
+// allreduce → free). Every rank walks the same list, playing only its own
+// part of each round, so the program is deadlock-free by construction —
+// which is exactly the property the scheduler must preserve. Sabotaging
+// one receive's tag breaks the matching and must be *diagnosed* as a
+// deadlock (`try_run` → `Err`), never hang or panic.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use siesta_mpisim::{Rank, RankFut, World};
+use siesta_perfmodel::{platform_b, Machine, MpiFlavor};
+
+/// A tag the generator never produces: poisoning a receive with it
+/// guarantees the receive can never match.
+const POISON_TAG: i32 = 9_999;
+
+fn machine() -> Machine {
+    Machine::new(platform_b(), MpiFlavor::OpenMpi)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Round {
+    /// One matched transfer `from → to` (`from != to`); both sides
+    /// blocking, or both non-blocking with an immediate wait.
+    P2p { from: usize, to: usize, tag: i32, bytes: usize, nonblocking: bool },
+    /// A collective over the world communicator.
+    Coll { kind: CollKind, root: usize, bytes: usize },
+    Barrier,
+    /// `comm_split(color = rank % modulus)` → allreduce in the subcomm →
+    /// free. Exercises matching on freshly derived communicators.
+    Split { modulus: usize, bytes: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CollKind {
+    Bcast,
+    Reduce,
+    Allreduce,
+    Allgather,
+    Alltoall,
+    Scan,
+}
+
+fn round_strategy(nranks: usize) -> impl Strategy<Value = Round> {
+    prop_oneof![
+        4 => (0..nranks, 0..nranks - 1, 0..8i32, 1usize..32_768, any::<bool>()).prop_map(
+            move |(from, offset, tag, bytes, nonblocking)| {
+                // `to` is drawn from the other ranks by offset, never self.
+                let to = (from + 1 + offset) % nranks;
+                Round::P2p { from, to, tag, bytes, nonblocking }
+            }
+        ),
+        3 => (0..6usize, 0..nranks, 1usize..16_384).prop_map(move |(k, root, bytes)| {
+            let kind = [
+                CollKind::Bcast,
+                CollKind::Reduce,
+                CollKind::Allreduce,
+                CollKind::Allgather,
+                CollKind::Alltoall,
+                CollKind::Scan,
+            ][k];
+            Round::Coll { kind, root, bytes }
+        }),
+        1 => Just(Round::Barrier),
+        1 => (2..5usize, 1usize..4_096)
+            .prop_map(move |(modulus, bytes)| Round::Split { modulus, bytes }),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = (usize, Vec<Round>)> {
+    (2usize..=8).prop_flat_map(|nranks| {
+        prop::collection::vec(round_strategy(nranks), 1..24)
+            .prop_map(move |rounds| (nranks, rounds))
+    })
+}
+
+/// Play one rank's part of the script. `sabotage` poisons the *receive*
+/// tag of the round at that index (which must be a `P2p`).
+async fn run_rounds(rank: &mut Rank, rounds: &[Round], sabotage: Option<usize>) {
+    let comm = rank.comm_world();
+    let me = rank.rank();
+    for (i, round) in rounds.iter().enumerate() {
+        match *round {
+            Round::P2p { from, to, tag, bytes, nonblocking } => {
+                let recv_tag = if sabotage == Some(i) { POISON_TAG } else { tag };
+                if me == from {
+                    if nonblocking {
+                        let r = rank.isend(&comm, to, tag, bytes);
+                        rank.wait(r).await;
+                    } else {
+                        rank.send(&comm, to, tag, bytes).await;
+                    }
+                } else if me == to {
+                    if nonblocking {
+                        let r = rank.irecv(&comm, from, recv_tag, bytes);
+                        rank.wait(r).await;
+                    } else {
+                        rank.recv(&comm, from, recv_tag, bytes).await;
+                    }
+                }
+            }
+            Round::Coll { kind, root, bytes } => match kind {
+                CollKind::Bcast => rank.bcast(&comm, root, bytes).await,
+                CollKind::Reduce => rank.reduce(&comm, root, bytes).await,
+                CollKind::Allreduce => rank.allreduce(&comm, bytes).await,
+                CollKind::Allgather => rank.allgather(&comm, bytes).await,
+                CollKind::Alltoall => rank.alltoall(&comm, bytes).await,
+                CollKind::Scan => rank.scan(&comm, bytes).await,
+            },
+            Round::Barrier => rank.barrier(&comm).await,
+            Round::Split { modulus, bytes } => {
+                let sub = rank
+                    .comm_split(&comm, (me % modulus) as i64, me as i64)
+                    .await
+                    .expect("non-negative color always yields a communicator");
+                rank.allreduce(&sub, bytes).await;
+                rank.comm_free(sub);
+            }
+        }
+    }
+}
+
+fn body(
+    rounds: Arc<Vec<Round>>,
+    sabotage: Option<usize>,
+) -> impl Fn(Rank) -> RankFut<'static> + Send + Sync {
+    move |mut rank: Rank| -> RankFut<'static> {
+        let rounds = rounds.clone();
+        Box::pin(async move {
+            run_rounds(&mut rank, &rounds, sabotage).await;
+            rank
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Matched programs never deadlock: every round is either collective
+    /// (all ranks participate) or a paired send/recv, so the scheduler
+    /// must always drive the world to completion.
+    #[test]
+    fn matched_programs_complete((nranks, rounds) in program_strategy()) {
+        let rounds = Arc::new(rounds);
+        let stats = World::new(machine(), nranks)
+            .try_run(body(rounds.clone(), None))
+            .expect("matched program reported deadlock");
+        prop_assert_eq!(stats.per_rank.len(), nranks);
+        // Virtual time moved unless the program was a pure no-op for
+        // every rank (cannot happen: every round touches all or two ranks
+        // and rounds is non-empty — except a P2p in a 2-rank world still
+        // involves both, so some rank always advances).
+        prop_assert!(stats.elapsed_ns() > 0.0);
+    }
+
+    /// Breaking one receive's tag must be *diagnosed*: `try_run` returns
+    /// the deadlock report (with the stuck ranks) instead of hanging.
+    #[test]
+    fn mismatched_programs_are_diagnosed(
+        (nranks, rounds) in program_strategy(),
+        pick in any::<prop::sample::Index>(),
+    ) {
+        let p2ps: Vec<usize> = rounds
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Round::P2p { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!p2ps.is_empty());
+        let sabotage = p2ps[pick.index(p2ps.len())];
+        let rounds = Arc::new(rounds);
+        let err = World::new(machine(), nranks)
+            .try_run(body(rounds.clone(), Some(sabotage)))
+            .expect_err("poisoned receive cannot complete, deadlock must be reported");
+        prop_assert_eq!(err.nranks, nranks);
+        prop_assert!(!err.ranks.is_empty(), "deadlock report names no ranks");
+        prop_assert!(err.ranks.len() <= nranks);
+    }
+
+    /// Non-overtaking: two sends on the same (source, dest, comm, tag)
+    /// arrive in program order, so a receiver draining K same-tag
+    /// messages sees the sender's byte sizes in the exact order sent.
+    #[test]
+    fn p2p_messages_do_not_overtake(
+        sizes in prop::collection::vec(1usize..16_384, 1..16),
+        tag in 0..4i32,
+        nonblocking in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let sizes = Arc::new(sizes);
+        let nonblocking = Arc::new(nonblocking);
+        let stats = World::new(machine(), 2).run(move |mut rank: Rank| -> RankFut<'static> {
+            let sizes = sizes.clone();
+            let nonblocking = nonblocking.clone();
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                if rank.rank() == 0 {
+                    for (i, &bytes) in sizes.iter().enumerate() {
+                        if nonblocking[i] {
+                            let r = rank.isend(&comm, 1, tag, bytes);
+                            rank.wait(r).await;
+                        } else {
+                            rank.send(&comm, 1, tag, bytes).await;
+                        }
+                    }
+                } else {
+                    let mut got = Vec::new();
+                    for i in 0..sizes.len() {
+                        // Receive buffer is deliberately the max size: the
+                        // status must report the *message* size, and order
+                        // must come from posting order alone. The receive
+                        // mode is drawn independently of the send mode.
+                        let status = if nonblocking[sizes.len() - 1 - i] {
+                            let r = rank.irecv(&comm, 0, tag, 16_384);
+                            rank.wait(r).await
+                        } else {
+                            rank.recv(&comm, 0, tag, 16_384).await
+                        };
+                        got.push(status.bytes);
+                    }
+                    assert_eq!(
+                        got.as_slice(),
+                        sizes.as_slice(),
+                        "same-tag messages overtook each other"
+                    );
+                }
+                rank
+            })
+        });
+        prop_assert_eq!(stats.per_rank.len(), 2);
+    }
+
+    /// Run-to-run determinism: the event-schedule hash (per-call virtual
+    /// completion clocks folded per rank) is identical across repeated
+    /// runs and across scheduler pool widths.
+    #[test]
+    fn schedule_hash_is_deterministic((nranks, rounds) in program_strategy()) {
+        let rounds = Arc::new(rounds);
+        let run_at = |width: usize| {
+            siesta_par::with_threads(width, || {
+                World::new(machine(), nranks).run(body(rounds.clone(), None))
+            })
+        };
+        let baseline = run_at(1);
+        let again = run_at(1);
+        prop_assert_eq!(baseline.schedule_hash(), again.schedule_hash());
+        prop_assert_eq!(
+            baseline.elapsed_ns().to_bits(),
+            again.elapsed_ns().to_bits()
+        );
+        for width in [2usize, 4] {
+            let wide = run_at(width);
+            prop_assert_eq!(
+                baseline.schedule_hash(),
+                wide.schedule_hash(),
+                "schedule hash diverges at {} threads", width
+            );
+            prop_assert_eq!(
+                baseline.elapsed_ns().to_bits(),
+                wide.elapsed_ns().to_bits(),
+                "virtual time diverges at {} threads", width
+            );
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use siesta_mpisim::{HookCtx, MpiCall, PmpiHook, Rank, World};
+use siesta_mpisim::{HookCtx, MpiCall, PmpiHook, Rank, RankFut, World};
 use siesta_perfmodel::{
     platform_a, platform_b, platform_c, KernelDesc, Machine, MpiFlavor,
 };
@@ -14,20 +14,23 @@ fn machine() -> Machine {
 
 /// A ring exchange where every rank sends then receives (even/odd ordering
 /// avoids deadlock), followed by a barrier.
-fn ring_program(rank: &mut Rank) {
-    let comm = rank.comm_world();
-    let p = rank.nranks();
-    let right = (rank.rank() + 1) % p;
-    let left = (rank.rank() + p - 1) % p;
-    rank.compute(&KernelDesc::stencil(5_000.0, 4.0, 65536.0));
-    if rank.rank() % 2 == 0 {
-        rank.send(&comm, right, 7, 4096);
-        rank.recv(&comm, left, 7, 4096);
-    } else {
-        rank.recv(&comm, left, 7, 4096);
-        rank.send(&comm, right, 7, 4096);
-    }
-    rank.barrier(&comm);
+fn ring_program(mut rank: Rank) -> RankFut<'static> {
+    Box::pin(async move {
+        let comm = rank.comm_world();
+        let p = rank.nranks();
+        let right = (rank.rank() + 1) % p;
+        let left = (rank.rank() + p - 1) % p;
+        rank.compute(&KernelDesc::stencil(5_000.0, 4.0, 65536.0));
+        if rank.rank().is_multiple_of(2) {
+            rank.send(&comm, right, 7, 4096).await;
+            rank.recv(&comm, left, 7, 4096).await;
+        } else {
+            rank.recv(&comm, left, 7, 4096).await;
+            rank.send(&comm, right, 7, 4096).await;
+        }
+        rank.barrier(&comm).await;
+        rank
+    })
 }
 
 #[test]
@@ -37,17 +40,36 @@ fn runs_are_deterministic() {
     for (x, y) in a.per_rank.iter().zip(&b.per_rank) {
         assert_eq!(x.finish_ns, y.finish_ns, "rank {} time differs", x.rank);
         assert_eq!(x.counters, y.counters);
+        assert_eq!(x.sched_hash, y.sched_hash);
+    }
+    assert_eq!(a.schedule_hash(), b.schedule_hash());
+}
+
+#[test]
+fn schedule_hash_is_stable_across_worker_counts() {
+    // The whole-run schedule fingerprint must not depend on how many host
+    // workers drive the event scheduler.
+    let baseline = World::new(machine(), 8).run(ring_program).schedule_hash();
+    for threads in [1, 2, 8] {
+        let prev = siesta_par::threads();
+        siesta_par::set_threads(threads);
+        let h = World::new(machine(), 8).run(ring_program).schedule_hash();
+        siesta_par::set_threads(prev);
+        assert_eq!(h, baseline, "schedule hash drifted at {threads} workers");
     }
 }
 
 #[test]
 fn barrier_synchronizes_finish_times() {
     // Ranks do very unequal compute, then barrier: finish times converge.
-    let stats = World::new(machine(), 6).run(|rank| {
-        let comm = rank.comm_world();
-        let work = (rank.rank() + 1) as f64 * 20_000.0;
-        rank.compute(&KernelDesc::stencil(work, 4.0, 65536.0));
-        rank.barrier(&comm);
+    let stats = World::new(machine(), 6).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            let work = (rank.rank() + 1) as f64 * 20_000.0;
+            rank.compute(&KernelDesc::stencil(work, 4.0, 65536.0));
+            rank.barrier(&comm).await;
+            rank
+        })
     });
     let max = stats.elapsed_ns();
     for r in &stats.per_rank {
@@ -58,16 +80,19 @@ fn barrier_synchronizes_finish_times() {
 
 #[test]
 fn blocking_send_recv_moves_time_forward() {
-    let stats = World::new(machine(), 2).run(|rank| {
-        let comm = rank.comm_world();
-        if rank.rank() == 0 {
-            rank.send(&comm, 1, 0, 1 << 20); // rendezvous-sized
-        } else {
-            rank.compute(&KernelDesc::stencil(100_000.0, 4.0, 65536.0));
-            let st = rank.recv(&comm, 0, 0, 1 << 20);
-            assert_eq!(st.source, 0);
-            assert_eq!(st.bytes, 1 << 20);
-        }
+    let stats = World::new(machine(), 2).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            if rank.rank() == 0 {
+                rank.send(&comm, 1, 0, 1 << 20).await; // rendezvous-sized
+            } else {
+                rank.compute(&KernelDesc::stencil(100_000.0, 4.0, 65536.0));
+                let st = rank.recv(&comm, 0, 0, 1 << 20).await;
+                assert_eq!(st.source, 0);
+                assert_eq!(st.bytes, 1 << 20);
+            }
+            rank
+        })
     });
     // The rendezvous sender must have waited for the late receiver.
     let t0 = stats.per_rank[0].finish_ns;
@@ -80,23 +105,29 @@ fn nonblocking_overlap_beats_blocking_order() {
     // Exchange with isend/irecv completes in about one transfer time,
     // not two, because the transfers overlap.
     let bytes = 1 << 20;
-    let blocking = World::new(machine(), 2).run(|rank| {
-        let comm = rank.comm_world();
-        let peer = 1 - rank.rank();
-        if rank.rank() == 0 {
-            rank.send(&comm, peer, 0, bytes);
-            rank.recv(&comm, peer, 1, bytes);
-        } else {
-            rank.recv(&comm, peer, 0, bytes);
-            rank.send(&comm, peer, 1, bytes);
-        }
+    let blocking = World::new(machine(), 2).run(move |mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            let peer = 1 - rank.rank();
+            if rank.rank() == 0 {
+                rank.send(&comm, peer, 0, bytes).await;
+                rank.recv(&comm, peer, 1, bytes).await;
+            } else {
+                rank.recv(&comm, peer, 0, bytes).await;
+                rank.send(&comm, peer, 1, bytes).await;
+            }
+            rank
+        })
     });
-    let overlapped = World::new(machine(), 2).run(|rank| {
-        let comm = rank.comm_world();
-        let peer = 1 - rank.rank();
-        let r = rank.irecv(&comm, peer, rank.rank() as i32, bytes);
-        let s = rank.isend(&comm, peer, peer as i32, bytes);
-        rank.waitall(&[r, s]);
+    let overlapped = World::new(machine(), 2).run(move |mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            let peer = 1 - rank.rank();
+            let r = rank.irecv(&comm, peer, rank.rank() as i32, bytes);
+            let s = rank.isend(&comm, peer, peer as i32, bytes);
+            rank.waitall(&[r, s]).await;
+            rank
+        })
     });
     assert!(
         overlapped.elapsed_ns() < blocking.elapsed_ns(),
@@ -108,13 +139,16 @@ fn nonblocking_overlap_beats_blocking_order() {
 
 #[test]
 fn sendrecv_is_deadlock_free_for_large_messages() {
-    let stats = World::new(machine(), 4).run(|rank| {
-        let comm = rank.comm_world();
-        let p = rank.nranks();
-        let right = (rank.rank() + 1) % p;
-        let left = (rank.rank() + p - 1) % p;
-        // All ranks sendrecv simultaneously with rendezvous-sized payloads.
-        rank.sendrecv(&comm, right, 3, 1 << 20, left, 3, 1 << 20);
+    let stats = World::new(machine(), 4).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            let p = rank.nranks();
+            let right = (rank.rank() + 1) % p;
+            let left = (rank.rank() + p - 1) % p;
+            // All ranks sendrecv simultaneously with rendezvous-sized payloads.
+            rank.sendrecv(&comm, right, 3, 1 << 20, left, 3, 1 << 20).await;
+            rank
+        })
     });
     assert!(stats.elapsed_ns() > 0.0);
 }
@@ -122,13 +156,19 @@ fn sendrecv_is_deadlock_free_for_large_messages() {
 #[test]
 fn collectives_complete_and_cost_grows_with_size() {
     for p in [4, 7, 16] {
-        let small = World::new(machine(), p).run(|rank| {
-            let comm = rank.comm_world();
-            rank.allreduce(&comm, 64);
+        let small = World::new(machine(), p).run(|mut rank| {
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                rank.allreduce(&comm, 64).await;
+                rank
+            })
         });
-        let large = World::new(machine(), p).run(|rank| {
-            let comm = rank.comm_world();
-            rank.allreduce(&comm, 1 << 22);
+        let large = World::new(machine(), p).run(|mut rank| {
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                rank.allreduce(&comm, 1 << 22).await;
+                rank
+            })
         });
         assert!(
             large.elapsed_ns() > small.elapsed_ns(),
@@ -141,23 +181,26 @@ fn collectives_complete_and_cost_grows_with_size() {
 
 #[test]
 fn all_collectives_run_on_non_power_of_two() {
-    let stats = World::new(machine(), 6).run(|rank| {
-        let comm = rank.comm_world();
-        rank.bcast(&comm, 0, 4096);
-        rank.bcast(&comm, 2, 1 << 20); // large → ring under openmpi
-        rank.reduce(&comm, 0, 4096);
-        rank.reduce(&comm, 1, 1 << 20);
-        rank.allreduce(&comm, 4096);
-        rank.allreduce(&comm, 1 << 20);
-        rank.allgather(&comm, 4096);
-        rank.alltoall(&comm, 256);
-        rank.alltoall(&comm, 1 << 16);
-        let sc = vec![100usize; 6];
-        rank.alltoallv(&comm, &sc, &sc);
-        rank.gather(&comm, 0, 4096);
-        rank.gather(&comm, 3, 4096);
-        rank.scatter(&comm, 0, 4096);
-        rank.barrier(&comm);
+    let stats = World::new(machine(), 6).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            rank.bcast(&comm, 0, 4096).await;
+            rank.bcast(&comm, 2, 1 << 20).await; // large → ring under openmpi
+            rank.reduce(&comm, 0, 4096).await;
+            rank.reduce(&comm, 1, 1 << 20).await;
+            rank.allreduce(&comm, 4096).await;
+            rank.allreduce(&comm, 1 << 20).await;
+            rank.allgather(&comm, 4096).await;
+            rank.alltoall(&comm, 256).await;
+            rank.alltoall(&comm, 1 << 16).await;
+            let sc = vec![100usize; 6];
+            rank.alltoallv(&comm, &sc, &sc).await;
+            rank.gather(&comm, 0, 4096).await;
+            rank.gather(&comm, 3, 4096).await;
+            rank.scatter(&comm, 0, 4096).await;
+            rank.barrier(&comm).await;
+            rank
+        })
     });
     assert_eq!(stats.per_rank.len(), 6);
     assert!(stats.elapsed_ns() > 0.0);
@@ -168,46 +211,52 @@ fn all_collectives_run_on_non_power_of_two() {
 
 #[test]
 fn comm_split_partitions_and_communicates() {
-    let stats = World::new(machine(), 8).run(|rank| {
-        let world = rank.comm_world();
-        let color = (rank.rank() % 2) as i64;
-        let sub = rank.comm_split(&world, color, rank.rank() as i64).unwrap();
-        assert_eq!(sub.size(), 4);
-        // Ring within the sub-communicator.
-        let right = (sub.rank() + 1) % sub.size();
-        let left = (sub.rank() + sub.size() - 1) % sub.size();
-        if sub.rank() % 2 == 0 {
-            rank.send(&sub, right, 1, 512);
-            rank.recv(&sub, left, 1, 512);
-        } else {
-            rank.recv(&sub, left, 1, 512);
-            rank.send(&sub, right, 1, 512);
-        }
-        rank.allreduce(&sub, 1024);
-        rank.comm_free(sub);
-        rank.barrier(&world);
+    let stats = World::new(machine(), 8).run(|mut rank| {
+        Box::pin(async move {
+            let world = rank.comm_world();
+            let color = (rank.rank() % 2) as i64;
+            let sub = rank.comm_split(&world, color, rank.rank() as i64).await.unwrap();
+            assert_eq!(sub.size(), 4);
+            // Ring within the sub-communicator.
+            let right = (sub.rank() + 1) % sub.size();
+            let left = (sub.rank() + sub.size() - 1) % sub.size();
+            if sub.rank().is_multiple_of(2) {
+                rank.send(&sub, right, 1, 512).await;
+                rank.recv(&sub, left, 1, 512).await;
+            } else {
+                rank.recv(&sub, left, 1, 512).await;
+                rank.send(&sub, right, 1, 512).await;
+            }
+            rank.allreduce(&sub, 1024).await;
+            rank.comm_free(sub);
+            rank.barrier(&world).await;
+            rank
+        })
     });
     assert!(stats.elapsed_ns() > 0.0);
 }
 
 #[test]
 fn comm_dup_creates_independent_matching_space() {
-    let stats = World::new(machine(), 2).run(|rank| {
-        let world = rank.comm_world();
-        let dup = rank.comm_dup(&world);
-        assert_ne!(dup.id, world.id);
-        let peer = 1 - rank.rank();
-        // Same tag on two communicators: messages must not cross.
-        if rank.rank() == 0 {
-            rank.send(&world, peer, 5, 100);
-            rank.send(&dup, peer, 5, 200);
-        } else {
-            // Receive in the opposite order: dup first.
-            let a = rank.recv(&dup, peer, 5, 4096);
-            let b = rank.recv(&world, peer, 5, 4096);
-            assert_eq!(a.bytes, 200);
-            assert_eq!(b.bytes, 100);
-        }
+    let stats = World::new(machine(), 2).run(|mut rank| {
+        Box::pin(async move {
+            let world = rank.comm_world();
+            let dup = rank.comm_dup(&world).await;
+            assert_ne!(dup.id, world.id);
+            let peer = 1 - rank.rank();
+            // Same tag on two communicators: messages must not cross.
+            if rank.rank() == 0 {
+                rank.send(&world, peer, 5, 100).await;
+                rank.send(&dup, peer, 5, 200).await;
+            } else {
+                // Receive in the opposite order: dup first.
+                let a = rank.recv(&dup, peer, 5, 4096).await;
+                let b = rank.recv(&world, peer, 5, 4096).await;
+                assert_eq!(a.bytes, 200);
+                assert_eq!(b.bytes, 100);
+            }
+            rank
+        })
     });
     assert!(stats.elapsed_ns() > 0.0);
 }
@@ -215,12 +264,15 @@ fn comm_dup_creates_independent_matching_space() {
 #[test]
 fn flavors_change_execution_time() {
     let run = |flavor: MpiFlavor| {
-        World::new(Machine::new(platform_a(), flavor), 8).run(|rank| {
-            let comm = rank.comm_world();
-            for _ in 0..20 {
-                rank.alltoall(&comm, 2048);
-                rank.allreduce(&comm, 64 * 1024);
-            }
+        World::new(Machine::new(platform_a(), flavor), 8).run(|mut rank| {
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                for _ in 0..20 {
+                    rank.alltoall(&comm, 2048).await;
+                    rank.allreduce(&comm, 64 * 1024).await;
+                }
+                rank
+            })
         })
     };
     let t: Vec<f64> = MpiFlavor::ALL.iter().map(|f| run(*f).elapsed_ns()).collect();
@@ -229,10 +281,13 @@ fn flavors_change_execution_time() {
 
 #[test]
 fn knl_platform_is_slower_for_compute_bound_work() {
-    let program = |rank: &mut Rank| {
-        let comm = rank.comm_world();
-        rank.compute(&KernelDesc::stencil(2_000_000.0, 8.0, 4.0 * 1024.0 * 1024.0));
-        rank.barrier(&comm);
+    let program = |mut rank: Rank| -> RankFut<'static> {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            rank.compute(&KernelDesc::stencil(2_000_000.0, 8.0, 4.0 * 1024.0 * 1024.0));
+            rank.barrier(&comm).await;
+            rank
+        })
     };
     let ta = World::new(Machine::new(platform_a(), MpiFlavor::OpenMpi), 4)
         .run(program)
@@ -251,9 +306,12 @@ fn single_node_platform_rejects_oversubscription() {
     assert!(result.is_err());
     // 16 ranks fit fine.
     let stats = World::new(Machine::new(platform_c(), MpiFlavor::OpenMpi), 16)
-        .run(|rank| {
-            let comm = rank.comm_world();
-            rank.allreduce(&comm, 4096);
+        .run(|mut rank| {
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                rank.allreduce(&comm, 4096).await;
+                rank
+            })
         });
     assert!(stats.elapsed_ns() > 0.0);
 }
@@ -309,9 +367,12 @@ fn hook_is_not_called_for_collective_plumbing() {
         post_calls: AtomicU64::new(0),
         overhead: 0.0,
     });
-    World::new(machine(), 8).with_hook(hook.clone()).run(|rank| {
-        let comm = rank.comm_world();
-        rank.allreduce(&comm, 1 << 20); // many internal messages
+    World::new(machine(), 8).with_hook(hook.clone()).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            rank.allreduce(&comm, 1 << 20).await; // many internal messages
+            rank
+        })
     });
     // Exactly one call per rank, regardless of internal rounds.
     assert_eq!(hook.pre_calls.load(Ordering::Relaxed), 8);
@@ -319,11 +380,14 @@ fn hook_is_not_called_for_collective_plumbing() {
 
 #[test]
 fn compute_accumulates_counters_not_mpi() {
-    let stats = World::new(machine(), 2).run(|rank| {
-        let comm = rank.comm_world();
-        rank.compute(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
-        rank.allreduce(&comm, 1 << 16);
-        rank.compute(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
+    let stats = World::new(machine(), 2).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            rank.compute(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
+            rank.allreduce(&comm, 1 << 16).await;
+            rank.compute(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
+            rank
+        })
     });
     for r in &stats.per_rank {
         assert_eq!(r.compute_events, 2);
@@ -337,44 +401,55 @@ fn compute_accumulates_counters_not_mpi() {
 
 #[test]
 fn request_ids_are_recycled_like_real_handles() {
-    World::new(machine(), 2).run(|rank| {
-        let comm = rank.comm_world();
-        let peer = 1 - rank.rank();
-        for _ in 0..5 {
-            let r = if rank.rank() == 0 {
-                rank.isend(&comm, peer, 0, 64)
-            } else {
-                rank.irecv(&comm, peer, 0, 64)
-            };
-            // Always slot 0: freed and reallocated each iteration.
-            assert_eq!(r.0, 0);
-            rank.wait(r);
-        }
-        assert_eq!(rank.outstanding_requests(), 0);
+    World::new(machine(), 2).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            let peer = 1 - rank.rank();
+            for _ in 0..5 {
+                let r = if rank.rank() == 0 {
+                    rank.isend(&comm, peer, 0, 64)
+                } else {
+                    rank.irecv(&comm, peer, 0, 64)
+                };
+                // Always slot 0: freed and reallocated each iteration.
+                assert_eq!(r.0, 0);
+                rank.wait(r).await;
+            }
+            assert_eq!(rank.outstanding_requests(), 0);
+            rank
+        })
     });
 }
 
 #[test]
 fn test_polls_until_complete() {
-    World::new(machine(), 2).run(|rank| {
-        let comm = rank.comm_world();
-        if rank.rank() == 0 {
-            // Delay the send so rank 1 polls a few times in real time.
-            std::thread::sleep(std::time::Duration::from_millis(20));
-            rank.send(&comm, 1, 0, 128);
-        } else {
-            let r = rank.irecv(&comm, 0, 0, 128);
-            let mut polls = 0;
-            let status = loop {
-                if let Some(st) = rank.test(r) {
-                    break st;
-                }
+    // Deterministic, sleep-free: rank 0 cannot send its payload before it
+    // receives the go-message, and rank 1 only sends the go-message after
+    // one guaranteed-unsuccessful poll. Each failed `test` yields to the
+    // scheduler instead of sleeping real time.
+    World::new(machine(), 2).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            if rank.rank() == 0 {
+                rank.recv(&comm, 1, 9, 8).await; // the "go" message
+                rank.send(&comm, 1, 0, 128).await;
+            } else {
+                let r = rank.irecv(&comm, 0, 0, 128);
+                let mut polls = 0;
+                assert!(rank.test(r).await.is_none(), "payload cannot be here yet");
                 polls += 1;
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            };
-            assert_eq!(status.bytes, 128);
-            assert!(polls > 0, "expected at least one unsuccessful poll");
-        }
+                rank.send(&comm, 0, 9, 8).await; // release rank 0
+                let status = loop {
+                    if let Some(st) = rank.test(r).await {
+                        break st;
+                    }
+                    polls += 1;
+                };
+                assert_eq!(status.bytes, 128);
+                assert!(polls > 0, "expected at least one unsuccessful poll");
+            }
+            rank
+        })
     });
 }
 
@@ -382,11 +457,14 @@ fn test_polls_until_complete() {
 fn larger_worlds_make_collectives_slower() {
     let time = |p: usize| {
         World::new(machine(), p)
-            .run(|rank| {
-                let comm = rank.comm_world();
-                for _ in 0..10 {
-                    rank.allreduce(&comm, 8192);
-                }
+            .run(|mut rank| {
+                Box::pin(async move {
+                    let comm = rank.comm_world();
+                    for _ in 0..10 {
+                        rank.allreduce(&comm, 8192).await;
+                    }
+                    rank
+                })
             })
             .elapsed_ns()
     };
@@ -398,11 +476,14 @@ fn larger_worlds_make_collectives_slower() {
 #[test]
 fn scan_completes_and_costs_grow_with_payload() {
     let run = |bytes: usize| {
-        World::new(machine(), 8).run(move |rank| {
-            let comm = rank.comm_world();
-            for _ in 0..10 {
-                rank.scan(&comm, bytes);
-            }
+        World::new(machine(), 8).run(move |mut rank| {
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                for _ in 0..10 {
+                    rank.scan(&comm, bytes).await;
+                }
+                rank
+            })
         })
     };
     let small = run(64);
@@ -416,13 +497,16 @@ fn scan_completes_and_costs_grow_with_payload() {
 
 #[test]
 fn gatherv_handles_asymmetric_counts() {
-    let stats = World::new(machine(), 6).run(|rank| {
-        let comm = rank.comm_world();
-        // Wildly different contributions, including zero.
-        let counts = vec![0usize, 100, 50_000, 7, 1 << 20, 64];
-        rank.gatherv(&comm, 2, &counts);
-        rank.scatterv(&comm, 2, &counts);
-        rank.barrier(&comm);
+    let stats = World::new(machine(), 6).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            // Wildly different contributions, including zero.
+            let counts = vec![0usize, 100, 50_000, 7, 1 << 20, 64];
+            rank.gatherv(&comm, 2, &counts).await;
+            rank.scatterv(&comm, 2, &counts).await;
+            rank.barrier(&comm).await;
+            rank
+        })
     });
     assert!(stats.elapsed_ns() > 0.0);
     // SPMD symmetry of call counts.
@@ -436,13 +520,19 @@ fn reduce_scatter_block_costs_like_the_ring_phase() {
     // data ⇒ more time, and it must beat a full allreduce of p·bytes.
     let p = 8;
     let bytes_per_rank = 1 << 16;
-    let rs = World::new(machine(), p).run(|rank| {
-        let comm = rank.comm_world();
-        rank.reduce_scatter_block(&comm, bytes_per_rank);
+    let rs = World::new(machine(), p).run(move |mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            rank.reduce_scatter_block(&comm, bytes_per_rank).await;
+            rank
+        })
     });
-    let ar = World::new(machine(), p).run(|rank| {
-        let comm = rank.comm_world();
-        rank.allreduce(&comm, bytes_per_rank * p);
+    let ar = World::new(machine(), p).run(move |mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            rank.allreduce(&comm, bytes_per_rank * p).await;
+            rank
+        })
     });
     assert!(rs.elapsed_ns() > 0.0);
     assert!(
@@ -460,12 +550,15 @@ fn extended_collectives_are_hooked_once_each() {
         post_calls: AtomicU64::new(0),
         overhead: 0.0,
     });
-    World::new(machine(), 4).with_hook(hook.clone()).run(|rank| {
-        let comm = rank.comm_world();
-        rank.scan(&comm, 1024);
-        rank.reduce_scatter_block(&comm, 1024);
-        rank.gatherv(&comm, 0, &[8, 16, 24, 32]);
-        rank.scatterv(&comm, 1, &[8, 16, 24, 32]);
+    World::new(machine(), 4).with_hook(hook.clone()).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            rank.scan(&comm, 1024).await;
+            rank.reduce_scatter_block(&comm, 1024).await;
+            rank.gatherv(&comm, 0, &[8, 16, 24, 32]).await;
+            rank.scatterv(&comm, 1, &[8, 16, 24, 32]).await;
+            rank
+        })
     });
     // 4 ranks × 4 calls, regardless of internal plumbing rounds.
     assert_eq!(hook.pre_calls.load(Ordering::Relaxed), 16);
@@ -473,13 +566,17 @@ fn extended_collectives_are_hooked_once_each() {
 
 #[test]
 fn paper_scale_worlds_run() {
-    // The paper's largest configuration is 529 ranks (SP). A thread per
-    // rank must spawn, synchronize, and tear down cleanly at that scale.
-    let stats = World::new(machine(), 529).run(|rank| {
-        let comm = rank.comm_world();
-        rank.compute(&KernelDesc::stencil(2_000.0, 4.0, 65536.0));
-        rank.allreduce(&comm, 1024);
-        rank.barrier(&comm);
+    // The paper's largest configuration is 529 ranks (SP). A rank state
+    // machine must schedule, synchronize, and tear down cleanly at that
+    // scale.
+    let stats = World::new(machine(), 529).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            rank.compute(&KernelDesc::stencil(2_000.0, 4.0, 65536.0));
+            rank.allreduce(&comm, 1024).await;
+            rank.barrier(&comm).await;
+            rank
+        })
     });
     assert_eq!(stats.per_rank.len(), 529);
     assert!(stats.elapsed_ns() > 0.0);
@@ -488,25 +585,50 @@ fn paper_scale_worlds_run() {
 }
 
 #[test]
-fn wtime_is_monotone_within_a_rank() {
-    World::new(machine(), 4).run(|rank| {
-        let comm = rank.comm_world();
-        let mut last = rank.wtime();
-        for i in 0..20 {
-            match i % 4 {
-                0 => rank.compute(&KernelDesc::bookkeeping(5_000.0)),
-                1 => rank.allreduce(&comm, 256),
-                2 => {
-                    let p = rank.nranks();
-                    let right = (rank.rank() + 1) % p;
-                    let left = (rank.rank() + p - 1) % p;
-                    rank.sendrecv(&comm, right, 5, 2048, left, 5, 2048);
+fn deadlock_is_reported_with_blocked_ranks() {
+    // Rank 0 receives from rank 1, which never sends: the event scheduler
+    // must go quiescent and name the blocked rank instead of hanging.
+    let err = World::new(machine(), 2)
+        .try_run(|mut rank| {
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                if rank.rank() == 0 {
+                    rank.recv(&comm, 1, 0, 64).await;
                 }
-                _ => rank.barrier(&comm),
+                rank
+            })
+        })
+        .unwrap_err();
+    assert_eq!(err.ranks.len(), 1);
+    assert_eq!(err.ranks[0].0, 0);
+    assert!(err.ranks[0].1.contains("rank 1"), "diagnosis: {}", err.ranks[0].1);
+    let shown = format!("{err}");
+    assert!(shown.contains("deadlock"), "{shown}");
+}
+
+#[test]
+fn wtime_is_monotone_within_a_rank() {
+    World::new(machine(), 4).run(|mut rank| {
+        Box::pin(async move {
+            let comm = rank.comm_world();
+            let mut last = rank.wtime();
+            for i in 0..20 {
+                match i % 4 {
+                    0 => rank.compute(&KernelDesc::bookkeeping(5_000.0)),
+                    1 => rank.allreduce(&comm, 256).await,
+                    2 => {
+                        let p = rank.nranks();
+                        let right = (rank.rank() + 1) % p;
+                        let left = (rank.rank() + p - 1) % p;
+                        rank.sendrecv(&comm, right, 5, 2048, left, 5, 2048).await;
+                    }
+                    _ => rank.barrier(&comm).await,
+                }
+                let now = rank.wtime();
+                assert!(now >= last, "clock went backwards: {now} < {last}");
+                last = now;
             }
-            let now = rank.wtime();
-            assert!(now >= last, "clock went backwards: {now} < {last}");
-            last = now;
-        }
+            rank
+        })
     });
 }

@@ -32,6 +32,7 @@ pub mod intern;
 pub mod log;
 pub mod metrics;
 pub mod report;
+pub mod rss;
 pub mod selftime;
 pub mod span;
 
@@ -41,6 +42,7 @@ pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
     HistogramSummary, MetricsSnapshot,
 };
+pub use rss::{current_rss_bytes, peak_rss_bytes};
 pub use selftime::self_times;
 pub use span::{
     drain, drain_spans, profiling_enabled, register_thread, set_profiling_enabled,

@@ -19,13 +19,14 @@
 //! let recorder = Arc::new(Recorder::new(4, TraceConfig::default()));
 //! World::new(Machine::default_eval(), 4)
 //!     .with_hook(recorder.clone())
-//!     .run(|rank| {
+//!     .run(|mut rank| Box::pin(async move {
 //!         let comm = rank.comm_world();
 //!         for _ in 0..3 {
 //!             rank.compute(&KernelDesc::stencil(10_000.0, 4.0, 65536.0));
-//!             rank.allreduce(&comm, 64);
+//!             rank.allreduce(&comm, 64).await;
 //!         }
-//!     });
+//!         rank
+//!     }));
 //! let global = merge_tables(recorder.finish());
 //! // Four ranks, identical behaviour: two global terminals
 //! // (one compute cluster + the allreduce), 6 events per rank.

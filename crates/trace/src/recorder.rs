@@ -418,18 +418,21 @@ mod tests {
         use siesta_mpisim::World;
         use siesta_perfmodel::KernelDesc;
         let rec = Arc::new(Recorder::new(6, TraceConfig::default()));
-        World::new(machine(), 6).with_hook(rec.clone()).run(|rank| {
-            let comm = rank.comm_world();
-            let p = rank.nranks();
-            let right = (rank.rank() + 1) % p;
-            let left = (rank.rank() + p - 1) % p;
-            for _ in 0..10 {
-                rank.compute(&KernelDesc::stencil(5_000.0, 4.0, 65536.0));
-                let r = rank.irecv(&comm, left, 3, 2048);
-                let s = rank.isend(&comm, right, 3, 2048);
-                rank.waitall(&[r, s]);
-                rank.allreduce(&comm, 8);
-            }
+        World::new(machine(), 6).with_hook(rec.clone()).run(|mut rank| {
+            Box::pin(async move {
+                let comm = rank.comm_world();
+                let p = rank.nranks();
+                let right = (rank.rank() + 1) % p;
+                let left = (rank.rank() + p - 1) % p;
+                for _ in 0..10 {
+                    rank.compute(&KernelDesc::stencil(5_000.0, 4.0, 65536.0));
+                    let r = rank.irecv(&comm, left, 3, 2048);
+                    let s = rank.isend(&comm, right, 3, 2048);
+                    rank.waitall(&[r, s]).await;
+                    rank.allreduce(&comm, 8).await;
+                }
+                rank
+            })
         });
         let t = rec.finish();
         let decode = |rd: &RankTraceData| -> Vec<String> {

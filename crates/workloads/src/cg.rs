@@ -16,7 +16,7 @@ use crate::ProblemSize;
 const TAG_REDUCE: i32 = 40;
 const TAG_TRANSPOSE: i32 = 41;
 
-pub fn cg(rank: &mut Rank, size: ProblemSize) {
+pub async fn cg(rank: &mut Rank, size: ProblemSize) {
     let p = rank.nranks();
     assert!(p.is_power_of_two(), "CG needs a power-of-two process count");
     let comm = rank.comm_world();
@@ -52,7 +52,7 @@ pub fn cg(rank: &mut Rank, size: ProblemSize) {
 
     // Initialization: makea (matrix generation) is compute-heavy, then sync.
     rank.compute(&matvec.repeat(3.0));
-    rank.barrier(&comm);
+    rank.barrier(&comm).await;
 
     // The rank this process exchanges transposed vectors with.
     // Standard NPB: exch_proc = (me % npcols) * nprows + me / npcols when
@@ -82,7 +82,8 @@ pub fn cg(rank: &mut Rank, size: ProblemSize) {
                     partner,
                     TAG_REDUCE,
                     vec_bytes,
-                );
+                )
+                .await;
                 rank.compute(&axpy);
                 if stride == 1 {
                     break;
@@ -99,15 +100,16 @@ pub fn cg(rank: &mut Rank, size: ProblemSize) {
                     transpose_partner,
                     TAG_TRANSPOSE,
                     vec_bytes,
-                );
+                )
+                .await;
             }
             rank.compute(&axpy);
             // Dot products.
-            rank.allreduce(&comm, 8);
+            rank.allreduce(&comm, 8).await;
         }
         // Residual norm at the end of each outer iteration.
         rank.compute(&axpy);
-        rank.allreduce(&comm, 8);
+        rank.allreduce(&comm, 8).await;
     }
 }
 

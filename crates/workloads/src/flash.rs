@@ -34,7 +34,7 @@ struct FlashConfig {
 }
 
 /// Sedov blast wave (input 64³ in the paper).
-pub fn sedov(rank: &mut Rank, size: ProblemSize) {
+pub async fn sedov(rank: &mut Rank, size: ProblemSize) {
     let cfg = FlashConfig {
         iters: size.iters(30),
         one_dimensional: false,
@@ -43,11 +43,11 @@ pub fn sedov(rank: &mut Rank, size: ProblemSize) {
         cells: size.extent(64).pow(3) as f64 / rank.nranks() as f64,
         guard_bytes: 4 * size.extent(64) * size.extent(64) / 16 * 8,
     };
-    flash(rank, &cfg);
+    flash(rank, &cfg).await;
 }
 
 /// Sod shock tube: quasi-1D, the smallest traces of the suite bar IS.
-pub fn sod(rank: &mut Rank, size: ProblemSize) {
+pub async fn sod(rank: &mut Rank, size: ProblemSize) {
     let cfg = FlashConfig {
         iters: size.iters(25),
         one_dimensional: true,
@@ -57,11 +57,11 @@ pub fn sod(rank: &mut Rank, size: ProblemSize) {
         cells: size.extent(64).pow(3) as f64 / rank.nranks() as f64,
         guard_bytes: size.extent(64) * size.extent(64) / 8 * 8,
     };
-    flash(rank, &cfg);
+    flash(rank, &cfg).await;
 }
 
 /// Driven (stirred) turbulence: every step adds forcing-term reductions.
-pub fn stir_turb(rank: &mut Rank, size: ProblemSize) {
+pub async fn stir_turb(rank: &mut Rank, size: ProblemSize) {
     let cfg = FlashConfig {
         iters: size.iters(40),
         one_dimensional: false,
@@ -70,10 +70,10 @@ pub fn stir_turb(rank: &mut Rank, size: ProblemSize) {
         cells: size.extent(64).pow(3) as f64 / rank.nranks() as f64,
         guard_bytes: 4 * size.extent(64) * size.extent(64) / 16 * 8,
     };
-    flash(rank, &cfg);
+    flash(rank, &cfg).await;
 }
 
-fn flash(rank: &mut Rank, cfg: &FlashConfig) {
+async fn flash(rank: &mut Rank, cfg: &FlashConfig) {
     let p = rank.nranks();
     let world = rank.comm_world();
     let me = rank.rank();
@@ -81,7 +81,7 @@ fn flash(rank: &mut Rank, cfg: &FlashConfig) {
 
     // FLASH duplicates the world communicator for its mesh/I-O layers at
     // startup — the first thing a comm-management-blind tool chokes on.
-    let mesh_comm = rank.comm_dup(&world);
+    let mesh_comm = rank.comm_dup(&world).await;
 
     // FLASH carries ~24 solution variables per cell (~192 B/cell).
     let hydro = KernelDesc::stencil(cfg.cells, 620.0, cfg.cells * 192.0);
@@ -109,8 +109,8 @@ fn flash(rank: &mut Rank, cfg: &FlashConfig) {
 
     // Initial conditions + first mesh check.
     rank.compute(&hydro);
-    rank.bcast(&mesh_comm, 0, 256);
-    rank.barrier(&mesh_comm);
+    rank.bcast(&mesh_comm, 0, 256).await;
+    rank.barrier(&mesh_comm).await;
 
     for step in 0..cfg.iters {
         // Guard-cell fill: nonblocking exchange with every neighbor.
@@ -122,7 +122,7 @@ fn flash(rank: &mut Rank, cfg: &FlashConfig) {
         for &nb in &neighbors {
             reqs.push(rank.isend(&mesh_comm, nb, TAG_GUARD, cfg.guard_bytes));
         }
-        rank.waitall(&reqs);
+        rank.waitall(&reqs).await;
 
         // Hydro sweeps (x then y) and equation of state.
         rank.compute(&hydro);
@@ -132,27 +132,27 @@ fn flash(rank: &mut Rank, cfg: &FlashConfig) {
         // Stirring module (StirTurb only): forcing-term reductions plus a
         // slab-decomposed spectral sum (reduce-scatter of mode energies).
         for _ in 0..cfg.stir_reductions {
-            rank.allreduce(&mesh_comm, 48);
+            rank.allreduce(&mesh_comm, 48).await;
         }
         if cfg.stir_reductions > 0 {
-            rank.reduce_scatter_block(&mesh_comm, 64);
+            rank.reduce_scatter_block(&mesh_comm, 64).await;
         }
 
         // Global timestep.
-        rank.allreduce(&mesh_comm, 16);
+        rank.allreduce(&mesh_comm, 16).await;
 
         // Regridding: exchange block counts, rebalance via a temporary
         // communicator split by refinement parity.
         if let Some(every) = cfg.regrid_every {
             if (step + 1) % every == 0 {
-                rank.allgather(&mesh_comm, 8);
+                rank.allgather(&mesh_comm, 8).await;
                 let color = ((me / grid.nx.max(1)) % 2) as i64;
-                if let Some(half) = rank.comm_split(&mesh_comm, color, me as i64) {
-                    rank.allreduce(&half, 8);
+                if let Some(half) = rank.comm_split(&mesh_comm, color, me as i64).await {
+                    rank.allreduce(&half, 8).await;
                     rank.comm_free(half);
                 }
                 rank.compute(&guard_pack);
-                rank.barrier(&mesh_comm);
+                rank.barrier(&mesh_comm).await;
             }
         }
     }
@@ -160,7 +160,7 @@ fn flash(rank: &mut Rank, cfg: &FlashConfig) {
     // Final I/O-ish gather of diagnostics to rank 0; block counts differ
     // per rank under AMR, so the sizes are rank-dependent (gatherv).
     let diag_counts: Vec<usize> = (0..p).map(|r| 48 + 16 * (r % 3)).collect();
-    rank.gatherv(&mesh_comm, 0, &diag_counts);
+    rank.gatherv(&mesh_comm, 0, &diag_counts).await;
     rank.comm_free(mesh_comm);
 }
 

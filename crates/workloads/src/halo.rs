@@ -1,0 +1,92 @@
+//! Parameterized 2D halo-exchange microkernel for rank-count scaling
+//! sweeps.
+//!
+//! Unlike the paper workloads, this body is deliberately minimal: four
+//! periodic neighbor exchanges and a small stencil per step, closed by one
+//! convergence allreduce. Per-rank state is a few hundred bytes, so worlds
+//! of 10⁴–10⁶ virtual ranks fit comfortably in host memory — the scale
+//! smoke tests and the `mpisim_scale` bench sweep it at 4096, 65 536, and
+//! 2²⁰ ranks.
+
+use siesta_mpisim::{Rank, RankFut};
+use siesta_perfmodel::KernelDesc;
+
+use crate::grid::{Dir, Grid2d};
+
+const TAG_HALO: i32 = 90;
+
+/// One rank of a 2D periodic halo exchange: `iters` steps, each swapping
+/// `face_bytes` with the east/west and north/south neighbors and running a
+/// small stencil, then a closing convergence allreduce.
+pub async fn halo2d(rank: &mut Rank, iters: usize, face_bytes: usize) {
+    let grid = Grid2d::near_square(rank.nranks());
+    let comm = rank.comm_world();
+    let me = rank.rank();
+    let east = grid.neighbor_periodic(me, Dir::East);
+    let west = grid.neighbor_periodic(me, Dir::West);
+    let south = grid.neighbor_periodic(me, Dir::South);
+    let north = grid.neighbor_periodic(me, Dir::North);
+    let cells = (face_bytes / 8).max(16) as f64;
+    let kernel = KernelDesc::stencil(cells, 12.0, cells * 8.0);
+
+    for _ in 0..iters {
+        // Flat axes (1×p or p×1 grids) would self-exchange; skip them.
+        if grid.cols > 1 {
+            rank.sendrecv(&comm, east, TAG_HALO, face_bytes, west, TAG_HALO, face_bytes)
+                .await;
+            rank.sendrecv(&comm, west, TAG_HALO, face_bytes, east, TAG_HALO, face_bytes)
+                .await;
+        }
+        if grid.rows > 1 {
+            rank.sendrecv(&comm, south, TAG_HALO, face_bytes, north, TAG_HALO, face_bytes)
+                .await;
+            rank.sendrecv(&comm, north, TAG_HALO, face_bytes, south, TAG_HALO, face_bytes)
+                .await;
+        }
+        rank.compute(&kernel);
+    }
+    rank.allreduce(&comm, 8).await;
+}
+
+/// Boxed SPMD body driving [`halo2d`], in the shape `World::run` expects.
+pub fn halo2d_body(
+    iters: usize,
+    face_bytes: usize,
+) -> Box<dyn Fn(Rank) -> RankFut<'static> + Send + Sync> {
+    Box::new(move |mut r: Rank| -> RankFut<'static> {
+        Box::pin(async move {
+            halo2d(&mut r, iters, face_bytes).await;
+            r
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siesta_mpisim::World;
+    use siesta_perfmodel::{platform_b, Machine, MpiFlavor};
+
+    fn machine() -> Machine {
+        Machine::new(platform_b(), MpiFlavor::OpenMpi)
+    }
+
+    #[test]
+    fn halo_runs_on_assorted_counts() {
+        for p in [1, 2, 3, 8, 12, 64] {
+            let stats = World::new(machine(), p).run(halo2d_body(3, 4096));
+            assert!(stats.elapsed_ns() > 0.0, "p={p}");
+            // Every rank issues the same calls: the body is fully SPMD.
+            let c0 = stats.per_rank[0].app_calls;
+            assert!(stats.per_rank.iter().all(|r| r.app_calls == c0), "p={p}");
+        }
+    }
+
+    #[test]
+    fn halo_is_deterministic() {
+        let a = World::new(machine(), 16).run(halo2d_body(4, 8192));
+        let b = World::new(machine(), 16).run(halo2d_body(4, 8192));
+        assert_eq!(a.elapsed_ns(), b.elapsed_ns());
+        assert_eq!(a.schedule_hash(), b.schedule_hash());
+    }
+}

@@ -12,7 +12,7 @@ use siesta_perfmodel::{noise, KernelDesc};
 
 use crate::ProblemSize;
 
-pub fn is(rank: &mut Rank, size: ProblemSize) {
+pub async fn is(rank: &mut Rank, size: ProblemSize) {
     let p = rank.nranks();
     assert!(p.is_power_of_two(), "IS needs a power-of-two process count");
     let comm = rank.comm_world();
@@ -40,7 +40,7 @@ pub fn is(rank: &mut Rank, size: ProblemSize) {
         stride: 8.0,
         ..KernelDesc::ZERO
     });
-    rank.barrier(&comm);
+    rank.barrier(&comm).await;
 
     // IS generates uniformly distributed keys, so each rank's share per
     // peer is stable across iterations (a mild per-pair skew stands in for
@@ -64,19 +64,19 @@ pub fn is(rank: &mut Rank, size: ProblemSize) {
     for _iter in 0..iters {
         rank.compute(&count_kernel);
         // Global bucket histogram.
-        rank.allreduce(&comm, buckets * 4);
+        rank.allreduce(&comm, buckets * 4).await;
         rank.compute(&KernelDesc::bookkeeping(buckets as f64 * 4.0));
         // Global key offsets (prefix sums), then the per-peer counts and
         // the keys themselves.
-        rank.scan(&comm, 8);
-        rank.alltoall(&comm, 4 * p / p.max(1));
-        rank.alltoallv(&comm, &send_counts, &recv_counts);
+        rank.scan(&comm, 8).await;
+        rank.alltoall(&comm, 4 * p / p.max(1)).await;
+        rank.alltoallv(&comm, &send_counts, &recv_counts).await;
         rank.compute(&rank_kernel);
     }
 
     // Full verification sort + global check.
     rank.compute(&rank_kernel.repeat(2.0));
-    rank.allreduce(&comm, 8);
+    rank.allreduce(&comm, 8).await;
 }
 
 #[cfg(test)]

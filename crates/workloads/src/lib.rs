@@ -15,13 +15,16 @@
 //! * keeps the papers' *relative* trace-size ordering (SWEEP3D and SP trace
 //!   big, IS traces tiny, FLASH-Sod is small).
 //!
-//! Every body is a plain `Fn(&mut Rank)`, SPMD-style: the same closure runs
-//! on every rank and branches on `rank.rank()` internally, exactly like an
-//! MPI `main()`.
+//! Every body is an SPMD `async fn`, the same on every rank, branching on
+//! `rank.rank()` internally exactly like an MPI `main()`. Blocking MPI
+//! calls are `.await` points: the simulator suspends the rank's state
+//! machine there and resumes it when the matching event completes, which
+//! is what lets one host thread drive thousands of virtual ranks.
 
 pub mod cg;
 pub mod flash;
 pub mod grid;
+pub mod halo;
 pub mod is;
 pub mod lu;
 pub mod mg;
@@ -30,7 +33,7 @@ pub mod sweep3d;
 
 use std::sync::Arc;
 
-use siesta_mpisim::{PmpiHook, Rank, RunStats, World};
+use siesta_mpisim::{PmpiHook, Rank, RankFut, RunStats, World};
 use siesta_perfmodel::Machine;
 
 /// How large a run to configure. Experiments use `Reference`; tests use
@@ -155,26 +158,38 @@ impl Program {
         matches!(self, Program::StirTurb | Program::Sod | Program::Sedov)
     }
 
-    /// The SPMD body of the program.
-    pub fn body(self, size: ProblemSize) -> Box<dyn Fn(&mut Rank) + Send + Sync> {
+    /// The SPMD body of the program, as a factory of rank state machines:
+    /// called once per rank with that rank's [`Rank`] handle, it returns
+    /// the boxed resumable future the scheduler drives to completion.
+    pub fn body(self, size: ProblemSize) -> Box<dyn Fn(Rank) -> RankFut<'static> + Send + Sync> {
+        macro_rules! spmd {
+            ($path:path) => {
+                Box::new(move |mut r: Rank| -> RankFut<'static> {
+                    Box::pin(async move {
+                        $path(&mut r, size).await;
+                        r
+                    })
+                })
+            };
+        }
         match self {
-            Program::Bt => Box::new(move |r| npb_adi::bt(r, size)),
-            Program::Sp => Box::new(move |r| npb_adi::sp(r, size)),
-            Program::Cg => Box::new(move |r| cg::cg(r, size)),
-            Program::Mg => Box::new(move |r| mg::mg(r, size)),
-            Program::Is => Box::new(move |r| is::is(r, size)),
-            Program::Sweep3d => Box::new(move |r| sweep3d::sweep3d(r, size)),
-            Program::StirTurb => Box::new(move |r| flash::stir_turb(r, size)),
-            Program::Sod => Box::new(move |r| flash::sod(r, size)),
-            Program::Sedov => Box::new(move |r| flash::sedov(r, size)),
-            Program::Lu => Box::new(move |r| lu::lu(r, size)),
+            Program::Bt => spmd!(npb_adi::bt),
+            Program::Sp => spmd!(npb_adi::sp),
+            Program::Cg => spmd!(cg::cg),
+            Program::Mg => spmd!(mg::mg),
+            Program::Is => spmd!(is::is),
+            Program::Sweep3d => spmd!(sweep3d::sweep3d),
+            Program::StirTurb => spmd!(flash::stir_turb),
+            Program::Sod => spmd!(flash::sod),
+            Program::Sedov => spmd!(flash::sedov),
+            Program::Lu => spmd!(lu::lu),
         }
     }
 
     /// Run un-instrumented.
     pub fn run(self, machine: Machine, nprocs: usize, size: ProblemSize) -> RunStats {
         assert!(self.valid_nprocs(nprocs), "{} cannot run on {nprocs} ranks", self.name());
-        World::new(machine, nprocs).run(move |r| self.body(size)(r))
+        World::new(machine, nprocs).run(self.body(size))
     }
 
     /// Run with a PMPI interposer installed (the traced run).
@@ -188,7 +203,7 @@ impl Program {
         assert!(self.valid_nprocs(nprocs), "{} cannot run on {nprocs} ranks", self.name());
         World::new(machine, nprocs)
             .with_hook(hook)
-            .run(move |r| self.body(size)(r))
+            .run(self.body(size))
     }
 }
 

@@ -19,7 +19,7 @@ const TAG_LOWER: i32 = 80;
 const TAG_UPPER: i32 = 81;
 const TAG_HALO: i32 = 82;
 
-pub fn lu(rank: &mut Rank, size: ProblemSize) {
+pub async fn lu(rank: &mut Rank, size: ProblemSize) {
     let p = rank.nranks();
     let comm = rank.comm_world();
     let grid = Grid2d::near_square(p);
@@ -45,40 +45,40 @@ pub fn lu(rank: &mut Rank, size: ProblemSize) {
         .then(&KernelDesc::stencil(plane * (n / k_blocks).max(1) as f64 / 8.0, 25.0, plane * 40.0));
     let rhs_kernel = KernelDesc::stencil(plane * 4.0, 60.0, plane * 160.0);
 
-    rank.bcast(&comm, 0, 96);
-    rank.barrier(&comm);
+    rank.bcast(&comm, 0, 96).await;
+    rank.barrier(&comm).await;
 
     for _ in 0..iters {
         // ---- Lower-triangular sweep: SW → NE wavefront per k block.
         for _k in 0..k_blocks {
             if let Some(w) = grid.neighbor(me, Dir::West) {
-                rank.recv(&comm, w, TAG_LOWER, sweep_bytes);
+                rank.recv(&comm, w, TAG_LOWER, sweep_bytes).await;
             }
             if let Some(n_) = grid.neighbor(me, Dir::North) {
-                rank.recv(&comm, n_, TAG_LOWER, sweep_bytes);
+                rank.recv(&comm, n_, TAG_LOWER, sweep_bytes).await;
             }
             rank.compute(&tri_kernel);
             if let Some(e) = grid.neighbor(me, Dir::East) {
-                rank.send(&comm, e, TAG_LOWER, sweep_bytes);
+                rank.send(&comm, e, TAG_LOWER, sweep_bytes).await;
             }
             if let Some(s) = grid.neighbor(me, Dir::South) {
-                rank.send(&comm, s, TAG_LOWER, sweep_bytes);
+                rank.send(&comm, s, TAG_LOWER, sweep_bytes).await;
             }
         }
         // ---- Upper-triangular sweep: NE → SW.
         for _k in 0..k_blocks {
             if let Some(e) = grid.neighbor(me, Dir::East) {
-                rank.recv(&comm, e, TAG_UPPER, sweep_bytes);
+                rank.recv(&comm, e, TAG_UPPER, sweep_bytes).await;
             }
             if let Some(s) = grid.neighbor(me, Dir::South) {
-                rank.recv(&comm, s, TAG_UPPER, sweep_bytes);
+                rank.recv(&comm, s, TAG_UPPER, sweep_bytes).await;
             }
             rank.compute(&tri_kernel);
             if let Some(w) = grid.neighbor(me, Dir::West) {
-                rank.send(&comm, w, TAG_UPPER, sweep_bytes);
+                rank.send(&comm, w, TAG_UPPER, sweep_bytes).await;
             }
             if let Some(n_) = grid.neighbor(me, Dir::North) {
-                rank.send(&comm, n_, TAG_UPPER, sweep_bytes);
+                rank.send(&comm, n_, TAG_UPPER, sweep_bytes).await;
             }
         }
         // ---- RHS: halo exchange + local stencil.
@@ -91,13 +91,13 @@ pub fn lu(rank: &mut Rank, size: ProblemSize) {
             let nb = grid.neighbor_periodic(me, dir);
             reqs.push(rank.isend(&comm, nb, TAG_HALO, face_bytes));
         }
-        rank.waitall(&reqs);
+        rank.waitall(&reqs).await;
         rank.compute(&rhs_kernel);
     }
 
     // Residual norms.
-    rank.allreduce(&comm, 40);
-    rank.allreduce(&comm, 40);
+    rank.allreduce(&comm, 40).await;
+    rank.allreduce(&comm, 40).await;
 }
 
 #[cfg(test)]

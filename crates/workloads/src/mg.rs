@@ -7,7 +7,7 @@
 //! iteration. The per-level repetition with geometrically changing sizes
 //! exercises the grammar's nesting extraction.
 
-use siesta_mpisim::Rank;
+use siesta_mpisim::{Communicator, Rank};
 use siesta_perfmodel::KernelDesc;
 
 use crate::grid::Grid3d;
@@ -15,7 +15,7 @@ use crate::ProblemSize;
 
 const TAG_HALO: i32 = 50;
 
-pub fn mg(rank: &mut Rank, size: ProblemSize) {
+pub async fn mg(rank: &mut Rank, size: ProblemSize) {
     let p = rank.nranks();
     assert!(p.is_power_of_two(), "MG needs a power-of-two process count");
     let comm = rank.comm_world();
@@ -43,44 +43,49 @@ pub fn mg(rank: &mut Rank, size: ProblemSize) {
         KernelDesc::stencil(s * s * s, flops, s * s * s * 8.0)
     };
 
-    let exchange = |rank: &mut Rank, level: usize| {
-        let bytes = face_bytes_at(level);
-        // Three axes; each axis sends both directions (NPB's give3/take3).
+    // Three axes; each axis sends both directions (NPB's give3/take3).
+    async fn exchange(
+        rank: &mut Rank,
+        comm: &Communicator,
+        neighbors: &[usize; 6],
+        me: usize,
+        bytes: usize,
+    ) {
         for axis in 0..3 {
             let plus = neighbors[axis * 2];
             let minus = neighbors[axis * 2 + 1];
             if plus == me {
                 continue; // periodic self-neighbor on a flat axis
             }
-            rank.sendrecv(&comm, plus, TAG_HALO, bytes, minus, TAG_HALO, bytes);
-            rank.sendrecv(&comm, minus, TAG_HALO, bytes, plus, TAG_HALO, bytes);
+            rank.sendrecv(comm, plus, TAG_HALO, bytes, minus, TAG_HALO, bytes).await;
+            rank.sendrecv(comm, minus, TAG_HALO, bytes, plus, TAG_HALO, bytes).await;
         }
-    };
+    }
 
     // Setup: zero the hierarchy, seed the right-hand side.
     rank.compute(&kernel_at(0, 8.0));
-    rank.allreduce(&comm, 16); // initial norm
-    rank.barrier(&comm);
+    rank.allreduce(&comm, 16).await; // initial norm
+    rank.barrier(&comm).await;
 
     for _ in 0..iters {
         // Downward leg: smooth + restrict at each level.
         for level in 0..levels {
-            exchange(rank, level);
+            exchange(rank, &comm, &neighbors, me, face_bytes_at(level)).await;
             rank.compute(&kernel_at(level, 25.0)); // resid + rprj3
         }
         // Coarsest solve.
         rank.compute(&kernel_at(levels, 40.0));
         // Upward leg: prolongate + smooth.
         for level in (0..levels).rev() {
-            exchange(rank, level);
+            exchange(rank, &comm, &neighbors, me, face_bytes_at(level)).await;
             rank.compute(&kernel_at(level, 30.0)); // interp + psinv
         }
         // Convergence norm.
-        rank.allreduce(&comm, 16);
+        rank.allreduce(&comm, 16).await;
     }
 
     // Final verification norm.
-    rank.allreduce(&comm, 16);
+    rank.allreduce(&comm, 16).await;
 }
 
 #[cfg(test)]

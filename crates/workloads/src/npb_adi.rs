@@ -43,7 +43,7 @@ struct AdiConfig {
 
 /// BT: block-tridiagonal. Paper runs class D (408³, 250 iterations); the
 /// reference skeleton scales this down while keeping the structure.
-pub fn bt(rank: &mut Rank, size: ProblemSize) {
+pub async fn bt(rank: &mut Rank, size: ProblemSize) {
     let cfg = AdiConfig {
         n: size.extent(144),
         iters: size.iters(40),
@@ -53,12 +53,12 @@ pub fn bt(rank: &mut Rank, size: ProblemSize) {
         solve_divs: 1.0,
         solve_flops: 120.0,
     };
-    adi(rank, &cfg);
+    adi(rank, &cfg).await;
 }
 
 /// SP: scalar-pentadiagonal. More, cheaper iterations and smaller messages
 /// than BT — which is why SP's Table 3 traces are the largest of the NPB set.
-pub fn sp(rank: &mut Rank, size: ProblemSize) {
+pub async fn sp(rank: &mut Rank, size: ProblemSize) {
     let cfg = AdiConfig {
         n: size.extent(144),
         iters: size.iters(60),
@@ -68,10 +68,10 @@ pub fn sp(rank: &mut Rank, size: ProblemSize) {
         solve_divs: 3.0,
         solve_flops: 40.0,
     };
-    adi(rank, &cfg);
+    adi(rank, &cfg).await;
 }
 
-fn adi(rank: &mut Rank, cfg: &AdiConfig) {
+async fn adi(rank: &mut Rank, cfg: &AdiConfig) {
     let comm = rank.comm_world();
     let p = rank.nranks();
     let grid = Grid2d::square(p);
@@ -92,10 +92,10 @@ fn adi(rank: &mut Rank, cfg: &AdiConfig) {
     let add_kernel = KernelDesc::stencil(cells, 10.0, state_bytes);
 
     // Initialization: the root distributes problem parameters.
-    rank.bcast(&comm, 0, 64);
-    rank.bcast(&comm, 0, 24);
+    rank.bcast(&comm, 0, 64).await;
+    rank.bcast(&comm, 0, 24).await;
     rank.compute(&KernelDesc::stencil(cells, 20.0, state_bytes)); // initialize_field
-    rank.barrier(&comm);
+    rank.barrier(&comm).await;
 
     for _step in 0..cfg.iters {
         // ---- copy_faces: exchange with the four periodic neighbors.
@@ -109,40 +109,40 @@ fn adi(rank: &mut Rank, cfg: &AdiConfig) {
             let nb = grid.neighbor_periodic(me, dir);
             reqs.push(rank.isend(&comm, nb, TAG_FACE, face_bytes));
         }
-        rank.waitall(&reqs);
+        rank.waitall(&reqs).await;
         rank.compute(&rhs_kernel); // compute_rhs
 
         // ---- x_solve: pipelined sweep along the row (west→east, then back).
         if let Some(west) = grid.neighbor(me, Dir::West) {
-            rank.recv(&comm, west, TAG_XSWEEP, sweep_bytes);
+            rank.recv(&comm, west, TAG_XSWEEP, sweep_bytes).await;
         }
         rank.compute(&solve_kernel);
         if let Some(east) = grid.neighbor(me, Dir::East) {
-            rank.send(&comm, east, TAG_XSWEEP, sweep_bytes);
+            rank.send(&comm, east, TAG_XSWEEP, sweep_bytes).await;
         }
         // Back-substitution east→west.
         if let Some(east) = grid.neighbor(me, Dir::East) {
-            rank.recv(&comm, east, TAG_XBACK, sweep_bytes);
+            rank.recv(&comm, east, TAG_XBACK, sweep_bytes).await;
         }
         rank.compute(&solve_kernel);
         if let Some(west) = grid.neighbor(me, Dir::West) {
-            rank.send(&comm, west, TAG_XBACK, sweep_bytes);
+            rank.send(&comm, west, TAG_XBACK, sweep_bytes).await;
         }
 
         // ---- y_solve: same along the column (north→south and back).
         if let Some(north) = grid.neighbor(me, Dir::North) {
-            rank.recv(&comm, north, TAG_YSWEEP, sweep_bytes);
+            rank.recv(&comm, north, TAG_YSWEEP, sweep_bytes).await;
         }
         rank.compute(&solve_kernel);
         if let Some(south) = grid.neighbor(me, Dir::South) {
-            rank.send(&comm, south, TAG_YSWEEP, sweep_bytes);
+            rank.send(&comm, south, TAG_YSWEEP, sweep_bytes).await;
         }
         if let Some(south) = grid.neighbor(me, Dir::South) {
-            rank.recv(&comm, south, TAG_YBACK, sweep_bytes);
+            rank.recv(&comm, south, TAG_YBACK, sweep_bytes).await;
         }
         rank.compute(&solve_kernel);
         if let Some(north) = grid.neighbor(me, Dir::North) {
-            rank.send(&comm, north, TAG_YBACK, sweep_bytes);
+            rank.send(&comm, north, TAG_YBACK, sweep_bytes).await;
         }
 
         // ---- z_solve: z is not partitioned, purely local.
@@ -153,8 +153,8 @@ fn adi(rank: &mut Rank, cfg: &AdiConfig) {
     }
 
     // Verification: residual norms.
-    rank.allreduce(&comm, 40);
-    rank.allreduce(&comm, 40);
+    rank.allreduce(&comm, 40).await;
+    rank.allreduce(&comm, 40).await;
 }
 
 #[cfg(test)]

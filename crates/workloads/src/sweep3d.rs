@@ -17,7 +17,7 @@ use crate::ProblemSize;
 const TAG_EW: i32 = 60;
 const TAG_NS: i32 = 61;
 
-pub fn sweep3d(rank: &mut Rank, size: ProblemSize) {
+pub async fn sweep3d(rank: &mut Rank, size: ProblemSize) {
     let p = rank.nranks();
     let comm = rank.comm_world();
     let grid = Grid2d::near_square(p);
@@ -48,8 +48,8 @@ pub fn sweep3d(rank: &mut Rank, size: ProblemSize) {
     let sweep_kernel = KernelDesc::divide_heavy(cells / 8.0, 1.0, cells * 8.0)
         .then(&KernelDesc::stencil(cells, 30.0, cells * 8.0));
 
-    rank.bcast(&comm, 0, 128); // input deck
-    rank.barrier(&comm);
+    rank.bcast(&comm, 0, 128).await; // input deck
+    rank.barrier(&comm).await;
 
     for _ in 0..iters {
         for octant in 0..8u32 {
@@ -66,10 +66,10 @@ pub fn sweep3d(rank: &mut Rank, size: ProblemSize) {
                         if row + 1 < grid.rows { Some(row + 1) } else { None }
                     };
                     if let Some(c) = west_src {
-                        rank.recv(&comm, grid.rank_of(row, c), TAG_EW, ew_bytes);
+                        rank.recv(&comm, grid.rank_of(row, c), TAG_EW, ew_bytes).await;
                     }
                     if let Some(r) = north_src {
-                        rank.recv(&comm, grid.rank_of(r, col), TAG_NS, ns_bytes);
+                        rank.recv(&comm, grid.rank_of(r, col), TAG_NS, ns_bytes).await;
                     }
                     rank.compute(&sweep_kernel);
                     // Downstream outflow.
@@ -84,16 +84,16 @@ pub fn sweep3d(rank: &mut Rank, size: ProblemSize) {
                         row.checked_sub(1)
                     };
                     if let Some(c) = east_dst {
-                        rank.send(&comm, grid.rank_of(row, c), TAG_EW, ew_bytes);
+                        rank.send(&comm, grid.rank_of(row, c), TAG_EW, ew_bytes).await;
                     }
                     if let Some(r) = south_dst {
-                        rank.send(&comm, grid.rank_of(r, col), TAG_NS, ns_bytes);
+                        rank.send(&comm, grid.rank_of(r, col), TAG_NS, ns_bytes).await;
                     }
                 }
             }
         }
         // Flux convergence check.
-        rank.allreduce(&comm, 8);
+        rank.allreduce(&comm, 8).await;
     }
 }
 

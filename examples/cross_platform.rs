@@ -20,12 +20,9 @@ fn main() {
 
     println!("Generating a {} proxy on platform A (Xeon 6248)...", program.name());
     let siesta = Siesta::new(SiestaConfig::default());
-    let (synthesis, _) =
-        siesta.synthesize_run(gen_machine, nranks, move |r| program.body(size)(r));
-    let scala = scalabench::trace_and_synthesize(gen_machine, nranks, move |r| {
-        program.body(size)(r)
-    })
-    .expect("CG has no communicator management");
+    let (synthesis, _) = siesta.synthesize_run(gen_machine, nranks, program.body(size));
+    let scala = scalabench::trace_and_synthesize(gen_machine, nranks, program.body(size))
+        .expect("CG has no communicator management");
 
     println!();
     println!(

@@ -8,35 +8,38 @@
 
 use siesta_codegen::{emit_c, replay};
 use siesta_core::{human_bytes, human_ms, Siesta, SiestaConfig};
-use siesta_mpisim::Rank;
+use siesta_mpisim::{Rank, RankFut};
 use siesta_perfmodel::{KernelDesc, Machine};
 use siesta_workloads::grid::{Dir, Grid2d};
 
 /// A small hand-written "application": a 2D Jacobi-style iteration with
 /// halo exchanges, a convergence allreduce every step, and a final gather.
-fn app(rank: &mut Rank) {
-    let comm = rank.comm_world();
-    let grid = Grid2d::near_square(rank.nranks());
-    let me = rank.rank();
-    let interior = KernelDesc::stencil(40_000.0, 5.0, 1.5e6);
+fn app(mut rank: Rank) -> RankFut<'static> {
+    Box::pin(async move {
+        let comm = rank.comm_world();
+        let grid = Grid2d::near_square(rank.nranks());
+        let me = rank.rank();
+        let interior = KernelDesc::stencil(40_000.0, 5.0, 1.5e6);
 
-    rank.bcast(&comm, 0, 128); // read the input deck
-    for _step in 0..30 {
-        // Halo exchange with the four periodic neighbors.
-        let mut reqs = Vec::new();
-        for dir in [Dir::North, Dir::South, Dir::East, Dir::West] {
-            let nb = grid.neighbor_periodic(me, dir);
-            reqs.push(rank.irecv(&comm, nb, 7, 8192));
+        rank.bcast(&comm, 0, 128).await; // read the input deck
+        for _step in 0..30 {
+            // Halo exchange with the four periodic neighbors.
+            let mut reqs = Vec::new();
+            for dir in [Dir::North, Dir::South, Dir::East, Dir::West] {
+                let nb = grid.neighbor_periodic(me, dir);
+                reqs.push(rank.irecv(&comm, nb, 7, 8192));
+            }
+            for dir in [Dir::North, Dir::South, Dir::East, Dir::West] {
+                let nb = grid.neighbor_periodic(me, dir);
+                reqs.push(rank.isend(&comm, nb, 7, 8192));
+            }
+            rank.waitall(&reqs).await;
+            rank.compute(&interior);
+            rank.allreduce(&comm, 8).await; // residual norm
         }
-        for dir in [Dir::North, Dir::South, Dir::East, Dir::West] {
-            let nb = grid.neighbor_periodic(me, dir);
-            reqs.push(rank.isend(&comm, nb, 7, 8192));
-        }
-        rank.waitall(&reqs);
-        rank.compute(&interior);
-        rank.allreduce(&comm, 8); // residual norm
-    }
-    rank.gather(&comm, 0, 4096); // collect the solution
+        rank.gather(&comm, 0, 4096).await; // collect the solution
+        rank
+    })
 }
 
 fn main() {

@@ -33,7 +33,7 @@ fn main() {
         let config = SiestaConfig { scale: factor, ..SiestaConfig::default() };
         let siesta = Siesta::new(config);
         let (synthesis, _) =
-            siesta.synthesize_run(machine, nranks, move |r| program.body(size)(r));
+            siesta.synthesize_run(machine, nranks, program.body(size));
         let proxy = replay(&synthesis.program, machine);
         let reproduced_ms = proxy.elapsed_ms() * factor;
         let err = 100.0 * (reproduced_ms - original.elapsed_ms()).abs() / original.elapsed_ms();

@@ -28,7 +28,7 @@ fn main() {
 
     let siesta = Siesta::new(SiestaConfig::default());
     let (synthesis, _) =
-        siesta.synthesize_run(machine, nranks, move |r| program.body(size)(r));
+        siesta.synthesize_run(machine, nranks, program.body(size));
     let s = &synthesis.stats;
 
     println!("\n--- compression ---");

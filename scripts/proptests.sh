@@ -12,7 +12,7 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 # Crates whose tests/ hold a `#![cfg(feature = "proptest-tests")]` suite.
-CRATES=(siesta-grammar siesta-proxy siesta-trace siesta-perfmodel siesta-codegen)
+CRATES=(siesta-grammar siesta-proxy siesta-trace siesta-perfmodel siesta-codegen siesta-mpisim)
 
 # Network is required once here; everything else in this repo stays offline.
 export CARGO_NET_OFFLINE=false

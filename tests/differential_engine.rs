@@ -1,0 +1,148 @@
+//! Differential oracle for the execution engines: the event-driven
+//! scheduler (the production path) and the legacy thread-per-rank
+//! executor (kept one release behind the `legacy-threads` feature as an
+//! independent reference implementation) must produce **byte-identical**
+//! artifacts.
+//!
+//! The two executors share nothing but the engine's matching logic: one
+//! drives resumable rank futures in deterministic sorted batches over the
+//! `siesta-par` pool, the other parks an OS thread per rank and wakes on
+//! completion flags. If virtual-time accounting, message matching, or
+//! collective rounds depended on *executor* order anywhere, these runs
+//! would diverge. Every comparison covers the full synthesis pipeline
+//! (wire bytes, emitted C, synthesis report, traced run stats including
+//! the event-schedule hash) on all nine paper workloads, across pool
+//! widths 1/2/8 and grammar memoization on/off.
+//!
+//! Run via the bench crate's feature forward:
+//!
+//! ```sh
+//! cargo test -p siesta-bench --features legacy-threads --test differential_engine
+//! ```
+
+#![cfg(feature = "legacy-threads")]
+
+use std::sync::Mutex;
+
+use siesta_codegen::{emit_c, wire};
+use siesta_core::{Siesta, SiestaConfig};
+use siesta_mpisim::set_legacy_threads;
+use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+use siesta_workloads::{ProblemSize, Program};
+
+/// Serializes tests: the executor mode and pool width are process-global.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+const NPROCS: usize = 16;
+
+fn machine() -> Machine {
+    Machine::new(platform_a(), MpiFlavor::OpenMpi)
+}
+
+/// Restores the event executor even if an assertion unwinds mid-test.
+struct ThreadedMode;
+
+impl ThreadedMode {
+    fn engage() -> ThreadedMode {
+        set_legacy_threads(true);
+        ThreadedMode
+    }
+}
+
+impl Drop for ThreadedMode {
+    fn drop(&mut self) {
+        set_legacy_threads(false);
+    }
+}
+
+/// Everything a synthesis run externalizes, as bytes/strings to compare.
+struct Output {
+    wire_bytes: Vec<u8>,
+    c_source: String,
+    report: String,
+    stats: String,
+}
+
+fn synthesize(threaded: bool, width: usize, program: Program, config: SiestaConfig) -> Output {
+    let _mode = threaded.then(ThreadedMode::engage);
+    siesta_par::with_threads(width, || {
+        let siesta = Siesta::new(config);
+        let (synthesis, traced) =
+            siesta.synthesize_run(machine(), NPROCS, program.body(ProblemSize::Tiny));
+        Output {
+            wire_bytes: wire::to_bytes(&synthesis.program),
+            c_source: emit_c(&synthesis.program),
+            report: format!(
+                "{:?} ratio={:.6}",
+                synthesis.stats,
+                synthesis.stats.compression_ratio()
+            ),
+            stats: format!("{:?} hash={:016x}", traced, traced.schedule_hash()),
+        }
+    })
+}
+
+fn assert_same(program: Program, label: &str, got: &Output, baseline: &Output) {
+    let name = program.name();
+    assert_eq!(got.wire_bytes, baseline.wire_bytes, "{name}: wire bytes diverge ({label})");
+    assert_eq!(got.c_source, baseline.c_source, "{name}: C source diverges ({label})");
+    assert_eq!(got.report, baseline.report, "{name}: synthesis report diverges ({label})");
+    assert_eq!(got.stats, baseline.stats, "{name}: traced run stats diverge ({label})");
+}
+
+#[test]
+fn threaded_engine_matches_event_engine_on_every_workload() {
+    let _g = MODE_LOCK.lock().unwrap();
+    for program in Program::ALL {
+        let baseline = synthesize(false, 1, program, SiestaConfig::default());
+        for &width in &WIDTHS {
+            let got = synthesize(true, width, program, SiestaConfig::default());
+            assert_same(program, &format!("threaded, {width} threads"), &got, &baseline);
+        }
+    }
+}
+
+#[test]
+fn memo_toggle_agrees_across_executors() {
+    let _g = MODE_LOCK.lock().unwrap();
+    let memo_off = SiestaConfig { grammar_memo: false, ..SiestaConfig::default() };
+    for program in Program::ALL {
+        let baseline = synthesize(false, 1, program, SiestaConfig::default());
+        for (threaded, width, config, label) in [
+            (false, 2, memo_off, "event, no-memo, 2 threads"),
+            (true, 2, SiestaConfig::default(), "threaded, memo, 2 threads"),
+            (true, 8, memo_off, "threaded, no-memo, 8 threads"),
+        ] {
+            let got = synthesize(threaded, width, program, config);
+            assert_same(program, label, &got, &baseline);
+        }
+    }
+}
+
+#[test]
+fn raw_run_stats_are_identical_across_executors() {
+    let _g = MODE_LOCK.lock().unwrap();
+    // Below the pipeline: the bare simulator output — per-rank virtual
+    // finish times, counters, byte/call totals, schedule hashes — must
+    // already agree before tracing enters the picture.
+    for program in Program::ALL {
+        let event = program.run(machine(), NPROCS, ProblemSize::Tiny);
+        let threaded = {
+            let _mode = ThreadedMode::engage();
+            program.run(machine(), NPROCS, ProblemSize::Tiny)
+        };
+        assert_eq!(
+            event.schedule_hash(),
+            threaded.schedule_hash(),
+            "{}: schedule hash diverges across executors",
+            program.name()
+        );
+        assert_eq!(
+            format!("{event:?}"),
+            format!("{threaded:?}"),
+            "{}: per-rank stats diverge across executors",
+            program.name()
+        );
+    }
+}
