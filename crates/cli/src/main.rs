@@ -43,6 +43,9 @@ COMMANDS:
                  --no-memo           disable cross-rank grammar memoization
                                      (rebuild Sequitur per rank even for
                                      duplicate sequences; output unchanged)
+                 --sim-profile / --sim-trace-out / --critical-path
+                                     profile the traced run in virtual time
+                                     (see simulate)
 
     replay       Execute a generated proxy-app on a chosen machine
                  --proxy <file>  [--platform p] [--flavor f]
@@ -77,6 +80,19 @@ COMMANDS:
                  --size <s>          program problem size (default tiny)
                  [--platform p]      default B (unbounded rank capacity)
                  [--flavor f]
+                 --sim-profile       record per-rank virtual-time timelines;
+                                     prints the per-call-class wait/transfer
+                                     breakdown and writes the virtual-time
+                                     Chrome trace (one track per rank,
+                                     strided above 256 ranks)
+                 --sim-trace-out <f> virtual-time trace path (implies
+                                     --sim-profile; default sim-trace.json)
+                 --critical-path     extract the longest virtual-time
+                                     dependency chain (send→recv matches,
+                                     collective joins, wait completions)
+                                     and print it with a per-rank
+                                     blocked/busy breakdown (implies
+                                     timeline recording)
 
     list         Show available programs, platforms, and MPI flavors
 
@@ -102,6 +118,8 @@ ENVIRONMENT:
     SIESTA_OBS_CAP          default --obs-cap
     SIESTA_OBS_CANONICAL=1  timing-free canonical trace/report output
                             (byte-identical at any --threads width)
+    SIESTA_SIM_EVT_CAP      bound --sim-profile to n events per rank (ring
+                            buffer, exact dropped count; default unbounded)
 ";
 
 fn main() -> ExitCode {
@@ -124,7 +142,7 @@ fn main() -> ExitCode {
 const GLOBAL_OPTS: &[&str] = &[
     "comm-matrix", "log-level", "obs-cap", "profile", "quiet", "stats", "threads", "trace-out",
 ];
-const GLOBAL_FLAGS: &[&str] = &["quiet", "stats", "no-memo"];
+const GLOBAL_FLAGS: &[&str] = &["quiet", "stats", "no-memo", "sim-profile", "critical-path"];
 
 /// `check_allowed` including the global observability options.
 fn check_cmd_opts(args: &Args, cmd_opts: &[&str]) -> Result<(), String> {
@@ -163,6 +181,23 @@ fn run(argv: Vec<String>) -> Result<(), String> {
     if let Some(path) = &comm_matrix_path {
         check_writable_dest(path)?;
         siesta_mpisim::set_comm_matrix_enabled(true);
+    }
+    // Virtual-time profiling: any of the three artifacts turns the
+    // recorder on. The Chrome trace is written only when asked for
+    // explicitly or via the full --sim-profile.
+    let sim_profile = args.get_flag("sim-profile")
+        || args.get_flag("critical-path")
+        || args.get("sim-trace-out").is_some();
+    let sim_trace_path = if args.get("sim-trace-out").is_some() || args.get_flag("sim-profile") {
+        Some(args.get_or("sim-trace-out", "sim-trace.json").to_string())
+    } else {
+        None
+    };
+    if sim_profile {
+        if let Some(path) = &sim_trace_path {
+            check_writable_dest(path)?;
+        }
+        siesta_mpisim::set_sim_profile_enabled(true);
     }
     if args.get("threads").is_some() {
         let n = args.get_usize("threads", 0)?;
@@ -219,14 +254,42 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         siesta_mpisim::set_comm_matrix_enabled(false);
         match siesta_mpisim::take_comm_matrix() {
             Some(matrix) => {
-                std::fs::write(&path, comm_matrix_json(&matrix))
+                std::fs::write(&path, matrix.to_json())
                     .map_err(|e| format!("{path}: {e}"))?;
                 siesta_obs::info!("communication matrix ({} ranks) written to {path}", matrix.nranks);
             }
             None => {
                 return result.and(Err(
                     "--comm-matrix: no traced run in this command (only synthesize, trace, \
-                     and compare collect a communication matrix)"
+                     compare, and simulate collect a communication matrix)"
+                        .to_string(),
+                ))
+            }
+        }
+    }
+    if sim_profile {
+        siesta_mpisim::set_sim_profile_enabled(false);
+        match siesta_mpisim::take_sim_profile() {
+            Some(snap) => {
+                if let Some(path) = &sim_trace_path {
+                    std::fs::write(path, snap.chrome_trace_json(SIM_TRACE_MAX_TRACKS))
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    siesta_obs::info!(
+                        "virtual-time trace ({} of {} rank tracks, {} events) written to {path}",
+                        snap.nranks.min(SIM_TRACE_MAX_TRACKS),
+                        snap.nranks,
+                        snap.events_total()
+                    );
+                }
+                print!("{}", snap.render_breakdown());
+                if args.get_flag("critical-path") {
+                    print!("{}", siesta_mpisim::critical_path(&snap).render());
+                }
+            }
+            None => {
+                return result.and(Err(
+                    "--sim-profile/--critical-path: no simulated run in this command (only \
+                     synthesize, trace, compare, and simulate run the simulator)"
                         .to_string(),
                 ))
             }
@@ -259,44 +322,11 @@ fn check_writable_dest(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Hand-rolled JSON for the communication matrix: nonzero point-to-point
-/// cells plus per-rank collective contributions. Deterministic — the
-/// simulation is, and cells are emitted in row-major order.
-fn comm_matrix_json(m: &siesta_mpisim::CommMatrixSnapshot) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = write!(
-        out,
-        "{{\n\"nranks\":{},\n\"nonworld_skipped\":{},\n\"p2p\":[",
-        m.nranks, m.nonworld_skipped
-    );
-    let mut first = true;
-    for src in 0..m.nranks {
-        for dest in 0..m.nranks {
-            let (count, bytes) = (m.count(src, dest), m.byte_volume(src, dest));
-            if count == 0 && bytes == 0 {
-                continue;
-            }
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let _ = write!(
-                out,
-                "\n{{\"src\":{src},\"dest\":{dest},\"count\":{count},\"bytes\":{bytes}}}"
-            );
-        }
-    }
-    out.push_str("\n],\n\"collective_bytes\":[");
-    for (i, b) in m.collective_bytes.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(out, "{b}");
-    }
-    out.push_str("]\n}\n");
-    out
-}
+/// Rank-track cap for the exported virtual-time Chrome trace; above it
+/// the rank axis is strided (every k-th rank) so huge worlds stay
+/// loadable in a trace viewer. Elided tracks are counted in the trace's
+/// `siestaVtMeta` block.
+const SIM_TRACE_MAX_TRACKS: usize = 256;
 
 fn parse_program(name: &str) -> Result<Program, String> {
     Program::parse(name).ok_or_else(|| {
@@ -333,7 +363,7 @@ fn parse_machine_with_default(args: &Args, default_platform: &'static str) -> Re
 fn cmd_synthesize(args: &Args) -> Result<(), String> {
     check_cmd_opts(args, &[
         "program", "nprocs", "size", "platform", "flavor", "scale", "threshold", "out", "emit-c",
-        "from-trace", "no-memo",
+        "from-trace", "no-memo", "sim-profile", "sim-trace-out", "critical-path",
     ])?;
     // Offline path: synthesize from a saved merged trace.
     if let Some(trace_path) = args.get("from-trace") {
@@ -606,6 +636,7 @@ fn parse_rank_list(s: &str) -> Result<Vec<usize>, String> {
 fn cmd_simulate(args: &Args) -> Result<(), String> {
     check_cmd_opts(args, &[
         "sim-ranks", "program", "iters", "face-bytes", "size", "platform", "flavor",
+        "sim-profile", "sim-trace-out", "critical-path",
     ])?;
     // Platform B by default: it is the only paper platform without a rank
     // capacity cap, and the sweeps go far past the others' limits.
@@ -651,12 +682,38 @@ fn cmd_simulate(args: &Args) -> Result<(), String> {
         "{:>9}  {:>12}  {:>9}  {:>11}  {:>9}  schedule hash",
         "ranks", "virtual", "wall", "ranks/s", "peak RSS"
     );
+    // Any observability collection (virtual-time profile, comm matrix,
+    // wall-clock spans) turns on the PMPI hook chain for the sweep; an
+    // unobserved sweep stays hook-free (the fastest path).
+    let instrument = siesta_mpisim::sim_profile_enabled()
+        || siesta_mpisim::comm_matrix_enabled()
+        || siesta_obs::profiling_enabled();
     for &n in &counts {
+        // Fresh per count: collectors are sized to their world. A
+        // multi-count sweep keeps the last count's profile snapshot.
+        let hook: Option<std::sync::Arc<dyn siesta_mpisim::PmpiHook>> = instrument.then(|| {
+            let mut hooks: Vec<std::sync::Arc<dyn siesta_mpisim::PmpiHook>> =
+                vec![std::sync::Arc::new(siesta_mpisim::ObsHook::new(n))];
+            if siesta_mpisim::sim_profile_enabled() {
+                hooks.push(siesta_mpisim::SimProfiler::install(n));
+            }
+            if hooks.len() == 1 {
+                hooks.pop().unwrap()
+            } else {
+                std::sync::Arc::new(siesta_mpisim::FanoutHook::new(hooks))
+            }
+        });
         let t0 = std::time::Instant::now();
-        let stats = match program {
-            Some(p) => p.run(machine, n, size),
-            None => siesta_mpisim::World::new(machine, n)
-                .run(siesta_workloads::halo::halo2d_body(iters, face_bytes)),
+        let stats = match (program, &hook) {
+            (Some(p), Some(h)) => p.run_hooked(machine, n, size, h.clone()),
+            (Some(p), None) => p.run(machine, n, size),
+            (None, hook) => {
+                let mut world = siesta_mpisim::World::new(machine, n);
+                if let Some(h) = hook {
+                    world = world.with_hook(h.clone());
+                }
+                world.run(siesta_workloads::halo::halo2d_body(iters, face_bytes))
+            }
         };
         let wall = t0.elapsed().as_secs_f64();
         let rss = siesta_obs::peak_rss_bytes()

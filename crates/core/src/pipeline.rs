@@ -108,16 +108,20 @@ impl Siesta {
     {
         let _span = span!("trace", nranks = nranks);
         let recorder = Arc::new(Recorder::new(nranks, self.config.trace));
-        // With profiling (or comm-matrix collection) on, stack the metrics
-        // hook under the recorder the way PMPI tools chain; otherwise
-        // install the recorder alone.
+        // With profiling (or comm-matrix / virtual-time-profile
+        // collection) on, stack the observers under the recorder the way
+        // PMPI tools chain; otherwise install the recorder alone.
+        let sim_profile = siesta_mpisim::sim_profile_enabled();
         let hook: Arc<dyn PmpiHook> = if profiling_enabled()
             || siesta_mpisim::comm_matrix_enabled()
+            || sim_profile
         {
-            Arc::new(FanoutHook::new(vec![
-                recorder.clone(),
-                Arc::new(ObsHook::new(nranks)),
-            ]))
+            let mut hooks: Vec<Arc<dyn PmpiHook>> =
+                vec![recorder.clone(), Arc::new(ObsHook::new(nranks))];
+            if sim_profile {
+                hooks.push(siesta_mpisim::SimProfiler::install(nranks));
+            }
+            Arc::new(FanoutHook::new(hooks))
         } else {
             recorder.clone()
         };

@@ -83,6 +83,7 @@ mod tests {
                 counters,
                 compute_ns: 1.0,
                 mpi_ns: 0.0,
+                wait_ns: 0.0,
                 app_calls: 1,
                 bytes_sent: 0,
                 compute_events: 1,

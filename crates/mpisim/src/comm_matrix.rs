@@ -8,9 +8,16 @@
 //! communication-pattern view tools like mpiP's sender/receiver
 //! histograms and the Caliper/Benchpark studies build their analysis on.
 //!
-//! The record path is an atomic fetch-add per call — the collector is a
-//! flat `Vec<AtomicU64>` shared with the hook via `Arc`, so the
-//! simulation's rank threads never take a lock.
+//! Storage is **sparse**: one hash row per source rank, holding only the
+//! destinations that rank actually sent to. Real MPI communication
+//! matrices are overwhelmingly sparse (a 64k-rank halo exchange touches
+//! 4 neighbours per rank, not 64k), and the previous dense
+//! `nranks² × 2` atomic array was the memory wall that kept
+//! `--comm-matrix` from running at scale — 64 GiB of cells at 64k ranks
+//! versus a few MiB of occupied entries here. Each row has its own lock,
+//! and a row is only ever written while its owning rank is being polled
+//! — the scheduler polls a rank on at most one worker at a time — so the
+//! lock is uncontended in steady state.
 //!
 //! Only `MPI_COMM_WORLD` point-to-point traffic lands in the matrix: the
 //! hook sees communicator-**local** destination ranks (exactly what a
@@ -20,6 +27,8 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use siesta_hash::{fx_map, FxHashMap};
 
 use crate::comm::CommId;
 use crate::hook::{HookCtx, MpiCall};
@@ -41,13 +50,12 @@ pub fn comm_matrix_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Shared atomic cells, written by the hook from rank threads.
+/// Streaming collector: sparse per-source rows, written by the hook from
+/// whichever worker is polling the source rank.
 pub(crate) struct CommMatrixCells {
     nranks: usize,
-    /// `src * nranks + dest`, point-to-point send counts.
-    counts: Vec<AtomicU64>,
-    /// `src * nranks + dest`, point-to-point send bytes.
-    bytes: Vec<AtomicU64>,
+    /// `rows[src][dest] = (count, bytes)` — only touched destinations.
+    rows: Vec<Mutex<FxHashMap<u32, (u64, u64)>>>,
     /// Per-source-rank collective contribution bytes.
     collective_bytes: Vec<AtomicU64>,
     /// P2p sends on non-world communicators (not attributable to a
@@ -59,18 +67,20 @@ impl CommMatrixCells {
     fn new(nranks: usize) -> CommMatrixCells {
         CommMatrixCells {
             nranks,
-            counts: (0..nranks * nranks).map(|_| AtomicU64::new(0)).collect(),
-            bytes: (0..nranks * nranks).map(|_| AtomicU64::new(0)).collect(),
+            rows: (0..nranks).map(|_| Mutex::new(fx_map())).collect(),
             collective_bytes: (0..nranks).map(|_| AtomicU64::new(0)).collect(),
             nonworld_skipped: AtomicU64::new(0),
         }
     }
 
     fn add_p2p(&self, src: usize, dest: usize, nbytes: u64) {
-        if src < self.nranks && dest < self.nranks {
-            let cell = src * self.nranks + dest;
-            self.counts[cell].fetch_add(1, Ordering::Relaxed);
-            self.bytes[cell].fetch_add(nbytes, Ordering::Relaxed);
+        if dest < self.nranks {
+            if let Some(row) = self.rows.get(src) {
+                let mut row = row.lock().unwrap();
+                let cell = row.entry(dest as u32).or_insert((0, 0));
+                cell.0 += 1;
+                cell.1 += nbytes;
+            }
         }
     }
 
@@ -111,6 +121,29 @@ impl CommMatrixCells {
             }
         }
     }
+
+    /// Flatten into the sorted sparse snapshot form.
+    fn snapshot(&self) -> CommMatrixSnapshot {
+        let mut flat: Vec<(u32, u32, u64, u64)> = Vec::new();
+        for (src, row) in self.rows.iter().enumerate() {
+            let row = row.lock().unwrap();
+            let base = flat.len();
+            flat.extend(
+                row.iter().map(|(&dest, &(count, bytes))| (src as u32, dest, count, bytes)),
+            );
+            flat[base..].sort_unstable_by_key(|c| c.1);
+        }
+        CommMatrixSnapshot {
+            nranks: self.nranks,
+            cells: flat,
+            collective_bytes: self
+                .collective_bytes
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            nonworld_skipped: self.nonworld_skipped.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Install (and return) a fresh collector for a world of `nranks`,
@@ -122,24 +155,63 @@ pub(crate) fn install(nranks: usize) -> Arc<CommMatrixCells> {
     cells
 }
 
-/// Final tallies of one instrumented run, flattened row-major
-/// (`src * nranks + dest`).
+/// Final tallies of one instrumented run: occupied cells only, sorted
+/// row-major — memory proportional to the pattern, not to `nranks²`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommMatrixSnapshot {
     pub nranks: usize,
-    pub counts: Vec<u64>,
-    pub bytes: Vec<u64>,
+    /// `(src, dest, count, bytes)` for every nonzero cell, sorted by
+    /// `(src, dest)`.
+    pub cells: Vec<(u32, u32, u64, u64)>,
     pub collective_bytes: Vec<u64>,
     pub nonworld_skipped: u64,
 }
 
 impl CommMatrixSnapshot {
+    fn cell(&self, src: usize, dest: usize) -> Option<&(u32, u32, u64, u64)> {
+        self.cells
+            .binary_search_by_key(&(src as u32, dest as u32), |c| (c.0, c.1))
+            .ok()
+            .map(|i| &self.cells[i])
+    }
+
     pub fn count(&self, src: usize, dest: usize) -> u64 {
-        self.counts[src * self.nranks + dest]
+        self.cell(src, dest).map_or(0, |c| c.2)
     }
 
     pub fn byte_volume(&self, src: usize, dest: usize) -> u64 {
-        self.bytes[src * self.nranks + dest]
+        self.cell(src, dest).map_or(0, |c| c.3)
+    }
+
+    /// Hand-rolled JSON: nonzero point-to-point cells plus per-rank
+    /// collective contributions. Deterministic — the simulation is, and
+    /// cells are emitted in row-major order.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 + self.cells.len() * 48);
+        let _ = write!(
+            out,
+            "{{\n\"nranks\":{},\n\"nonworld_skipped\":{},\n\"p2p\":[",
+            self.nranks, self.nonworld_skipped
+        );
+        for (i, (src, dest, count, bytes)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"src\":{src},\"dest\":{dest},\"count\":{count},\"bytes\":{bytes}}}"
+            );
+        }
+        out.push_str("\n],\n\"collective_bytes\":[");
+        for (i, b) in self.collective_bytes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]\n}\n");
+        out
     }
 }
 
@@ -147,17 +219,7 @@ impl CommMatrixSnapshot {
 /// leaving none behind. `None` if collection was never enabled.
 pub fn take_comm_matrix() -> Option<CommMatrixSnapshot> {
     let cells = CURRENT.lock().unwrap().take()?;
-    Some(CommMatrixSnapshot {
-        nranks: cells.nranks,
-        counts: cells.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-        bytes: cells.bytes.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
-        collective_bytes: cells
-            .collective_bytes
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect(),
-        nonworld_skipped: cells.nonworld_skipped.load(Ordering::Relaxed),
-    })
+    Some(cells.snapshot())
 }
 
 #[cfg(test)]
@@ -166,7 +228,16 @@ mod tests {
     use siesta_perfmodel::CounterVec;
 
     fn ctx(rank: usize) -> HookCtx {
-        HookCtx { rank, clock_ns: 0.0, counters: CounterVec::ZERO, comm_rank: rank, comm_size: 4 }
+        HookCtx {
+            rank,
+            clock_ns: 0.0,
+            counters: CounterVec::ZERO,
+            comm_rank: rank,
+            comm_size: 4,
+            call_start_ns: 0.0,
+            wait_ns: 0.0,
+            call_seq: 0,
+        }
     }
 
     #[test]
@@ -197,15 +268,16 @@ mod tests {
         assert_ne!(sub, CommId::WORLD);
         cells.record(&ctx(1), &MpiCall::Send { comm: sub, dest: 0, tag: 0, bytes: 5 });
 
-        assert_eq!(cells.counts[1].load(Ordering::Relaxed), 2); // 0 -> 1
-        assert_eq!(cells.bytes[1].load(Ordering::Relaxed), 128);
-        assert_eq!(cells.counts[2 * 4 + 3].load(Ordering::Relaxed), 1);
-        assert_eq!(cells.bytes[2 * 4 + 3].load(Ordering::Relaxed), 64);
-        assert_eq!(cells.collective_bytes[3].load(Ordering::Relaxed), 8);
-        assert_eq!(cells.nonworld_skipped.load(Ordering::Relaxed), 1);
-        // Nothing landed in any other cell.
-        let total: u64 = cells.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum();
-        assert_eq!(total, 3);
+        let snap = cells.snapshot();
+        assert_eq!(snap.count(0, 1), 2);
+        assert_eq!(snap.byte_volume(0, 1), 128);
+        assert_eq!(snap.count(2, 3), 1);
+        assert_eq!(snap.byte_volume(2, 3), 64);
+        assert_eq!(snap.collective_bytes[3], 8);
+        assert_eq!(snap.nonworld_skipped, 1);
+        // Only the two touched cells are stored.
+        assert_eq!(snap.cells.len(), 2);
+        assert_eq!(snap.count(1, 0), 0);
     }
 
     #[test]
@@ -222,5 +294,25 @@ mod tests {
         assert_eq!(snap.nonworld_skipped, 0);
         // Taken means gone.
         assert!(take_comm_matrix().is_none());
+    }
+
+    #[test]
+    fn json_is_sorted_row_major_and_sparse() {
+        let cells = CommMatrixCells::new(3);
+        // Insert out of order within a row; snapshot must sort.
+        cells.record(&ctx(1), &MpiCall::Send { comm: CommId::WORLD, dest: 2, tag: 0, bytes: 7 });
+        cells.record(&ctx(1), &MpiCall::Send { comm: CommId::WORLD, dest: 0, tag: 0, bytes: 3 });
+        cells.record(&ctx(0), &MpiCall::Send { comm: CommId::WORLD, dest: 2, tag: 0, bytes: 1 });
+        let snap = cells.snapshot();
+        assert_eq!(
+            snap.cells,
+            vec![(0, 2, 1, 1), (1, 0, 1, 3), (1, 2, 1, 7)]
+        );
+        let json = snap.to_json();
+        let p02 = json.find("\"src\":0,\"dest\":2").unwrap();
+        let p10 = json.find("\"src\":1,\"dest\":0").unwrap();
+        let p12 = json.find("\"src\":1,\"dest\":2").unwrap();
+        assert!(p02 < p10 && p10 < p12);
+        assert!(json.contains("\"collective_bytes\":[0,0,0]"));
     }
 }

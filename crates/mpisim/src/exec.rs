@@ -25,9 +25,38 @@
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
+
+use siesta_obs::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+
+/// Scheduler introspection metrics, resolved once per run. All names
+/// carry the `obs.` prefix: wake and round tallies depend on host thread
+/// interleaving (a wake landing while its target is RUNNING versus
+/// already-polled changes who enqueues), so they are real observability
+/// data but must stay out of the canonical (width-invariant) report.
+struct SchedMetrics {
+    rounds: &'static Counter,
+    wakes: &'static Counter,
+    quiescence_checks: &'static Counter,
+    batch_size: &'static Histogram,
+    wakes_per_rank: &'static Histogram,
+    queue_depth: &'static Gauge,
+}
+
+impl SchedMetrics {
+    fn resolve() -> SchedMetrics {
+        SchedMetrics {
+            rounds: counter("obs.sim.sched.rounds"),
+            wakes: counter("obs.sim.sched.wakes"),
+            quiescence_checks: counter("obs.sim.sched.quiescence_checks"),
+            batch_size: histogram("obs.sim.sched.batch_size"),
+            wakes_per_rank: histogram("obs.sim.sched.wakes_per_rank"),
+            queue_depth: gauge("obs.sim.sched.queue_depth"),
+        }
+    }
+}
 
 /// The boxed resumable state machine of one rank. Rank bodies receive a
 /// [`crate::Rank`] by value and return it when done (so the world can
@@ -52,14 +81,25 @@ struct ExecShared {
     /// Ranks runnable in the next batch. Drained, sorted, and polled as
     /// one `run_tasks` region per scheduling round.
     queue: Mutex<Vec<usize>>,
+    /// Per-rank wake tallies, allocated only when introspection is on
+    /// (the hot path must stay one branch when profiling is off).
+    wake_counts: Option<Vec<AtomicU64>>,
 }
 
 impl ExecShared {
-    fn new(n: usize) -> ExecShared {
+    fn new(n: usize, instrument: bool) -> ExecShared {
         ExecShared {
             status: (0..n).map(|_| AtomicU8::new(QUEUED)).collect(),
             pending: (0..n).map(|_| AtomicBool::new(false)).collect(),
             queue: Mutex::new((0..n).collect()),
+            wake_counts: instrument.then(|| (0..n).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Tally one wake enqueue for `rank` (introspection only).
+    fn note_wake(&self, rank: usize) {
+        if let Some(counts) = &self.wake_counts {
+            counts[rank].fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -74,6 +114,7 @@ impl ExecShared {
                         .is_ok()
                     {
                         self.queue.lock().unwrap().push(rank);
+                        self.note_wake(rank);
                         return;
                     }
                     // Lost the race with another waker or the poller; retry.
@@ -127,7 +168,9 @@ pub(crate) fn run_event<'env, T: Send>(
     futs: Vec<RankFut<'env, T>>,
 ) -> Result<Vec<T>, Vec<usize>> {
     let n = futs.len();
-    let exec = Arc::new(ExecShared::new(n));
+    let metrics = (siesta_obs::profiling_enabled() || crate::profiler::sim_profile_enabled())
+        .then(SchedMetrics::resolve);
+    let exec = Arc::new(ExecShared::new(n, metrics.is_some()));
     let wakers: Vec<Waker> = (0..n)
         .map(|rank| Waker::from(Arc::new(RankWaker { exec: exec.clone(), rank })))
         .collect();
@@ -139,8 +182,14 @@ pub(crate) fn run_event<'env, T: Send>(
     let mut unfinished = n;
     while unfinished > 0 {
         let mut batch = std::mem::take(&mut *exec.queue.lock().unwrap());
+        if let Some(m) = &metrics {
+            m.queue_depth.set(batch.len() as i64);
+        }
         if batch.is_empty() {
             // Quiescent with work left: deadlock. Report who is stuck.
+            if let Some(m) = &metrics {
+                m.quiescence_checks.inc();
+            }
             let blocked: Vec<usize> = slots
                 .iter()
                 .enumerate()
@@ -151,6 +200,10 @@ pub(crate) fn run_event<'env, T: Send>(
         }
         // Deterministic batch order: rank index, not wake arrival.
         batch.sort_unstable();
+        if let Some(m) = &metrics {
+            m.rounds.inc();
+            m.batch_size.record(batch.len() as u64);
+        }
         let width = siesta_par::threads().min(batch.len());
         let finished = siesta_par::run_tasks(batch.len(), width, |i| {
             let rank = batch[i];
@@ -175,12 +228,24 @@ pub(crate) fn run_event<'env, T: Send>(
                             .is_ok()
                     {
                         exec.queue.lock().unwrap().push(rank);
+                        exec.note_wake(rank);
                     }
                     false
                 }
             }
         });
         unfinished -= finished.iter().filter(|&&done| done).count();
+    }
+
+    if let (Some(m), Some(counts)) = (&metrics, &exec.wake_counts) {
+        let mut total = 0u64;
+        for c in counts {
+            let v = c.load(Ordering::Relaxed);
+            total += v;
+            m.wakes_per_rank.record(v);
+        }
+        m.wakes.add(total);
+        m.queue_depth.set(0);
     }
 
     Ok(slots

@@ -13,6 +13,9 @@ use siesta_perfmodel::CounterVec;
 use crate::comm::CommId;
 use crate::message::Tag;
 
+/// Number of [`MpiCall`] variants; the range of [`MpiCall::class_index`].
+pub const NUM_CALL_CLASSES: usize = 23;
+
 /// A fully-parameterized MPI call, as a PMPI wrapper would observe it.
 ///
 /// Ranks in the records are **communicator-local** (what the application
@@ -85,6 +88,68 @@ impl MpiCall {
         }
     }
 
+    /// Dense per-variant index in `0..NUM_CALL_CLASSES`, stable across
+    /// releases (new variants append). Metric tables, the virtual-time
+    /// profiler, and the critical-path extractor all key on it.
+    pub fn class_index(&self) -> usize {
+        match self {
+            MpiCall::Send { .. } => 0,
+            MpiCall::Recv { .. } => 1,
+            MpiCall::Isend { .. } => 2,
+            MpiCall::Irecv { .. } => 3,
+            MpiCall::Wait { .. } => 4,
+            MpiCall::Waitall { .. } => 5,
+            MpiCall::Sendrecv { .. } => 6,
+            MpiCall::Barrier { .. } => 7,
+            MpiCall::Bcast { .. } => 8,
+            MpiCall::Reduce { .. } => 9,
+            MpiCall::Allreduce { .. } => 10,
+            MpiCall::Allgather { .. } => 11,
+            MpiCall::Alltoall { .. } => 12,
+            MpiCall::Alltoallv { .. } => 13,
+            MpiCall::Gather { .. } => 14,
+            MpiCall::Scatter { .. } => 15,
+            MpiCall::Gatherv { .. } => 16,
+            MpiCall::Scatterv { .. } => 17,
+            MpiCall::Scan { .. } => 18,
+            MpiCall::ReduceScatterBlock { .. } => 19,
+            MpiCall::CommSplit { .. } => 20,
+            MpiCall::CommDup { .. } => 21,
+            MpiCall::CommFree { .. } => 22,
+        }
+    }
+
+    /// MPI function name for a class index produced by
+    /// [`MpiCall::class_index`].
+    pub fn class_name(idx: usize) -> &'static str {
+        const NAMES: [&str; NUM_CALL_CLASSES] = [
+            "MPI_Send",
+            "MPI_Recv",
+            "MPI_Isend",
+            "MPI_Irecv",
+            "MPI_Wait",
+            "MPI_Waitall",
+            "MPI_Sendrecv",
+            "MPI_Barrier",
+            "MPI_Bcast",
+            "MPI_Reduce",
+            "MPI_Allreduce",
+            "MPI_Allgather",
+            "MPI_Alltoall",
+            "MPI_Alltoallv",
+            "MPI_Gather",
+            "MPI_Scatter",
+            "MPI_Gatherv",
+            "MPI_Scatterv",
+            "MPI_Scan",
+            "MPI_Reduce_scatter_block",
+            "MPI_Comm_split",
+            "MPI_Comm_dup",
+            "MPI_Comm_free",
+        ];
+        NAMES.get(idx).copied().unwrap_or("MPI_?")
+    }
+
     /// Application payload bytes moved by this single call (sends count
     /// outgoing volume; collectives count this rank's contribution).
     pub fn payload_bytes(&self) -> usize {
@@ -129,6 +194,21 @@ pub struct HookCtx {
     pub comm_rank: usize,
     /// Size of the call's communicator; world size for comm-less calls.
     pub comm_size: usize,
+    /// Virtual clock at the matching `pre` hook of this call (equals
+    /// `clock_ns` in the `pre` hook itself). Lets a `post`-only profiler
+    /// reconstruct the call interval without per-call state of its own.
+    pub call_start_ns: f64,
+    /// Virtual nanoseconds this call has spent *blocked* so far: clock
+    /// jumps to completion times produced by peers (message arrival,
+    /// rendezvous ack, collective quorum, split rendezvous). Always `0.0`
+    /// in `pre`; in `post` it is the call's exact blocked-wait total, so
+    /// `(clock_ns - call_start_ns) - wait_ns` is local transfer/overhead.
+    pub wait_ns: f64,
+    /// Zero-based index of this call in the rank's own hooked-call
+    /// sequence (same value in `pre` and `post`). Gives recorders a
+    /// per-rank program-order key without maintaining per-rank state of
+    /// their own — the rank counts its calls anyway.
+    pub call_seq: u32,
 }
 
 /// A PMPI interposer.

@@ -74,11 +74,13 @@
 pub mod collectives;
 pub mod comm;
 pub mod comm_matrix;
+pub mod critical;
 pub mod engine;
 pub mod exec;
 pub mod hook;
 pub mod message;
 pub mod obs;
+pub mod profiler;
 pub mod rank;
 pub mod request;
 pub mod world;
@@ -87,11 +89,16 @@ pub use comm::{CommGroup, CommId, Communicator};
 pub use comm_matrix::{
     comm_matrix_enabled, set_comm_matrix_enabled, take_comm_matrix, CommMatrixSnapshot,
 };
+pub use critical::{critical_path, CriticalPathReport, PathStep, RankBreakdown};
 #[cfg(feature = "legacy-threads")]
 pub use exec::set_legacy_threads;
 pub use hook::{HookCtx, MpiCall, PmpiHook};
 pub use message::{RecvStatus, Tag, ANY_TAG};
 pub use obs::{FanoutHook, ObsHook};
+pub use profiler::{
+    set_sim_profile_enabled, sim_profile_enabled, take_sim_profile, SimEvent, SimProfileSnapshot,
+    SimProfiler,
+};
 pub use rank::Rank;
 pub use request::Request;
 pub use world::{Deadlock, RankFut, RankStats, RunStats, World};

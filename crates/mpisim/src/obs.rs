@@ -8,7 +8,7 @@ use std::sync::Arc;
 use siesta_obs::metrics::{counter, histogram, Counter, Histogram};
 
 use crate::comm_matrix;
-use crate::hook::{HookCtx, MpiCall, PmpiHook};
+use crate::hook::{HookCtx, MpiCall, PmpiHook, NUM_CALL_CLASSES};
 
 /// Broadcasts every hook event to each inner hook, in order. Per-call
 /// overhead charged to the virtual clock is the sum of the inner overheads.
@@ -41,12 +41,12 @@ impl PmpiHook for FanoutHook {
 }
 
 /// Metric names follow `mpi.calls.<MPI function>` (see DESIGN.md), one
-/// per [`MpiCall`] variant, indexed by [`call_index`]. The hook resolves
-/// all of them once at construction: the per-call hot path must not take
-/// the metrics-registry lock (this hook runs on every MPI call of every
-/// rank thread, and is what the <5% `--profile` overhead budget is
-/// spent on).
-const CALL_COUNTER_NAMES: [&str; 23] = [
+/// per [`MpiCall`] variant, indexed by [`MpiCall::class_index`]. The hook
+/// resolves all of them once at construction: the per-call hot path must
+/// not take the metrics-registry lock (this hook runs on every MPI call
+/// of every rank thread, and is what the <5% `--profile` overhead budget
+/// is spent on).
+const CALL_COUNTER_NAMES: [&str; NUM_CALL_CLASSES] = [
     "mpi.calls.MPI_Send",
     "mpi.calls.MPI_Recv",
     "mpi.calls.MPI_Isend",
@@ -72,35 +72,6 @@ const CALL_COUNTER_NAMES: [&str; 23] = [
     "mpi.calls.MPI_Comm_free",
 ];
 
-/// Index of a call's counter in [`CALL_COUNTER_NAMES`].
-fn call_index(call: &MpiCall) -> usize {
-    match call {
-        MpiCall::Send { .. } => 0,
-        MpiCall::Recv { .. } => 1,
-        MpiCall::Isend { .. } => 2,
-        MpiCall::Irecv { .. } => 3,
-        MpiCall::Wait { .. } => 4,
-        MpiCall::Waitall { .. } => 5,
-        MpiCall::Sendrecv { .. } => 6,
-        MpiCall::Barrier { .. } => 7,
-        MpiCall::Bcast { .. } => 8,
-        MpiCall::Reduce { .. } => 9,
-        MpiCall::Allreduce { .. } => 10,
-        MpiCall::Allgather { .. } => 11,
-        MpiCall::Alltoall { .. } => 12,
-        MpiCall::Alltoallv { .. } => 13,
-        MpiCall::Gather { .. } => 14,
-        MpiCall::Scatter { .. } => 15,
-        MpiCall::Gatherv { .. } => 16,
-        MpiCall::Scatterv { .. } => 17,
-        MpiCall::Scan { .. } => 18,
-        MpiCall::ReduceScatterBlock { .. } => 19,
-        MpiCall::CommSplit { .. } => 20,
-        MpiCall::CommDup { .. } => 21,
-        MpiCall::CommFree { .. } => 22,
-    }
-}
-
 /// Records per-call-type counts, a message-volume histogram, and a
 /// queue-depth histogram (outstanding nonblocking requests per rank,
 /// sampled at each MPI call). Charges zero virtual overhead: it observes
@@ -109,8 +80,9 @@ fn call_index(call: &MpiCall) -> usize {
 pub struct ObsHook {
     /// Outstanding Isend/Irecv requests per rank.
     outstanding: Vec<AtomicI64>,
-    /// Pre-resolved `mpi.calls.*` counters, indexed by [`call_index`].
-    call_counters: [&'static Counter; 23],
+    /// Pre-resolved `mpi.calls.*` counters, indexed by
+    /// [`MpiCall::class_index`].
+    call_counters: [&'static Counter; NUM_CALL_CLASSES],
     /// Pre-resolved histograms (same reason: no registry lock per call).
     message_bytes: &'static Histogram,
     queue_depth: &'static Histogram,
@@ -134,7 +106,7 @@ impl ObsHook {
 
 impl PmpiHook for ObsHook {
     fn pre(&self, ctx: &HookCtx, call: &MpiCall) {
-        self.call_counters[call_index(call)].inc();
+        self.call_counters[call.class_index()].inc();
         if let Some(matrix) = &self.comm_matrix {
             matrix.record(ctx, call);
         }
@@ -179,6 +151,16 @@ mod tests {
             counters: CounterVec::ZERO,
             comm_rank: rank,
             comm_size: 2,
+            call_start_ns: 0.0,
+            wait_ns: 0.0,
+            call_seq: 0,
+        }
+    }
+
+    #[test]
+    fn counter_names_track_class_names() {
+        for (i, name) in CALL_COUNTER_NAMES.iter().enumerate() {
+            assert_eq!(*name, format!("mpi.calls.{}", MpiCall::class_name(i)));
         }
     }
 

@@ -170,6 +170,15 @@ pub struct Rank {
     pub(crate) coll_seq: HashMap<u64, u32>,
     pub(crate) compute_ns: f64,
     pub(crate) mpi_ns: f64,
+    /// Total blocked-wait time (see [`Rank::note_wait`]).
+    pub(crate) wait_ns_total: f64,
+    /// Blocked-wait accumulated inside the current hooked call; reset by
+    /// `hook_pre_raw`, reported through `HookCtx::wait_ns` in the post hook.
+    pub(crate) cur_wait_ns: f64,
+    /// Virtual clock at the current call's pre hook (`HookCtx::call_start_ns`).
+    pub(crate) cur_call_t0: f64,
+    /// Hooked calls completed so far: feeds [`HookCtx::call_seq`].
+    pub(crate) hooked_calls: u32,
     pub(crate) app_calls: u64,
     pub(crate) bytes_sent: u64,
     pub(crate) compute_events: u64,
@@ -191,6 +200,10 @@ impl Rank {
             coll_seq: HashMap::new(),
             compute_ns: 0.0,
             mpi_ns: 0.0,
+            wait_ns_total: 0.0,
+            cur_wait_ns: 0.0,
+            cur_call_t0: 0.0,
+            hooked_calls: 0,
             app_calls: 0,
             bytes_sent: 0,
             compute_events: 0,
@@ -405,11 +418,13 @@ impl Rank {
             }
             Some(ReqState::SendDone { done }) => {
                 let done = *done;
+                self.note_wait(done - self.clock);
                 self.clock = self.clock.max(done);
                 Some(self.dummy_send_status())
             }
             Some(ReqState::SendRendezvous { ack }) => match ack.try_get() {
                 Some(done) => {
+                    self.note_wait(done - self.clock);
                     self.clock = self.clock.max(done);
                     Some(self.dummy_send_status())
                 }
@@ -507,6 +522,7 @@ impl Rank {
         let cost = net.collective_overhead_ns
             + rounds * net.latency(!span_nodes)
             + (p * 16) as f64 / net.bandwidth(!span_nodes);
+        self.note_wait(t_all + cost - self.clock);
         self.clock = self.clock.max(t_all + cost);
         let pairs: Vec<(i64, i64)> = contributions.iter().map(|c| (c.0, c.1)).collect();
         let result = comm.split_from(&pairs, seq, self.rank);
@@ -573,6 +589,10 @@ impl Rank {
     }
 
     fn hook_pre_raw(&mut self, call: &MpiCall, comm_rank: usize, comm_size: usize) {
+        // Hooked calls never nest (collective plumbing bypasses the hooks),
+        // so one pre-slot per rank suffices for the per-call wait total.
+        self.cur_call_t0 = self.clock;
+        self.cur_wait_ns = 0.0;
         if let Some(hook) = &self.shared.hook {
             let ctx = HookCtx {
                 rank: self.rank,
@@ -580,6 +600,9 @@ impl Rank {
                 counters: self.counters,
                 comm_rank,
                 comm_size,
+                call_start_ns: self.clock,
+                wait_ns: 0.0,
+                call_seq: self.hooked_calls,
             };
             hook.pre(&ctx, call);
             self.clock += hook.overhead_ns() * 0.5;
@@ -594,9 +617,24 @@ impl Rank {
                 counters: self.counters,
                 comm_rank,
                 comm_size,
+                call_start_ns: self.cur_call_t0,
+                wait_ns: self.cur_wait_ns,
+                call_seq: self.hooked_calls,
             };
             hook.post(&ctx, call);
             self.clock += hook.overhead_ns() * 0.5;
+            self.hooked_calls = self.hooked_calls.wrapping_add(1);
+        }
+    }
+
+    /// Record virtual time the rank is about to sit blocked: the clock is
+    /// jumping forward to a completion time produced by a *peer* (message
+    /// arrival, rendezvous ack, collective quorum, split fill). Negative or
+    /// zero deltas mean the completion was already in the past — no wait.
+    pub(crate) fn note_wait(&mut self, delta_ns: f64) {
+        if delta_ns > 0.0 {
+            self.cur_wait_ns += delta_ns;
+            self.wait_ns_total += delta_ns;
         }
     }
 
@@ -643,6 +681,7 @@ impl Rank {
     /// plus receive overhead, and build the status.
     pub(crate) fn finish_recv(&mut self, c: &Completion) -> RecvStatus {
         let done = c.data_avail + self.machine().net.recv_overhead_ns;
+        self.note_wait(done - self.clock);
         self.clock = self.clock.max(done);
         RecvStatus {
             source: c.src_comm_rank,
@@ -714,7 +753,9 @@ impl Rank {
                 self.set_blocked(blocked::ack(dst_global));
                 let sender_done = AckWait(&ack).await;
                 self.clear_blocked();
-                self.clock = (self.clock + net.send_overhead_ns).max(sender_done);
+                let busy_until = self.clock + net.send_overhead_ns;
+                self.note_wait(sender_done - busy_until);
+                self.clock = busy_until.max(sender_done);
             }
         }
     }
@@ -777,6 +818,7 @@ impl Rank {
                 self.wait_recv_raw(recv_id, usize::MAX).await
             }
             ReqState::SendDone { done } => {
+                self.note_wait(done - self.clock);
                 self.clock = self.clock.max(done);
                 self.dummy_send_status()
             }
@@ -784,6 +826,7 @@ impl Rank {
                 self.set_blocked(blocked::ack(usize::MAX));
                 let done = AckWait(&ack).await;
                 self.clear_blocked();
+                self.note_wait(done - self.clock);
                 self.clock = self.clock.max(done);
                 self.dummy_send_status()
             }
@@ -801,6 +844,7 @@ impl Rank {
             counters: self.counters,
             compute_ns: self.compute_ns,
             mpi_ns: self.mpi_ns,
+            wait_ns: self.wait_ns_total,
             app_calls: self.app_calls,
             bytes_sent: self.bytes_sent,
             compute_events: self.compute_events,

@@ -191,6 +191,10 @@ pub struct RankStats {
     pub compute_ns: f64,
     /// Virtual time spent inside MPI calls.
     pub mpi_ns: f64,
+    /// Portion of `mpi_ns` spent *blocked* waiting on peers: clock jumps to
+    /// externally-produced completion times (message arrival, rendezvous
+    /// ack, collective quorum). The remainder is local transfer/overhead.
+    pub wait_ns: f64,
     /// Application-level MPI calls made.
     pub app_calls: u64,
     /// Application payload bytes sent (outgoing contributions).
@@ -228,6 +232,11 @@ impl RunStats {
     /// Total application payload bytes sent across ranks.
     pub fn total_bytes(&self) -> u64 {
         self.per_rank.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Total virtual time ranks spent blocked inside MPI waiting on peers.
+    pub fn total_wait_ns(&self) -> f64 {
+        self.per_rank.iter().map(|r| r.wait_ns).sum()
     }
 
     /// Whole-run schedule fingerprint: per-rank schedule hashes folded in

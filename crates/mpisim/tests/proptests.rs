@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use siesta_mpisim::{Rank, RankFut, World};
+use siesta_mpisim::{critical_path, PmpiHook, Rank, RankFut, SimProfiler, World};
 use siesta_perfmodel::{platform_b, Machine, MpiFlavor};
 
 /// A tag the generator never produces: poisoning a receive with it
@@ -241,6 +241,58 @@ proptest! {
             })
         });
         prop_assert_eq!(stats.per_rank.len(), 2);
+    }
+
+    /// The critical path is a *chain* through the run: its span can never
+    /// exceed the run's total virtual time, and with every message
+    /// matched in-world (this generator has no `Sendrecv`, whose merged
+    /// intervals can legitimately truncate the walk) it terminates
+    /// without truncation. Blocked wait along the path is *not* bounded
+    /// by the span — relay chains block concurrently, so per-node waits
+    /// overlap by design.
+    #[test]
+    fn critical_path_span_is_bounded((nranks, rounds) in program_strategy()) {
+        let rounds = Arc::new(rounds);
+        let prof = SimProfiler::new(nranks, 0);
+        let hook: Arc<dyn PmpiHook> = prof.clone();
+        let stats = World::new(machine(), nranks)
+            .with_hook(hook)
+            .try_run(body(rounds.clone(), None))
+            .expect("matched program reported deadlock");
+        let report = critical_path(&prof.snapshot());
+        prop_assert!(!report.truncated, "happens-before walk revisited a node");
+        prop_assert!(
+            report.span_ns <= stats.elapsed_ns() + 1e-6,
+            "critical path span {} exceeds elapsed {}",
+            report.span_ns, stats.elapsed_ns()
+        );
+        prop_assert!(report.span_ns >= 0.0);
+        prop_assert!(report.ranks_visited >= 1);
+    }
+
+    /// The profiler's artifacts are pure functions of the simulated
+    /// program: the rendered critical-path report is byte-identical at
+    /// any scheduler pool width.
+    #[test]
+    fn critical_path_report_is_width_invariant((nranks, rounds) in program_strategy()) {
+        let rounds = Arc::new(rounds);
+        let report_at = |width: usize| {
+            siesta_par::with_threads(width, || {
+                let prof = SimProfiler::new(nranks, 0);
+                let hook: Arc<dyn PmpiHook> = prof.clone();
+                World::new(machine(), nranks)
+                    .with_hook(hook)
+                    .run(body(rounds.clone(), None));
+                critical_path(&prof.snapshot()).render()
+            })
+        };
+        let baseline = report_at(1);
+        for width in [2usize, 4] {
+            prop_assert_eq!(
+                &baseline, &report_at(width),
+                "critical-path report diverges at {} threads", width
+            );
+        }
     }
 
     /// Run-to-run determinism: the event-schedule hash (per-call virtual

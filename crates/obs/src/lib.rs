@@ -22,6 +22,11 @@
 //!   and a per-phase report table ([`report`]) with inclusive *and*
 //!   exclusive time ([`selftime`]). Both have canonical (timing-free)
 //!   variants that are byte-identical across `--threads` widths.
+//! * **Virtual-time profiling substrate** ([`timeline`], [`vtime`]):
+//!   bounded per-track event rings with exact drop counts, plus
+//!   virtual-time Chrome-trace and wait/transfer-table exporters for the
+//!   simulator's per-rank profiler (deterministic by construction —
+//!   virtual timestamps are a pure function of the simulated program).
 //!
 //! The overhead budget — <1% pipeline slowdown with profiling off, <5%
 //! with `--profile` — is measured by `benches/obs_overhead.rs` in
@@ -35,6 +40,8 @@ pub mod report;
 pub mod rss;
 pub mod selftime;
 pub mod span;
+pub mod timeline;
+pub mod vtime;
 
 pub use intern::ArgsId;
 pub use log::{set_level_from_str, Level};
@@ -46,5 +53,5 @@ pub use rss::{current_rss_bytes, peak_rss_bytes};
 pub use selftime::self_times;
 pub use span::{
     drain, drain_spans, profiling_enabled, register_thread, set_profiling_enabled,
-    set_span_capacity, span_capacity, DrainedSpans, FinishedSpan, SpanGuard,
+    set_span_capacity, span_capacity, thread_index, DrainedSpans, FinishedSpan, SpanGuard,
 };

@@ -86,6 +86,15 @@ thread_local! {
     static MY_SHARD: Cell<Option<&'static Shard>> = const { Cell::new(None) };
 }
 
+/// Small dense id of the calling thread (1, 2, …, in first-use order).
+/// Stable for the thread's lifetime; shared with the span recorder's
+/// Chrome `tid` field. Cheap enough for per-event sharding decisions.
+#[inline]
+pub fn thread_index() -> u32 {
+    this_tid()
+}
+
+#[inline]
 fn this_tid() -> u32 {
     TID.with(|t| {
         let v = t.get();

@@ -1,0 +1,158 @@
+//! Per-track virtual-time event recording.
+//!
+//! A [`Timeline`] is the storage substrate of the simulator's virtual-time
+//! profiler: one bounded buffer per *track* (one track per simulated rank),
+//! written from whichever pool worker happens to be polling that rank. The
+//! scheduler polls a rank on at most one thread at a time, so each track's
+//! mutex is uncontended — the lock is there for soundness, not arbitration
+//! — and events land in the rank's program order.
+//!
+//! Memory is bounded per track (the flight-recorder discipline of
+//! `crate::span`, applied per rank instead of per thread): with a capacity
+//! set, each track keeps the **newest** `cap` events as a ring and counts
+//! exactly how many it overwrote. Snapshots rotate rings back into
+//! chronological order, so consumers always see oldest-first event slices
+//! plus an exact per-track drop count.
+
+use std::sync::Mutex;
+
+/// One track's buffer: a plain vector until `cap` is reached, then a ring.
+struct TrackBuf<T> {
+    events: Vec<T>,
+    /// Ring cursor: index of the *oldest* retained event once full.
+    start: usize,
+    dropped: u64,
+}
+
+/// Chronological contents of one track at snapshot time.
+#[derive(Debug, Clone)]
+pub struct TrackSnapshot<T> {
+    /// Retained events, oldest first (program order for rank tracks).
+    pub events: Vec<T>,
+    /// Events overwritten in ring mode — exact, never sampled.
+    pub dropped: u64,
+}
+
+/// Fixed-track-count, bounded-memory event store. See the module docs.
+pub struct Timeline<T> {
+    tracks: Vec<Mutex<TrackBuf<T>>>,
+    /// Per-track event capacity; `0` means unbounded.
+    cap: usize,
+}
+
+impl<T> Timeline<T> {
+    /// A timeline of `ntracks` tracks keeping at most `cap_per_track`
+    /// events each (`0` = unbounded).
+    pub fn new(ntracks: usize, cap_per_track: usize) -> Timeline<T> {
+        Timeline {
+            tracks: (0..ntracks)
+                .map(|_| {
+                    Mutex::new(TrackBuf {
+                        // Modest pre-size: rank programs usually record at
+                        // least a handful of calls; rings reserve in full.
+                        events: Vec::with_capacity(if cap_per_track == 0 {
+                            8
+                        } else {
+                            cap_per_track.min(1024)
+                        }),
+                        start: 0,
+                        dropped: 0,
+                    })
+                })
+                .collect(),
+            cap: cap_per_track,
+        }
+    }
+
+    pub fn ntracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Per-track capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append an event to `track`. Out-of-range tracks are ignored (the
+    /// recorder must never panic inside the simulator's hot path).
+    pub fn push(&self, track: usize, event: T) {
+        let Some(buf) = self.tracks.get(track) else { return };
+        let mut buf = buf.lock().unwrap();
+        if self.cap > 0 && buf.events.len() == self.cap {
+            let at = buf.start;
+            buf.events[at] = event;
+            buf.start = (at + 1) % self.cap;
+            buf.dropped += 1;
+        } else {
+            buf.events.push(event);
+        }
+    }
+
+    /// Total events dropped across all tracks.
+    pub fn dropped(&self) -> u64 {
+        self.tracks.iter().map(|t| t.lock().unwrap().dropped).sum()
+    }
+}
+
+impl<T: Clone> Timeline<T> {
+    /// Copy every track out in chronological order.
+    pub fn snapshot(&self) -> Vec<TrackSnapshot<T>> {
+        self.tracks
+            .iter()
+            .map(|t| {
+                let buf = t.lock().unwrap();
+                let mut events = Vec::with_capacity(buf.events.len());
+                events.extend_from_slice(&buf.events[buf.start..]);
+                events.extend_from_slice(&buf.events[..buf.start]);
+                TrackSnapshot { events, dropped: buf.dropped }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_tracks_keep_everything_in_order() {
+        let tl: Timeline<u32> = Timeline::new(2, 0);
+        for i in 0..100 {
+            tl.push((i % 2) as usize, i);
+        }
+        let snap = tl.snapshot();
+        assert_eq!(snap[0].events, (0..100).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+        assert_eq!(snap[1].events, (0..100).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+        assert_eq!(tl.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_mode_keeps_newest_with_exact_drop_count() {
+        let tl: Timeline<u32> = Timeline::new(1, 4);
+        for i in 0..11 {
+            tl.push(0, i);
+        }
+        let snap = tl.snapshot();
+        assert_eq!(snap[0].events, vec![7, 8, 9, 10]);
+        assert_eq!(snap[0].dropped, 7);
+        assert_eq!(tl.dropped(), 7);
+    }
+
+    #[test]
+    fn exactly_full_ring_has_no_drops() {
+        let tl: Timeline<u32> = Timeline::new(1, 3);
+        for i in 0..3 {
+            tl.push(0, i);
+        }
+        let snap = tl.snapshot();
+        assert_eq!(snap[0].events, vec![0, 1, 2]);
+        assert_eq!(snap[0].dropped, 0);
+    }
+
+    #[test]
+    fn out_of_range_track_is_ignored() {
+        let tl: Timeline<u32> = Timeline::new(1, 0);
+        tl.push(5, 42);
+        assert!(tl.snapshot()[0].events.is_empty());
+    }
+}
