@@ -18,7 +18,8 @@ use siesta_obs::{histogram, profiling_enabled, span};
 use siesta_perfmodel::Machine;
 use siesta_proxy::{shrink_counters, CommShrink, ProxySearcher, BLOCKS_C_SOURCE};
 use siesta_trace::{
-    merge_tables, serialize, CommEvent, EventRecord, GlobalTrace, Recorder, Trace, TraceConfig,
+    merge_streamed, merge_tables, serialize, CommEvent, EventRecord, GlobalTrace, Recorder,
+    StreamedGlobal, StreamedTrace, Trace, TraceConfig,
 };
 
 /// Configuration of one synthesis.
@@ -35,6 +36,12 @@ pub struct SiestaConfig {
     /// either way (Sequitur is a pure function of its input); off is only
     /// useful for benchmarking and differential testing.
     pub grammar_memo: bool,
+    /// Streaming ingest: interned event ids feed each rank's Sequitur as
+    /// calls complete, so the flat per-rank id sequences never materialize
+    /// — peak memory is bounded by the compressed grammars plus one stream
+    /// buffer per rank. Output is byte-identical to the materialized path
+    /// (which `--no-stream` keeps available as the differential oracle).
+    pub stream: bool,
 }
 
 impl Default for SiestaConfig {
@@ -44,6 +51,7 @@ impl Default for SiestaConfig {
             merge: MergeConfig::default(),
             scale: 1.0,
             grammar_memo: true,
+            stream: true,
         }
     }
 }
@@ -129,15 +137,52 @@ impl Siesta {
         (recorder.finish(), stats)
     }
 
+    /// Trace an MPI program with streaming ingest: the recorder feeds each
+    /// rank's interned event ids straight into its online Sequitur as calls
+    /// complete, flushing a bounded buffer — the flat id sequences never
+    /// exist. Returns per-rank tables + local-id grammars.
+    pub fn trace_run_streamed<'env, F>(
+        &self,
+        machine: Machine,
+        nranks: usize,
+        body: F,
+    ) -> (StreamedTrace, RunStats)
+    where
+        F: Fn(Rank) -> RankFut<'env> + Send + Sync,
+    {
+        let _span = span!("trace", nranks = nranks);
+        let recorder = Arc::new(Recorder::new_streaming(nranks, self.config.trace));
+        let sim_profile = siesta_mpisim::sim_profile_enabled();
+        let hook: Arc<dyn PmpiHook> = if profiling_enabled()
+            || siesta_mpisim::comm_matrix_enabled()
+            || sim_profile
+        {
+            let mut hooks: Vec<Arc<dyn PmpiHook>> =
+                vec![recorder.clone(), Arc::new(ObsHook::new(nranks))];
+            if sim_profile {
+                hooks.push(siesta_mpisim::SimProfiler::install(nranks));
+            }
+            Arc::new(FanoutHook::new(hooks))
+        } else {
+            recorder.clone()
+        };
+        let stats = World::new(machine, nranks).with_hook(hook).run(body);
+        (recorder.finish_streamed(), stats)
+    }
+
     /// Synthesize a proxy-app from a trace. `gen_machine` is the machine
     /// the proxy is generated on (block micro-benchmarks and the comm
     /// shrinking regression run there).
     pub fn synthesize(&self, trace: Trace, gen_machine: &Machine) -> Synthesis {
-        let global = {
-            let _span = span!("table-merge", nranks = trace.nranks);
-            merge_tables(trace)
-        };
+        let global = self.merge_trace(trace);
         self.synthesize_global(global, gen_machine)
+    }
+
+    /// The materialized table merge (span-wrapped twin of
+    /// [`merge_streamed`](Siesta::merge_streamed)).
+    pub fn merge_trace(&self, trace: Trace) -> GlobalTrace {
+        let _span = span!("table-merge", nranks = trace.nranks);
+        merge_tables(trace)
     }
 
     /// Synthesize from an already-merged (possibly loaded-from-disk)
@@ -145,7 +190,6 @@ impl Siesta {
     /// the trace on the production system, synthesize anywhere.
     pub fn synthesize_global(&self, global: GlobalTrace, gen_machine: &Machine) -> Synthesis {
         let _span = span!("synthesize", nranks = global.nranks);
-        let nranks = global.nranks;
         // Width is reported as a gauge, never as a span arg: span args are
         // part of the canonical (cross-width byte-identical) trace, and
         // `par.threads` is exactly the thing allowed to vary between runs.
@@ -156,27 +200,85 @@ impl Siesta {
         // memoization assigns in first-seen order, so the merged grammar is
         // identical at any thread count, memo on or off.
         let grammars: Vec<Grammar> = {
-            let _span = span!("sequitur-fanout", ranks = nranks);
+            let _span = span!("sequitur-fanout", ranks = global.nranks);
             siesta_obs::counter("par.sequitur.tasks").add(global.seqs.len() as u64);
             build_rank_grammars(&global.seqs, self.config.grammar_memo)
         };
+        self.finish_synthesis(
+            global.nranks,
+            &global.table,
+            global.raw_bytes,
+            global.merge_rounds,
+            &grammars,
+            gen_machine,
+        )
+    }
+
+    /// Synthesize from a streamed trace. The per-rank grammars already
+    /// exist (built online during the run); the table merge lifts them to
+    /// global ids by terminal relabeling instead of re-running Sequitur,
+    /// sharing one lifted grammar across ranks whose streams hashed
+    /// identical when `grammar_memo` is on.
+    pub fn synthesize_streamed(&self, st: StreamedTrace, gen_machine: &Machine) -> Synthesis {
+        let sg = self.merge_streamed(st);
+        self.synthesize_streamed_global(sg, gen_machine)
+    }
+
+    /// The streaming table merge + grammar lift, exposed separately so
+    /// callers can write the trace store from the [`StreamedGlobal`] before
+    /// synthesis consumes it.
+    pub fn merge_streamed(&self, st: StreamedTrace) -> StreamedGlobal {
+        let _span = span!("table-merge", nranks = st.nranks);
+        merge_streamed(st, self.config.grammar_memo)
+    }
+
+    /// Back half of [`synthesize_streamed`], from an already-merged
+    /// streamed trace.
+    pub fn synthesize_streamed_global(
+        &self,
+        sg: StreamedGlobal,
+        gen_machine: &Machine,
+    ) -> Synthesis {
+        let _span = span!("synthesize", nranks = sg.nranks);
+        siesta_obs::gauge("par.threads").set(siesta_par::threads() as i64);
+        self.finish_synthesis(
+            sg.nranks,
+            &sg.table,
+            sg.raw_bytes,
+            sg.merge_rounds,
+            &sg.grammars,
+            gen_machine,
+        )
+    }
+
+    /// Shared synthesis back half: inter-process grammar merge, proxy
+    /// search, codegen, accounting. Both ingest modes land here with the
+    /// same (byte-identical) table and per-rank grammars.
+    fn finish_synthesis(
+        &self,
+        nranks: usize,
+        table: &[EventRecord],
+        raw_bytes: usize,
+        merge_rounds: u32,
+        grammars: &[Grammar],
+        gen_machine: &Machine,
+    ) -> Synthesis {
         let merged = {
             let _span = span!("grammar-merge", grammars = grammars.len());
-            merge_grammars(&grammars, &self.config.merge)
+            merge_grammars(grammars, &self.config.merge)
         };
 
         // Computation proxies and communication shrinking. The QP solves
         // fan out over unique counter vectors (batch dedup inside
         // `search_batch`); error accounting stays on this thread, in table
         // order, so the float sums are reproducible.
-        let proxy_span = span!("proxy-search", events = global.table.len());
+        let proxy_span = span!("proxy-search", events = table.len());
         let searcher = ProxySearcher::new(gen_machine);
         let comm_shrink = CommShrink::fit(&gen_machine.net);
         let fit_error_hist = histogram("proxy.fit_error_bp");
         let mut fit_error_sum = 0.0;
         let mut fit_error_n = 0usize;
-        let compute_targets: Vec<_> = global
-            .table
+        let compute_targets: Vec<_> = table
             .iter()
             .filter_map(|rec| match rec {
                 EventRecord::Compute(stats) => {
@@ -187,8 +289,7 @@ impl Siesta {
             .collect();
         let proxies = searcher.search_batch(&compute_targets);
         let mut solved = compute_targets.iter().zip(proxies);
-        let terminals: Vec<TerminalOp> = global
-            .table
+        let terminals: Vec<TerminalOp> = table
             .iter()
             .map(|rec| match rec {
                 EventRecord::Compute(_) => {
@@ -221,15 +322,15 @@ impl Siesta {
         };
 
         let stats = SynthesisStats {
-            raw_trace_bytes: global.raw_bytes,
-            size_c_bytes: size_c(&global, &program),
+            raw_trace_bytes: raw_bytes,
+            size_c_bytes: size_c(table, &program),
             num_terminals: program.terminals.len(),
             num_comm_terminals: program.comm_terminals(),
             num_compute_terminals: program.compute_terminals(),
             num_rules: program.rules.len(),
             num_mains: program.mains.len(),
             grammar_size: program.grammar_size(),
-            merge_rounds: global.merge_rounds,
+            merge_rounds,
             mean_fit_error: if fit_error_n > 0 {
                 fit_error_sum / fit_error_n as f64
             } else {
@@ -239,7 +340,9 @@ impl Siesta {
         Synthesis { program, stats }
     }
 
-    /// Convenience: trace a program and synthesize in one step.
+    /// Convenience: trace a program and synthesize in one step, honouring
+    /// `config.stream` (streaming ingest by default; the materialized path
+    /// with `stream: false`). Both produce byte-identical syntheses.
     pub fn synthesize_run<'env, F>(
         &self,
         machine: Machine,
@@ -249,15 +352,20 @@ impl Siesta {
     where
         F: Fn(Rank) -> RankFut<'env> + Send + Sync,
     {
-        let (trace, traced_stats) = self.trace_run(machine, nranks, body);
-        (self.synthesize(trace, &machine), traced_stats)
+        if self.config.stream {
+            let (st, traced_stats) = self.trace_run_streamed(machine, nranks, body);
+            (self.synthesize_streamed(st, &machine), traced_stats)
+        } else {
+            let (trace, traced_stats) = self.trace_run(machine, nranks, body);
+            (self.synthesize(trace, &machine), traced_stats)
+        }
     }
 }
 
 /// The exported representation size (`size_C`): terminal table + serialized
 /// grammar symbols + main-rule rank lists + the block code emitted once.
-fn size_c(global: &GlobalTrace, program: &ProxyProgram) -> usize {
-    let table = serialize::table_bytes(&global.table);
+fn size_c(table: &[EventRecord], program: &ProxyProgram) -> usize {
+    let table = serialize::table_bytes(table);
     let rule_syms: usize = program.rules.iter().map(|r| r.len()).sum();
     let main_syms: usize = program.mains.iter().map(|m| m.body.len()).sum();
     let rank_ranges: usize = program

@@ -110,6 +110,35 @@ impl Grammar {
         refs
     }
 
+    /// Rewrite every terminal `t` to `remap[t]`, leaving rule structure,
+    /// exponents, and numbering untouched.
+    ///
+    /// Sequitur's decisions depend only on the *equality pattern* of its
+    /// input, never on terminal values, so for an **injective** remap this
+    /// commutes with construction:
+    /// `build(seq).relabel_terminals(r) == build(r ∘ seq)`. The streaming
+    /// ingest path relies on that to lift grammars built over rank-local
+    /// ids into the merged global id space without re-running Sequitur
+    /// (`sequitur::tests::relabel_commutes_with_build` locks the property
+    /// in). A non-injective remap collapses distinct terminals and the
+    /// equality pattern changes — callers must fall back to expanding and
+    /// rebuilding in that case.
+    pub fn relabel_terminals(&self, remap: &[u32]) -> Grammar {
+        let rules = self
+            .rules
+            .iter()
+            .map(|body| {
+                body.iter()
+                    .map(|rs| match rs.sym {
+                        Sym::T(t) => RSym::new(Sym::T(remap[t as usize]), rs.exp),
+                        n => RSym::new(n, rs.exp),
+                    })
+                    .collect()
+            })
+            .collect();
+        Grammar { rules }
+    }
+
     /// Verify the Sequitur invariants; panics with a description otherwise.
     /// Test-support API, also used by the pipeline's debug assertions.
     pub fn assert_invariants(&self) {

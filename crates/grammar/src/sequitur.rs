@@ -72,7 +72,7 @@ struct Node {
 /// unconditionally, which forced rehash ladders on multi-million-symbol
 /// unique sequences).
 fn digram_reserve(len: usize) -> usize {
-    (len / 8 + 64).min(1 << 21)
+    (len / 8 + 16).min(1 << 21)
 }
 
 /// Incremental grammar builder. Feed terminals with [`Sequitur::push`],
@@ -87,8 +87,27 @@ pub struct Sequitur {
     refs: Vec<u32>,
     /// Head of each rule's intrusive occurrence list.
     occ_head: Vec<u32>,
+    /// Creation stamp of the rule currently occupying each slot. Rule
+    /// slots are recycled (a long-lived builder on trace-like input mints
+    /// one short-lived rule every ~2 symbols — without recycling the rule
+    /// tables and intern index grow linearly with the *stream*, which is
+    /// exactly what the streaming recorder exists to avoid), so survivors
+    /// are renumbered in creation order at extraction; the output is
+    /// byte-identical to a builder with unbounded fresh ids.
+    birth: Vec<u64>,
+    /// Free rule slots (rules that were inlined), reused LIFO.
+    rule_free: Vec<u32>,
+    /// Next creation stamp.
+    births: u64,
     /// Intern table: id → `(Sym, exp)`.
     pairs: Vec<(Sym, u64)>,
+    /// Live-node reference count per intern id. A pair that no node holds
+    /// is unreachable (the digram index only ever keys on live
+    /// adjacencies), so its id returns to `pair_free` — run-length growth
+    /// would otherwise strand one dead `(sym, exp)` pair per extension.
+    pair_refs: Vec<u32>,
+    /// Free intern ids, reused LIFO.
+    pair_free: Vec<u32>,
     /// Reverse intern index: `(sym bits, exp)` → id.
     pair_ids: FxHashMap<(u64, u64), u32>,
     /// Digram index — the hottest map of the whole pipeline (consulted on
@@ -135,18 +154,18 @@ impl Sequitur {
     /// one-pass scan. A correctly pre-sized builder pushes without any
     /// heap allocation (see module docs).
     pub fn with_rle_and_capacity(rle: bool, len: usize) -> Sequitur {
-        // Rule ids are never recycled (recycling would permute the
-        // surviving rules' renumbering and with it every downstream
-        // artifact byte), so the rule tables and the intern table scale
-        // with rules *created*, not rules alive: heavy churn on
-        // trace-like input mints ≈ len/3 rule ids, and each new rule
-        // interns fresh `(N(rule), exp)` pairs at a similar rate
-        // (measured: 12.4k rules / 12.7k pairs per 40k symbols). `len/2`
-        // covers that with margin; the same `1 << 21` cap as the digram
-        // table bounds the up-front cost on multi-million-symbol inputs
-        // (beyond it, growth is amortized doubling, not a ladder).
-        let pair_reserve = (len / 2 + 64).min(1 << 21);
-        let rule_reserve = (len / 2 + 16).min(1 << 21);
+        // Rule slots and intern ids are recycled, so the tables scale with
+        // *live* grammar state, not rules created. Worst case for the
+        // intern table is an incompressible input (nothing is ever freed,
+        // one `(T, 1)` pair per distinct terminal plus a digram-rate of
+        // rules): `len/8` covers it with the same `1 << 21` cap as the
+        // digram table (beyond it, growth is amortized doubling, not a
+        // ladder). Compressible trace-like input stays far below either.
+        // The additive constants keep an *empty* builder cheap: a
+        // streaming recorder holds one live builder per rank, so at 10⁵–10⁶
+        // ranks every kilobyte of idle reservation is a gigabyte of RSS.
+        let pair_reserve = (len / 8 + 16).min(1 << 21);
+        let rule_reserve = (len / 16 + 8).min(1 << 21);
         let mut s = Sequitur {
             // Terminals enter one node each; rule bodies add less than
             // one node per substitution (freed nodes are recycled).
@@ -155,7 +174,12 @@ impl Sequitur {
             guards: Vec::with_capacity(rule_reserve),
             refs: Vec::with_capacity(rule_reserve),
             occ_head: Vec::with_capacity(rule_reserve),
+            birth: Vec::with_capacity(rule_reserve),
+            rule_free: Vec::new(),
+            births: 0,
             pairs: Vec::with_capacity(pair_reserve),
+            pair_refs: Vec::with_capacity(pair_reserve),
+            pair_free: Vec::new(),
             pair_ids: fx_map_with_capacity(pair_reserve),
             digrams: fx_map_with_capacity(digram_reserve(len)),
             rehashes: 0,
@@ -163,6 +187,14 @@ impl Sequitur {
         };
         s.new_rule(); // rule 0: main
         s
+    }
+
+    /// Live footprint of the builder's tables, for memory diagnostics:
+    /// `(node arena, intern table, digram index, rule slots)` lengths.
+    /// With slot recycling every component tracks the grammar being
+    /// built, not the length of the stream that built it.
+    pub fn footprint(&self) -> (usize, usize, usize, usize) {
+        (self.nodes.len(), self.pairs.len(), self.digrams.len(), self.guards.len())
     }
 
     /// Build a grammar from a whole sequence.
@@ -198,13 +230,41 @@ impl Sequitur {
     // Interning and arena plumbing
     // ------------------------------------------------------------------
 
-    /// Dense id of the `(sym, exp)` pair, minting one on first sight.
+    /// Dense id of the `(sym, exp)` pair, minting (or recycling) one on
+    /// first sight. The returned id has no reference accounted yet — every
+    /// caller immediately stores it in a node (`alloc` or an id overwrite),
+    /// which is where `pair_refs` picks it up.
     fn intern(&mut self, sym: Sym, exp: u64) -> u32 {
-        let pairs = &mut self.pairs;
-        *self.pair_ids.entry((sym_bits(sym), exp)).or_insert_with(|| {
-            pairs.push((sym, exp));
-            (pairs.len() - 1) as u32
-        })
+        let key = (sym_bits(sym), exp);
+        if let Some(&id) = self.pair_ids.get(&key) {
+            return id;
+        }
+        let id = match self.pair_free.pop() {
+            Some(id) => {
+                self.pairs[id as usize] = (sym, exp);
+                id
+            }
+            None => {
+                self.pairs.push((sym, exp));
+                self.pair_refs.push(0);
+                (self.pairs.len() - 1) as u32
+            }
+        };
+        self.pair_ids.insert(key, id);
+        id
+    }
+
+    /// One live node stopped holding intern id `id`; free the id once no
+    /// node holds it (no digram entry can outlive its nodes, so an
+    /// unreferenced pair is unreachable).
+    fn pair_unref(&mut self, id: u32) {
+        let r = &mut self.pair_refs[id as usize];
+        *r -= 1;
+        if *r == 0 {
+            let (sym, exp) = self.pairs[id as usize];
+            self.pair_ids.remove(&(sym_bits(sym), exp));
+            self.pair_free.push(id);
+        }
     }
 
     fn sym_of(&self, n: u32) -> Sym {
@@ -227,6 +287,7 @@ impl Sequitur {
             rule_of_guard: NIL,
             alive: true,
         };
+        self.pair_refs[id as usize] += 1;
         if self.free_head != NIL {
             let i = self.free_head;
             self.free_head = self.nodes[i as usize].next;
@@ -239,15 +300,26 @@ impl Sequitur {
     }
 
     fn new_rule(&mut self) -> u32 {
-        let rule = self.guards.len() as u32;
+        let rule = match self.rule_free.pop() {
+            Some(r) => r,
+            None => {
+                self.guards.push(NIL);
+                self.refs.push(0);
+                self.occ_head.push(NIL);
+                self.birth.push(0);
+                (self.guards.len() - 1) as u32
+            }
+        };
         let id = self.intern(Sym::N(rule), 1);
         let g = self.alloc(id);
         self.nodes[g as usize].rule_of_guard = rule;
         self.nodes[g as usize].prev = g;
         self.nodes[g as usize].next = g;
-        self.guards.push(g);
-        self.refs.push(0);
-        self.occ_head.push(NIL);
+        self.guards[rule as usize] = g;
+        self.refs[rule as usize] = 0;
+        self.occ_head[rule as usize] = NIL;
+        self.birth[rule as usize] = self.births;
+        self.births += 1;
         rule
     }
 
@@ -334,9 +406,11 @@ impl Sequitur {
 
     /// Return a node to the intrusive free list.
     fn release(&mut self, n: u32) {
+        let id = self.nodes[n as usize].id;
         self.nodes[n as usize].alive = false;
         self.nodes[n as usize].next = self.free_head;
         self.free_head = n;
+        self.pair_unref(id);
     }
 
     // ------------------------------------------------------------------
@@ -394,7 +468,11 @@ impl Sequitur {
             dropped = Some(rule);
         }
         let exp = self.exp_of(left) + self.exp_of(right);
-        self.nodes[left as usize].id = self.intern(sym, exp);
+        let old = self.nodes[left as usize].id;
+        let new = self.intern(sym, exp);
+        self.nodes[left as usize].id = new;
+        self.pair_refs[new as usize] += 1;
+        self.pair_unref(old);
         let after = self.next(right);
         self.connect(left, after);
         self.release(right);
@@ -529,6 +607,10 @@ impl Sequitur {
         self.release(site);
         self.release(guard);
         self.guards[rule as usize] = NIL;
+        // The slot is free for reuse. Stale `enforce_utility` calls on a
+        // recycled id are harmless: they run only between cascades, when
+        // the utility invariant already holds for every live rule.
+        self.rule_free.push(rule);
         // Repair the seams.
         self.check(before);
         // `last` may have died if the whole body merged leftward; guard it.
@@ -544,23 +626,30 @@ impl Sequitur {
     /// Convert into an immutable [`Grammar`], renumbering surviving rules
     /// densely (main rule stays rule 0).
     pub fn into_grammar(self) -> Grammar {
+        // Map surviving rule slots to dense ids in *creation order* (the
+        // birth stamp, not the slot number): slot recycling hands old
+        // numbers to young rules, and this renumbering keeps the output
+        // byte-identical to a builder that never recycled anything.
+        let mut by_birth: Vec<(u64, u32)> = self
+            .guards
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g != NIL)
+            .map(|(rule, _)| (self.birth[rule], rule as u32))
+            .collect();
+        by_birth.sort_unstable();
+        let mut remap: FxHashMap<u32, u32> = fx_map_with_capacity(by_birth.len());
+        let mut order: Vec<u32> = Vec::with_capacity(by_birth.len());
+        for &(_, rule) in &by_birth {
+            remap.insert(rule, order.len() as u32);
+            order.push(rule);
+        }
+
         // Rule churn and digram-table metrics, flushed once per build.
-        let created = self.guards.len() as u64;
-        let inlined = self.guards.iter().filter(|&&g| g == NIL).count() as u64;
-        siesta_obs::counter("grammar.rules_created").add(created);
-        siesta_obs::counter("grammar.rules_inlined").add(inlined);
+        siesta_obs::counter("grammar.rules_created").add(self.births);
+        siesta_obs::counter("grammar.rules_inlined").add(self.births - order.len() as u64);
         siesta_obs::counter("grammar.digram.rehashes").add(self.rehashes);
         siesta_obs::histogram("grammar.digram_table_size").record(self.digrams.len() as u64);
-
-        // Map surviving rule ids to dense ids.
-        let mut remap: FxHashMap<u32, u32> = fx_map_with_capacity(self.guards.len());
-        let mut order: Vec<u32> = Vec::new();
-        for (rule, &g) in self.guards.iter().enumerate() {
-            if g != NIL {
-                remap.insert(rule as u32, order.len() as u32);
-                order.push(rule as u32);
-            }
-        }
         let mut rules = Vec::with_capacity(order.len());
         for &rule in &order {
             let g = self.guards[rule as usize];
@@ -754,6 +843,66 @@ mod tests {
         let g = build(&seq);
         assert_eq!(g.expand_main(), seq);
         g.assert_invariants();
+    }
+
+    /// Deterministic pseudo-random sequence over a small alphabet with
+    /// SPMD-trace-like repetition (phrases repeated with variations).
+    fn lcg_seq(seed: u64, len: usize, alphabet: u32) -> Vec<u32> {
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut seq = Vec::with_capacity(len);
+        while seq.len() < len {
+            let phrase: Vec<u32> =
+                (0..(step() % 6 + 2)).map(|_| (step() % alphabet as u64) as u32).collect();
+            for _ in 0..(step() % 4 + 1) {
+                seq.extend_from_slice(&phrase);
+            }
+        }
+        seq.truncate(len);
+        seq
+    }
+
+    #[test]
+    fn unsized_incremental_push_matches_presized_build() {
+        // Streaming ingest cannot pre-size the builder (the stream length
+        // is unknown); capacity must only affect allocation, never one
+        // grammar decision.
+        for seed in 1..6u64 {
+            let seq = lcg_seq(seed, 4000, 12);
+            let mut s = Sequitur::with_rle(true);
+            for &t in &seq {
+                s.push(t);
+            }
+            assert_eq!(s.into_grammar(), Sequitur::build(&seq), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn relabel_commutes_with_build() {
+        // The streaming-path contract: for injective remaps, relabeling a
+        // built grammar's terminals equals building over the remapped
+        // sequence. (Sequitur sees only equality patterns, and an
+        // injective map preserves them exactly.)
+        for seed in 1..6u64 {
+            let seq = lcg_seq(seed, 4000, 12);
+            // An injective, order-scrambling remap of the 12-symbol table.
+            let remap: Vec<u32> = (0..12u32).map(|t| (t * 7 + 3) % 12 + 100 * (t % 3)).collect();
+            {
+                let mut seen: Vec<u32> = remap.clone();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), remap.len(), "remap must be injective");
+            }
+            let relabeled = Sequitur::build(&seq).relabel_terminals(&remap);
+            let mapped: Vec<u32> = seq.iter().map(|&t| remap[t as usize]).collect();
+            assert_eq!(relabeled, Sequitur::build(&mapped), "seed {seed}");
+            relabeled.assert_invariants();
+        }
     }
 }
 

@@ -16,12 +16,6 @@
 //! the set of wakes produced by a batch does not depend on host thread
 //! interleaving, and the composition of rounds is a pure function of the
 //! program. Output artifacts are byte-identical at any `--threads`.
-//!
-//! The old thread-per-rank executor survives one release behind the
-//! `legacy-threads` feature (a `block_on` loop per scoped thread, driving
-//! the same futures) so the differential oracle in
-//! `tests/differential_engine.rs` can prove both executors byte-identical
-//! before the threaded path is deleted.
 
 use std::future::Future;
 use std::pin::Pin;
@@ -276,63 +270,6 @@ impl Future for YieldNow {
             self.yielded = true;
             cx.waker().wake_by_ref();
             Poll::Pending
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Legacy thread-per-rank executor (one release, differential oracle only)
-// ---------------------------------------------------------------------
-
-#[cfg(feature = "legacy-threads")]
-static LEGACY_THREADS: AtomicBool = AtomicBool::new(false);
-
-/// Route subsequent [`crate::World::run`] calls through the legacy
-/// thread-per-rank executor (scoped OS thread per rank, `block_on` loop)
-/// instead of the event scheduler. Process-global; intended only for the
-/// differential oracle that proves both executors byte-identical.
-#[cfg(feature = "legacy-threads")]
-pub fn set_legacy_threads(on: bool) {
-    LEGACY_THREADS.store(on, Ordering::SeqCst);
-}
-
-#[cfg(feature = "legacy-threads")]
-pub(crate) fn legacy_threads() -> bool {
-    LEGACY_THREADS.load(Ordering::SeqCst)
-}
-
-/// Drive one future to completion on the current thread, parking between
-/// polls. The legacy executor runs one of these per scoped rank thread.
-#[cfg(feature = "legacy-threads")]
-pub(crate) fn block_on<T>(fut: impl Future<Output = T>) -> T {
-    struct ThreadWaker {
-        thread: std::thread::Thread,
-        woken: AtomicBool,
-    }
-    impl Wake for ThreadWaker {
-        fn wake(self: Arc<Self>) {
-            self.wake_by_ref();
-        }
-        fn wake_by_ref(self: &Arc<Self>) {
-            self.woken.store(true, Ordering::Release);
-            self.thread.unpark();
-        }
-    }
-    let tw = Arc::new(ThreadWaker {
-        thread: std::thread::current(),
-        woken: AtomicBool::new(false),
-    });
-    let waker = Waker::from(tw.clone());
-    let mut cx = Context::from_waker(&waker);
-    let mut fut = std::pin::pin!(fut);
-    loop {
-        match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(v) => return v,
-            Poll::Pending => {
-                while !tw.woken.swap(false, Ordering::AcqRel) {
-                    std::thread::park();
-                }
-            }
         }
     }
 }

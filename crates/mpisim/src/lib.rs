@@ -24,8 +24,7 @@
 //!   Figures 7–9 evaluate.
 //! * **Everything is deterministic.** All completion times are functions of
 //!   virtual timestamps, never of real scheduling order, so experiments
-//!   reproduce bit-for-bit at any worker count — and identically under the
-//!   `legacy-threads` thread-per-rank executor (provided programs use
+//!   reproduce bit-for-bit at any worker count (provided programs use
 //!   fully-specified receive sources; `ANY_SOURCE`-style wildcards are
 //!   intentionally unsupported).
 //! * **Scale is decoupled from the host.** A rank costs one small heap
@@ -90,8 +89,6 @@ pub use comm_matrix::{
     comm_matrix_enabled, set_comm_matrix_enabled, take_comm_matrix, CommMatrixSnapshot,
 };
 pub use critical::{critical_path, CriticalPathReport, PathStep, RankBreakdown};
-#[cfg(feature = "legacy-threads")]
-pub use exec::set_legacy_threads;
 pub use hook::{HookCtx, MpiCall, PmpiHook};
 pub use message::{RecvStatus, Tag, ANY_TAG};
 pub use obs::{FanoutHook, ObsHook};

@@ -99,10 +99,6 @@ impl World {
             nranks: self.nranks,
             blocked: (0..self.nranks).map(|_| AtomicU64::new(blocked::NONE)).collect(),
         });
-        #[cfg(feature = "legacy-threads")]
-        if crate::exec::legacy_threads() {
-            return Ok(self.run_threaded(&shared, &body));
-        }
         let futs: Vec<RankFut<'env>> =
             (0..self.nranks).map(|r| body(Rank::new(shared.clone(), r))).collect();
         match crate::exec::run_event(futs) {
@@ -120,32 +116,6 @@ impl World {
         }
     }
 
-    /// The pre-event-scheduler execution mode: one OS thread per rank, each
-    /// driving its state machine with a parking waker. Kept (behind the
-    /// `legacy-threads` feature) as the independent reference implementation
-    /// for the threaded-vs-event differential oracle. Cannot diagnose
-    /// deadlock — a deadlocked program parks forever, like real MPI.
-    #[cfg(feature = "legacy-threads")]
-    fn run_threaded<'env, F>(&self, shared: &Arc<Shared>, body: &F) -> RunStats
-    where
-        F: Fn(Rank) -> RankFut<'env> + Send + Sync,
-    {
-        let per_rank: Vec<RankStats> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.nranks)
-                .map(|r| {
-                    let shared = shared.clone();
-                    scope.spawn(move || {
-                        crate::exec::block_on(body(Rank::new(shared, r))).into_stats()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
-                .collect()
-        });
-        RunStats { per_rank }
-    }
 }
 
 /// A detected simulation deadlock: the scheduler went quiescent with

@@ -39,11 +39,18 @@ pub mod merge;
 pub mod pool;
 pub mod recorder;
 pub mod serialize;
+pub mod store;
 pub mod text;
 pub mod wire;
 
 pub use event::{abs_rank, counters_close, rel_rank, CommEvent, ComputeStats, EventRecord};
-pub use merge::{merge_tables, GlobalTrace};
+pub use merge::{
+    merge_rank_tables, merge_streamed, merge_tables, GlobalTrace, MergedTables, StreamedGlobal,
+};
 pub use pool::{FreePool, HandleMap};
+pub use store::{store_to_bytes, write_store, StoreError, StoreWriter, TraceStore};
 pub use wire::{load_trace, save_trace, trace_from_bytes, trace_to_bytes};
-pub use recorder::{Normalizer, RankTraceData, Recorder, Trace, TraceConfig};
+pub use recorder::{
+    resolve_stream_buf, Normalizer, RankTraceData, Recorder, StreamedRank, StreamedTrace, Trace,
+    TraceConfig, DEFAULT_STREAM_BUF, STREAM_BUF_MAX, STREAM_BUF_MIN,
+};

@@ -12,6 +12,7 @@
 //! computation events merge when their representatives agree within the
 //! clustering threshold, pooling their counter statistics.
 
+use siesta_grammar::{Grammar, Sequitur};
 use siesta_hash::{fx_map_with_capacity, FxHashMap};
 
 use crate::event::{counters_close, EventRecord};
@@ -35,17 +36,37 @@ pub struct GlobalTrace {
     pub merge_rounds: u32,
 }
 
+/// Output of the table-only merge: the global terminal table plus, for
+/// every rank, the composed local-table-id → global-id remap vector. The
+/// remaps are table-sized (not sequence-sized), so this form is what the
+/// streaming path consumes — the per-rank id sequences never have to
+/// materialize to build it.
+#[derive(Debug, Clone)]
+pub struct MergedTables {
+    pub nranks: usize,
+    pub table: Vec<EventRecord>,
+    /// `remaps[rank][local_id]` is the global id of that rank's local
+    /// terminal. Indexed by rank; every vector has the rank's table length.
+    pub remaps: Vec<Vec<u32>>,
+    /// Tree-merge rounds performed (⌈log₂ P⌉, as the paper states).
+    pub merge_rounds: u32,
+}
+
 struct Partial {
     table: Vec<EventRecord>,
     comm_index: FxHashMap<crate::event::CommEvent, u32>,
     /// (table id, representative) per compute cluster.
     compute_clusters: Vec<(u32, siesta_perfmodel::CounterVec)>,
-    /// (rank, remapped sequence) pairs covered by this partial table.
-    seqs: Vec<(usize, Vec<u32>)>,
+    /// (rank, composed local→this-table remap) pairs covered by this
+    /// partial table. Remaps compose through absorb levels instead of
+    /// rewriting whole sequences at every level: function composition
+    /// gives the same final mapping as the old per-level sequence
+    /// rewrites, at table-size instead of sequence-length cost per round.
+    remaps: Vec<(usize, Vec<u32>)>,
 }
 
 impl Partial {
-    fn leaf(rank: usize, table: Vec<EventRecord>, seq: Vec<u32>) -> Partial {
+    fn leaf(rank: usize, table: Vec<EventRecord>) -> Partial {
         let mut comm_index = fx_map_with_capacity(table.len());
         let mut compute_clusters = Vec::new();
         for (i, e) in table.iter().enumerate() {
@@ -58,10 +79,11 @@ impl Partial {
                 }
             }
         }
-        Partial { table, comm_index, compute_clusters, seqs: vec![(rank, seq)] }
+        let identity = (0..table.len() as u32).collect();
+        Partial { table, comm_index, compute_clusters, remaps: vec![(rank, identity)] }
     }
 
-    /// Fold `other` into `self`, remapping its sequences.
+    /// Fold `other` into `self`, composing its remaps.
     fn absorb(&mut self, other: Partial) {
         let mut remap = vec![0u32; other.table.len()];
         for (i, e) in other.table.into_iter().enumerate() {
@@ -99,22 +121,25 @@ impl Partial {
             };
             remap[i] = gid;
         }
-        for (rank, seq) in other.seqs {
-            let mapped = seq.into_iter().map(|id| remap[id as usize]).collect();
-            self.seqs.push((rank, mapped));
+        for (rank, mut r) in other.remaps {
+            for id in &mut r {
+                *id = remap[*id as usize];
+            }
+            self.remaps.push((rank, r));
         }
     }
 }
 
-/// Merge all rank tables into one global table via a binary reduction tree.
-pub fn merge_tables(trace: Trace) -> GlobalTrace {
-    let nranks = trace.nranks;
-    let raw_bytes = trace.raw_bytes();
-    let mut level: Vec<Partial> = trace
-        .ranks
+/// Merge per-rank terminal tables into one global table via a binary
+/// reduction tree, returning the table and per-rank remap vectors. This is
+/// the sequence-free half of [`merge_tables`]; the streaming ingest path
+/// calls it directly (its sequences live inside per-rank grammars).
+pub fn merge_rank_tables(tables: Vec<Vec<EventRecord>>) -> MergedTables {
+    let nranks = tables.len();
+    let mut level: Vec<Partial> = tables
         .into_iter()
         .enumerate()
-        .map(|(rank, rd)| Partial::leaf(rank, rd.table, rd.seq))
+        .map(|(rank, table)| Partial::leaf(rank, table))
         .collect();
     let mut rounds = 0u32;
     while level.len() > 1 {
@@ -153,15 +178,262 @@ pub fn merge_tables(trace: Trace) -> GlobalTrace {
         );
     }
     let root = level.pop().expect("at least one rank");
-    let mut seqs = vec![Vec::new(); nranks];
-    for (rank, seq) in root.seqs {
-        seqs[rank] = seq;
+    let mut remaps = vec![Vec::new(); nranks];
+    for (rank, r) in root.remaps {
+        remaps[rank] = r;
     }
     siesta_obs::debug!(
         "table-merge: {nranks} ranks -> {} global terminals in {rounds} rounds",
         root.table.len()
     );
-    GlobalTrace { nranks, table: root.table, seqs, raw_bytes, merge_rounds: rounds }
+    MergedTables { nranks, table: root.table, remaps, merge_rounds: rounds }
+}
+
+/// Merge all rank tables into one global table via a binary reduction tree
+/// and rewrite every rank's id sequence into global ids.
+pub fn merge_tables(trace: Trace) -> GlobalTrace {
+    let nranks = trace.nranks;
+    let raw_bytes = trace.raw_bytes();
+    let mut tables = Vec::with_capacity(nranks);
+    let mut seqs = Vec::with_capacity(nranks);
+    for rd in trace.ranks {
+        tables.push(rd.table);
+        seqs.push(rd.seq);
+    }
+    let merged = merge_rank_tables(tables);
+    // Apply each rank's composed remap to its sequence exactly once — the
+    // composition of the per-level mappings is the same function the old
+    // per-level sequence rewrites applied step by step, so every output id
+    // is bit-identical to the incremental rewrite. One pass over the
+    // events replaces ⌈log₂P⌉ of them.
+    let events: usize = seqs.iter().map(Vec::len).sum();
+    const MIN_EVENTS_TO_FAN_OUT: usize = 4096;
+    let pairs: Vec<(Vec<u32>, Vec<u32>)> = seqs.into_iter().zip(merged.remaps).collect();
+    let seqs = siesta_par::parallel_map_owned_min_work(
+        pairs,
+        events,
+        MIN_EVENTS_TO_FAN_OUT,
+        |_, (mut seq, remap)| {
+            for id in &mut seq {
+                *id = remap[*id as usize];
+            }
+            seq
+        },
+    );
+    GlobalTrace {
+        nranks,
+        table: merged.table,
+        seqs,
+        raw_bytes,
+        merge_rounds: merged.merge_rounds,
+    }
+}
+
+/// The job-wide trace a streaming ingest produces: one global terminal
+/// table plus per-rank grammars whose terminals are *global* ids. The flat
+/// per-rank id sequences never materialize — each rank's sequence exists
+/// only as its grammar, built online while the program ran.
+#[derive(Debug, Clone)]
+pub struct StreamedGlobal {
+    pub nranks: usize,
+    pub table: Vec<EventRecord>,
+    /// One grammar per rank, over global terminal ids. Equivalent (bit
+    /// identical after expansion) to `Sequitur::build` of the rank's row in
+    /// [`GlobalTrace::seqs`].
+    pub grammars: Vec<Grammar>,
+    pub raw_bytes: usize,
+    pub merge_rounds: u32,
+}
+
+impl StreamedGlobal {
+    /// Expand one rank's full global-id sequence. Bounded by one rank's
+    /// events — callers that stream ranks one at a time never hold the
+    /// whole job's sequences.
+    pub fn expand_rank(&self, rank: usize) -> Vec<u32> {
+        self.grammars[rank].expand_main()
+    }
+
+    /// Write the columnar trace store, expanding one rank at a time. The
+    /// output is byte-identical to [`crate::store::write_store`] over the
+    /// materialized [`GlobalTrace`] of the same run.
+    pub fn write_store(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let file = std::fs::File::create(path)?;
+        let mut sink = std::io::BufWriter::new(file);
+        let mut w = crate::store::StoreWriter::new(
+            &mut sink,
+            self.nranks,
+            self.merge_rounds,
+            self.raw_bytes,
+            &self.table,
+        )?;
+        for rank in 0..self.nranks {
+            let seq = self.expand_rank(rank);
+            for chunk in seq.chunks(crate::store::DEFAULT_CHUNK_IDS) {
+                w.append_chunk(rank as u32, chunk)?;
+            }
+        }
+        w.finish()?;
+        sink.flush()
+    }
+
+    /// Materialize every sequence — the differential oracle's bridge back
+    /// to the row-oriented world. Costs the memory streaming avoids.
+    pub fn to_global_trace(&self) -> GlobalTrace {
+        GlobalTrace {
+            nranks: self.nranks,
+            table: self.table.clone(),
+            seqs: (0..self.nranks).map(|r| self.expand_rank(r)).collect(),
+            raw_bytes: self.raw_bytes,
+            merge_rounds: self.merge_rounds,
+        }
+    }
+}
+
+/// True when no two local ids map to the same global id. Every local id
+/// occurs in the rank's sequence (tables are hash-consed from observed
+/// events), so whole-vector injectivity is exactly injectivity over the
+/// symbols Sequitur saw.
+fn remap_injective(remap: &[u32], nglobal: usize) -> bool {
+    let mut seen = vec![false; nglobal];
+    for &g in remap {
+        let slot = &mut seen[g as usize];
+        if *slot {
+            return false;
+        }
+        *slot = true;
+    }
+    true
+}
+
+/// Merge a streamed trace: fold the per-rank tables through the binary
+/// reduction tree, then lift each rank's *local-id* grammar to global ids
+/// without expanding it.
+///
+/// Sequitur's decisions depend only on the equality pattern of its input,
+/// so for an injective remap, relabeling the streamed grammar's terminals
+/// yields bit-for-bit the grammar `Sequitur::build` would produce from the
+/// remapped sequence (property-tested in `siesta-grammar`). Non-injective
+/// remaps — distinct local compute clusters collapsing into one global
+/// cluster — change the equality pattern, so those ranks (rare; counted in
+/// `grammar.stream.rebuilds`) expand, remap, and rebuild.
+///
+/// With `memoize` on, ranks whose running content hash, length, grammar,
+/// and composed remap all match an earlier rank clone its lifted grammar
+/// instead of relabeling again (`grammar.memo.stream_hits`). The hash only
+/// nominates a candidate — equality of grammar (which pins the exact local
+/// sequence) and remap decides, so a collision costs a comparison, never
+/// correctness.
+pub fn merge_streamed(st: crate::recorder::StreamedTrace, memoize: bool) -> StreamedGlobal {
+    let nranks = st.nranks;
+    let raw_bytes = st.raw_bytes();
+    let mut tables = Vec::with_capacity(nranks);
+    let mut locals: Vec<(Grammar, u64, usize)> = Vec::with_capacity(nranks);
+    for r in st.ranks {
+        tables.push(r.table);
+        locals.push((r.grammar, r.seq_hash, r.seq_len));
+    }
+    let mut merged = merge_rank_tables(tables);
+    let nglobal = merged.table.len();
+
+    // Assign every rank an owner in index order: itself (unique) or the
+    // first earlier rank proven to carry the same lifted grammar.
+    enum Slot {
+        Owner(u32),
+        Dup(u32),
+    }
+    let mut by_hash: FxHashMap<u64, Vec<u32>> = fx_map_with_capacity(nranks);
+    let mut slots = Vec::with_capacity(nranks);
+    let mut owners: Vec<u32> = Vec::new();
+    let mut stream_hits = 0u64;
+    for rank in 0..nranks {
+        let (grammar, hash, len) = &locals[rank];
+        let dup = if memoize {
+            by_hash.get(hash).and_then(|cands| {
+                cands
+                    .iter()
+                    .copied()
+                    .find(|&o| {
+                        let (og, _, olen) = &locals[o as usize];
+                        *olen == *len
+                            && merged.remaps[o as usize] == merged.remaps[rank]
+                            && og == grammar
+                    })
+            })
+        } else {
+            None
+        };
+        match dup {
+            Some(owner) => {
+                stream_hits += 1;
+                slots.push(Slot::Dup(owner));
+            }
+            None => {
+                by_hash.entry(*hash).or_default().push(rank as u32);
+                slots.push(Slot::Owner(owners.len() as u32));
+                owners.push(rank as u32);
+            }
+        }
+    }
+    siesta_obs::counter("grammar.memo.stream_hits").add(stream_hits);
+
+    // Lift each unique rank's grammar to global ids, in parallel. Outputs
+    // land in owner order, so the result is thread-count independent.
+    let _span = siesta_obs::span!("sequitur-lift", ranks = nranks, unique = owners.len());
+    siesta_obs::counter("par.sequitur.tasks").add(owners.len() as u64);
+    let mut rebuilds = 0u64;
+    let items: Vec<(Grammar, Vec<u32>, bool)> = owners
+        .iter()
+        .map(|&rank| {
+            let g = std::mem::replace(&mut locals[rank as usize].0, Grammar { rules: vec![] });
+            let remap = std::mem::take(&mut merged.remaps[rank as usize]);
+            let injective = remap_injective(&remap, nglobal);
+            if !injective {
+                rebuilds += 1;
+            }
+            (g, remap, injective)
+        })
+        .collect();
+    siesta_obs::counter("grammar.stream.rebuilds").add(rebuilds);
+    let work: usize = items.iter().map(|(g, _, _)| g.size()).sum();
+    const MIN_SYMBOLS_TO_FAN_OUT: usize = 8192;
+    let lifted: Vec<Grammar> = siesta_par::parallel_map_owned_min_work(
+        items,
+        work,
+        MIN_SYMBOLS_TO_FAN_OUT,
+        |_, (g, remap, injective)| {
+            if injective {
+                g.relabel_terminals(&remap)
+            } else {
+                // Equality pattern changed under the merge: fall back to
+                // expand → remap → rebuild, exactly the materialized path.
+                let mut seq = g.expand_main();
+                for id in &mut seq {
+                    *id = remap[*id as usize];
+                }
+                Sequitur::build(&seq)
+            }
+        },
+    );
+
+    let grammars: Vec<Grammar> = slots
+        .iter()
+        .map(|s| match s {
+            Slot::Owner(u) => lifted[*u as usize].clone(),
+            Slot::Dup(owner) => match &slots[*owner as usize] {
+                Slot::Owner(u) => lifted[*u as usize].clone(),
+                Slot::Dup(_) => unreachable!("owners are never duplicates"),
+            },
+        })
+        .collect();
+
+    StreamedGlobal {
+        nranks,
+        table: merged.table,
+        grammars,
+        raw_bytes,
+        merge_rounds: merged.merge_rounds,
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +509,101 @@ mod tests {
             let t = trace((0..p).map(|_| (vec![comm(1)], vec![0])).collect());
             assert_eq!(merge_tables(t).merge_rounds, expect, "p={p}");
         }
+    }
+
+    #[test]
+    fn table_only_merge_agrees_with_sequence_rewrite() {
+        // Applying the composed remaps by hand must reproduce exactly what
+        // merge_tables produces — the streaming path depends on it.
+        let ranks: Vec<(Vec<EventRecord>, Vec<u32>)> = vec![
+            (vec![comm(1), compute(1.0, 10.0), comm(2)], vec![0, 1, 2, 0]),
+            (vec![comm(2), compute(1.02, 10.0)], vec![0, 1, 1]),
+            (vec![comm(3), comm(1)], vec![1, 0, 1]),
+            (vec![compute(5.0, 10.0), comm(1)], vec![0, 1]),
+            (vec![comm(1), compute(1.0, 10.0), comm(2)], vec![0, 1, 2, 0]),
+        ];
+        let tables: Vec<Vec<EventRecord>> = ranks.iter().map(|(t, _)| t.clone()).collect();
+        let merged = merge_rank_tables(tables);
+        let g = merge_tables(trace(ranks.clone()));
+        assert_eq!(merged.table.len(), g.table.len());
+        assert_eq!(merged.merge_rounds, g.merge_rounds);
+        for (rank, (table, seq)) in ranks.iter().enumerate() {
+            assert_eq!(merged.remaps[rank].len(), table.len());
+            let rewritten: Vec<u32> =
+                seq.iter().map(|&id| merged.remaps[rank][id as usize]).collect();
+            assert_eq!(rewritten, g.seqs[rank], "rank {rank}");
+        }
+        // Identical leaves compose to identical remaps (memo-on-stream
+        // shares relabeled grammars between such ranks).
+        assert_eq!(merged.remaps[0], merged.remaps[4]);
+    }
+
+    fn streamed(ranks: &[(Vec<EventRecord>, Vec<u32>)]) -> crate::recorder::StreamedTrace {
+        use std::hash::Hasher;
+        crate::recorder::StreamedTrace {
+            nranks: ranks.len(),
+            ranks: ranks
+                .iter()
+                .map(|(table, seq)| {
+                    let mut h = siesta_hash::FxHasher::default();
+                    for &id in seq {
+                        h.write_u32(id);
+                    }
+                    crate::recorder::StreamedRank {
+                        table: table.clone(),
+                        grammar: Sequitur::build(seq),
+                        seq_hash: h.finish(),
+                        seq_len: seq.len(),
+                        raw_bytes: 100,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn streamed_merge_matches_materialized() {
+        // Includes identical ranks (memo hits), a rank whose two compute
+        // clusters collapse into one global cluster (non-injective remap →
+        // rebuild fallback), and an empty-ish rank.
+        let ranks: Vec<(Vec<EventRecord>, Vec<u32>)> = vec![
+            (vec![comm(1), compute(1.0, 10.0), comm(2)], vec![0, 1, 2, 0, 1]),
+            (vec![comm(2), compute(1.02, 10.0)], vec![0, 1, 1, 0]),
+            // Two local compute clusters within the merge threshold of each
+            // other's global cluster: both collapse onto terminal
+            // `compute(1.0)` after the tree merge.
+            (
+                vec![compute(1.0, 10.0), compute(1.1, 10.0), comm(1)],
+                vec![0, 2, 1, 2, 0, 1],
+            ),
+            (vec![comm(1), compute(1.0, 10.0), comm(2)], vec![0, 1, 2, 0, 1]),
+            (vec![comm(3)], vec![0]),
+        ];
+        let g = merge_tables(trace(ranks.clone()));
+        for memo in [false, true] {
+            let sg = merge_streamed(streamed(&ranks), memo);
+            assert_eq!(sg.table.len(), g.table.len());
+            assert_eq!(sg.merge_rounds, g.merge_rounds);
+            assert_eq!(sg.raw_bytes, g.raw_bytes);
+            for rank in 0..ranks.len() {
+                assert_eq!(sg.expand_rank(rank), g.seqs[rank], "rank {rank} memo {memo}");
+                // Not just the same sequence: the same grammar Sequitur
+                // would build from the materialized global sequence.
+                assert_eq!(
+                    sg.grammars[rank],
+                    Sequitur::build(&g.seqs[rank]),
+                    "rank {rank} memo {memo}"
+                );
+            }
+            assert_eq!(sg.to_global_trace().seqs, g.seqs);
+        }
+    }
+
+    #[test]
+    fn remap_injectivity_detection() {
+        assert!(remap_injective(&[0, 2, 1], 3));
+        assert!(remap_injective(&[], 3));
+        assert!(!remap_injective(&[0, 1, 0], 2));
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //! Each rank's state sits behind its own mutex, touched only by that rank's
 //! thread — interposition-style isolation with no cross-rank contention.
 
+use std::hash::Hasher;
 use std::mem;
 
 use std::sync::Mutex;
+use siesta_grammar::{Grammar, Sequitur};
+use siesta_hash::FxHasher;
 use siesta_mpisim::{CommId, HookCtx, MpiCall, PmpiHook};
 use siesta_perfmodel::CounterVec;
 use std::collections::HashMap;
@@ -24,6 +27,38 @@ use std::collections::HashMap;
 use crate::event::{counters_close, rel_rank, CommEvent, ComputeStats, EventRecord};
 use crate::pool::HandleMap;
 use crate::serialize;
+
+/// Default bounded per-rank stream buffer, in event ids.
+pub const DEFAULT_STREAM_BUF: usize = 4096;
+/// Smallest accepted stream buffer. Below this the per-flush bookkeeping
+/// dominates the ingest cost for no memory benefit.
+pub const STREAM_BUF_MIN: usize = 16;
+/// Largest accepted stream buffer (2²⁴ ids = 64 MiB per rank) — beyond
+/// this "bounded buffering" is materialization by another name.
+pub const STREAM_BUF_MAX: usize = 1 << 24;
+
+/// Resolve the stream-buffer size: explicit (CLI) value if given, else the
+/// `SIESTA_STREAM_BUF` environment variable, else [`DEFAULT_STREAM_BUF`];
+/// range-checked either way so a bad flag and a bad env var fail the same.
+pub fn resolve_stream_buf(explicit: Option<usize>) -> Result<usize, String> {
+    let (value, source) = match explicit {
+        Some(v) => (v, "--stream-buf".to_string()),
+        None => match std::env::var("SIESTA_STREAM_BUF") {
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(v) => (v, format!("SIESTA_STREAM_BUF={raw}")),
+                Err(_) => return Err(format!("SIESTA_STREAM_BUF: not a number: {raw:?}")),
+            },
+            Err(_) => return Ok(DEFAULT_STREAM_BUF),
+        },
+    };
+    if !(STREAM_BUF_MIN..=STREAM_BUF_MAX).contains(&value) {
+        return Err(format!(
+            "{source}: stream buffer must be in [{STREAM_BUF_MIN}, {STREAM_BUF_MAX}], \
+             got {value}"
+        ));
+    }
+    Ok(value)
+}
 
 /// Tracing configuration.
 #[derive(Debug, Clone, Copy)]
@@ -34,17 +69,92 @@ pub struct TraceConfig {
     /// Virtual cost charged per traced call: two counter reads plus the
     /// record write. Produces the Table 3 overhead column.
     pub overhead_ns: f64,
+    /// Bounded per-rank buffer between the hook and the online Sequitur,
+    /// in event ids (streaming recorders only). Overridable with
+    /// `--stream-buf` / `SIESTA_STREAM_BUF` via [`resolve_stream_buf`].
+    pub stream_buf: usize,
 }
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { cluster_threshold: 0.15, overhead_ns: 600.0 }
+        TraceConfig {
+            cluster_threshold: 0.15,
+            overhead_ns: 600.0,
+            stream_buf: DEFAULT_STREAM_BUF,
+        }
+    }
+}
+
+/// Where a rank's id sequence goes: a plain vector (materialized path) or
+/// a bounded buffer feeding an online Sequitur (streaming path). Streaming
+/// never holds more than `limit` ids outside the grammar — the full
+/// sequence exists only as its compressed grammar plus a running content
+/// hash.
+enum SeqSink {
+    Materialized(Vec<u32>),
+    Streaming(Box<StreamSink>),
+}
+
+impl Default for SeqSink {
+    fn default() -> Self {
+        SeqSink::Materialized(Vec::new())
+    }
+}
+
+struct StreamSink {
+    buf: Vec<u32>,
+    limit: usize,
+    builder: Sequitur,
+    /// Running FxHash over the id stream; with `len` it keys the
+    /// cross-rank memo (verified by structural equality on hit, so a
+    /// collision costs time, never correctness).
+    hash: FxHasher,
+    len: usize,
+    flushes: u64,
+    peak_buffered: usize,
+}
+
+impl StreamSink {
+    fn new(limit: usize) -> StreamSink {
+        StreamSink {
+            // Grows on demand up to `limit`: preallocating the cap would
+            // cost `4·limit` bytes on every rank of a 10⁴–10⁶-rank world
+            // before a single event arrives.
+            buf: Vec::new(),
+            limit,
+            builder: Sequitur::new(),
+            hash: FxHasher::default(),
+            len: 0,
+            flushes: 0,
+            peak_buffered: 0,
+        }
+    }
+
+    fn push(&mut self, id: u32) {
+        self.buf.push(id);
+        self.peak_buffered = self.peak_buffered.max(self.buf.len());
+        if self.buf.len() >= self.limit {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        for &id in &self.buf {
+            self.hash.write_u32(id);
+            self.builder.push(id);
+        }
+        self.len += self.buf.len();
+        self.flushes += 1;
+        self.buf.clear();
     }
 }
 
 #[derive(Default)]
 struct RankTrace {
-    seq: Vec<u32>,
+    sink: SeqSink,
     table: Vec<EventRecord>,
     comm_index: HashMap<CommEvent, u32>,
     /// (table id, representative) per compute cluster; scanned linearly —
@@ -61,6 +171,13 @@ impl RankTrace {
         if !self.initialized {
             self.normalizer = Normalizer::new();
             self.initialized = true;
+        }
+    }
+
+    fn push_id(&mut self, id: u32) {
+        match &mut self.sink {
+            SeqSink::Materialized(seq) => seq.push(id),
+            SeqSink::Streaming(s) => s.push(id),
         }
     }
 
@@ -89,7 +206,7 @@ impl RankTrace {
                 id
             }
         };
-        self.seq.push(id);
+        self.push_id(id);
         self.raw_bytes += serialize::compute_record_bytes();
     }
 
@@ -104,7 +221,7 @@ impl RankTrace {
                 id
             }
         };
-        self.seq.push(id);
+        self.push_id(id);
     }
 }
 
@@ -298,29 +415,91 @@ impl Trace {
     }
 }
 
+/// Per-rank output of a streaming-ingest run: the local event table plus
+/// the rank's id sequence in compressed form only — the grammar the online
+/// Sequitur built during the run, and a running content hash + length of
+/// the stream for cross-rank memoization.
+#[derive(Debug, Clone)]
+pub struct StreamedRank {
+    pub table: Vec<EventRecord>,
+    /// Grammar over **rank-local** table ids (the pipeline relabels it
+    /// into global ids after the table merge).
+    pub grammar: Grammar,
+    /// FxHash over the local id stream, in order.
+    pub seq_hash: u64,
+    /// Number of events in the stream.
+    pub seq_len: usize,
+    pub raw_bytes: usize,
+}
+
+/// Whole-job output of a streaming-ingest run (pre-merge).
+#[derive(Debug, Clone)]
+pub struct StreamedTrace {
+    pub nranks: usize,
+    pub ranks: Vec<StreamedRank>,
+}
+
+impl StreamedTrace {
+    pub fn raw_bytes(&self) -> usize {
+        self.ranks.iter().map(|r| r.raw_bytes).sum()
+    }
+
+    pub fn total_events(&self) -> usize {
+        self.ranks.iter().map(|r| r.seq_len).sum()
+    }
+}
+
 /// The PMPI interposer. Share it with the `World` via `Arc`, run the
-/// program, then call [`Recorder::finish`].
+/// program, then call [`Recorder::finish`] (materialized recorders) or
+/// [`Recorder::finish_streamed`] (streaming recorders).
 pub struct Recorder {
     per_rank: Vec<Mutex<RankTrace>>,
     config: TraceConfig,
+    stream: bool,
 }
 
 impl Recorder {
+    /// A materialized recorder: each rank's id sequence is stored in full.
     pub fn new(nranks: usize, config: TraceConfig) -> Recorder {
         Recorder {
             per_rank: (0..nranks).map(|_| Mutex::new(RankTrace::default())).collect(),
             config,
+            stream: false,
+        }
+    }
+
+    /// A streaming recorder: each rank's ids feed an online Sequitur
+    /// through a bounded buffer of `config.stream_buf` ids; the full
+    /// sequence never materializes. Grammar construction happens on the
+    /// scheduler's pool threads as the simulated program runs.
+    pub fn new_streaming(nranks: usize, config: TraceConfig) -> Recorder {
+        Recorder {
+            per_rank: (0..nranks)
+                .map(|_| {
+                    Mutex::new(RankTrace {
+                        sink: SeqSink::Streaming(Box::new(StreamSink::new(config.stream_buf.max(1)))),
+                        ..RankTrace::default()
+                    })
+                })
+                .collect(),
+            config,
+            stream: true,
         }
     }
 
     /// Extract the recorded trace, resetting the recorder.
     pub fn finish(&self) -> Trace {
+        assert!(!self.stream, "finish() on a streaming Recorder — use finish_streamed()");
         let ranks: Vec<RankTraceData> = self
             .per_rank
             .iter()
             .map(|m| {
                 let tr = mem::take(&mut *m.lock().unwrap());
-                RankTraceData { table: tr.table, seq: tr.seq, raw_bytes: tr.raw_bytes }
+                let seq = match tr.sink {
+                    SeqSink::Materialized(seq) => seq,
+                    SeqSink::Streaming(_) => unreachable!("materialized recorder"),
+                };
+                RankTraceData { table: tr.table, seq, raw_bytes: tr.raw_bytes }
             })
             .collect();
         let trace = Trace { nranks: self.per_rank.len(), ranks };
@@ -331,6 +510,60 @@ impl Recorder {
             trace.nranks
         );
         trace
+    }
+
+    /// Extract the streamed trace, resetting the recorder: drains every
+    /// rank's residual buffer, finalizes its grammar, and flushes the
+    /// stream counters. Ranks are drained in index order, so the obs
+    /// stream is deterministic whatever order the scheduler completed
+    /// them in.
+    pub fn finish_streamed(&self) -> StreamedTrace {
+        assert!(self.stream, "finish_streamed() on a materialized Recorder — use finish()");
+        let mut flushes = 0u64;
+        let mut peak = 0usize;
+        let ranks: Vec<StreamedRank> = self
+            .per_rank
+            .iter()
+            .map(|m| {
+                let mut tr = self.fresh_streaming_take(m);
+                let mut s = match mem::take(&mut tr.sink) {
+                    SeqSink::Streaming(s) => s,
+                    SeqSink::Materialized(_) => unreachable!("streaming recorder"),
+                };
+                s.flush();
+                flushes += s.flushes;
+                peak = peak.max(s.peak_buffered);
+                StreamedRank {
+                    table: tr.table,
+                    grammar: s.builder.into_grammar(),
+                    seq_hash: s.hash.finish(),
+                    seq_len: s.len,
+                    raw_bytes: tr.raw_bytes,
+                }
+            })
+            .collect();
+        siesta_obs::counter("trace.stream.flushes").add(flushes);
+        siesta_obs::gauge("trace.stream.peak_buffered").set(peak as i64);
+        let trace = StreamedTrace { nranks: self.per_rank.len(), ranks };
+        siesta_obs::debug!(
+            "trace: streamed {} events ({} raw bytes) across {} ranks, \
+             {flushes} flushes, peak {peak} buffered",
+            trace.total_events(),
+            trace.raw_bytes(),
+            trace.nranks
+        );
+        trace
+    }
+
+    /// Swap a rank's state out for a fresh streaming one (so a reused
+    /// recorder keeps streaming, mirroring what `finish` does for the
+    /// materialized mode).
+    fn fresh_streaming_take(&self, m: &Mutex<RankTrace>) -> RankTrace {
+        let fresh = RankTrace {
+            sink: SeqSink::Streaming(Box::new(StreamSink::new(self.config.stream_buf.max(1)))),
+            ..RankTrace::default()
+        };
+        mem::replace(&mut *m.lock().unwrap(), fresh)
     }
 }
 
@@ -499,5 +732,73 @@ mod tests {
         assert!(t1.total_events() > 0);
         let t2 = rec.finish();
         assert_eq!(t2.total_events(), 0);
+    }
+
+    fn record_streamed(program: Program, nprocs: usize, buf: usize) -> StreamedTrace {
+        let config = TraceConfig { stream_buf: buf, ..TraceConfig::default() };
+        let rec = Arc::new(Recorder::new_streaming(nprocs, config));
+        program.run_hooked(machine(), nprocs, ProblemSize::Tiny, rec.clone());
+        rec.finish_streamed()
+    }
+
+    #[test]
+    fn streamed_matches_materialized_per_rank() {
+        // The streaming sink must be an exact compressed image of the
+        // materialized path: same tables, same raw bytes, and a grammar
+        // that expands to the very sequence the materialized path stored.
+        for program in [Program::Cg, Program::Sweep3d, Program::Is] {
+            let mat = record(program, 8);
+            for buf in [16usize, 256, DEFAULT_STREAM_BUF] {
+                let st = record_streamed(program, 8, buf);
+                assert_eq!(st.raw_bytes(), mat.raw_bytes());
+                assert_eq!(st.total_events(), mat.total_events());
+                for (s, m) in st.ranks.iter().zip(&mat.ranks) {
+                    assert_eq!(s.table, m.table);
+                    assert_eq!(s.seq_len, m.seq.len());
+                    assert_eq!(s.grammar.expand_main(), m.seq, "{program:?} buf={buf}");
+                    // And the grammar is the one Sequitur would build from
+                    // the materialized sequence (not merely expansion-equal).
+                    assert_eq!(s.grammar, Sequitur::build(&m.seq));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_hash_keys_equal_sequences_only() {
+        let st = record_streamed(Program::Sweep3d, 8, 64);
+        for (i, a) in st.ranks.iter().enumerate() {
+            for (j, b) in st.ranks.iter().enumerate() {
+                let eq_seq =
+                    a.seq_len == b.seq_len && a.grammar.expand_main() == b.grammar.expand_main();
+                if eq_seq {
+                    assert_eq!(a.seq_hash, b.seq_hash, "ranks {i}/{j}");
+                }
+                if a.seq_hash != b.seq_hash {
+                    assert!(!eq_seq, "ranks {i}/{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_finish_resets_state() {
+        let rec = Arc::new(Recorder::new_streaming(4, TraceConfig::default()));
+        Program::Is.run_hooked(machine(), 4, ProblemSize::Tiny, rec.clone());
+        assert!(rec.finish_streamed().total_events() > 0);
+        // Still a streaming recorder after the reset, and empty.
+        assert_eq!(rec.finish_streamed().total_events(), 0);
+    }
+
+    #[test]
+    fn resolve_stream_buf_precedence_and_validation() {
+        // Explicit beats default; out-of-range explicit rejected. (Env
+        // interaction is exercised via the CLI, not here — tests run in
+        // parallel and setting process-global env would race.)
+        assert_eq!(resolve_stream_buf(Some(1024)), Ok(1024));
+        assert!(resolve_stream_buf(Some(STREAM_BUF_MIN - 1)).is_err());
+        assert!(resolve_stream_buf(Some(STREAM_BUF_MAX + 1)).is_err());
+        assert_eq!(resolve_stream_buf(Some(STREAM_BUF_MIN)), Ok(STREAM_BUF_MIN));
+        assert_eq!(resolve_stream_buf(Some(STREAM_BUF_MAX)), Ok(STREAM_BUF_MAX));
     }
 }

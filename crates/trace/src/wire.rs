@@ -427,13 +427,19 @@ pub fn trace_from_bytes(bytes: &[u8]) -> Result<GlobalTrace, WireError> {
     Ok(GlobalTrace { nranks, table, seqs, raw_bytes, merge_rounds })
 }
 
-/// Save a merged trace to a file.
+/// Save a merged trace to a file in the columnar store format
+/// ([`crate::store`]). [`load_trace`] reads both formats.
 pub fn save_trace(t: &GlobalTrace, path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, trace_to_bytes(t))
+    crate::store::write_store(t, path)
 }
 
-/// Load a merged trace from a file.
+/// Load a merged trace from a file, auto-detecting the format by magic:
+/// the columnar store (`SIESTC1`) or the legacy row codec (`SIESTR1`).
 pub fn load_trace(path: &std::path::Path) -> Result<GlobalTrace, Box<dyn std::error::Error>> {
+    if crate::store::sniff_store(path)? {
+        let store = crate::store::TraceStore::open(path)?;
+        return Ok(store.to_global_trace()?);
+    }
     let bytes = std::fs::read(path)?;
     Ok(trace_from_bytes(&bytes)?)
 }

@@ -11,7 +11,10 @@
 use proptest::prelude::*;
 
 use siesta_perfmodel::CounterVec;
-use siesta_trace::{abs_rank, counters_close, rel_rank, FreePool, HandleMap};
+use siesta_trace::{
+    abs_rank, counters_close, rel_rank, store_to_bytes, CommEvent, ComputeStats, EventRecord,
+    FreePool, GlobalTrace, HandleMap, StoreWriter, TraceStore,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -113,5 +116,146 @@ proptest! {
         // |a - fa| / max = 1 - 1/f; within threshold iff f <= 1/(1-t).
         let expected = (1.0 - 1.0 / factor) <= 0.15 + 1e-12;
         prop_assert_eq!(close_ab, expected, "factor {}", factor);
+    }
+}
+
+/// One arbitrary terminal-table entry, covering fixed-size comm payloads,
+/// variable-length comm payloads (request lists, per-peer count vectors),
+/// and compute clusters with exact f64 counter state.
+fn arb_event() -> impl Strategy<Value = EventRecord> {
+    prop_oneof![
+        (0u32..64, 0i32..100, 0u64..1_000_000, 0u32..4)
+            .prop_map(|(rel, tag, bytes, comm)| EventRecord::Comm(CommEvent::Send {
+                rel,
+                tag,
+                bytes,
+                comm
+            })),
+        (0u32..64, 0i32..100, 0u64..1_000_000, 0u32..4, 0u32..8).prop_map(
+            |(rel, tag, bytes, comm, req)| EventRecord::Comm(CommEvent::Irecv {
+                rel,
+                tag,
+                bytes,
+                comm,
+                req
+            })
+        ),
+        prop::collection::vec(0u32..16, 0..6)
+            .prop_map(|reqs| EventRecord::Comm(CommEvent::Waitall { reqs })),
+        (0u32..4, 0u64..1_000_000)
+            .prop_map(|(comm, bytes)| EventRecord::Comm(CommEvent::Allreduce { comm, bytes })),
+        (
+            0u32..4,
+            prop::collection::vec(0u64..4096, 0..5),
+            prop::collection::vec(0u64..4096, 0..5)
+        )
+            .prop_map(|(comm, send_counts, recv_counts)| EventRecord::Comm(
+                CommEvent::Alltoallv { comm, send_counts, recv_counts }
+            )),
+        (
+            prop::collection::vec(0.0f64..1e9, 6),
+            prop::collection::vec(0.0f64..1e9, 6),
+            1u64..50
+        )
+            .prop_map(|(r, s, count)| {
+                let mut st =
+                    ComputeStats::new(CounterVec::from_array([r[0], r[1], r[2], r[3], r[4], r[5]]));
+                st.sum = CounterVec::from_array([s[0], s[1], s[2], s[3], s[4], s[5]]);
+                st.count = count;
+                EventRecord::Compute(st)
+            }),
+    ]
+}
+
+/// An arbitrary global trace: a table that may contain duplicate entries
+/// (the payload pool interns them; the refs column must still round-trip
+/// them as distinct ids) and per-rank id sequences of uneven lengths,
+/// including empty ranks.
+fn arb_trace() -> impl Strategy<Value = GlobalTrace> {
+    (prop::collection::vec(arb_event(), 1..12), 1usize..6, 0usize..10_000_000, 0u32..8).prop_flat_map(
+        |(table, nranks, raw_bytes, merge_rounds)| {
+            let n = table.len() as u32;
+            prop::collection::vec(prop::collection::vec(0..n, 0..200), nranks..=nranks).prop_map(
+                move |seqs| GlobalTrace {
+                    nranks,
+                    table: table.clone(),
+                    seqs,
+                    raw_bytes,
+                    merge_rounds,
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary traces survive the columnar store byte-exactly: header
+    /// fields, the full terminal table (comm payloads, duplicate entries,
+    /// exact compute-cluster f64 state), and every rank's id sequence.
+    #[test]
+    fn store_round_trips(t in arb_trace()) {
+        let store = TraceStore::from_bytes(store_to_bytes(&t)).expect("parse");
+        let back = store.to_global_trace().expect("decode");
+        prop_assert_eq!(back.nranks, t.nranks);
+        prop_assert_eq!(back.merge_rounds, t.merge_rounds);
+        prop_assert_eq!(back.raw_bytes, t.raw_bytes);
+        prop_assert_eq!(back.table, t.table);
+        prop_assert_eq!(back.seqs, t.seqs);
+    }
+
+    /// The reader reassembles identical sequences regardless of how the
+    /// writer chunked them — the property that lets the streaming path
+    /// flush whenever its bounded buffer fills.
+    #[test]
+    fn store_chunking_is_reader_invariant(t in arb_trace(), cut in 1usize..64) {
+        let mut w = StoreWriter::new(
+            Vec::new(), t.nranks, t.merge_rounds, t.raw_bytes, &t.table,
+        ).unwrap();
+        for (rank, seq) in t.seqs.iter().enumerate() {
+            for piece in seq.chunks(cut) {
+                w.append_chunk(rank as u32, piece).unwrap();
+            }
+        }
+        let store = TraceStore::from_bytes(w.finish().unwrap()).expect("parse");
+        prop_assert_eq!(store.nranks(), t.nranks);
+        for (rank, seq) in t.seqs.iter().enumerate() {
+            prop_assert_eq!(&store.seq(rank), seq);
+        }
+    }
+
+    /// Any strict prefix of a valid store is rejected with an error —
+    /// never accepted, never a panic. Covers cuts inside the header,
+    /// columns, pool, chunk headers, id payloads, and the footer.
+    #[test]
+    fn store_rejects_any_truncation(t in arb_trace(), frac in 0.0f64..1.0) {
+        let bytes = store_to_bytes(&t);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(TraceStore::from_bytes(bytes[..cut].to_vec()).is_err());
+    }
+
+    /// A single-bit flip anywhere in the file must never cause a panic or
+    /// an out-of-bounds access: either the structural walk rejects the
+    /// bytes, or every decode entry point still touches only validated
+    /// ranges (flips in dead padding or the free-form `raw_bytes` field
+    /// legitimately parse).
+    #[test]
+    fn store_never_panics_on_corruption(
+        t in arb_trace(),
+        pos_raw in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let mut bytes = store_to_bytes(&t);
+        let pos = pos_raw % bytes.len();
+        bytes[pos] ^= 1u8 << bit;
+        if let Ok(store) = TraceStore::from_bytes(bytes) {
+            let _ = store.table();
+            for rank in 0..store.nranks() {
+                let _ = store.seq_len(rank);
+                let _ = store.seq(rank);
+            }
+            let _ = store.to_global_trace();
+        }
     }
 }

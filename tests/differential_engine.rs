@@ -1,37 +1,35 @@
-//! Differential oracle for the execution engines: the event-driven
-//! scheduler (the production path) and the legacy thread-per-rank
-//! executor (kept one release behind the `legacy-threads` feature as an
-//! independent reference implementation) must produce **byte-identical**
-//! artifacts.
+//! Differential oracle for the two trace-ingest modes: streaming (interned
+//! event ids feed each rank's online Sequitur as calls complete; flat id
+//! sequences never materialize) and materialized (record everything, then
+//! batch Sequitur) must produce **byte-identical** artifacts.
 //!
-//! The two executors share nothing but the engine's matching logic: one
-//! drives resumable rank futures in deterministic sorted batches over the
-//! `siesta-par` pool, the other parks an OS thread per rank and wakes on
-//! completion flags. If virtual-time accounting, message matching, or
-//! collective rounds depended on *executor* order anywhere, these runs
-//! would diverge. Every comparison covers the full synthesis pipeline
-//! (wire bytes, emitted C, synthesis report, traced run stats including
-//! the event-schedule hash) on all nine paper workloads, across pool
-//! widths 1/2/8 and grammar memoization on/off.
-//!
-//! Run via the bench crate's feature forward:
+//! The modes share the simulator and the synthesis back half but nothing
+//! in between: one relabels grammars built online through composed table
+//! remaps (memoizing on a running content hash), the other rewrites whole
+//! sequences and re-runs Sequitur per rank. If grammar construction,
+//! table-merge remapping, memoization order, or store chunking depended on
+//! ingest mode anywhere, these runs would diverge. Every comparison covers
+//! the full pipeline — proxy wire bytes, emitted C, the columnar trace
+//! store, the synthesis report, traced run stats with the event-schedule
+//! hash — on all nine paper workloads, across pool widths 1/2/8, grammar
+//! memoization on/off, and stream buffer sizes down to the flush-heavy
+//! minimum.
 //!
 //! ```sh
-//! cargo test -p siesta-bench --features legacy-threads --test differential_engine
+//! cargo test -p siesta-bench --test differential_engine
 //! ```
 
-#![cfg(feature = "legacy-threads")]
-
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use siesta_codegen::{emit_c, wire};
 use siesta_core::{Siesta, SiestaConfig};
-use siesta_mpisim::set_legacy_threads;
 use siesta_perfmodel::{platform_a, Machine, MpiFlavor};
+use siesta_trace::TraceConfig;
 use siesta_workloads::{ProblemSize, Program};
 
-/// Serializes tests: the executor mode and pool width are process-global.
-static MODE_LOCK: Mutex<()> = Mutex::new(());
+/// Serializes tests: the pool width is process-global.
+static WIDTH_LOCK: Mutex<()> = Mutex::new(());
 
 const WIDTHS: [usize; 3] = [1, 2, 8];
 const NPROCS: usize = 16;
@@ -40,39 +38,52 @@ fn machine() -> Machine {
     Machine::new(platform_a(), MpiFlavor::OpenMpi)
 }
 
-/// Restores the event executor even if an assertion unwinds mid-test.
-struct ThreadedMode;
-
-impl ThreadedMode {
-    fn engage() -> ThreadedMode {
-        set_legacy_threads(true);
-        ThreadedMode
-    }
-}
-
-impl Drop for ThreadedMode {
-    fn drop(&mut self) {
-        set_legacy_threads(false);
-    }
-}
-
 /// Everything a synthesis run externalizes, as bytes/strings to compare.
 struct Output {
     wire_bytes: Vec<u8>,
     c_source: String,
+    store_bytes: Vec<u8>,
     report: String,
     stats: String,
 }
 
-fn synthesize(threaded: bool, width: usize, program: Program, config: SiestaConfig) -> Output {
-    let _mode = threaded.then(ThreadedMode::engage);
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Write the columnar store the way each mode's production path does —
+/// rank-at-a-time grammar expansion when streaming, whole-trace otherwise
+/// — and return the file's bytes.
+fn store_file<F: FnOnce(&std::path::Path) -> std::io::Result<()>>(write: F) -> Vec<u8> {
+    let path = std::env::temp_dir().join(format!(
+        "siesta-diff-{}-{}.siestatrace",
+        std::process::id(),
+        STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    write(&path).expect("store write");
+    let bytes = std::fs::read(&path).expect("store read-back");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn synthesize(stream: bool, width: usize, program: Program, mut config: SiestaConfig) -> Output {
+    config.stream = stream;
     siesta_par::with_threads(width, || {
         let siesta = Siesta::new(config);
-        let (synthesis, traced) =
-            siesta.synthesize_run(machine(), NPROCS, program.body(ProblemSize::Tiny));
+        let body = program.body(ProblemSize::Tiny);
+        let (synthesis, traced, store_bytes) = if stream {
+            let (st, traced) = siesta.trace_run_streamed(machine(), NPROCS, body);
+            let sg = siesta.merge_streamed(st);
+            let store_bytes = store_file(|p| sg.write_store(p));
+            (siesta.synthesize_streamed_global(sg, &machine()), traced, store_bytes)
+        } else {
+            let (trace, traced) = siesta.trace_run(machine(), NPROCS, body);
+            let global = siesta.merge_trace(trace);
+            let store_bytes = store_file(|p| siesta_trace::save_trace(&global, p));
+            (siesta.synthesize_global(global, &machine()), traced, store_bytes)
+        };
         Output {
             wire_bytes: wire::to_bytes(&synthesis.program),
             c_source: emit_c(&synthesis.program),
+            store_bytes,
             report: format!(
                 "{:?} ratio={:.6}",
                 synthesis.stats,
@@ -87,61 +98,72 @@ fn assert_same(program: Program, label: &str, got: &Output, baseline: &Output) {
     let name = program.name();
     assert_eq!(got.wire_bytes, baseline.wire_bytes, "{name}: wire bytes diverge ({label})");
     assert_eq!(got.c_source, baseline.c_source, "{name}: C source diverges ({label})");
+    assert_eq!(
+        got.store_bytes, baseline.store_bytes,
+        "{name}: columnar trace store diverges ({label})"
+    );
     assert_eq!(got.report, baseline.report, "{name}: synthesis report diverges ({label})");
     assert_eq!(got.stats, baseline.stats, "{name}: traced run stats diverge ({label})");
 }
 
 #[test]
-fn threaded_engine_matches_event_engine_on_every_workload() {
-    let _g = MODE_LOCK.lock().unwrap();
+fn streaming_matches_materialized_on_every_workload() {
+    let _g = WIDTH_LOCK.lock().unwrap();
     for program in Program::ALL {
         let baseline = synthesize(false, 1, program, SiestaConfig::default());
         for &width in &WIDTHS {
             let got = synthesize(true, width, program, SiestaConfig::default());
-            assert_same(program, &format!("threaded, {width} threads"), &got, &baseline);
+            assert_same(program, &format!("streaming, {width} threads"), &got, &baseline);
         }
     }
 }
 
 #[test]
-fn memo_toggle_agrees_across_executors() {
-    let _g = MODE_LOCK.lock().unwrap();
+fn memo_and_buffer_toggles_agree_across_modes() {
+    let _g = WIDTH_LOCK.lock().unwrap();
     let memo_off = SiestaConfig { grammar_memo: false, ..SiestaConfig::default() };
+    // The flush-heavy extreme: every 16 events the buffer drains into the
+    // online Sequitur. Grammar output must not depend on flush cadence.
+    let tiny_buf = SiestaConfig {
+        trace: TraceConfig { stream_buf: 16, ..TraceConfig::default() },
+        ..SiestaConfig::default()
+    };
     for program in Program::ALL {
         let baseline = synthesize(false, 1, program, SiestaConfig::default());
-        for (threaded, width, config, label) in [
-            (false, 2, memo_off, "event, no-memo, 2 threads"),
-            (true, 2, SiestaConfig::default(), "threaded, memo, 2 threads"),
-            (true, 8, memo_off, "threaded, no-memo, 8 threads"),
+        for (stream, width, config, label) in [
+            (true, 2, memo_off, "streaming, no-memo, 2 threads"),
+            (true, 8, tiny_buf, "streaming, 16-id buffer, 8 threads"),
+            (false, 2, memo_off, "materialized, no-memo, 2 threads"),
+            (true, 1, memo_off, "streaming, no-memo, 1 thread"),
         ] {
-            let got = synthesize(threaded, width, program, config);
+            let got = synthesize(stream, width, program, config);
             assert_same(program, label, &got, &baseline);
         }
     }
 }
 
 #[test]
-fn raw_run_stats_are_identical_across_executors() {
-    let _g = MODE_LOCK.lock().unwrap();
-    // Below the pipeline: the bare simulator output — per-rank virtual
-    // finish times, counters, byte/call totals, schedule hashes — must
-    // already agree before tracing enters the picture.
-    for program in Program::ALL {
-        let event = program.run(machine(), NPROCS, ProblemSize::Tiny);
-        let threaded = {
-            let _mode = ThreadedMode::engage();
-            program.run(machine(), NPROCS, ProblemSize::Tiny)
-        };
-        assert_eq!(
-            event.schedule_hash(),
-            threaded.schedule_hash(),
-            "{}: schedule hash diverges across executors",
+fn streamed_store_feeds_offline_synthesis() {
+    let _g = WIDTH_LOCK.lock().unwrap();
+    // The offline workflow across modes: a store written rank-at-a-time by
+    // the streaming path, loaded back through the zero-copy reader, must
+    // synthesize to the same proxy as the live streaming run.
+    for program in [Program::Sweep3d, Program::Is] {
+        let live = synthesize(true, 2, program, SiestaConfig::default());
+        let path = std::env::temp_dir().join(format!(
+            "siesta-diff-offline-{}-{}.siestatrace",
+            std::process::id(),
             program.name()
-        );
+        ));
+        std::fs::write(&path, &live.store_bytes).expect("store write");
+        let global = siesta_trace::load_trace(&path).expect("store load");
+        std::fs::remove_file(&path).ok();
+        let synthesis =
+            Siesta::new(SiestaConfig::default()).synthesize_global(global, &machine());
         assert_eq!(
-            format!("{event:?}"),
-            format!("{threaded:?}"),
-            "{}: per-rank stats diverge across executors",
+            wire::to_bytes(&synthesis.program),
+            live.wire_bytes,
+            "{}: offline synthesis from streamed store diverges",
             program.name()
         );
     }

@@ -15,13 +15,18 @@
 //! * 65 536 ranks, byte-identical across pool widths 1/2/8, under 60 s
 //!   wall and 2 GB peak RSS (the ISSUE 8 acceptance numbers);
 //! * 2²⁰ = 1 048 576 ranks to completion — one small heap future per
-//!   rank, not one OS thread.
+//!   rank, not one OS thread;
+//! * 2²⁰ ranks through the *streaming trace path*: online Sequitur ingest
+//!   plus the 20-round table merge and grammar lift, with no rank's full
+//!   id sequence ever materialized.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use siesta_core::{Siesta, SiestaConfig};
-use siesta_mpisim::World;
-use siesta_perfmodel::{platform_b, Machine, MpiFlavor};
+use siesta_mpisim::{CommId, HookCtx, MpiCall, PmpiHook, World};
+use siesta_perfmodel::{platform_b, CounterVec, Machine, MpiFlavor};
+use siesta_trace::{merge_streamed, Recorder, TraceConfig};
 use siesta_workloads::halo::halo2d_body;
 
 fn machine() -> Machine {
@@ -153,4 +158,80 @@ fn halo_million_ranks_completes() {
         siesta_obs::peak_rss_bytes()
     );
     assert_within(Duration::from_secs(420), took, "2^20-rank halo");
+}
+
+#[test]
+fn streaming_ingest_million_ranks_completes() {
+    if !scale_tests_enabled() {
+        eprintln!(
+            "skipped: set SIESTA_SCALE_TESTS=1 (release build) to run the 2^20-rank streaming ingest"
+        );
+        return;
+    }
+    // Drive the PMPI recorder directly with a 2^20-rank halo-shaped call
+    // stream — the same shape as `benches/trace_ingest.rs`, two orders of
+    // magnitude past the bench's 64k gate. Every rank's ids feed its
+    // online Sequitur through a 256-id buffer; the ~59M-event job never
+    // holds a flat id sequence, and the merge lifts the per-rank grammars
+    // through log₂(2²⁰) = 20 reduction rounds without expanding them.
+    const RANKS: usize = 1 << 20;
+    const ITERS: usize = 8;
+    let t0 = Instant::now();
+    let config = TraceConfig { stream_buf: 256, ..TraceConfig::default() };
+    let rec = Arc::new(Recorder::new_streaming(RANKS, config));
+    let step = CounterVec::from_array([5_000.0, 120.0, 30.0, 65_536.0, 400.0, 12.0]);
+    for me in 0..RANKS {
+        let right = (me + 1) % RANKS;
+        let left = (me + RANKS - 1) % RANKS;
+        let mut counters = CounterVec::default();
+        let mut call_seq = 0u32;
+        let mut post = |counters: CounterVec, call: &MpiCall| {
+            let ctx = HookCtx {
+                rank: me,
+                clock_ns: 0.0,
+                counters,
+                comm_rank: me,
+                comm_size: RANKS,
+                call_start_ns: 0.0,
+                wait_ns: 0.0,
+                call_seq,
+            };
+            call_seq += 1;
+            rec.post(&ctx, call);
+        };
+        for _ in 0..ITERS {
+            counters += step;
+            post(counters, &MpiCall::Isend { comm: CommId::WORLD, dest: right, tag: 7, bytes: 4096, req: 1 });
+            post(counters, &MpiCall::Isend { comm: CommId::WORLD, dest: left, tag: 7, bytes: 4096, req: 2 });
+            post(counters, &MpiCall::Irecv { comm: CommId::WORLD, src: left, tag: 7, bytes: 4096, req: 3 });
+            post(counters, &MpiCall::Irecv { comm: CommId::WORLD, src: right, tag: 7, bytes: 4096, req: 4 });
+            post(counters, &MpiCall::Waitall { reqs: vec![1, 2, 3, 4] });
+            post(counters, &MpiCall::Allreduce { comm: CommId::WORLD, bytes: 8 });
+        }
+    }
+    let st = rec.finish_streamed();
+    assert_eq!(st.nranks, RANKS);
+    assert_eq!(st.total_events(), RANKS * ITERS * 7);
+    let ingest = t0.elapsed();
+
+    let sg = merge_streamed(st, true);
+    let took = t0.elapsed();
+    assert_eq!(sg.nranks, RANKS);
+    assert_eq!(sg.merge_rounds, 20);
+    assert!(!sg.table.is_empty());
+    assert_eq!(sg.grammars.len(), RANKS);
+    // Spot-expand a handful of ranks: each grammar must reproduce exactly
+    // one rank's worth of events over valid global ids.
+    for rank in [0usize, 1, RANKS / 2, RANKS - 1] {
+        let seq = sg.expand_rank(rank);
+        assert_eq!(seq.len(), ITERS * 7, "rank {rank} expansion length");
+        assert!(seq.iter().all(|&id| (id as usize) < sg.table.len()));
+    }
+    eprintln!(
+        "2^20-rank streaming ingest: {:.1}s ingest, {:.1}s total, peak RSS {:?}",
+        ingest.as_secs_f64(),
+        took.as_secs_f64(),
+        siesta_obs::peak_rss_bytes()
+    );
+    assert_within(Duration::from_secs(600), took, "2^20-rank streaming ingest + merge");
 }
